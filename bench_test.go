@@ -1,0 +1,319 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation.  Each benchmark runs the corresponding experiment at a
+// reduced scale (the workload-to-cache ratios are preserved; see
+// internal/experiments) and reports the figure's headline numbers as
+// custom metrics.  cmd/sfbench runs the same experiments at full paper
+// scale.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=Fig2 -benchscale=1.0   # paper scale
+package sfbuf
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/experiments"
+	"sfbuf/internal/kernel"
+	"sfbuf/internal/pmap"
+	"sfbuf/internal/sfbuf"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+var benchScale = flag.Float64("benchscale", 0.02, "experiment scale for benchmarks (1.0 = paper scale)")
+
+// runExperiment executes the registered experiment once per benchmark
+// iteration and reports its improvement metrics.
+func runExperiment(b *testing.B, id string, metricKeys ...string) {
+	b.Helper()
+	runner, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	opts := experiments.Options{Scale: *benchScale}
+	var last *experiments.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := runner(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	for _, key := range metricKeys {
+		if v, ok := last.Metrics[key]; ok {
+			// testing.B rejects units with whitespace; compact the
+			// experiment's human-readable labels.
+			b.ReportMetric(v, strings.ReplaceAll(key, " ", "_"))
+		}
+	}
+}
+
+// --- Section 3: microbenchmark table ---
+
+func BenchmarkSec3TLBCosts(b *testing.B) {
+	runExperiment(b, "sec3",
+		"local_cached/Xeon-HTT", "remote/Xeon-MP-HTT", "remote/Opteron-MP")
+}
+
+// --- Figures 2-3: pipes ---
+
+func BenchmarkFig2PipeBandwidth(b *testing.B) {
+	runExperiment(b, "fig2",
+		"improvement_pct/Xeon-UP", "improvement_pct/Xeon-MP", "improvement_pct/Opteron-MP")
+}
+
+func BenchmarkFig3PipeInvalidations(b *testing.B) {
+	runExperiment(b, "fig3",
+		"local/Xeon-MP/sf_buf", "local/Xeon-MP/original", "remote/Xeon-MP/original")
+}
+
+// --- Figures 4-7: memory disks ---
+
+func BenchmarkFig4DD128(b *testing.B) {
+	runExperiment(b, "fig4", "improvement_pct/Xeon-UP", "improvement_pct/Opteron-MP")
+}
+
+func BenchmarkFig5DD128Invalidations(b *testing.B) {
+	runExperiment(b, "fig5",
+		"remote/Xeon-MP/sf_buf: shared", "remote/Xeon-MP/original")
+}
+
+func BenchmarkFig6DD512(b *testing.B) {
+	runExperiment(b, "fig6", "improvement_pct/Xeon-MP", "improvement_pct/Opteron-MP")
+}
+
+func BenchmarkFig7DD512Invalidations(b *testing.B) {
+	runExperiment(b, "fig7",
+		"remote/Xeon-MP/sf_buf: private", "remote/Xeon-MP/sf_buf: shared")
+}
+
+// --- Figures 8-10: PostMark ---
+
+func BenchmarkFig8PostMark(b *testing.B) {
+	runExperiment(b, "fig8", "improvement_pct/Xeon-UP", "improvement_pct/Opteron-MP")
+}
+
+func BenchmarkFig9PostMarkBandwidth(b *testing.B) {
+	runExperiment(b, "fig9", "read_mbps/Xeon-MP/sf_buf", "write_mbps/Xeon-MP/sf_buf")
+}
+
+func BenchmarkFig10PostMarkInvalidations(b *testing.B) {
+	runExperiment(b, "fig10", "local/Xeon-MP/sf_buf", "local/Xeon-MP/original")
+}
+
+// --- Figures 11-14: netperf ---
+
+func BenchmarkFig11NetperfLargeMTU(b *testing.B) {
+	runExperiment(b, "fig11", "improvement_pct/Xeon-UP", "improvement_pct/Opteron-MP")
+}
+
+func BenchmarkFig12NetperfSmallMTU(b *testing.B) {
+	runExperiment(b, "fig12", "improvement_pct/Xeon-UP", "improvement_pct/Opteron-MP")
+}
+
+func BenchmarkFig13NetperfLargeMTUInvalidations(b *testing.B) {
+	runExperiment(b, "fig13", "remote/Xeon-MP/sf_buf", "remote/Xeon-MP/original")
+}
+
+func BenchmarkFig14NetperfSmallMTUInvalidations(b *testing.B) {
+	runExperiment(b, "fig14", "remote/Xeon-MP/sf_buf", "remote/Xeon-MP/original")
+}
+
+// --- Figures 15-20: web server ---
+
+func BenchmarkFig15WebNASA(b *testing.B) {
+	runExperiment(b, "fig15", "improvement_pct/Xeon-MP", "improvement_pct/Opteron-MP")
+}
+
+func BenchmarkFig16WebRice(b *testing.B) {
+	runExperiment(b, "fig16", "improvement_pct/Xeon-MP", "improvement_pct/Opteron-MP")
+}
+
+func BenchmarkFig17WebNASAInvalidations(b *testing.B) {
+	runExperiment(b, "fig17", "local/Xeon-MP/sf_buf", "local/Xeon-MP/original")
+}
+
+func BenchmarkFig18WebRiceInvalidations(b *testing.B) {
+	runExperiment(b, "fig18", "local/Xeon-MP/sf_buf", "local/Xeon-MP/original")
+}
+
+func BenchmarkFig19CacheSweep(b *testing.B) {
+	runExperiment(b, "fig19",
+		"hitrate_on/64K cache entries", "hitrate_on/6K cache entries")
+}
+
+func BenchmarkFig20CacheSweepInvalidations(b *testing.B) {
+	runExperiment(b, "fig20",
+		"local/6K cache entries/offload=on", "local/6K cache entries/offload=off")
+}
+
+// --- Ablations: the design choices of DESIGN.md section 5, measured on a
+// reuse-heavy mapping workload ---
+
+type ablationRig struct {
+	k     *kernel.Kernel
+	sf    *sfbuf.I386
+	pages []*vm.Page
+}
+
+func newAblationRig(b *testing.B, mode sfbuf.Ablation, entries, npages int) *ablationRig {
+	b.Helper()
+	k, err := kernel.Boot(kernel.Config{
+		Platform:     arch.XeonMP(),
+		Mapper:       kernel.SFBuf,
+		PhysPages:    npages + 64,
+		CacheEntries: entries,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	i386 := k.Map.(*sfbuf.I386)
+	i386.Ablate(mode)
+	pages, err := k.M.Phys.AllocN(npages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &ablationRig{k: k, sf: i386, pages: pages}
+}
+
+// ablationWorkload maps, touches and frees pages in rotation — the pipe
+// reuse pattern — and reports simulated cycles per operation plus the
+// invalidation counts.
+func ablationWorkload(b *testing.B, mode sfbuf.Ablation) {
+	r := newAblationRig(b, mode, 64, 32)
+	ctx := r.k.Ctx(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg := r.pages[i%len(r.pages)]
+		buf, err := r.sf.Alloc(ctx, pg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.k.Pmap.Translate(ctx, buf.KVA(), true); err != nil {
+			b.Fatal(err)
+		}
+		r.sf.Free(ctx, buf)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(r.k.M.TotalCycles())/float64(b.N), "simcycles/op")
+	b.ReportMetric(float64(r.k.M.Counters().LocalInv.Load())/float64(b.N), "localinv/op")
+	b.ReportMetric(float64(r.k.M.Counters().RemoteInvIssued.Load())/float64(b.N), "remoteinv/op")
+}
+
+func BenchmarkAblationFullDesign(b *testing.B)  { ablationWorkload(b, 0) }
+func BenchmarkAblationAccessedBit(b *testing.B) { ablationWorkload(b, sfbuf.AblateAccessedBit) }
+func BenchmarkAblationNoSharing(b *testing.B)   { ablationWorkload(b, sfbuf.AblateSharing) }
+func BenchmarkAblationNoLazyReuse(b *testing.B) { ablationWorkload(b, sfbuf.AblateLazyTeardown) }
+
+// BenchmarkMapperMicro compares the four mapper implementations on the
+// same single-page map/touch/unmap loop (Go-time measured; simulated
+// cycles reported as a metric).
+func BenchmarkMapperMicro(b *testing.B) {
+	cases := []struct {
+		name string
+		plat arch.Platform
+		mk   kernel.MapperKind
+	}{
+		{"i386-sfbuf", arch.XeonMP(), kernel.SFBuf},
+		{"amd64-sfbuf", arch.OpteronMP(), kernel.SFBuf},
+		{"sparc64-sfbuf", arch.Sparc64MP(), kernel.SFBuf},
+		{"i386-original", arch.XeonMP(), kernel.OriginalKernel},
+		{"amd64-original", arch.OpteronMP(), kernel.OriginalKernel},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			k := kernel.MustBoot(kernel.Config{
+				Platform:     c.plat,
+				Mapper:       c.mk,
+				PhysPages:    64,
+				CacheEntries: 16,
+			})
+			ctx := k.Ctx(0)
+			pg, err := k.M.Phys.Alloc()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf, err := k.Map.Alloc(ctx, pg, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := k.Pmap.Translate(ctx, buf.KVA(), false); err != nil {
+					b.Fatal(err)
+				}
+				k.Map.Free(ctx, buf)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(k.M.TotalCycles())/float64(b.N), "simcycles/op")
+		})
+	}
+}
+
+// BenchmarkTLBOps measures the raw software-TLB data structure.
+func BenchmarkTLBOps(b *testing.B) {
+	m := smp.NewMachine(arch.XeonMP(), 16, false)
+	ctx := m.Ctx(0)
+	b.Run("insert-lookup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vpn := uint64(i % 128)
+			ctx.TLBInsert(vpn, vpn+1)
+			ctx.TLBLookup(vpn)
+		}
+	})
+	b.Run("invalidate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vpn := uint64(i % 128)
+			ctx.TLBInsert(vpn, vpn+1)
+			ctx.InvalidateLocal(vpn)
+		}
+	})
+}
+
+// BenchmarkTranslate measures the MMU model's hot path.
+func BenchmarkTranslate(b *testing.B) {
+	m := smp.NewMachine(arch.XeonMP(), 64, false)
+	pm := pmap.New(m)
+	ctx := m.Ctx(0)
+	pg, err := m.Phys.Alloc()
+	if err != nil {
+		b.Fatal(err)
+	}
+	va := uint64(pmap.KVABaseI386)
+	pm.KEnter(ctx, va, pg)
+	if _, err := pm.Translate(ctx, va, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pm.Translate(ctx, va, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sanity check that every registered experiment has a benchmark above.
+func TestEveryExperimentHasABenchmark(t *testing.T) {
+	covered := map[string]bool{
+		"sec3": true, "fig2": true, "fig3": true, "fig4": true, "fig5": true,
+		"fig6": true, "fig7": true, "fig8": true, "fig9": true, "fig10": true,
+		"fig11": true, "fig12": true, "fig13": true, "fig14": true,
+		"fig15": true, "fig16": true, "fig17": true, "fig18": true,
+		"fig19": true, "fig20": true,
+		"ablation": true, // covered by the BenchmarkAblation* family
+	}
+	for _, id := range experiments.IDs() {
+		if !covered[id] {
+			t.Errorf("experiment %s has no benchmark", id)
+		}
+	}
+	if len(experiments.IDs()) != len(covered) {
+		t.Errorf("registered %d experiments, benchmarks cover %d",
+			len(experiments.IDs()), len(covered))
+	}
+}

@@ -1,0 +1,81 @@
+// Command sfbench runs the paper's evaluation experiments against the
+// simulated kernels and prints the tables behind every figure.
+//
+// Usage:
+//
+//	sfbench -list
+//	sfbench -run fig2 -scale 0.1
+//	sfbench -all -scale 1.0
+//
+// Scale 1.0 is the paper's configuration (50 MB pipe transfers, 512 MB
+// memory disks, 100,000 PostMark transactions, full trace footprints);
+// smaller scales shrink workloads and the mapping cache together so the
+// cache-to-footprint ratios that drive the results are preserved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sfbuf/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		run     = flag.String("run", "", "comma-separated experiment ids to run")
+		all     = flag.Bool("all", false, "run every experiment")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
+		verbose = flag.Bool("v", false, "print progress")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.Scale = *scale
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *run != "":
+		ids = strings.Split(*run, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "sfbench: specify -list, -all, or -run <ids>")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner, ok := experiments.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sfbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res, err := runner(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfbench: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%s completed in %v\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Command tlbcost reproduces the paper's Section 3 microbenchmark: the
+// cost, in CPU cycles, of local and remote TLB invalidations on the Xeon
+// and Opteron machines, with the page-table entry resident in the data
+// cache and not.
+//
+// The paper implements this as a custom system call that invalidates a
+// mapping 100,000 times; this command does the same against the simulated
+// machines and prints measured-vs-paper numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sfbuf/internal/experiments"
+)
+
+func main() {
+	iters := flag.Float64("scale", 1.0, "iteration scale (1.0 = 100,000 iterations)")
+	flag.Parse()
+
+	res, err := experiments.RunSec3(experiments.Options{Scale: *iters})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tlbcost:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Render())
+}

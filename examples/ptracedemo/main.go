@@ -1,0 +1,85 @@
+// Ptracedemo shows the two process-facing users of ephemeral mappings
+// (Sections 2.4 and 2.5): a debugger reading and patching a traced
+// process's memory through CPU-private mappings, and execve validating an
+// executable's image header.  Both run on the sf_buf kernel and report the
+// coherence traffic they did NOT generate.
+package main
+
+import (
+	"fmt"
+
+	root "sfbuf"
+	"sfbuf/internal/fs"
+	"sfbuf/internal/memdisk"
+	"sfbuf/internal/proc"
+)
+
+func main() {
+	k := root.MustBoot(root.Config{
+		Platform:     root.XeonMPHTT(),
+		Mapper:       root.SFBufKernel,
+		PhysPages:    1024,
+		Backed:       true,
+		CacheEntries: 128,
+	})
+	ctx := k.Ctx(0)
+
+	// --- ptrace: peek and poke a traced process ---
+	traced, err := proc.NewProcess(k, 42, 8)
+	if err != nil {
+		panic(err)
+	}
+	defer traced.Release()
+
+	// The traced process has a secret at 0x1234 (written via ptrace too,
+	// playing its own loader).
+	secret := []byte("correct horse battery staple")
+	if err := traced.PtracePoke(ctx, 0x1234, secret); err != nil {
+		panic(err)
+	}
+
+	got := make([]byte, len(secret))
+	if err := traced.PtracePeek(ctx, 0x1234, got); err != nil {
+		panic(err)
+	}
+	fmt.Printf("ptrace peek @0x1234: %q\n", got)
+
+	// Patch one word, debugger-style.
+	if err := traced.PtracePoke(ctx, 0x1234+8, []byte("BATTERY")); err != nil {
+		panic(err)
+	}
+	traced.PtracePeek(ctx, 0x1234, got)
+	fmt.Printf("after poke:          %q\n", got)
+
+	// --- execve: validate an image header ---
+	d, err := memdisk.New(k, 64*fs.BlockSize)
+	if err != nil {
+		panic(err)
+	}
+	fsys, err := fs.Mkfs(ctx, k, d, 16)
+	if err != nil {
+		panic(err)
+	}
+	img := proc.EncodeImage(0x401000, 4096, 8192)
+	if err := fsys.WriteFile(ctx, "a.out", img); err != nil {
+		panic(err)
+	}
+	hdr, err := proc.Execve(ctx, k, fsys, "a.out")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("execve a.out: entry=%#x text=%d data=%d\n", hdr.Entry, hdr.Text, hdr.Data)
+
+	// Non-executables are rejected after the header peek.
+	fsys.WriteFile(ctx, "notes.txt", []byte("just text"))
+	if _, err := proc.Execve(ctx, k, fsys, "notes.txt"); err != nil {
+		fmt.Printf("execve notes.txt: %v\n", err)
+	}
+
+	c := k.M.SnapshotCounters()
+	s := k.Map.Stats()
+	fmt.Printf("\nmapper: %d allocs (%.0f%% hits); coherence: %d local, %d remote invalidations\n",
+		s.Allocs, s.HitRate()*100, c.LocalInv, c.RemoteInvIssued)
+	fmt.Println("all of this ran on a 4-virtual-CPU machine: CPU-private mappings")
+	fmt.Println("never needed an interprocessor interrupt.")
+}

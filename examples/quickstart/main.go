@@ -1,0 +1,63 @@
+// Quickstart: boot a simulated Xeon, map a physical page through the
+// sf_buf interface, move data through the mapping, and watch what the
+// mapping cache and the TLB-coherence counters do — first under the sf_buf
+// kernel, then under the original kernel for contrast.
+package main
+
+import (
+	"fmt"
+
+	root "sfbuf"
+	"sfbuf/internal/kcopy"
+)
+
+func run(mk root.MapperKind) {
+	k := root.MustBoot(root.Config{
+		Platform:     root.XeonMP(),
+		Mapper:       mk,
+		PhysPages:    256,
+		Backed:       true,
+		CacheEntries: 64,
+	})
+	fmt.Printf("== %s ==\n", k.Name())
+
+	ctx := k.Ctx(0)
+	page, err := k.M.Phys.Alloc()
+	if err != nil {
+		panic(err)
+	}
+
+	// Map the page, write through the mapping, read it back.
+	for round := 1; round <= 3; round++ {
+		b, err := k.Map.Alloc(ctx, page, 0)
+		if err != nil {
+			panic(err)
+		}
+		msg := fmt.Sprintf("hello from round %d", round)
+		if err := kcopy.CopyIn(ctx, k.Pmap, b.KVA(), []byte(msg)); err != nil {
+			panic(err)
+		}
+		got := make([]byte, len(msg))
+		if err := kcopy.CopyOut(ctx, k.Pmap, got, b.KVA()); err != nil {
+			panic(err)
+		}
+		fmt.Printf("round %d: kva=%#x read back %q\n", round, b.KVA(), got)
+		k.Map.Free(ctx, b)
+	}
+
+	s := k.Map.Stats()
+	c := k.M.SnapshotCounters()
+	fmt.Printf("mapper: %d allocs, %d hits, %d misses (hit rate %.0f%%)\n",
+		s.Allocs, s.Hits, s.Misses, s.HitRate()*100)
+	fmt.Printf("TLB coherence: %d local invalidations, %d remote shootdowns issued\n\n",
+		c.LocalInv, c.RemoteInvIssued)
+}
+
+func main() {
+	// The sf_buf kernel reuses the same mapping every round: one miss,
+	// then hits, and no TLB coherence traffic at all.
+	run(root.SFBufKernel)
+	// The original kernel allocates a fresh virtual address every round
+	// and pays a global TLB invalidation for every free.
+	run(root.OriginalKernel)
+}

@@ -1,0 +1,89 @@
+// Webserver replays a synthetic NASA-like trace against the simulated web
+// server (sendfile over the zero-copy socket path), sweeping the sf_buf
+// mapping-cache size the way the paper's Figure 19 does, and reporting
+// throughput, cache hit rate, and TLB invalidations for each configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	root "sfbuf"
+	"sfbuf/internal/cycles"
+	"sfbuf/internal/workloads"
+)
+
+func serve(plat root.Platform, mk root.MapperKind, cacheEntries int, offload bool,
+	trace *workloads.Trace) (mbits float64, hit float64, local, remote uint64) {
+
+	diskPages := int(trace.Footprint>>12)*2 + 4096
+	k := root.MustBoot(root.Config{
+		Platform:     plat,
+		Mapper:       mk,
+		PhysPages:    diskPages,
+		Backed:       true,
+		CacheEntries: cacheEntries,
+	})
+	corpus, err := workloads.BuildCorpus(k.Ctx(0), k, trace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corpus:", err)
+		os.Exit(1)
+	}
+	k.Reset()
+
+	cfg := workloads.DefaultWeb(k)
+	cfg.ChecksumOffload = offload
+	res, err := workloads.WebServer(k, corpus, trace, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webserver:", err)
+		os.Exit(1)
+	}
+	c := k.M.SnapshotCounters()
+	return cycles.Mbps(res.BytesServed, k.M.ParallelCycles(), plat.FreqGHz),
+		k.Map.Stats().HitRate(), c.LocalInv, c.RemoteInvIssued
+}
+
+func main() {
+	footprint := flag.Int64("footprint", 32<<20, "corpus footprint in bytes")
+	requests := flag.Int("requests", 4000, "requests to replay")
+	flag.Parse()
+
+	trace := workloads.SynthesizeTrace("NASA-like", *footprint, 400, *requests, 1.2, 1994)
+	plat := root.XeonMP()
+	fmt.Printf("web server on %s: %d files, %d MB footprint, %d requests\n\n",
+		plat.Name, len(trace.FileSizes), trace.Footprint>>20, len(trace.Requests))
+
+	// Cache sizes scaled to the footprint like the paper's 64K vs 6K
+	// entries against 258.7 MB.
+	bigCache := int(*footprint >> 12) // maps the whole corpus
+	smallCache := bigCache / 11       // ~9% of it, like 6K/64K
+	fmt.Printf("%-28s %-8s %10s %9s %9s %9s\n",
+		"config", "csum", "Mbit/s", "hit rate", "local", "remote")
+	for _, cfg := range []struct {
+		label   string
+		mk      root.MapperKind
+		entries int
+	}{
+		{"sf_buf, full-corpus cache", root.SFBufKernel, bigCache},
+		{"sf_buf, small cache", root.SFBufKernel, smallCache},
+		{"original kernel", root.OriginalKernel, 0},
+	} {
+		for _, offload := range []bool{true, false} {
+			csum := "off"
+			if offload {
+				csum = "nic"
+			}
+			mbits, hit, local, remote := serve(plat, cfg.mk, cfg.entries, offload, trace)
+			hitStr := "n/a"
+			if cfg.mk == root.SFBufKernel {
+				hitStr = fmt.Sprintf("%.1f%%", hit*100)
+			}
+			fmt.Printf("%-28s %-8s %10.0f %9s %9d %9d\n",
+				cfg.label, csum, mbits, hitStr, local, remote)
+		}
+	}
+	fmt.Println("\nthe paper's Figure 19/20 story: a small cache keeps most of the")
+	fmt.Println("throughput because checksum offload leaves PTE accessed bits clear,")
+	fmt.Println("so even cache misses skip TLB invalidations.")
+}

@@ -1,0 +1,72 @@
+// Package cycles provides the cycle-denominated time arithmetic used by the
+// simulated machine.
+//
+// Every cost in the simulator — a TLB invalidation, an interprocessor
+// interrupt, a byte copied — is expressed in CPU cycles, mirroring how the
+// paper reports its microbenchmark measurements (Section 3).  Converting
+// cycles to wall-clock time requires a clock frequency, which is a property
+// of the simulated platform.
+package cycles
+
+import "fmt"
+
+// Cycles counts CPU clock cycles.  It is signed so that intermediate
+// arithmetic (differences, calibration deltas) is convenient, but a
+// negative cycle count is always a bug.
+type Cycles int64
+
+// GHz is a processor clock frequency in gigahertz.
+type GHz float64
+
+// Seconds converts a cycle count to seconds at the given clock frequency.
+func (c Cycles) Seconds(f GHz) float64 {
+	if f <= 0 {
+		return 0
+	}
+	return float64(c) / (float64(f) * 1e9)
+}
+
+// PerByte scales a fractional per-byte cycle cost over n bytes, rounding to
+// the nearest whole cycle.  Costs such as copy and checksum bandwidth are
+// expressed as fractional cycles per byte.
+func PerByte(costPerByte float64, n int) Cycles {
+	return Cycles(costPerByte*float64(n) + 0.5)
+}
+
+// String formats the count with a thousands-group separator so large counts
+// stay readable in reports.
+func (c Cycles) String() string {
+	n := int64(c)
+	if n < 0 {
+		return "-" + Cycles(-n).String()
+	}
+	if n < 1000 {
+		return fmt.Sprintf("%d", n)
+	}
+	return fmt.Sprintf("%s,%03d", Cycles(n/1000).String(), n%1000)
+}
+
+// MBps computes bandwidth in megabytes per second (1 MB = 1e6 bytes) for
+// bytes moved in c cycles at frequency f.  It returns 0 when c == 0.
+func MBps(bytes int64, c Cycles, f GHz) float64 {
+	s := c.Seconds(f)
+	if s <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / s
+}
+
+// Mbps computes bandwidth in megabits per second (1 Mbit = 1e6 bits).
+func Mbps(bytes int64, c Cycles, f GHz) float64 {
+	return MBps(bytes, c, f) * 8
+}
+
+// PerSecond computes an event rate (e.g. PostMark transactions per second)
+// for n events completed in c cycles at frequency f.
+func PerSecond(n int64, c Cycles, f GHz) float64 {
+	s := c.Seconds(f)
+	if s <= 0 {
+		return 0
+	}
+	return float64(n) / s
+}

@@ -1,0 +1,77 @@
+package cycles
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9*math.Max(1, math.Abs(a)+math.Abs(b))
+}
+
+func TestSeconds(t *testing.T) {
+	if got := Cycles(2_400_000_000).Seconds(2.4); !almostEqual(got, 1.0) {
+		t.Fatalf("2.4e9 cycles at 2.4 GHz = %v s, want 1", got)
+	}
+	if got := Cycles(100).Seconds(0); got != 0 {
+		t.Fatalf("zero frequency should give 0, got %v", got)
+	}
+}
+
+func TestPerByte(t *testing.T) {
+	if got := PerByte(1.5, 1000); got != 1500 {
+		t.Fatalf("PerByte = %v", got)
+	}
+	if got := PerByte(0.3, 10); got != 3 {
+		t.Fatalf("PerByte = %v", got)
+	}
+	// Rounds to nearest.
+	if got := PerByte(0.5, 1); got != 1 {
+		t.Fatalf("PerByte(0.5,1) = %v, want 1", got)
+	}
+}
+
+func TestBandwidthHelpers(t *testing.T) {
+	// 100 MB moved in 1 simulated second at 1 GHz.
+	c := Cycles(1_000_000_000)
+	if got := MBps(100_000_000, c, 1); !almostEqual(got, 100) {
+		t.Fatalf("MBps = %v, want 100", got)
+	}
+	if got := Mbps(100_000_000, c, 1); !almostEqual(got, 800) {
+		t.Fatalf("Mbps = %v, want 800", got)
+	}
+	if got := PerSecond(500, c, 1); !almostEqual(got, 500) {
+		t.Fatalf("PerSecond = %v, want 500", got)
+	}
+	if MBps(1, 0, 1) != 0 || PerSecond(1, 0, 1) != 0 {
+		t.Fatal("zero cycles must yield zero rates")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[Cycles]string{
+		0:          "0",
+		999:        "999",
+		1000:       "1,000",
+		1234567:    "1,234,567",
+		-42:        "-42",
+		-1234567:   "-1,234,567",
+		1000000000: "1,000,000,000",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", int64(c), got, want)
+		}
+	}
+}
+
+func TestQuickMbpsIsEightTimesMBps(t *testing.T) {
+	f := func(bytes uint32, cyc uint32) bool {
+		c := Cycles(cyc) + 1
+		return almostEqual(Mbps(int64(bytes), c, 2.4), 8*MBps(int64(bytes), c, 2.4))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

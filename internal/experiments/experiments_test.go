@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sfbuf/internal/arch"
+)
+
+// tinyOptions runs experiments at the smallest usable scale, restricted to
+// two platforms so the whole suite stays test-sized.
+func tinyOptions() Options {
+	return Options{
+		Scale:     0.004,
+		Platforms: []arch.Platform{arch.XeonMP(), arch.OpteronMP()},
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"sec3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "ablation",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registered %d experiments, want %d: %v", len(got), len(want), got)
+	}
+	set := map[string]bool{}
+	for _, id := range got {
+		set[id] = true
+	}
+	for _, id := range want {
+		if !set[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if _, ok := Get("fig2"); !ok {
+		t.Fatal("Get(fig2) failed")
+	}
+	if _, ok := Get("nonsense"); ok {
+		t.Fatal("Get(nonsense) succeeded")
+	}
+}
+
+func TestSec3MatchesSeededCosts(t *testing.T) {
+	res, err := RunSec3(Options{Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The microbenchmark must reproduce the paper's numbers to within a
+	// few percent (only the first iteration's cold PTE differs).
+	checks := map[string]float64{
+		"local_cached/Xeon-HTT":     500,
+		"local_uncached/Xeon-HTT":   1000,
+		"remote/Xeon-HTT":           4000,
+		"remote/Xeon-MP-HTT":        13500,
+		"local_cached/Opteron-MP":   95,
+		"local_uncached/Opteron-MP": 320,
+		"remote/Opteron-MP":         2030,
+	}
+	for key, want := range checks {
+		got, ok := res.Metrics[key]
+		if !ok {
+			t.Fatalf("missing metric %s", key)
+		}
+		if got < want*0.97 || got > want*1.03 {
+			t.Errorf("%s = %.1f, want ~%.0f", key, got, want)
+		}
+	}
+}
+
+func TestFig2ShapeHolds(t *testing.T) {
+	res, err := RunFig2(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sf_buf must win on every platform.
+	for _, plat := range tinyOptions().Platforms {
+		imp := res.Metrics["improvement_pct/"+plat.Name]
+		if imp <= 0 {
+			t.Errorf("%s: sf_buf did not win (%.1f%%)", plat.Name, imp)
+		}
+	}
+	// The MP Xeon must gain more than the Opteron (mapping changes cost
+	// more on i386 without a direct map).
+	if res.Metrics["improvement_pct/Xeon-MP"] <= res.Metrics["improvement_pct/Opteron-MP"] {
+		t.Error("Xeon-MP should gain more than Opteron-MP")
+	}
+}
+
+func TestFig3SFBufEliminatesInvalidations(t *testing.T) {
+	res, err := RunFig3(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Metrics["local/Xeon-MP/sf_buf"]; v != 0 {
+		t.Errorf("sf_buf local invalidations = %v, want 0", v)
+	}
+	if v := res.Metrics["remote/Xeon-MP/sf_buf"]; v != 0 {
+		t.Errorf("sf_buf remote invalidations = %v, want 0", v)
+	}
+	if v := res.Metrics["local/Xeon-MP/original"]; v == 0 {
+		t.Error("original kernel should issue local invalidations")
+	}
+	if v := res.Metrics["remote/Xeon-MP/original"]; v == 0 {
+		t.Error("original kernel should issue remote invalidations")
+	}
+}
+
+func TestFig4PrivateSharedEquivalentWhenCached(t *testing.T) {
+	res, err := runDDBandwidth(tinyOptions(), 128<<20, "fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disk fits the cache: private and shared must perform identically
+	// (the paper's observation), and both beat the original.
+	p := res.Metrics["private_mbps/Xeon-MP"]
+	s := res.Metrics["shared_mbps/Xeon-MP"]
+	o := res.Metrics["original_mbps/Xeon-MP"]
+	if rel := (p - s) / p; rel > 0.02 || rel < -0.02 {
+		t.Errorf("private %.0f vs shared %.0f MB/s: should be equivalent", p, s)
+	}
+	if p <= o {
+		t.Errorf("sf_buf (%.0f) should beat original (%.0f)", p, o)
+	}
+}
+
+func TestFig7PrivateEliminatesRemotes(t *testing.T) {
+	res, err := runDDInvalidations(tinyOptions(), 512<<20, "fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Metrics["remote/Xeon-MP/sf_buf: private"]; v != 0 {
+		t.Errorf("private mappings issued %v remote invalidations, want 0", v)
+	}
+	if v := res.Metrics["remote/Xeon-MP/sf_buf: shared"]; v == 0 {
+		t.Error("shared mappings under misses must issue remote invalidations")
+	}
+	// Both sf_buf configs still pay local invalidations on misses.
+	if v := res.Metrics["local/Xeon-MP/sf_buf: private"]; v == 0 {
+		t.Error("cache misses must cost local invalidations")
+	}
+}
+
+func TestFig8PostMarkShape(t *testing.T) {
+	res, err := RunFig8(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, plat := range tinyOptions().Platforms {
+		if imp := res.Metrics["improvement_pct/"+plat.Name]; imp <= 0 {
+			t.Errorf("%s: sf_buf did not win PostMark (%.1f%%)", plat.Name, imp)
+		}
+		if tps := res.Metrics["sfbuf_tps/"+plat.Name]; tps <= 0 {
+			t.Errorf("%s: zero TPS", plat.Name)
+		}
+	}
+}
+
+func TestFig11LargeMTUGainsExceedSmall(t *testing.T) {
+	o := tinyOptions()
+	large, err := runNetperfBandwidth(o, 16<<10, "fig11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := runNetperfBandwidth(o, 1500, "fig12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "the performance improvement is higher when using the sf_buf
+	// interface under this scenario [large MTU]"
+	for _, plat := range o.Platforms {
+		l := large.Metrics["improvement_pct/"+plat.Name]
+		s := small.Metrics["improvement_pct/"+plat.Name]
+		if l <= s {
+			t.Errorf("%s: large MTU gain (%.1f%%) should exceed small (%.1f%%)", plat.Name, l, s)
+		}
+	}
+}
+
+func TestFig19HitRateDropsWithSmallCache(t *testing.T) {
+	o := Options{Scale: 0.004}
+	res, err := RunFig19(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := res.Metrics["hitrate_on/64K cache entries"]
+	small := res.Metrics["hitrate_on/6K cache entries"]
+	if big <= small {
+		t.Errorf("hit rates: big cache %.2f <= small cache %.2f", big, small)
+	}
+	if small < 0.3 {
+		t.Errorf("small-cache hit rate %.2f implausibly low (Zipf locality should help)", small)
+	}
+}
+
+func TestFig20AccessedBitEffect(t *testing.T) {
+	o := Options{Scale: 0.004}
+	res, err := RunFig20(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the small cache, disabling checksum offload must increase
+	// invalidations: touched pages defeat the accessed-bit optimization.
+	on := res.Metrics["local/6K cache entries/offload=on"]
+	off := res.Metrics["local/6K cache entries/offload=off"]
+	if off <= on {
+		t.Errorf("offload off (%v locals) should exceed on (%v)", off, on)
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := &Result{
+		ID:      "figX",
+		Title:   "test table",
+		Columns: []string{"A", "BBBB"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	out := r.Render()
+	for _, want := range []string{"figX", "test table", "BBBB", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScalingHelpers(t *testing.T) {
+	o := Options{Scale: 0.1}
+	if got := o.scaleInt(1000, 1); got != 100 {
+		t.Fatalf("scaleInt = %d", got)
+	}
+	if got := o.scaleInt(1000, 500); got != 500 {
+		t.Fatalf("floor not applied: %d", got)
+	}
+	if got := o.scaleInt64(1<<30, 1); got != 1<<30/10 {
+		t.Fatalf("scaleInt64 = %d", got)
+	}
+	zero := Options{}
+	if got := zero.scaleInt(42, 1); got != 42 {
+		t.Fatalf("zero scale should mean 1.0, got %d", got)
+	}
+}

@@ -1,0 +1,169 @@
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sfbuf/internal/memdisk"
+)
+
+// memdiskNew allocates another disk on a rig's machine, for exhaustion
+// tests.
+func memdiskNew(r *rig, size int64) (*memdisk.Disk, error) {
+	return memdisk.New(r.k, size)
+}
+
+// TestENOSPCLeavesConsistentState fills the filesystem until writes fail,
+// then verifies (a) the failure is ErrNoSpace, (b) fsck still passes, and
+// (c) deleting files recovers the space for new writes.
+func TestENOSPCLeavesConsistentState(t *testing.T) {
+	r := newRig(t, 96, 64)
+	var created []string
+	data := randBytes(77, 4*BlockSize)
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("fill%03d", i)
+		err := r.f.WriteFile(r.ctx, name, data)
+		if err == nil {
+			created = append(created, name)
+			continue
+		}
+		if !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("unexpected failure: %v", err)
+		}
+		break
+	}
+	if len(created) == 0 {
+		t.Fatal("nothing was created before exhaustion")
+	}
+	if err := r.f.Fsck(r.ctx); err != nil {
+		t.Fatalf("fsck after ENOSPC: %v", err)
+	}
+	// Every successfully created file must still read back intact.
+	got := make([]byte, len(data))
+	for _, name := range created {
+		if err := r.f.ReadAt(r.ctx, name, 0, got); err != nil {
+			t.Fatalf("read %s after ENOSPC: %v", name, err)
+		}
+	}
+	// Free half the files; writes must succeed again.
+	for i := 0; i < len(created)/2; i++ {
+		if err := r.f.Delete(r.ctx, created[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.f.WriteFile(r.ctx, "after", data); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+	if err := r.f.Fsck(r.ctx); err != nil {
+		t.Fatalf("final fsck: %v", err)
+	}
+}
+
+// TestAppendENOSPCKeepsPrefixReadable: a failed append must not corrupt
+// the bytes that were already in the file.
+func TestAppendENOSPCKeepsPrefixReadable(t *testing.T) {
+	r := newRig(t, 64, 16)
+	prefix := randBytes(5, 2*BlockSize)
+	if err := r.f.WriteFile(r.ctx, "log", prefix); err != nil {
+		t.Fatal(err)
+	}
+	// Append until the disk fills.
+	chunk := randBytes(6, BlockSize)
+	for {
+		if err := r.f.Append(r.ctx, "log", chunk); err != nil {
+			if !errors.Is(err, ErrNoSpace) {
+				t.Fatalf("unexpected append failure: %v", err)
+			}
+			break
+		}
+	}
+	got := make([]byte, len(prefix))
+	if err := r.f.ReadAt(r.ctx, "log", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range prefix {
+		if got[i] != prefix[i] {
+			t.Fatalf("prefix byte %d corrupted after failed append", i)
+		}
+	}
+}
+
+// TestMountAfterChurnMatchesLiveState runs a PostMark-like churn, then
+// mounts a second FS instance from the same disk and verifies the two
+// agree on every file's name, size and content.
+func TestMountAfterChurnMatchesLiveState(t *testing.T) {
+	r := newRig(t, 512, 128)
+	rng := rand.New(rand.NewSource(31))
+	live := map[string][]byte{}
+	for i := 0; i < 150; i++ {
+		switch rng.Intn(3) {
+		case 0, 1:
+			name := fmt.Sprintf("c%04d", i)
+			data := randBytes(int64(i), rng.Intn(3*BlockSize)+1)
+			if err := r.f.WriteFile(r.ctx, name, data); err != nil {
+				if errors.Is(err, ErrNoSpace) || errors.Is(err, ErrNoInodes) {
+					continue
+				}
+				t.Fatal(err)
+			}
+			live[name] = data
+		case 2:
+			for name := range live {
+				if err := r.f.Delete(r.ctx, name); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, name)
+				break
+			}
+		}
+	}
+	f2, err := Mount(r.ctx, r.k, r.d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.NumFiles() != len(live) {
+		t.Fatalf("mounted fs sees %d files, live state has %d", f2.NumFiles(), len(live))
+	}
+	for name, want := range live {
+		sz, err := f2.Size(r.ctx, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sz != int64(len(want)) {
+			t.Fatalf("%s: size %d, want %d", name, sz, len(want))
+		}
+		got := make([]byte, len(want))
+		if err := f2.ReadAt(r.ctx, name, 0, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: byte %d differs after mount", name, i)
+			}
+		}
+	}
+	if err := f2.Fsck(r.ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The remounted instance must also agree on free-slot accounting:
+	// creating through it reuses slots without growing the directory.
+	ents := f2.dirEnts
+	if err := f2.Create(r.ctx, "post-mount"); err != nil {
+		t.Fatal(err)
+	}
+	if len(live) < ents && f2.dirEnts != ents {
+		t.Fatalf("directory grew from %d to %d despite free slots", ents, f2.dirEnts)
+	}
+}
+
+// TestPhysExhaustionDuringMkfs: creating a memory disk larger than
+// physical memory must fail cleanly, not panic.
+func TestPhysExhaustionDuringMkfs(t *testing.T) {
+	r := newRig(t, 64, 16) // rig machine has diskBlocks+64 pages
+	// The rig's disk consumed most pages; another huge disk must fail.
+	if _, err := memdiskNew(r, 1<<30); err == nil {
+		t.Fatal("oversized disk allocation must fail")
+	}
+}

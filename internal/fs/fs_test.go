@@ -1,0 +1,391 @@
+package fs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/kernel"
+	"sfbuf/internal/memdisk"
+	"sfbuf/internal/smp"
+)
+
+type rig struct {
+	k   *kernel.Kernel
+	d   *memdisk.Disk
+	f   *FS
+	ctx *smp.Context
+}
+
+func newRig(t *testing.T, diskBlocks, maxInodes int) *rig {
+	t.Helper()
+	k, err := kernel.Boot(kernel.Config{
+		Platform:     arch.XeonMP(),
+		Mapper:       kernel.SFBuf,
+		PhysPages:    diskBlocks + 64,
+		Backed:       true,
+		CacheEntries: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := memdisk.New(k, int64(diskBlocks)*BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := k.Ctx(0)
+	f, err := Mkfs(ctx, k, d, maxInodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{k: k, d: d, f: f, ctx: ctx}
+}
+
+func randBytes(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	r := newRig(t, 256, 64)
+	want := randBytes(1, 10000)
+	if err := r.f.WriteFile(r.ctx, "hello.dat", want); err != nil {
+		t.Fatal(err)
+	}
+	sz, err := r.f.Size(r.ctx, "hello.dat")
+	if err != nil || sz != 10000 {
+		t.Fatalf("size = (%d, %v)", sz, err)
+	}
+	got := make([]byte, 10000)
+	if err := r.f.ReadAt(r.ctx, "hello.dat", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("file data corrupted")
+	}
+	if err := r.f.Fsck(r.ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateExistsAndDelete(t *testing.T) {
+	r := newRig(t, 128, 16)
+	if err := r.f.Create(r.ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.f.Create(r.ctx, "a"); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v, want ErrExists", err)
+	}
+	if err := r.f.Delete(r.ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.f.Delete(r.ctx, "a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if r.f.NumFiles() != 0 {
+		t.Fatal("file count wrong")
+	}
+}
+
+func TestDeleteFreesBlocks(t *testing.T) {
+	r := newRig(t, 256, 16)
+	free := r.f.FreeBlocks()
+	if err := r.f.WriteFile(r.ctx, "big", randBytes(2, 30*BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if r.f.FreeBlocks() >= free {
+		t.Fatal("write did not consume blocks")
+	}
+	if err := r.f.Delete(r.ctx, "big"); err != nil {
+		t.Fatal(err)
+	}
+	// Directory growth may retain a block; data + indirect blocks must
+	// all come back.
+	if got := r.f.FreeBlocks(); got < free-1 {
+		t.Fatalf("free = %d, want >= %d", got, free-1)
+	}
+	if err := r.f.Fsck(r.ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendAcrossBlockBoundaries(t *testing.T) {
+	r := newRig(t, 256, 16)
+	if err := r.f.Create(r.ctx, "log"); err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for i := 0; i < 40; i++ {
+		chunk := randBytes(int64(i), 321)
+		if err := r.f.Append(r.ctx, "log", chunk); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, chunk...)
+	}
+	got := make([]byte, len(want))
+	if err := r.f.ReadAt(r.ctx, "log", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("append sequence corrupted data")
+	}
+}
+
+func TestIndirectBlocks(t *testing.T) {
+	// A file bigger than NDirect blocks exercises the single-indirect
+	// path; make it span into the indirect range with a non-block-aligned
+	// tail.
+	r := newRig(t, 512, 16)
+	n := (NDirect+20)*BlockSize + 777
+	want := randBytes(3, n)
+	if err := r.f.WriteFile(r.ctx, "big", want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, n)
+	if err := r.f.ReadAt(r.ctx, "big", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("indirect file corrupted")
+	}
+	if err := r.f.Fsck(r.ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Delete must free the indirect block too.
+	if err := r.f.Delete(r.ctx, "big"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.f.Fsck(r.ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleIndirectBlocks(t *testing.T) {
+	r := newRig(t, 2200, 16)
+	n := (NDirect + PtrsPerBlock + 5) * BlockSize
+	want := randBytes(4, n)
+	if err := r.f.WriteFile(r.ctx, "huge", want); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check via offset reads rather than one huge read.
+	for _, off := range []int64{0, int64(NDirect) * BlockSize, int64(NDirect+PtrsPerBlock) * BlockSize, int64(n) - 99} {
+		got := make([]byte, 99)
+		if err := r.f.ReadAt(r.ctx, "huge", off, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[off:off+99]) {
+			t.Fatalf("mismatch at offset %d", off)
+		}
+	}
+	if err := r.f.Fsck(r.ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.f.Delete(r.ctx, "huge"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.f.Fsck(r.ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfSpace(t *testing.T) {
+	r := newRig(t, 64, 16)
+	err := r.f.WriteFile(r.ctx, "toobig", make([]byte, 200*BlockSize))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestOutOfInodes(t *testing.T) {
+	r := newRig(t, 512, 2) // rounds up to one inode block = 64 inodes
+	var err error
+	for i := 0; i < r.f.maxInodes+2; i++ {
+		err = r.f.Create(r.ctx, fmt.Sprintf("f%d", i))
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrNoInodes) {
+		t.Fatalf("err = %v, want ErrNoInodes", err)
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	r := newRig(t, 128, 16)
+	long := make([]byte, MaxNameLen+1)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if err := r.f.Create(r.ctx, string(long)); !errors.Is(err, ErrNameTooLong) {
+		t.Fatalf("err = %v, want ErrNameTooLong", err)
+	}
+	if err := r.f.Create(r.ctx, ""); !errors.Is(err, ErrNameTooLong) {
+		t.Fatalf("err = %v, want ErrNameTooLong", err)
+	}
+}
+
+func TestMountRebuildsState(t *testing.T) {
+	r := newRig(t, 256, 32)
+	want := randBytes(5, 3*BlockSize+10)
+	if err := r.f.WriteFile(r.ctx, "persist", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.f.Create(r.ctx, "empty"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.f.Delete(r.ctx, "empty"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-mount from the same disk: the dcache and bitmap must rebuild.
+	f2, err := Mount(r.ctx, r.k, r.d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.NumFiles() != 1 {
+		t.Fatalf("files after mount = %d, want 1", f2.NumFiles())
+	}
+	got := make([]byte, len(want))
+	if err := f2.ReadAt(r.ctx, "persist", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("data lost across mount")
+	}
+	if f2.FreeBlocks() != r.f.FreeBlocks() {
+		t.Fatalf("free blocks: mounted %d vs live %d", f2.FreeBlocks(), r.f.FreeBlocks())
+	}
+	if err := f2.Fsck(r.ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMountRejectsUnformattedDisk(t *testing.T) {
+	k := kernel.MustBoot(kernel.Config{
+		Platform: arch.XeonUP(), Mapper: kernel.SFBuf, PhysPages: 128, Backed: true, CacheEntries: 32,
+	})
+	d, _ := memdisk.New(k, 64*BlockSize)
+	if _, err := Mount(k.Ctx(0), k, d); !errors.Is(err, ErrBadVolume) {
+		t.Fatalf("err = %v, want ErrBadVolume", err)
+	}
+}
+
+func TestReadFullInUnits(t *testing.T) {
+	r := newRig(t, 256, 16)
+	want := randBytes(6, 9777) // PostMark's maximum file size
+	if err := r.f.WriteFile(r.ctx, "pm", want); err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.f.ReadFull(r.ctx, "pm", 512)
+	if err != nil || n != 9777 {
+		t.Fatalf("ReadFull = (%d, %v)", n, err)
+	}
+}
+
+func TestFilePageResolvesDiskPage(t *testing.T) {
+	r := newRig(t, 256, 16)
+	want := randBytes(7, 2*BlockSize)
+	if err := r.f.WriteFile(r.ctx, "sf", want); err != nil {
+		t.Fatal(err)
+	}
+	pg, err := r.f.FilePage(r.ctx, "sf", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The page's raw contents must be the file's second block.
+	if !bytes.Equal(pg.Data(), want[BlockSize:2*BlockSize]) {
+		t.Fatal("FilePage returned the wrong disk page")
+	}
+	// Beyond EOF fails.
+	if _, err := r.f.FilePage(r.ctx, "sf", 5); err == nil {
+		t.Fatal("page beyond EOF must fail")
+	}
+}
+
+func TestSlotReuseAfterDelete(t *testing.T) {
+	r := newRig(t, 256, 32)
+	for i := 0; i < 8; i++ {
+		if err := r.f.Create(r.ctx, fmt.Sprintf("f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents := r.f.dirEnts
+	r.f.Delete(r.ctx, "f3")
+	if err := r.f.Create(r.ctx, "f3b"); err != nil {
+		t.Fatal(err)
+	}
+	if r.f.dirEnts != ents {
+		t.Fatalf("directory grew (%d -> %d) instead of reusing the slot", ents, r.f.dirEnts)
+	}
+}
+
+// TestRandomOpsWithFsck runs a random Create/Delete/Append/Write/Read
+// workload mirroring PostMark's transaction mix and validates filesystem
+// invariants and file contents against an in-memory model throughout.
+func TestRandomOpsWithFsck(t *testing.T) {
+	r := newRig(t, 1024, 128)
+	model := map[string][]byte{}
+	rng := rand.New(rand.NewSource(2024))
+	names := func() []string {
+		out := make([]string, 0, len(model))
+		for n := range model {
+			out = append(out, n)
+		}
+		return out
+	}
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(4); {
+		case op == 0 || len(model) == 0: // create
+			name := fmt.Sprintf("file-%d", step)
+			data := randBytes(rng.Int63(), rng.Intn(3*BlockSize)+1)
+			if err := r.f.WriteFile(r.ctx, name, data); err != nil {
+				if errors.Is(err, ErrNoSpace) || errors.Is(err, ErrNoInodes) {
+					continue
+				}
+				t.Fatalf("step %d create: %v", step, err)
+			}
+			model[name] = data
+		case op == 1: // delete
+			n := names()[rng.Intn(len(model))]
+			if err := r.f.Delete(r.ctx, n); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+			delete(model, n)
+		case op == 2: // append
+			n := names()[rng.Intn(len(model))]
+			data := randBytes(rng.Int63(), rng.Intn(700)+1)
+			if err := r.f.Append(r.ctx, n, data); err != nil {
+				if errors.Is(err, ErrNoSpace) {
+					continue
+				}
+				t.Fatalf("step %d append: %v", step, err)
+			}
+			model[n] = append(model[n], data...)
+		case op == 3: // read & verify
+			n := names()[rng.Intn(len(model))]
+			want := model[n]
+			got := make([]byte, len(want))
+			if len(want) == 0 {
+				continue
+			}
+			if err := r.f.ReadAt(r.ctx, n, 0, got); err != nil {
+				t.Fatalf("step %d read: %v", step, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("step %d: content mismatch on %q", step, n)
+			}
+		}
+		if step%50 == 49 {
+			if err := r.f.Fsck(r.ctx); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := r.f.Fsck(r.ctx); err != nil {
+		t.Fatal(err)
+	}
+}

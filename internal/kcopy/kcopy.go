@@ -1,0 +1,105 @@
+// Package kcopy implements the kernel's data movement primitives over the
+// simulated MMU: every load and store through a kernel virtual address is
+// translated by pmap.Translate, which consults the executing CPU's TLB and
+// honestly follows whatever frame it returns.  Copies therefore both charge
+// the architecture's per-byte cost and actually move bytes between page
+// backing stores (when physical memory is backed), so a TLB-coherence bug
+// upstream shows up as corrupted data downstream.
+package kcopy
+
+import (
+	"sfbuf/internal/pmap"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+// CopyIn copies src into kernel memory at kva (user-to-kernel direction:
+// the kernel writing through an ephemeral mapping).
+func CopyIn(ctx *smp.Context, pm *pmap.Pmap, kva uint64, src []byte) error {
+	for len(src) > 0 {
+		pg, err := pm.Translate(ctx, kva, true)
+		if err != nil {
+			return err
+		}
+		off := pmap.PageOffset(kva)
+		n := min(vm.PageSize-off, len(src))
+		if d := pg.Data(); d != nil {
+			copy(d[off:off+n], src[:n])
+		}
+		ctx.ChargeBytes(ctx.Cost().CopyPerByte, n)
+		src = src[n:]
+		kva += uint64(n)
+	}
+	return nil
+}
+
+// CopyOut copies n bytes from kernel memory at kva into dst
+// (kernel-to-user direction: the kernel reading through an ephemeral
+// mapping).  len(dst) bytes are copied.
+func CopyOut(ctx *smp.Context, pm *pmap.Pmap, dst []byte, kva uint64) error {
+	for len(dst) > 0 {
+		pg, err := pm.Translate(ctx, kva, false)
+		if err != nil {
+			return err
+		}
+		off := pmap.PageOffset(kva)
+		n := min(vm.PageSize-off, len(dst))
+		if d := pg.Data(); d != nil {
+			copy(dst[:n], d[off:off+n])
+		} else {
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		ctx.ChargeBytes(ctx.Cost().CopyPerByte, n)
+		dst = dst[n:]
+		kva += uint64(n)
+	}
+	return nil
+}
+
+// Zero clears n bytes of kernel memory at kva.
+func Zero(ctx *smp.Context, pm *pmap.Pmap, kva uint64, n int) error {
+	for n > 0 {
+		pg, err := pm.Translate(ctx, kva, true)
+		if err != nil {
+			return err
+		}
+		off := pmap.PageOffset(kva)
+		c := min(vm.PageSize-off, n)
+		if d := pg.Data(); d != nil {
+			for i := off; i < off+c; i++ {
+				d[i] = 0
+			}
+		}
+		ctx.ChargeBytes(ctx.Cost().CopyPerByte, c)
+		n -= c
+		kva += uint64(c)
+	}
+	return nil
+}
+
+// Checksum computes the ones-complement-style checksum of n bytes at kva,
+// as the software TCP checksum path does.  It reads the data through the
+// MMU — setting PTE accessed bits — which is exactly the behaviour the
+// paper's checksum-offload experiment (Section 6.5.2) turns on and off.
+func Checksum(ctx *smp.Context, pm *pmap.Pmap, kva uint64, n int) (uint32, error) {
+	var sum uint32
+	for n > 0 {
+		pg, err := pm.Translate(ctx, kva, false)
+		if err != nil {
+			return 0, err
+		}
+		off := pmap.PageOffset(kva)
+		c := min(vm.PageSize-off, n)
+		if d := pg.Data(); d != nil {
+			for i := off; i < off+c; i++ {
+				sum += uint32(d[i])
+			}
+		}
+		ctx.ChargeBytes(ctx.Cost().ChecksumPerByte, c)
+		n -= c
+		kva += uint64(c)
+	}
+	return sum, nil
+}

@@ -1,0 +1,162 @@
+package kcopy
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/cycles"
+	"sfbuf/internal/pmap"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+func rig(t *testing.T) (*smp.Machine, *pmap.Pmap, *smp.Context) {
+	t.Helper()
+	m := smp.NewMachine(arch.XeonMP(), 64, true)
+	return m, pmap.New(m), m.Ctx(0)
+}
+
+const base = uint64(pmap.KVABaseI386)
+
+func mapPages(t *testing.T, m *smp.Machine, pm *pmap.Pmap, ctx *smp.Context, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		pg, err := m.Phys.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm.KEnter(ctx, base+uint64(i)*vm.PageSize, pg)
+	}
+}
+
+func TestCopyInOutRoundTrip(t *testing.T) {
+	m, pm, ctx := rig(t)
+	mapPages(t, m, pm, ctx, 3)
+	want := make([]byte, 2*vm.PageSize+100)
+	rand.New(rand.NewSource(21)).Read(want)
+
+	// Unaligned start, spanning three pages.
+	if err := CopyIn(ctx, pm, base+500, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := CopyOut(ctx, pm, got, base+500); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("copy round trip corrupted data")
+	}
+}
+
+func TestCopyFaultsOnUnmapped(t *testing.T) {
+	_, pm, ctx := rig(t)
+	if err := CopyIn(ctx, pm, base, []byte{1}); err == nil {
+		t.Fatal("copy into unmapped VA must fault")
+	}
+	if err := CopyOut(ctx, pm, make([]byte, 1), base); err == nil {
+		t.Fatal("copy from unmapped VA must fault")
+	}
+}
+
+func TestZero(t *testing.T) {
+	m, pm, ctx := rig(t)
+	mapPages(t, m, pm, ctx, 2)
+	data := make([]byte, vm.PageSize)
+	for i := range data {
+		data[i] = 0xFF
+	}
+	CopyIn(ctx, pm, base, data)
+	CopyIn(ctx, pm, base+vm.PageSize, data)
+	if err := Zero(ctx, pm, base+100, vm.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2*vm.PageSize)
+	CopyOut(ctx, pm, got, base)
+	for i := 0; i < 100; i++ {
+		if got[i] != 0xFF {
+			t.Fatal("Zero clobbered bytes before the range")
+		}
+	}
+	for i := 100; i < 100+vm.PageSize; i++ {
+		if got[i] != 0 {
+			t.Fatalf("byte %d not zeroed", i)
+		}
+	}
+	if got[100+vm.PageSize] != 0xFF {
+		t.Fatal("Zero clobbered bytes after the range")
+	}
+}
+
+func TestChecksumTouchesAndSums(t *testing.T) {
+	m, pm, ctx := rig(t)
+	mapPages(t, m, pm, ctx, 1)
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = 1
+	}
+	CopyIn(ctx, pm, base, data)
+
+	// Clear the accessed bit by re-entering the mapping, then checksum:
+	// the PTE accessed bit must be set afterwards — that is the side
+	// effect the checksum-offload experiments toggle.
+	pg, _ := pm.Translate(ctx, base, false)
+	ctx.InvalidateLocal(pmap.VPN(base))
+	pm.KEnter(ctx, base, pg)
+	if pte, _ := pm.Probe(base); pte.Accessed {
+		t.Fatal("setup: accessed bit should be clear")
+	}
+	sum, err := Checksum(ctx, pm, base, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 1000 {
+		t.Fatalf("sum = %d, want 1000", sum)
+	}
+	if pte, _ := pm.Probe(base); !pte.Accessed {
+		t.Fatal("checksum must set the accessed bit")
+	}
+}
+
+func TestCopyChargesPerByte(t *testing.T) {
+	m, pm, ctx := rig(t)
+	mapPages(t, m, pm, ctx, 1)
+	m.ResetCounters()
+	// Prime the TLB so the measured copy is pure copy cost.
+	if err := CopyIn(ctx, pm, base, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	before := m.CPU(0).Cycles()
+	if err := CopyIn(ctx, pm, base, make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	got := m.CPU(0).Cycles() - before
+	want := cycles.PerByte(m.Plat.Cost.CopyPerByte, 1000)
+	if got != want {
+		t.Fatalf("copy cost = %d, want %d", got, want)
+	}
+}
+
+func TestCopyReadsThroughStaleTLB(t *testing.T) {
+	// The whole point of the honest MMU: a copy through a stale TLB
+	// entry moves the WRONG page's bytes.
+	m, pm, ctx := rig(t)
+	p1, _ := m.Phys.Alloc()
+	p2, _ := m.Phys.Alloc()
+	p1.Data()[0] = 0x11
+	p2.Data()[0] = 0x22
+	pm.KEnter(ctx, base, p1)
+	one := make([]byte, 1)
+	CopyOut(ctx, pm, one, base) // TLB now caches p1
+	pm.KEnter(ctx, base, p2)    // remap without invalidation
+	CopyOut(ctx, pm, one, base)
+	if one[0] != 0x11 {
+		t.Fatalf("read %#x: stale TLB should have served p1", one[0])
+	}
+	ctx.InvalidateLocal(pmap.VPN(base))
+	CopyOut(ctx, pm, one, base)
+	if one[0] != 0x22 {
+		t.Fatal("after invalidation the copy must see p2")
+	}
+}

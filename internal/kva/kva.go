@@ -1,0 +1,165 @@
+// Package kva implements the kernel virtual-address arena: the
+// general-purpose allocator of temporary kernel virtual addresses that the
+// original kernel invokes for every ephemeral mapping, and from which the
+// i386 sf_buf implementation reserves its mapping-cache region once at
+// boot.
+//
+// The arena is a first-fit free list with address-ordered coalescing —
+// the classic resource-map allocator (cf. the paper's discussion of Vmem).
+// It deals in whole pages.
+package kva
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sfbuf/internal/vm"
+)
+
+// ErrExhausted is returned when no free range can satisfy an allocation.
+var ErrExhausted = errors.New("kva: virtual address space exhausted")
+
+// span is one free range [start, start+pages*PageSize).
+type span struct {
+	start uint64
+	pages int
+}
+
+// Arena allocates page-granular ranges from [base, base+size).
+type Arena struct {
+	base uint64
+	size uint64
+
+	mu        sync.Mutex
+	free      []span         // sorted by start address
+	allocated map[uint64]int // start -> pages, for double-free detection
+	inUse     int            // pages currently allocated
+	peak      int            // high-water mark
+	allocs    uint64         // cumulative allocations
+}
+
+// NewArena creates an arena over [base, base+size).  Both must be
+// page-aligned.
+func NewArena(base, size uint64) *Arena {
+	if base%vm.PageSize != 0 || size%vm.PageSize != 0 || size == 0 {
+		panic(fmt.Sprintf("kva: misaligned arena base=%#x size=%#x", base, size))
+	}
+	return &Arena{
+		base:      base,
+		size:      size,
+		free:      []span{{start: base, pages: int(size / vm.PageSize)}},
+		allocated: make(map[uint64]int),
+	}
+}
+
+// Base returns the arena's lowest address.
+func (a *Arena) Base() uint64 { return a.base }
+
+// Size returns the arena's extent in bytes.
+func (a *Arena) Size() uint64 { return a.size }
+
+// Alloc carves out pages contiguous virtual pages, returning the base
+// address of the range.
+func (a *Arena) Alloc(pages int) (uint64, error) {
+	if pages <= 0 {
+		return 0, fmt.Errorf("kva: invalid allocation of %d pages", pages)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range a.free {
+		s := &a.free[i]
+		if s.pages < pages {
+			continue
+		}
+		va := s.start
+		s.start += uint64(pages) * vm.PageSize
+		s.pages -= pages
+		if s.pages == 0 {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		}
+		a.allocated[va] = pages
+		a.inUse += pages
+		if a.inUse > a.peak {
+			a.peak = a.inUse
+		}
+		a.allocs++
+		return va, nil
+	}
+	return 0, ErrExhausted
+}
+
+// Free returns the range starting at va to the arena.  The range must be
+// exactly one previously allocated with Alloc; partial frees and double
+// frees panic, since in a kernel either is memory corruption.
+func (a *Arena) Free(va uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	pages, ok := a.allocated[va]
+	if !ok {
+		panic(fmt.Sprintf("kva: free of unallocated va %#x", va))
+	}
+	delete(a.allocated, va)
+	a.inUse -= pages
+
+	// Insert in address order, then coalesce with neighbors.
+	i := 0
+	for i < len(a.free) && a.free[i].start < va {
+		i++
+	}
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = span{start: va, pages: pages}
+
+	// Coalesce with successor first so the index stays valid.
+	if i+1 < len(a.free) && a.free[i].end() == a.free[i+1].start {
+		a.free[i].pages += a.free[i+1].pages
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].end() == a.free[i].start {
+		a.free[i-1].pages += a.free[i].pages
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+func (s span) end() uint64 { return s.start + uint64(s.pages)*vm.PageSize }
+
+// InUsePages returns the number of pages currently allocated.
+func (a *Arena) InUsePages() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse
+}
+
+// PeakPages returns the allocation high-water mark in pages.
+func (a *Arena) PeakPages() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// Allocs returns the cumulative allocation count.
+func (a *Arena) Allocs() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.allocs
+}
+
+// FreeRanges returns the number of discrete free spans — a fragmentation
+// measure used by tests to verify coalescing.
+func (a *Arena) FreeRanges() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.free)
+}
+
+// FreePages returns the total free page count.
+func (a *Arena) FreePages() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, s := range a.free {
+		n += s.pages
+	}
+	return n
+}

@@ -1,0 +1,169 @@
+package kva
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sfbuf/internal/vm"
+)
+
+const testBase = 0xC000_0000
+
+func TestAllocFreeCoalesce(t *testing.T) {
+	a := NewArena(testBase, 16*vm.PageSize)
+	v1, err := a.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := a.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3, err := a.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FreePages() != 0 {
+		t.Fatalf("free pages = %d, want 0", a.FreePages())
+	}
+	// Free out of order; the arena must coalesce back to a single span.
+	a.Free(v2)
+	a.Free(v1)
+	a.Free(v3)
+	if a.FreeRanges() != 1 {
+		t.Fatalf("free ranges = %d, want 1 (coalescing failed)", a.FreeRanges())
+	}
+	if a.FreePages() != 16 {
+		t.Fatalf("free pages = %d, want 16", a.FreePages())
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := NewArena(testBase, 4*vm.PageSize)
+	if _, err := a.Alloc(5); err != ErrExhausted {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	v, _ := a.Alloc(4)
+	if _, err := a.Alloc(1); err != ErrExhausted {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	a.Free(v)
+	if _, err := a.Alloc(4); err != nil {
+		t.Fatalf("alloc after free failed: %v", err)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := NewArena(testBase, 4*vm.PageSize)
+	v, _ := a.Alloc(1)
+	a.Free(v)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free must panic")
+		}
+	}()
+	a.Free(v)
+}
+
+func TestFreeOfUnallocatedPanics(t *testing.T) {
+	a := NewArena(testBase, 4*vm.PageSize)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("free of never-allocated address must panic")
+		}
+	}()
+	a.Free(testBase + vm.PageSize)
+}
+
+func TestMisalignedArenaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misaligned arena must panic")
+		}
+	}()
+	NewArena(testBase+1, vm.PageSize)
+}
+
+func TestPeakTracking(t *testing.T) {
+	a := NewArena(testBase, 8*vm.PageSize)
+	v1, _ := a.Alloc(3)
+	v2, _ := a.Alloc(4)
+	a.Free(v1)
+	a.Free(v2)
+	if a.PeakPages() != 7 {
+		t.Fatalf("peak = %d, want 7", a.PeakPages())
+	}
+	if a.InUsePages() != 0 {
+		t.Fatalf("in use = %d, want 0", a.InUsePages())
+	}
+	if a.Allocs() != 2 {
+		t.Fatalf("allocs = %d, want 2", a.Allocs())
+	}
+}
+
+// TestNoOverlap allocates and frees randomly and checks that live ranges
+// never overlap and accounting always balances.
+func TestNoOverlap(t *testing.T) {
+	const pages = 64
+	a := NewArena(testBase, pages*vm.PageSize)
+	rng := rand.New(rand.NewSource(7))
+	type alloc struct {
+		va uint64
+		n  int
+	}
+	var live []alloc
+	inUse := 0
+	for step := 0; step < 2000; step++ {
+		if rng.Intn(2) == 0 && inUse < pages {
+			n := rng.Intn(pages-inUse) + 1
+			va, err := a.Alloc(n)
+			if err != nil {
+				continue // fragmentation can legitimately fail first-fit
+			}
+			for _, other := range live {
+				aEnd := va + uint64(n)*vm.PageSize
+				oEnd := other.va + uint64(other.n)*vm.PageSize
+				if va < oEnd && other.va < aEnd {
+					t.Fatalf("overlap: [%#x,%d) with [%#x,%d)", va, n, other.va, other.n)
+				}
+			}
+			live = append(live, alloc{va, n})
+			inUse += n
+		} else if len(live) > 0 {
+			i := rng.Intn(len(live))
+			a.Free(live[i].va)
+			inUse -= live[i].n
+			live = append(live[:i], live[i+1:]...)
+		}
+		if a.InUsePages() != inUse {
+			t.Fatalf("in-use accounting drifted: %d vs %d", a.InUsePages(), inUse)
+		}
+	}
+	for _, l := range live {
+		a.Free(l.va)
+	}
+	if a.FreeRanges() != 1 || a.FreePages() != pages {
+		t.Fatalf("final state ranges=%d pages=%d", a.FreeRanges(), a.FreePages())
+	}
+}
+
+// Property: allocations are always page-aligned and inside the arena.
+func TestQuickAlignmentAndBounds(t *testing.T) {
+	a := NewArena(testBase, 128*vm.PageSize)
+	f := func(n uint8) bool {
+		pages := int(n)%16 + 1
+		va, err := a.Alloc(pages)
+		if err != nil {
+			return true // exhaustion is legal
+		}
+		defer a.Free(va)
+		if va%vm.PageSize != 0 {
+			return false
+		}
+		return va >= testBase && va+uint64(pages)*vm.PageSize <= testBase+128*vm.PageSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

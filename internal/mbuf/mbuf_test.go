@@ -1,0 +1,273 @@
+package mbuf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+func testCtx() *smp.Context {
+	m := smp.NewMachine(arch.XeonMP(), 32, true)
+	return m.Ctx(0)
+}
+
+func TestInlineMbuf(t *testing.T) {
+	m := NewInline([]byte("hello"))
+	if m.Len != 5 || string(m.InlineBytes()) != "hello" {
+		t.Fatalf("inline mbuf wrong: len=%d", m.Len)
+	}
+	if m.KVA() != 0 {
+		t.Fatal("inline mbuf must have no KVA")
+	}
+}
+
+func TestInlineOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized inline must panic")
+		}
+	}()
+	NewInline(make([]byte, MLEN+1))
+}
+
+func TestExtRefCounting(t *testing.T) {
+	ctx := testCtx()
+	freed := 0
+	e := NewExt(nil, nil, func(*smp.Context) { freed++ })
+	e.Ref()
+	e.Ref()
+	if e.Refs() != 3 {
+		t.Fatalf("refs = %d", e.Refs())
+	}
+	e.Unref(ctx)
+	e.Unref(ctx)
+	if freed != 0 {
+		t.Fatal("freed too early")
+	}
+	e.Unref(ctx)
+	if freed != 1 {
+		t.Fatalf("freed = %d, want 1", freed)
+	}
+}
+
+func TestExtUnderflowPanics(t *testing.T) {
+	ctx := testCtx()
+	e := NewExt(nil, nil, nil)
+	e.Unref(ctx)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("underflow must panic")
+		}
+	}()
+	e.Unref(ctx)
+}
+
+func TestExtRangeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-page range must panic")
+		}
+	}()
+	NewExtMbuf(NewExt(nil, nil, nil), vm.PageSize-10, 20)
+}
+
+func TestChainAppendAndLen(t *testing.T) {
+	c := &Chain{}
+	c.Append(NewInline(make([]byte, 100)))
+	c.Append(NewInline(make([]byte, 50)))
+	if c.PktLen != 150 || c.Mbufs() != 2 {
+		t.Fatalf("chain len=%d mbufs=%d", c.PktLen, c.Mbufs())
+	}
+}
+
+func TestChainFreeReleasesExts(t *testing.T) {
+	ctx := testCtx()
+	freed := 0
+	c := &Chain{}
+	for i := 0; i < 3; i++ {
+		e := NewExt(nil, nil, func(*smp.Context) { freed++ })
+		c.Append(NewExtMbuf(e, 0, 100))
+	}
+	c.Free(ctx)
+	if freed != 3 {
+		t.Fatalf("freed = %d, want 3", freed)
+	}
+	if c.PktLen != 0 || c.Head != nil {
+		t.Fatal("chain not emptied")
+	}
+}
+
+func TestSplitWholeMbufsTransferOwnership(t *testing.T) {
+	ctx := testCtx()
+	freed := 0
+	c := &Chain{}
+	e1 := NewExt(nil, nil, func(*smp.Context) { freed++ })
+	e2 := NewExt(nil, nil, func(*smp.Context) { freed++ })
+	c.Append(NewExtMbuf(e1, 0, 100))
+	c.Append(NewExtMbuf(e2, 0, 200))
+
+	head := c.Split(100)
+	if head.PktLen != 100 || c.PktLen != 200 {
+		t.Fatalf("split lens = %d/%d", head.PktLen, c.PktLen)
+	}
+	head.Free(ctx)
+	if freed != 1 {
+		t.Fatalf("freed = %d, want 1 (ownership transferred, not shared)", freed)
+	}
+	c.Free(ctx)
+	if freed != 2 {
+		t.Fatalf("freed = %d, want 2", freed)
+	}
+}
+
+func TestSplitPartialSharesExternal(t *testing.T) {
+	ctx := testCtx()
+	freed := 0
+	e := NewExt(nil, nil, func(*smp.Context) { freed++ })
+	c := &Chain{}
+	c.Append(NewExtMbuf(e, 0, 1000))
+
+	head := c.Split(300)
+	if head.PktLen != 300 || c.PktLen != 700 {
+		t.Fatalf("split lens = %d/%d", head.PktLen, c.PktLen)
+	}
+	if e.Refs() != 2 {
+		t.Fatalf("refs = %d, want 2 (shared across split)", e.Refs())
+	}
+	// The remainder must start where the prefix ended.
+	if c.Head.Off != 300 || c.Head.Len != 700 {
+		t.Fatalf("remainder off=%d len=%d", c.Head.Off, c.Head.Len)
+	}
+	head.Free(ctx)
+	if freed != 0 {
+		t.Fatal("external freed while still referenced")
+	}
+	c.Free(ctx)
+	if freed != 1 {
+		t.Fatalf("freed = %d, want 1", freed)
+	}
+}
+
+func TestSplitPartialInlineCopies(t *testing.T) {
+	c := &Chain{}
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	c.Append(NewInline(data))
+	head := c.Split(40)
+	if head.PktLen != 40 || c.PktLen != 60 {
+		t.Fatalf("split lens = %d/%d", head.PktLen, c.PktLen)
+	}
+	if head.Head.InlineBytes()[39] != 39 {
+		t.Fatal("prefix bytes wrong")
+	}
+	if c.Head.InlineBytes()[0] != 40 {
+		t.Fatal("remainder bytes wrong")
+	}
+}
+
+func TestSplitEntireChain(t *testing.T) {
+	c := &Chain{}
+	c.Append(NewInline(make([]byte, 10)))
+	head := c.Split(10)
+	if head.PktLen != 10 || c.PktLen != 0 || c.Head != nil {
+		t.Fatal("full split left residue")
+	}
+	if c.Split(5) != nil {
+		t.Fatal("split of empty chain must return nil")
+	}
+}
+
+// Property: any sequence of random splits preserves total length, keeps
+// every chain's bytes in order, and balances external references exactly.
+func TestQuickSplitConservation(t *testing.T) {
+	ctx := testCtx()
+	f := func(sizes []uint16, cuts []uint16) bool {
+		if len(sizes) == 0 || len(sizes) > 8 {
+			return true
+		}
+		c := &Chain{}
+		var exts []*Ext
+		total := 0
+		for _, s := range sizes {
+			n := int(s)%vm.PageSize + 1
+			e := NewExt(nil, nil, nil)
+			exts = append(exts, e)
+			c.Append(NewExtMbuf(e, 0, n))
+			total += n
+		}
+		var pieces []*Chain
+		for _, cut := range cuts {
+			if c.PktLen == 0 {
+				break
+			}
+			n := int(cut)%c.PktLen + 1
+			p := c.Split(n)
+			if p == nil {
+				return false
+			}
+			pieces = append(pieces, p)
+		}
+		sum := c.PktLen
+		for _, p := range pieces {
+			sum += p.PktLen
+		}
+		if sum != total {
+			return false
+		}
+		c.Free(ctx)
+		for _, p := range pieces {
+			p.Free(ctx)
+		}
+		for _, e := range exts {
+			if e.Refs() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentationLikeSendPath(t *testing.T) {
+	// Segmenting a multi-page chain at an MSS that straddles page
+	// boundaries must preserve total length and reference every external
+	// exactly as many times as packets touch it.
+	ctx := testCtx()
+	c := &Chain{}
+	var exts []*Ext
+	for i := 0; i < 4; i++ {
+		e := NewExt(nil, nil, nil)
+		exts = append(exts, e)
+		c.Append(NewExtMbuf(e, 0, vm.PageSize))
+	}
+	total := c.PktLen
+	var pkts []*Chain
+	for c.PktLen > 0 {
+		p := c.Split(min(1460, c.PktLen))
+		pkts = append(pkts, p)
+	}
+	sum := 0
+	for _, p := range pkts {
+		sum += p.PktLen
+	}
+	if sum != total {
+		t.Fatalf("segmentation lost bytes: %d != %d", sum, total)
+	}
+	// Free all packets; every ext must reach exactly zero refs (no
+	// leaks, no double frees — Unref panics on underflow).
+	for _, p := range pkts {
+		p.Free(ctx)
+	}
+	for i, e := range exts {
+		if e.Refs() != 0 {
+			t.Fatalf("ext %d refs = %d, want 0", i, e.Refs())
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package memdisk implements a memory disk (FreeBSD's md), Section 2.2:
+// "Memory disks have a pool of physical pages.  To read from or write to a
+// memory disk a CPU-private ephemeral mapping for the desired pages of the
+// memory disk is created.  Then the data is copied between the ephemerally
+// mapped pages and the read/write buffer provided by the user.  After the
+// read or write operation completes, the ephemeral mapping is freed."
+//
+// The private-mapping option can be disabled (the dd experiment's
+// "default (shared) mapping" configuration of Figures 4-7) to measure the
+// cost of remote TLB invalidations on cache misses.
+package memdisk
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"sfbuf/internal/kcopy"
+	"sfbuf/internal/kernel"
+	"sfbuf/internal/sfbuf"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+// SectorSize is the disk's addressable unit.
+const SectorSize = 512
+
+// ErrOutOfRange is returned for accesses beyond the end of the disk.
+var ErrOutOfRange = errors.New("memdisk: access out of range")
+
+// Disk is one memory disk.
+type Disk struct {
+	k     *kernel.Kernel
+	pages []*vm.Page
+	size  int64
+
+	// usePrivate selects the CPU-private mapping option; the evaluation
+	// turns it off to quantify its benefit (Section 6.4.1).
+	usePrivate atomic.Bool
+
+	reads  atomic.Uint64
+	writes atomic.Uint64
+}
+
+// New allocates a memory disk of the given size (rounded up to whole
+// pages) from the machine's physical memory.
+func New(k *kernel.Kernel, size int64) (*Disk, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("memdisk: invalid size %d", size)
+	}
+	npages := int((size + vm.PageSize - 1) / vm.PageSize)
+	pages, err := k.M.Phys.AllocN(npages)
+	if err != nil {
+		return nil, fmt.Errorf("memdisk: allocating %d pages: %w", npages, err)
+	}
+	d := &Disk{k: k, pages: pages, size: size}
+	d.usePrivate.Store(true)
+	return d, nil
+}
+
+// Size returns the disk capacity in bytes.
+func (d *Disk) Size() int64 { return d.size }
+
+// Pages returns the disk's page pool; sendfile-style consumers map these
+// directly.  Callers must not modify the slice.
+func (d *Disk) Pages() []*vm.Page { return d.pages }
+
+// PageAt returns the page backing byte offset off.
+func (d *Disk) PageAt(off int64) (*vm.Page, error) {
+	if off < 0 || off >= d.size {
+		return nil, ErrOutOfRange
+	}
+	return d.pages[off/vm.PageSize], nil
+}
+
+// SetPrivateMappings toggles the CPU-private mapping option.
+func (d *Disk) SetPrivateMappings(on bool) { d.usePrivate.Store(on) }
+
+// PrivateMappings reports whether the private option is in use.
+func (d *Disk) PrivateMappings() bool { return d.usePrivate.Load() }
+
+func (d *Disk) flags() sfbuf.Flags {
+	if d.usePrivate.Load() {
+		return sfbuf.Private
+	}
+	return 0
+}
+
+// ReadAt copies len(dst) bytes at offset off into dst through ephemeral
+// mappings of the disk's pages.
+func (d *Disk) ReadAt(ctx *smp.Context, dst []byte, off int64) error {
+	return d.transfer(ctx, dst, off, false)
+}
+
+// WriteAt copies src onto the disk at offset off through ephemeral
+// mappings.
+func (d *Disk) WriteAt(ctx *smp.Context, src []byte, off int64) error {
+	return d.transfer(ctx, src, off, true)
+}
+
+// transfer moves one request's bytes between buf and the disk.  A request
+// spanning multiple pages maps them as one batch when the kernel's mapper
+// supports it (the original kernel's pmap_qenter path for a multi-page
+// buffer); the sf_buf kernel maps page by page through the ephemeral
+// mapping interface, exactly as Section 2.2 describes.
+func (d *Disk) transfer(ctx *smp.Context, buf []byte, off int64, write bool) error {
+	if off < 0 || off+int64(len(buf)) > d.size {
+		return ErrOutOfRange
+	}
+	if write {
+		d.writes.Add(1)
+	} else {
+		d.reads.Add(1)
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	// Every request pays the block-device path's fixed cost regardless
+	// of kernel: bio setup, GEOM, and the md worker-thread handoff.
+	ctx.Charge(ctx.Cost().BioFixed)
+
+	first := int(off / vm.PageSize)
+	last := int((off + int64(len(buf)) - 1) / vm.PageSize)
+	if bm, ok := d.k.Map.(sfbuf.BatchMapper); ok && last > first {
+		bufs, err := bm.AllocBatch(ctx, d.pages[first:last+1], d.flags())
+		if err != nil {
+			return fmt.Errorf("memdisk: batch mapping: %w", err)
+		}
+		defer bm.FreeBatch(ctx, bufs)
+		for i, b := range bufs {
+			po, n := pageSpan(off, len(buf), first+i)
+			bo := int64(first+i)*vm.PageSize + int64(po) - off
+			if write {
+				err = kcopy.CopyIn(ctx, d.k.Pmap, b.KVA()+uint64(po), buf[bo:bo+int64(n)])
+			} else {
+				err = kcopy.CopyOut(ctx, d.k.Pmap, buf[bo:bo+int64(n)], b.KVA()+uint64(po))
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for len(buf) > 0 {
+		pg := d.pages[off/vm.PageSize]
+		po := int(off % vm.PageSize)
+		n := min(vm.PageSize-po, len(buf))
+		b, err := d.k.Map.Alloc(ctx, pg, d.flags())
+		if err != nil {
+			return fmt.Errorf("memdisk: mapping for transfer: %w", err)
+		}
+		if write {
+			err = kcopy.CopyIn(ctx, d.k.Pmap, b.KVA()+uint64(po), buf[:n])
+		} else {
+			err = kcopy.CopyOut(ctx, d.k.Pmap, buf[:n], b.KVA()+uint64(po))
+		}
+		d.k.Map.Free(ctx, b)
+		if err != nil {
+			return err
+		}
+		buf = buf[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// pageSpan returns the in-page offset and length of the part of a request
+// [off, off+n) that falls on page index pi.
+func pageSpan(off int64, n int, pi int) (po, cnt int) {
+	start := int64(pi) * vm.PageSize
+	end := start + vm.PageSize
+	reqEnd := off + int64(n)
+	lo := off
+	if start > lo {
+		lo = start
+	}
+	hi := reqEnd
+	if end < hi {
+		hi = end
+	}
+	return int(lo - start), int(hi - lo)
+}
+
+// Ops returns the cumulative read and write operation counts.
+func (d *Disk) Ops() (reads, writes uint64) {
+	return d.reads.Load(), d.writes.Load()
+}
+
+// Release returns the disk's pages to physical memory.
+func (d *Disk) Release() {
+	for _, pg := range d.pages {
+		d.k.M.Phys.Free(pg)
+	}
+	d.pages = nil
+	d.size = 0
+}

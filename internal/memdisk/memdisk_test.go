@@ -1,0 +1,191 @@
+package memdisk
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/kernel"
+	"sfbuf/internal/vm"
+)
+
+func bootDiskKernel(t *testing.T, mk kernel.MapperKind, plat arch.Platform, cacheEntries int) *kernel.Kernel {
+	t.Helper()
+	k, err := kernel.Boot(kernel.Config{
+		Platform:     plat,
+		Mapper:       mk,
+		PhysPages:    1024,
+		Backed:       true,
+		CacheEntries: cacheEntries,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	for _, mk := range []kernel.MapperKind{kernel.SFBuf, kernel.OriginalKernel} {
+		k := bootDiskKernel(t, mk, arch.XeonMP(), 128)
+		d, err := New(k, 256*1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := k.Ctx(0)
+		want := make([]byte, 64*1024)
+		rand.New(rand.NewSource(1)).Read(want)
+		if err := d.WriteAt(ctx, want, 12345); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(want))
+		if err := d.ReadAt(ctx, got, 12345); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%v: disk round trip corrupted data", mk)
+		}
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	k := bootDiskKernel(t, kernel.SFBuf, arch.XeonUP(), 32)
+	d, _ := New(k, 8192)
+	ctx := k.Ctx(0)
+	if err := d.ReadAt(ctx, make([]byte, 16), 8190); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if err := d.WriteAt(ctx, make([]byte, 1), -1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if _, err := d.PageAt(8192); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestPrivateMappingsAvoidShootdowns(t *testing.T) {
+	// A disk larger than the mapping cache: sequential sweeps miss ~100%
+	// (the Figure 6/7 configuration).  Private mappings must eliminate
+	// all remote invalidations; shared mappings must issue them.
+	const diskSize = 64 * vm.PageSize
+	run := func(private bool) (remote uint64) {
+		k := bootDiskKernel(t, kernel.SFBuf, arch.XeonMP(), 16)
+		d, err := New(k, diskSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SetPrivateMappings(private)
+		ctx := k.Ctx(0)
+		buf := make([]byte, vm.PageSize)
+		// Two sweeps: the first warms (and touches) everything, the
+		// second is the measured miss-heavy pass.
+		for pass := 0; pass < 2; pass++ {
+			if pass == 1 {
+				k.Reset()
+			}
+			for off := int64(0); off < diskSize; off += vm.PageSize {
+				if err := d.ReadAt(ctx, buf, off); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return k.M.Counters().RemoteInvIssued.Load()
+	}
+	if got := run(true); got != 0 {
+		t.Fatalf("private mappings issued %d remote invalidations, want 0", got)
+	}
+	if got := run(false); got == 0 {
+		t.Fatal("shared mappings under misses must issue remote invalidations")
+	}
+}
+
+func TestDiskFitsInCacheNoInvalidations(t *testing.T) {
+	// The Figure 4/5 configuration: disk fully mapped by the cache.
+	k := bootDiskKernel(t, kernel.SFBuf, arch.XeonMPHTT(), 64)
+	d, err := New(k, 32*vm.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetPrivateMappings(false) // even shared mappings stay quiet on hits
+	ctx := k.Ctx(0)
+	buf := make([]byte, 16*1024)
+	warm := func() {
+		for off := int64(0); off+int64(len(buf)) <= d.Size(); off += int64(len(buf)) {
+			if err := d.ReadAt(ctx, buf, off); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	warm()
+	k.Reset()
+	for i := 0; i < 5; i++ {
+		warm()
+	}
+	if l, r := k.M.Counters().LocalInv.Load(), k.M.Counters().RemoteInvIssued.Load(); l != 0 || r != 0 {
+		t.Fatalf("invalidations = local %d remote %d, want 0/0", l, r)
+	}
+	if hr := k.Map.Stats().HitRate(); hr != 1.0 {
+		t.Fatalf("hit rate = %v, want 1.0", hr)
+	}
+}
+
+func TestOpsCounting(t *testing.T) {
+	k := bootDiskKernel(t, kernel.SFBuf, arch.XeonUP(), 32)
+	d, _ := New(k, 64*1024)
+	ctx := k.Ctx(0)
+	d.ReadAt(ctx, make([]byte, 10), 0)
+	d.WriteAt(ctx, make([]byte, 10), 0)
+	d.WriteAt(ctx, make([]byte, 10), 100)
+	r, w := d.Ops()
+	if r != 1 || w != 2 {
+		t.Fatalf("ops = (%d,%d), want (1,2)", r, w)
+	}
+}
+
+func TestRelease(t *testing.T) {
+	k := bootDiskKernel(t, kernel.SFBuf, arch.XeonUP(), 32)
+	free := k.M.Phys.FreeFrames()
+	d, _ := New(k, 16*vm.PageSize)
+	if k.M.Phys.FreeFrames() != free-16 {
+		t.Fatal("disk did not take pages")
+	}
+	d.Release()
+	if k.M.Phys.FreeFrames() != free {
+		t.Fatal("release leaked pages")
+	}
+}
+
+// Property: the disk behaves as a flat byte array under random writes and
+// reads, for both kernels.
+func TestQuickFlatModel(t *testing.T) {
+	for _, mk := range []kernel.MapperKind{kernel.SFBuf, kernel.OriginalKernel} {
+		k := bootDiskKernel(t, mk, arch.XeonMPHTT(), 32)
+		d, err := New(k, 64*1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := make([]byte, 64*1024)
+		rng := rand.New(rand.NewSource(99))
+		f := func(off uint16, n uint8, cpu uint8) bool {
+			ctx := k.Ctx(int(cpu) % k.M.NumCPUs())
+			o := int64(off) % (64*1024 - 300)
+			c := int(n) + 1
+			src := make([]byte, c)
+			rng.Read(src)
+			if err := d.WriteAt(ctx, src, o); err != nil {
+				return false
+			}
+			copy(model[o:], src)
+			got := make([]byte, c)
+			if err := d.ReadAt(ctx, got, o); err != nil {
+				return false
+			}
+			return bytes.Equal(got, model[o:int(o)+c])
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%v: %v", mk, err)
+		}
+	}
+}

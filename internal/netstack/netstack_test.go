@@ -1,0 +1,370 @@
+package netstack
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/kernel"
+	"sfbuf/internal/vm"
+)
+
+func bootNetKernel(t *testing.T, mk kernel.MapperKind, plat arch.Platform) *kernel.Kernel {
+	t.Helper()
+	k, err := kernel.Boot(kernel.Config{
+		Platform:     plat,
+		Mapper:       mk,
+		PhysPages:    1024,
+		Backed:       true,
+		CacheEntries: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func sendRecv(t *testing.T, k *kernel.Kernel, mtu, size int) ([]byte, []byte, *Conn) {
+	t.Helper()
+	st := NewStack(k, mtu)
+	c := st.NewConn()
+	um, err := vm.AllocUserMem(k.M.Phys, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, size)
+	rand.New(rand.NewSource(42)).Read(want)
+	if err := um.WriteAt(0, want); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]byte, 0, size)
+	done := make(chan error, 1)
+	go func() {
+		rctx := k.Ctx(k.M.NumCPUs() - 1)
+		buf := make([]byte, 32*1024)
+		for len(got) < size {
+			n, err := c.Recv(rctx, buf)
+			if err != nil {
+				done <- err
+				return
+			}
+			got = append(got, buf[:n]...)
+		}
+		done <- nil
+	}()
+	if err := c.SendZeroCopy(k.Ctx(0), um, 0, size); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// All acknowledged: every page unwired.
+	for i, pg := range um.Pages() {
+		if pg.Wired() {
+			t.Fatalf("page %d still wired after acks", i)
+		}
+	}
+	return got, want, c
+}
+
+func TestZeroCopySendRoundTrip(t *testing.T) {
+	for _, mk := range []kernel.MapperKind{kernel.SFBuf, kernel.OriginalKernel} {
+		k := bootNetKernel(t, mk, arch.XeonMP())
+		got, want, _ := sendRecv(t, k, MTUSmall, 200*1024)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%v: zero-copy send corrupted data", mk)
+		}
+	}
+}
+
+func TestLargeMTUFewerPackets(t *testing.T) {
+	k1 := bootNetKernel(t, kernel.SFBuf, arch.XeonMP())
+	_, _, cSmall := sendRecv(t, k1, MTUSmall, 128*1024)
+	k2 := bootNetKernel(t, kernel.SFBuf, arch.XeonMP())
+	_, _, cLarge := sendRecv(t, k2, MTULarge, 128*1024)
+	if cLarge.Stats().PacketsSent >= cSmall.Stats().PacketsSent {
+		t.Fatalf("large MTU sent %d packets, small %d — want fewer",
+			cLarge.Stats().PacketsSent, cSmall.Stats().PacketsSent)
+	}
+}
+
+func TestChecksumOffloadSkipsTouching(t *testing.T) {
+	// The Figure 19/20 effect.  A mapping cache of 16 entries with two
+	// alternating 16-page send buffers forces a miss on every mapping.
+	// With checksum offload (and an external sink that never copies),
+	// nothing ever touches the payload through the mappings: the PTE
+	// accessed bits stay clear and the accessed-bit optimization elides
+	// every invalidation.  With software checksums, the CPU touches each
+	// page, so every miss-reuse pays an invalidation.
+	//
+	// The sink's window is kept below one send so acknowledgments free
+	// each send's mappings before the next send needs the cache.
+	run := func(offload bool) uint64 {
+		k, err := kernel.Boot(kernel.Config{
+			Platform: arch.XeonMP(), Mapper: kernel.SFBuf,
+			PhysPages: 1024, Backed: true, CacheEntries: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := NewStack(k, MTULarge)
+		st.ChecksumOffload = offload
+		c := st.NewSinkConn()
+		c.SetWindow(8 * 1024)
+		ctx := k.Ctx(0)
+		umA, _ := vm.AllocUserMem(k.M.Phys, 64*1024)
+		umB, _ := vm.AllocUserMem(k.M.Phys, 64*1024)
+		for i := 0; i < 6; i++ {
+			if i == 1 {
+				// One warmup round populates the cache's cold
+				// buffers (first use of a fresh sf_buf purges the
+				// CPU's TLB once); measure steady state after it.
+				k.Reset()
+			}
+			for _, um := range []*vm.UserMem{umA, umB} {
+				if err := c.SendZeroCopy(ctx, um, 0, 64*1024); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		c.Close(ctx)
+		return k.M.Counters().LocalInv.Load()
+	}
+	if got := run(true); got != 0 {
+		t.Fatalf("offload run issued %d local invalidations, want 0", got)
+	}
+	if got := run(false); got == 0 {
+		t.Fatal("software checksum run must issue invalidations under cache pressure")
+	}
+}
+
+func TestSinkConnNeverBlocksAndReleases(t *testing.T) {
+	k := bootNetKernel(t, kernel.SFBuf, arch.XeonMP())
+	st := NewStack(k, MTUSmall)
+	c := st.NewSinkConn()
+	ctx := k.Ctx(0)
+	um, _ := vm.AllocUserMem(k.M.Phys, 256*1024)
+	// Far more than one window: the sink must self-ack.
+	for i := 0; i < 8; i++ {
+		if err := c.SendZeroCopy(ctx, um, 0, 256*1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close(ctx)
+	for i, pg := range um.Pages() {
+		if pg.Wired() {
+			t.Fatalf("page %d still wired after close", i)
+		}
+	}
+}
+
+func TestWindowBlocksSender(t *testing.T) {
+	k := bootNetKernel(t, kernel.SFBuf, arch.XeonMP())
+	st := NewStack(k, MTUSmall)
+	c := st.NewConn()
+	c.SetWindow(8 * 1024)
+	um, _ := vm.AllocUserMem(k.M.Phys, 64*1024)
+
+	sent := make(chan error, 1)
+	go func() {
+		sent <- c.SendZeroCopy(k.Ctx(0), um, 0, 64*1024)
+	}()
+	// Drain slowly; the sender must complete only after drains.
+	rctx := k.Ctx(1)
+	total := 0
+	buf := make([]byte, 4096)
+	for total < 64*1024 {
+		n, err := c.Recv(rctx, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if err := <-sent; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMappingsPersistUntilAck(t *testing.T) {
+	// While packets sit unacknowledged in the window, their pages remain
+	// wired and mapped; Recv (the ack) releases them.
+	k := bootNetKernel(t, kernel.SFBuf, arch.XeonMP())
+	st := NewStack(k, MTUSmall)
+	c := st.NewConn()
+	ctx := k.Ctx(0)
+	um, _ := vm.AllocUserMem(k.M.Phys, 16*1024)
+
+	if err := c.SendZeroCopy(ctx, um, 0, 16*1024); err != nil {
+		t.Fatal(err)
+	}
+	wired := 0
+	for _, pg := range um.Pages() {
+		if pg.Wired() {
+			wired++
+		}
+	}
+	if wired != 4 {
+		t.Fatalf("wired pages = %d, want 4 while unacked", wired)
+	}
+	buf := make([]byte, 16*1024)
+	total := 0
+	for total < 16*1024 {
+		n, err := c.Recv(k.Ctx(1), buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	for i, pg := range um.Pages() {
+		if pg.Wired() {
+			t.Fatalf("page %d still wired after ack", i)
+		}
+	}
+}
+
+func TestRecvAfterCloseDrainsThenEOF(t *testing.T) {
+	k := bootNetKernel(t, kernel.SFBuf, arch.XeonMP())
+	st := NewStack(k, MTUSmall)
+	c := st.NewConn()
+	ctx := k.Ctx(0)
+	c.Close(ctx)
+	if _, err := c.Recv(ctx, make([]byte, 10)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := c.SendZeroCopy(ctx, mustUM(t, k, 8192), 0, 8192); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send err = %v, want ErrClosed", err)
+	}
+}
+
+func mustUM(t *testing.T, k *kernel.Kernel, n int) *vm.UserMem {
+	t.Helper()
+	um, err := vm.AllocUserMem(k.M.Phys, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return um
+}
+
+func TestSendBounds(t *testing.T) {
+	k := bootNetKernel(t, kernel.SFBuf, arch.XeonUP())
+	st := NewStack(k, MTUSmall)
+	c := st.NewConn()
+	um := mustUM(t, k, 4096)
+	if err := c.SendZeroCopy(k.Ctx(0), um, 0, 8192); !errors.Is(err, vm.ErrBounds) {
+		t.Fatalf("err = %v, want ErrBounds", err)
+	}
+}
+
+// --- zero-copy receive ---
+
+func TestZeroCopyReceivePageFlip(t *testing.T) {
+	k := bootNetKernel(t, kernel.SFBuf, arch.OpteronMP())
+	st := NewStack(k, vm.PageSize+HeaderSize) // MSS = exactly one page
+	c := st.NewZeroCopyRxConn()
+	ctx := k.Ctx(0)
+
+	src := mustUM(t, k, vm.PageSize)
+	want := make([]byte, vm.PageSize)
+	rand.New(rand.NewSource(9)).Read(want)
+	src.WriteAt(0, want)
+
+	if err := c.SendZeroCopy(ctx, src, 0, vm.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	dst := mustUM(t, k, vm.PageSize)
+	rctx := k.Ctx(1)
+	n, err := c.RecvZeroCopy(rctx, dst, 0)
+	if err != nil || n != vm.PageSize {
+		t.Fatalf("recv = (%d, %v)", n, err)
+	}
+	got := make([]byte, vm.PageSize)
+	dst.ReadAt(0, got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("page flip delivered wrong data")
+	}
+	if c.Stats().PageFlips != 1 || c.Stats().RxCopies != 0 {
+		t.Fatalf("stats = %+v: aligned full-page receive must flip", c.Stats())
+	}
+}
+
+func TestZeroCopyReceiveFallbackCopy(t *testing.T) {
+	k := bootNetKernel(t, kernel.SFBuf, arch.OpteronMP())
+	st := NewStack(k, MTUSmall) // MSS < page: cannot flip
+	c := st.NewZeroCopyRxConn()
+	ctx := k.Ctx(0)
+
+	src := mustUM(t, k, 2048)
+	want := make([]byte, 1400)
+	rand.New(rand.NewSource(10)).Read(want)
+	src.WriteAt(0, want)
+
+	if err := c.SendZeroCopy(ctx, src, 0, 1400); err != nil {
+		t.Fatal(err)
+	}
+	dst := mustUM(t, k, vm.PageSize)
+	n, err := c.RecvZeroCopy(k.Ctx(1), dst, 0)
+	if err != nil || n != 1400 {
+		t.Fatalf("recv = (%d, %v)", n, err)
+	}
+	got := make([]byte, 1400)
+	dst.ReadAt(0, got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("fallback copy delivered wrong data")
+	}
+	if c.Stats().PageFlips != 0 || c.Stats().RxCopies != 1 {
+		t.Fatalf("stats = %+v: sub-page receive must copy", c.Stats())
+	}
+}
+
+func TestZeroCopyRxNoPageLeaks(t *testing.T) {
+	k := bootNetKernel(t, kernel.SFBuf, arch.OpteronMP())
+	st := NewStack(k, vm.PageSize+HeaderSize)
+	c := st.NewZeroCopyRxConn()
+	ctx := k.Ctx(0)
+	free := k.M.Phys.FreeFrames()
+
+	src := mustUM(t, k, 4*vm.PageSize)
+	dst := mustUM(t, k, 4*vm.PageSize)
+	afterAlloc := k.M.Phys.FreeFrames()
+	if err := c.SendZeroCopy(ctx, src, 0, 4*vm.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.RecvZeroCopy(k.Ctx(1), dst, i*vm.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := k.M.Phys.FreeFrames(); got != afterAlloc {
+		t.Fatalf("frames leaked: %d -> %d", afterAlloc, got)
+	}
+	c.Close(ctx)
+	src.Release()
+	dst.Release()
+	if got := k.M.Phys.FreeFrames(); got != free {
+		t.Fatalf("frames leaked after release: %d -> %d", free, got)
+	}
+}
+
+func TestZeroCopyRxRejectsOversizedMSS(t *testing.T) {
+	k := bootNetKernel(t, kernel.SFBuf, arch.OpteronMP())
+	st := NewStack(k, MTULarge) // MSS far beyond one page
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-copy rx with MSS > page must panic")
+		}
+	}()
+	st.NewZeroCopyRxConn()
+}
+
+func TestMSSValidation(t *testing.T) {
+	k := bootNetKernel(t, kernel.SFBuf, arch.XeonUP())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tiny MTU must panic")
+		}
+	}()
+	NewStack(k, HeaderSize)
+}

@@ -1,0 +1,250 @@
+package pmap
+
+import (
+	"errors"
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+func newTestPmap(t *testing.T, p arch.Platform) (*smp.Machine, *Pmap) {
+	t.Helper()
+	m := smp.NewMachine(p, 64, true)
+	return m, New(m)
+}
+
+const testVA = uint64(KVABaseI386)
+
+func TestKEnterTranslate(t *testing.T) {
+	m, pm := newTestPmap(t, arch.XeonMP())
+	ctx := m.Ctx(0)
+	pg, _ := m.Phys.Alloc()
+	oldValid, oldAccessed := pm.KEnter(ctx, testVA, pg)
+	if oldValid || oldAccessed {
+		t.Fatalf("fresh PTE reported old state valid=%v accessed=%v", oldValid, oldAccessed)
+	}
+	got, err := pm.Translate(ctx, testVA, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pg {
+		t.Fatalf("translated to %v, want %v", got, pg)
+	}
+}
+
+func TestTranslateFaultsOnUnmapped(t *testing.T) {
+	m, pm := newTestPmap(t, arch.XeonMP())
+	if _, err := pm.Translate(m.Ctx(0), testVA, false); !errors.Is(err, ErrFault) {
+		t.Fatalf("err = %v, want ErrFault", err)
+	}
+}
+
+func TestTranslateSetsAccessedAndModified(t *testing.T) {
+	m, pm := newTestPmap(t, arch.XeonMP())
+	ctx := m.Ctx(0)
+	pg, _ := m.Phys.Alloc()
+	pm.KEnter(ctx, testVA, pg)
+	pte, _ := pm.Probe(testVA)
+	if pte.Accessed || pte.Modified {
+		t.Fatal("KEnter must clear A/M bits")
+	}
+	if _, err := pm.Translate(ctx, testVA, false); err != nil {
+		t.Fatal(err)
+	}
+	pte, _ = pm.Probe(testVA)
+	if !pte.Accessed || pte.Modified {
+		t.Fatalf("after read: %+v", pte)
+	}
+	// A write through a cached TLB entry does not rewalk; invalidate the
+	// TLB entry to force a walk that sets M.
+	ctx.InvalidateLocal(VPN(testVA))
+	if _, err := pm.Translate(ctx, testVA, true); err != nil {
+		t.Fatal(err)
+	}
+	pte, _ = pm.Probe(testVA)
+	if !pte.Modified {
+		t.Fatal("write walk must set modified")
+	}
+}
+
+func TestKEnterReportsOldAccessed(t *testing.T) {
+	m, pm := newTestPmap(t, arch.XeonMP())
+	ctx := m.Ctx(0)
+	p1, _ := m.Phys.Alloc()
+	p2, _ := m.Phys.Alloc()
+	pm.KEnter(ctx, testVA, p1)
+	pm.Translate(ctx, testVA, false) // sets accessed
+	oldValid, oldAccessed := pm.KEnter(ctx, testVA, p2)
+	if !oldValid || !oldAccessed {
+		t.Fatalf("old state = (%v,%v), want (true,true)", oldValid, oldAccessed)
+	}
+	// And the replacement cleared the bits again.
+	oldValid, oldAccessed = pm.KEnter(ctx, testVA, p1)
+	if !oldValid || oldAccessed {
+		t.Fatalf("old state = (%v,%v), want (true,false)", oldValid, oldAccessed)
+	}
+}
+
+// TestStaleTLBWinsOverPageTables is the honesty check the whole simulator
+// rests on: changing a PTE without invalidating leaves the old translation
+// live on any CPU that cached it.
+func TestStaleTLBWinsOverPageTables(t *testing.T) {
+	m, pm := newTestPmap(t, arch.XeonMP())
+	ctx := m.Ctx(0)
+	p1, _ := m.Phys.Alloc()
+	p2, _ := m.Phys.Alloc()
+	p1.Data()[0] = 0x11
+	p2.Data()[0] = 0x22
+
+	pm.KEnter(ctx, testVA, p1)
+	got, _ := pm.Translate(ctx, testVA, false) // fills TLB with p1
+	if got.Data()[0] != 0x11 {
+		t.Fatal("initial translation wrong")
+	}
+
+	pm.KEnter(ctx, testVA, p2) // remap WITHOUT invalidation
+
+	got, err := pm.Translate(ctx, testVA, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data()[0] != 0x11 {
+		t.Fatal("TLB coherence is being faked: stale entry did not win")
+	}
+
+	// After the invalidation the new mapping is visible.
+	ctx.InvalidateLocal(VPN(testVA))
+	got, _ = pm.Translate(ctx, testVA, false)
+	if got.Data()[0] != 0x22 {
+		t.Fatal("translation after invalidation still stale")
+	}
+}
+
+// TestCrossCPUStaleness: CPU 1 keeps using its stale entry even after CPU 0
+// invalidated its own.
+func TestCrossCPUStaleness(t *testing.T) {
+	m, pm := newTestPmap(t, arch.XeonMP())
+	ctx0, ctx1 := m.Ctx(0), m.Ctx(1)
+	p1, _ := m.Phys.Alloc()
+	p2, _ := m.Phys.Alloc()
+
+	pm.KEnter(ctx0, testVA, p1)
+	pm.Translate(ctx0, testVA, false)
+	pm.Translate(ctx1, testVA, false) // both TLBs now cache p1
+
+	pm.KEnter(ctx0, testVA, p2)
+	ctx0.InvalidateLocal(VPN(testVA)) // only CPU 0 invalidates
+
+	g0, _ := pm.Translate(ctx0, testVA, false)
+	g1, _ := pm.Translate(ctx1, testVA, false)
+	if g0 != p2 {
+		t.Fatal("CPU 0 should see the new mapping")
+	}
+	if g1 != p1 {
+		t.Fatal("CPU 1 must still see the stale mapping")
+	}
+	// The shootdown repairs CPU 1.
+	ctx0.Shootdown(m.AllCPUs(), VPN(testVA))
+	g1, _ = pm.Translate(ctx1, testVA, false)
+	if g1 != p2 {
+		t.Fatal("CPU 1 stale after shootdown")
+	}
+}
+
+func TestKRemoveFaults(t *testing.T) {
+	m, pm := newTestPmap(t, arch.XeonMP())
+	ctx := m.Ctx(0)
+	pg, _ := m.Phys.Alloc()
+	pm.KEnter(ctx, testVA, pg)
+	pm.KRemove(ctx, testVA)
+	ctx.InvalidateLocal(VPN(testVA))
+	if _, err := pm.Translate(ctx, testVA, false); !errors.Is(err, ErrFault) {
+		t.Fatalf("err = %v, want ErrFault after KRemove", err)
+	}
+	if pm.Mappings() != 0 {
+		t.Fatalf("mappings = %d, want 0", pm.Mappings())
+	}
+}
+
+func TestDirectMapAMD64(t *testing.T) {
+	m, pm := newTestPmap(t, arch.OpteronMP())
+	ctx := m.Ctx(0)
+	pg, _ := m.Phys.Alloc()
+	va := pm.DirectVA(pg)
+	if !pm.IsDirectMapped(va) {
+		t.Fatalf("va %#x not recognized as direct-mapped", va)
+	}
+	got, err := pm.Translate(ctx, va, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pg {
+		t.Fatal("direct map inverse wrong")
+	}
+	// Direct translations must not create page-table state or TLB churn
+	// that could ever require invalidation.
+	if pm.Mappings() != 0 {
+		t.Fatal("direct map created PTEs")
+	}
+}
+
+func TestDirectMapRejectsOutOfRange(t *testing.T) {
+	m, pm := newTestPmap(t, arch.OpteronMP())
+	// One past the last frame.
+	bad := DirectMapBase + uint64(m.Phys.Frames()+5)*vm.PageSize
+	if _, err := pm.Translate(m.Ctx(0), bad, false); !errors.Is(err, ErrFault) {
+		t.Fatalf("err = %v, want ErrFault", err)
+	}
+}
+
+func TestDirectVAPanicsOnI386(t *testing.T) {
+	m, pm := newTestPmap(t, arch.XeonUP())
+	pg, _ := m.Phys.Alloc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DirectVA on i386 must panic")
+		}
+	}()
+	pm.DirectVA(pg)
+}
+
+func TestKEnterIntoDirectMapPanics(t *testing.T) {
+	m, pm := newTestPmap(t, arch.OpteronMP())
+	pg, _ := m.Phys.Alloc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KEnter into direct map must panic")
+		}
+	}()
+	pm.KEnter(m.Ctx(0), DirectMapBase, pg)
+}
+
+func TestTranslateChargesWalkOnlyOnMiss(t *testing.T) {
+	m, pm := newTestPmap(t, arch.XeonMP())
+	ctx := m.Ctx(0)
+	pg, _ := m.Phys.Alloc()
+	pm.KEnter(ctx, testVA, pg)
+	base := m.CPU(0).Cycles()
+	pm.Translate(ctx, testVA, false)
+	missCost := m.CPU(0).Cycles() - base
+	if missCost != m.Plat.Cost.TLBMissWalk {
+		t.Fatalf("miss cost = %d, want %d", missCost, m.Plat.Cost.TLBMissWalk)
+	}
+	base = m.CPU(0).Cycles()
+	pm.Translate(ctx, testVA, false)
+	if hitCost := m.CPU(0).Cycles() - base; hitCost != 0 {
+		t.Fatalf("hit cost = %d, want 0", hitCost)
+	}
+}
+
+func TestVPNAndOffsetHelpers(t *testing.T) {
+	va := uint64(0xC012_3456)
+	if VPN(va) != va>>12 {
+		t.Fatal("VPN wrong")
+	}
+	if PageOffset(va) != 0x456 {
+		t.Fatalf("offset = %#x", PageOffset(va))
+	}
+}

@@ -1,0 +1,112 @@
+package pmap
+
+import (
+	"sync"
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+// TestConcurrentTranslateStress runs translators on every CPU against a
+// window of mappings while a mutator remaps and globally invalidates them
+// with the full coherent protocol.  Every translation must land on a page
+// that was mapped at that address at some point of the current or previous
+// epoch — never on an unrelated frame — and nothing may fault.
+func TestConcurrentTranslateStress(t *testing.T) {
+	m := smp.NewMachine(arch.XeonMPHTT(), 256, true)
+	pm := New(m)
+	const window = 8
+	base := uint64(KVABaseI386)
+
+	epochPages := make([][]*vm.Page, 2)
+	for e := range epochPages {
+		epochPages[e] = make([]*vm.Page, window)
+		for i := range epochPages[e] {
+			pg, err := m.Phys.Alloc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pg.Data()[0] = byte(0x10*e + i)
+			epochPages[e][i] = pg
+		}
+	}
+	mctx := m.Ctx(0)
+	install := func(epoch int) {
+		for i := 0; i < window; i++ {
+			va := base + uint64(i)*vm.PageSize
+			pm.KEnter(mctx, va, epochPages[epoch][i])
+			mctx.InvalidateGlobal(VPN(va))
+		}
+	}
+	install(0)
+
+	valid := func(b byte) bool {
+		// Either epoch's byte for some window slot.
+		return (b&0xF0) <= 0x10 && (b&0x0F) < window
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for cpu := 1; cpu < m.NumCPUs(); cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			ctx := m.Ctx(cpu)
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				va := base + uint64(i%window)*vm.PageSize
+				pg, err := pm.Translate(ctx, va, false)
+				if err != nil {
+					t.Errorf("cpu %d: %v", cpu, err)
+					return
+				}
+				if !valid(pg.Data()[0]) {
+					t.Errorf("cpu %d read unrelated frame %#x", cpu, pg.Data()[0])
+					return
+				}
+				i++
+			}
+		}(cpu)
+	}
+	for flip := 0; flip < 50; flip++ {
+		install(flip % 2)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestGlobalInvalidationPublishes: after KEnter + InvalidateGlobal, every
+// CPU immediately observes the new frame — the coherence guarantee the
+// original kernel relies on.
+func TestGlobalInvalidationPublishes(t *testing.T) {
+	m := smp.NewMachine(arch.XeonMPHTT(), 64, true)
+	pm := New(m)
+	va := uint64(KVABaseI386)
+	pages := make([]*vm.Page, 8)
+	for i := range pages {
+		pg, _ := m.Phys.Alloc()
+		pg.Data()[0] = byte(i)
+		pages[i] = pg
+	}
+	ctx0 := m.Ctx(0)
+	for round, pg := range pages {
+		pm.KEnter(ctx0, va, pg)
+		ctx0.InvalidateGlobal(VPN(va))
+		for cpu := 0; cpu < m.NumCPUs(); cpu++ {
+			got, err := pm.Translate(m.Ctx(cpu), va, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Data()[0] != byte(round) {
+				t.Fatalf("round %d cpu %d: read %d", round, cpu, got.Data()[0])
+			}
+		}
+	}
+}

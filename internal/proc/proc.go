@@ -1,0 +1,174 @@
+// Package proc models processes far enough to reproduce the two remaining
+// ephemeral-mapping clients of Section 2: execve(2)'s image-header read
+// (Section 2.4) and ptrace(2)'s reads and writes of a traced process's
+// memory (Section 2.5).  Both use CPU-private ephemeral mappings: the
+// kernel thread performing the access is the only consumer.
+package proc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sfbuf/internal/fs"
+	"sfbuf/internal/kcopy"
+	"sfbuf/internal/kernel"
+	"sfbuf/internal/sfbuf"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+// Process is a minimal process: an address space of anonymous pages.
+type Process struct {
+	k     *kernel.Kernel
+	PID   int
+	pages map[uint64]*vm.Page // user vpn -> page
+}
+
+// ErrBadAddress is returned for accesses to unmapped process memory.
+var ErrBadAddress = errors.New("proc: bad address")
+
+// NewProcess creates a process with npages anonymous pages mapped from
+// user address 0.
+func NewProcess(k *kernel.Kernel, pid, npages int) (*Process, error) {
+	p := &Process{k: k, PID: pid, pages: make(map[uint64]*vm.Page, npages)}
+	for i := 0; i < npages; i++ {
+		pg, err := k.M.Phys.Alloc()
+		if err != nil {
+			p.Release()
+			return nil, err
+		}
+		p.pages[uint64(i)] = pg
+	}
+	return p, nil
+}
+
+// Page returns the physical page backing user address addr.
+func (p *Process) Page(addr uint64) (*vm.Page, error) {
+	pg, ok := p.pages[addr>>vm.PageShift]
+	if !ok {
+		return nil, fmt.Errorf("%w: %#x", ErrBadAddress, addr)
+	}
+	return pg, nil
+}
+
+// Release frees the process's pages.
+func (p *Process) Release() {
+	for vpn, pg := range p.pages {
+		p.k.M.Phys.Free(pg)
+		delete(p.pages, vpn)
+	}
+}
+
+// PtracePeek reads len(dst) bytes of the traced process's memory at addr,
+// as PT_READ_D does: "the kernel creates CPU-private ephemeral mappings
+// for the desired physical pages of the traced process ... copies the data
+// ... then frees the ephemeral mappings."
+func (p *Process) PtracePeek(ctx *smp.Context, addr uint64, dst []byte) error {
+	ctx.Charge(ctx.Cost().Syscall)
+	for len(dst) > 0 {
+		pg, err := p.Page(addr)
+		if err != nil {
+			return err
+		}
+		po := int(addr & (vm.PageSize - 1))
+		n := min(vm.PageSize-po, len(dst))
+		b, err := p.k.Map.Alloc(ctx, pg, sfbuf.Private)
+		if err != nil {
+			return err
+		}
+		err = kcopy.CopyOut(ctx, p.k.Pmap, dst[:n], b.KVA()+uint64(po))
+		p.k.Map.Free(ctx, b)
+		if err != nil {
+			return err
+		}
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// PtracePoke writes src into the traced process's memory at addr
+// (PT_WRITE_D), through CPU-private ephemeral mappings.
+func (p *Process) PtracePoke(ctx *smp.Context, addr uint64, src []byte) error {
+	ctx.Charge(ctx.Cost().Syscall)
+	for len(src) > 0 {
+		pg, err := p.Page(addr)
+		if err != nil {
+			return err
+		}
+		po := int(addr & (vm.PageSize - 1))
+		n := min(vm.PageSize-po, len(src))
+		b, err := p.k.Map.Alloc(ctx, pg, sfbuf.Private)
+		if err != nil {
+			return err
+		}
+		err = kcopy.CopyIn(ctx, p.k.Pmap, b.KVA()+uint64(po), src[:n])
+		p.k.Map.Free(ctx, b)
+		if err != nil {
+			return err
+		}
+		src = src[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// --- execve ---
+
+// ExecMagic marks a valid executable image in this simulator's format.
+const ExecMagic = 0x7F534258 // "\x7fSBX"
+
+// ImageHeader is the parsed executable header.
+type ImageHeader struct {
+	Magic uint32
+	Entry uint64
+	Text  uint32 // text segment length
+	Data  uint32 // data segment length
+}
+
+// EncodeImage builds a minimal executable image with the given header
+// fields followed by zero padding to one page.
+func EncodeImage(entry uint64, text, data uint32) []byte {
+	img := make([]byte, vm.PageSize)
+	binary.LittleEndian.PutUint32(img[0:], ExecMagic)
+	binary.LittleEndian.PutUint64(img[4:], entry)
+	binary.LittleEndian.PutUint32(img[12:], text)
+	binary.LittleEndian.PutUint32(img[16:], data)
+	return img
+}
+
+// ErrNotExecutable is returned when the image header magic is wrong.
+var ErrNotExecutable = errors.New("proc: not an executable")
+
+// Execve reads and validates the image header of the named file, the way
+// FreeBSD's execve uses the ephemeral mapping interface to access the
+// header page (Section 2.4): the file's first page is mapped CPU-private,
+// the header parsed, and the mapping freed.
+func Execve(ctx *smp.Context, k *kernel.Kernel, fsys *fs.FS, path string) (*ImageHeader, error) {
+	ctx.Charge(ctx.Cost().Syscall)
+	pg, err := fsys.FilePage(ctx, path, 0)
+	if err != nil {
+		return nil, err
+	}
+	b, err := k.Map.Alloc(ctx, pg, sfbuf.Private)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 20)
+	err = kcopy.CopyOut(ctx, k.Pmap, hdr, b.KVA())
+	k.Map.Free(ctx, b)
+	if err != nil {
+		return nil, err
+	}
+	h := &ImageHeader{
+		Magic: binary.LittleEndian.Uint32(hdr[0:]),
+		Entry: binary.LittleEndian.Uint64(hdr[4:]),
+		Text:  binary.LittleEndian.Uint32(hdr[12:]),
+		Data:  binary.LittleEndian.Uint32(hdr[16:]),
+	}
+	if h.Magic != ExecMagic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrNotExecutable, h.Magic)
+	}
+	return h, nil
+}

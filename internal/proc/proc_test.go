@@ -1,0 +1,147 @@
+package proc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/fs"
+	"sfbuf/internal/kernel"
+	"sfbuf/internal/memdisk"
+	"sfbuf/internal/smp"
+)
+
+func bootProcKernel(t *testing.T, plat arch.Platform, mk kernel.MapperKind) *kernel.Kernel {
+	t.Helper()
+	k, err := kernel.Boot(kernel.Config{
+		Platform:     plat,
+		Mapper:       mk,
+		PhysPages:    512,
+		Backed:       true,
+		CacheEntries: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestPtracePeekPokeRoundTrip(t *testing.T) {
+	for _, mk := range []kernel.MapperKind{kernel.SFBuf, kernel.OriginalKernel} {
+		k := bootProcKernel(t, arch.XeonMP(), mk)
+		p, err := NewProcess(k, 1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := k.Ctx(0)
+		want := make([]byte, 3*4096+123)
+		rand.New(rand.NewSource(4)).Read(want)
+		// Poke at an unaligned address spanning pages.
+		if err := p.PtracePoke(ctx, 456, want); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(want))
+		if err := p.PtracePeek(ctx, 456, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%v: ptrace round trip corrupted data", mk)
+		}
+		p.Release()
+	}
+}
+
+func TestPtraceUsesPrivateMappings(t *testing.T) {
+	k := bootProcKernel(t, arch.XeonMP(), kernel.SFBuf)
+	p, _ := NewProcess(k, 1, 4)
+	defer p.Release()
+	ctx := k.Ctx(0)
+	buf := make([]byte, 4*4096)
+	// Warm, then measure: repeated peeks of the same pages must be
+	// cache hits with no coherence traffic.
+	p.PtracePeek(ctx, 0, buf)
+	k.Reset()
+	for i := 0; i < 10; i++ {
+		if err := p.PtracePeek(ctx, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := k.M.Counters().RemoteInvIssued.Load(); r != 0 {
+		t.Fatalf("ptrace issued %d remote invalidations, want 0", r)
+	}
+	if l := k.M.Counters().LocalInv.Load(); l != 0 {
+		t.Fatalf("ptrace issued %d local invalidations on hits, want 0", l)
+	}
+}
+
+func TestPtraceBadAddress(t *testing.T) {
+	k := bootProcKernel(t, arch.XeonUP(), kernel.SFBuf)
+	p, _ := NewProcess(k, 1, 2)
+	defer p.Release()
+	ctx := k.Ctx(0)
+	if err := p.PtracePeek(ctx, 5*4096, make([]byte, 8)); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("err = %v, want ErrBadAddress", err)
+	}
+	// A peek straddling into unmapped territory fails partway.
+	if err := p.PtracePoke(ctx, 2*4096-4, make([]byte, 8)); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("err = %v, want ErrBadAddress", err)
+	}
+}
+
+func execRig(t *testing.T) (*kernel.Kernel, *fs.FS, *smp.Context) {
+	t.Helper()
+	k := bootProcKernel(t, arch.XeonMP(), kernel.SFBuf)
+	d, err := memdisk.New(k, 128*fs.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := k.Ctx(0)
+	fsys, err := fs.Mkfs(ctx, k, d, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, fsys, ctx
+}
+
+func TestExecveParsesHeader(t *testing.T) {
+	k, fsys, ctx := execRig(t)
+	img := EncodeImage(0x400123, 7777, 8888)
+	if err := fsys.WriteFile(ctx, "a.out", img); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Execve(ctx, k, fsys, "a.out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Entry != 0x400123 || h.Text != 7777 || h.Data != 8888 {
+		t.Fatalf("header = %+v", h)
+	}
+}
+
+func TestExecveRejectsNonExecutable(t *testing.T) {
+	k, fsys, ctx := execRig(t)
+	if err := fsys.WriteFile(ctx, "script.sh", make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execve(ctx, k, fsys, "script.sh"); !errors.Is(err, ErrNotExecutable) {
+		t.Fatalf("err = %v, want ErrNotExecutable", err)
+	}
+	if _, err := Execve(ctx, k, fsys, "missing"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestProcessReleaseReturnsPages(t *testing.T) {
+	k := bootProcKernel(t, arch.XeonUP(), kernel.SFBuf)
+	free := k.M.Phys.FreeFrames()
+	p, _ := NewProcess(k, 1, 16)
+	if k.M.Phys.FreeFrames() != free-16 {
+		t.Fatal("pages not taken")
+	}
+	p.Release()
+	if k.M.Phys.FreeFrames() != free {
+		t.Fatal("pages leaked")
+	}
+}

@@ -1,0 +1,66 @@
+// Package sendfile implements the zero-copy sendfile(2) path of
+// Section 2.3: the pages of a file are wired, mapped with shared ephemeral
+// mappings (any CPU may retransmit them), attached to an mbuf chain and
+// handed to the socket; the mappings persist until the chain is freed by
+// acknowledgment.
+package sendfile
+
+import (
+	"fmt"
+
+	"sfbuf/internal/fs"
+	"sfbuf/internal/kernel"
+	"sfbuf/internal/mbuf"
+	"sfbuf/internal/netstack"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+// SendFile transmits the whole named file over conn, returning the bytes
+// sent.  Pages are resolved through the filesystem (real metadata I/O),
+// wired, mapped shared, and queued; release happens on TCP
+// acknowledgment inside the connection.
+func SendFile(ctx *smp.Context, k *kernel.Kernel, fsys *fs.FS, conn *netstack.Conn, name string) (int64, error) {
+	size, err := fsys.Size(ctx, name)
+	if err != nil {
+		return 0, err
+	}
+	ctx.Charge(ctx.Cost().Syscall)
+	var sent int64
+	for off := int64(0); off < size; {
+		pi := int(off / vm.PageSize)
+		pg, err := fsys.FilePage(ctx, name, pi)
+		if err != nil {
+			return sent, fmt.Errorf("sendfile: resolving page %d of %q: %w", pi, name, err)
+		}
+		pg.Wire()
+		ctx.Charge(ctx.Cost().PageWire)
+		b, err := k.Map.Alloc(ctx, pg, 0) // shared mapping
+		if err != nil {
+			pg.Unwire()
+			return sent, fmt.Errorf("sendfile: mapping page: %w", err)
+		}
+		po := int(off % vm.PageSize)
+		n := int(min64(vm.PageSize-int64(po), size-off))
+		page := pg
+		ext := mbuf.NewExt(b, pg, func(fctx *smp.Context) {
+			k.Map.Free(fctx, b)
+			page.Unwire()
+		})
+		chain := &mbuf.Chain{}
+		chain.Append(mbuf.NewExtMbuf(ext, po, n))
+		if err := conn.SendChain(ctx, chain); err != nil {
+			return sent, err
+		}
+		off += int64(n)
+		sent += int64(n)
+	}
+	return sent, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,148 @@
+package sfbuf
+
+import (
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/vm"
+)
+
+// ablationRigs builds one rig per ablation mode, including the full design.
+func ablationModes() map[string]Ablation {
+	return map[string]Ablation{
+		"full-design":      0,
+		"no-accessed-bit":  AblateAccessedBit,
+		"no-sharing":       AblateSharing,
+		"no-lazy-teardown": AblateLazyTeardown,
+		"all-ablated":      AblateAccessedBit | AblateSharing | AblateLazyTeardown,
+	}
+}
+
+// TestAblationsPreserveCoherence is the critical property: every ablated
+// variant must still be TLB-coherent.  We hammer a small cache from two
+// CPUs with private and shared mappings over distinct-content pages and
+// verify every read through the honest MMU sees the right page's bytes.
+func TestAblationsPreserveCoherence(t *testing.T) {
+	for name, mode := range ablationModes() {
+		t.Run(name, func(t *testing.T) {
+			r := newI386Rig(t, arch.XeonMPHTT(), 4)
+			r.sf.Ablate(mode)
+			pages := make([]*vm.Page, 16)
+			for i := range pages {
+				pages[i] = r.page(t)
+				pages[i].Data()[0] = byte(i + 1)
+			}
+			for i := 0; i < 800; i++ {
+				cpu := (i * 7) % r.m.NumCPUs()
+				ctx := r.m.Ctx(cpu)
+				pg := pages[(i*13)%len(pages)]
+				var flags Flags
+				if i%3 == 0 {
+					flags = Private
+				}
+				b, err := r.sf.Alloc(ctx, pg, flags)
+				if err != nil {
+					t.Fatalf("%s: alloc %d: %v", name, i, err)
+				}
+				got, err := r.pm.Translate(ctx, b.KVA(), false)
+				if err != nil {
+					t.Fatalf("%s: translate %d: %v", name, i, err)
+				}
+				if got.Data()[0] != pg.Data()[0] {
+					t.Fatalf("%s: iteration %d on cpu %d read page %#x, want %#x — coherence broken",
+						name, i, cpu, got.Data()[0], pg.Data()[0])
+				}
+				r.sf.Free(ctx, b)
+			}
+		})
+	}
+}
+
+func TestAblateSharingForcesDistinctBufs(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMP(), 4)
+	r.sf.Ablate(AblateSharing)
+	ctx := r.m.Ctx(0)
+	pg := r.page(t)
+	b1, _ := r.sf.Alloc(ctx, pg, 0)
+	b2, _ := r.sf.Alloc(ctx, pg, 0)
+	if b1 == b2 {
+		t.Fatal("sharing ablated but same buffer returned")
+	}
+	if b1.KVA() == b2.KVA() {
+		t.Fatal("two live buffers share a virtual address")
+	}
+	// Both map the same page at different addresses.
+	for _, b := range []*Buf{b1, b2} {
+		if g, _ := r.pm.Translate(ctx, b.KVA(), false); g != pg {
+			t.Fatal("aliased mapping resolves wrong")
+		}
+	}
+	if r.sf.Stats().Hits != 0 {
+		t.Fatal("no hits possible with sharing ablated")
+	}
+	r.sf.Free(ctx, b1)
+	r.sf.Free(ctx, b2)
+}
+
+func TestAblateLazyTeardownDropsMappingOnFree(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMP(), 4)
+	r.sf.Ablate(AblateLazyTeardown)
+	ctx := r.m.Ctx(0)
+	pg := r.page(t)
+	b, _ := r.sf.Alloc(ctx, pg, 0)
+	r.pm.Translate(ctx, b.KVA(), false)
+	va := b.KVA()
+	r.sf.Free(ctx, b)
+	if pte, ok := r.pm.Probe(va); ok && pte.Valid {
+		t.Fatal("eager teardown left the mapping valid")
+	}
+	if r.sf.ValidMappings() != 0 {
+		t.Fatal("eager teardown left the hash populated")
+	}
+	// Reallocation misses (no latent mapping to revive).
+	b2, _ := r.sf.Alloc(ctx, pg, 0)
+	if got := r.sf.Stats().Misses; got != 2 {
+		t.Fatalf("misses = %d, want 2", got)
+	}
+	r.sf.Free(ctx, b2)
+}
+
+// TestAblationCostOrdering verifies the design choices actually pay for
+// themselves: on a reuse-heavy single-CPU workload, the full design costs
+// no more than each ablated variant.
+func TestAblationCostOrdering(t *testing.T) {
+	run := func(mode Ablation) int64 {
+		r := newI386Rig(t, arch.XeonMP(), 8)
+		r.sf.Ablate(mode)
+		ctx := r.m.Ctx(0)
+		pages := make([]*vm.Page, 4)
+		for i := range pages {
+			pages[i] = r.page(t)
+		}
+		// Warmup, then measured reuse.
+		for i := 0; i < 8; i++ {
+			b, _ := r.sf.Alloc(ctx, pages[i%len(pages)], 0)
+			r.pm.Translate(ctx, b.KVA(), true)
+			r.sf.Free(ctx, b)
+		}
+		r.m.ResetCounters()
+		for i := 0; i < 200; i++ {
+			b, err := r.sf.Alloc(ctx, pages[i%len(pages)], 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.pm.Translate(ctx, b.KVA(), true)
+			r.sf.Free(ctx, b)
+		}
+		return int64(r.m.TotalCycles())
+	}
+	full := run(0)
+	for name, mode := range ablationModes() {
+		if mode == 0 {
+			continue
+		}
+		if ablated := run(mode); ablated < full {
+			t.Errorf("%s (%d cycles) beat the full design (%d cycles)", name, ablated, full)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package sfbuf
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sfbuf/internal/pmap"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+// AMD64 is the 64-bit implementation (Section 4.3).  The kernel maintains
+// a permanent one-to-one mapping of all physical memory, so:
+//
+//   - sf_buf_alloc and sf_buf_page are "nothing more than cast operations":
+//     the Buf for a page is a precomputed view with the page's direct-map
+//     address, shared by all callers, costing no allocation and no lock.
+//   - sf_buf_free is the empty function.
+//   - No flag requires any action: there is never a remote TLB
+//     invalidation, and allocation can never block.
+//
+// One Buf per physical frame is materialized lazily the first time that
+// frame is mapped (a real kernel would not even need that much — the cast
+// happens at compile time).
+type AMD64 struct {
+	pm   *pmap.Pmap
+	bufs []Buf
+	once []sync.Once
+
+	allocs atomic.Uint64
+	frees  atomic.Uint64
+}
+
+var _ Mapper = (*AMD64)(nil)
+
+// NewAMD64 builds the direct-map implementation for machine m.
+func NewAMD64(m *smp.Machine, pm *pmap.Pmap) *AMD64 {
+	n := m.Phys.Frames() + 1 // frames are numbered from 1
+	return &AMD64{
+		pm:   pm,
+		bufs: make([]Buf, n),
+		once: make([]sync.Once, n),
+	}
+}
+
+// Alloc implements sf_buf_alloc: a cast from vm_page to sf_buf.  The flags
+// are accepted and ignored, exactly as the paper specifies.
+func (s *AMD64) Alloc(ctx *smp.Context, page *vm.Page, _ Flags) (*Buf, error) {
+	s.allocs.Add(1)
+	f := page.Frame()
+	s.once[f].Do(func() {
+		s.bufs[f] = Buf{kva: s.pm.DirectVA(page), page: page}
+	})
+	return &s.bufs[f], nil
+}
+
+// Free implements sf_buf_free: the empty function.
+func (s *AMD64) Free(ctx *smp.Context, b *Buf) {
+	s.frees.Add(1)
+}
+
+// Name implements Mapper.
+func (s *AMD64) Name() string { return "sf_buf/amd64" }
+
+// Stats implements Mapper.  Every allocation is a "hit": the permanent
+// direct map never misses.
+func (s *AMD64) Stats() Stats {
+	a := s.allocs.Load()
+	return Stats{Allocs: a, Frees: s.frees.Load(), Hits: a}
+}
+
+// ResetStats implements Mapper.
+func (s *AMD64) ResetStats() {
+	s.allocs.Store(0)
+	s.frees.Store(0)
+}

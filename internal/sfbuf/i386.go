@@ -1,0 +1,92 @@
+package sfbuf
+
+import (
+	"fmt"
+
+	"sfbuf/internal/kva"
+	"sfbuf/internal/pmap"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+// DefaultI386Entries is the evaluation's default mapping-cache size:
+// "the sf_buf kernel on a Xeon machine uses a cache of 64K entries of
+// physical-to-virtual address mappings ... this cache can map a maximum
+// footprint of 256 MB" (Section 6.2).
+const DefaultI386Entries = 64 * 1024
+
+// I386 is the 32-bit implementation of the ephemeral mapping interface
+// (Section 4.2).  Kernel virtual address space is too small to map all of
+// physical memory, so a configurable region is reserved at boot and
+// managed as a cache of virtual-to-physical mappings indexed by physical
+// page.
+type I386 struct {
+	c       *cache
+	entries int
+	base    uint64
+}
+
+var _ Mapper = (*I386)(nil)
+
+// NewI386 reserves entries pages of kernel virtual address space from the
+// arena and builds the mapping cache over them.
+func NewI386(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena, entries int) (*I386, error) {
+	if entries <= 0 {
+		entries = DefaultI386Entries
+	}
+	base, err := arena.Alloc(entries)
+	if err != nil {
+		return nil, fmt.Errorf("sfbuf: reserving %d pages for the i386 mapping cache: %w", entries, err)
+	}
+	vas := make([]uint64, entries)
+	for i := range vas {
+		vas[i] = base + uint64(i)*vm.PageSize
+	}
+	return &I386{c: newCache(m, pm, vas), entries: entries, base: base}, nil
+}
+
+// Alloc implements sf_buf_alloc for i386.
+func (s *I386) Alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf, error) {
+	return s.c.alloc(ctx, page, flags)
+}
+
+// Free implements sf_buf_free for i386.
+func (s *I386) Free(ctx *smp.Context, b *Buf) {
+	s.c.free(ctx, b)
+}
+
+// Name implements Mapper.
+func (s *I386) Name() string { return "sf_buf/i386" }
+
+// Stats implements Mapper.
+func (s *I386) Stats() Stats { return s.c.snapshotStats() }
+
+// ResetStats implements Mapper.
+func (s *I386) ResetStats() { s.c.resetStats() }
+
+// Entries returns the cache capacity in mappings.
+func (s *I386) Entries() int { return s.entries }
+
+// InactiveLen returns the current inactive-list length (test helper).
+func (s *I386) InactiveLen() int { return s.c.inactiveLen() }
+
+// ValidMappings returns the number of live hash-table entries (test
+// helper).
+func (s *I386) ValidMappings() int { return s.c.validMappings() }
+
+// LookupRef exposes a mapping's reference count and cpumask for invariant
+// checks.
+func (s *I386) LookupRef(page *vm.Page) (ref int, mask smp.CPUSet, ok bool) {
+	return s.c.lookupRef(page.Frame())
+}
+
+// InterruptWakeup wakes threads sleeping in Alloc so pending signals can
+// be observed; it models signal delivery.
+func (s *I386) InterruptWakeup() { s.c.interruptWakeup() }
+
+// Ablate disables the selected design choices for ablation studies; pass 0
+// to restore the full design.  Must be called before use, not concurrently
+// with allocations.
+func (s *I386) Ablate(a Ablation) {
+	s.c.ablate = a
+}

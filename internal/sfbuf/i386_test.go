@@ -1,0 +1,498 @@
+package sfbuf
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/kva"
+	"sfbuf/internal/pmap"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+type i386Rig struct {
+	m     *smp.Machine
+	pm    *pmap.Pmap
+	arena *kva.Arena
+	sf    *I386
+}
+
+func newI386Rig(t *testing.T, p arch.Platform, entries int) *i386Rig {
+	t.Helper()
+	m := smp.NewMachine(p, 256, true)
+	pm := pmap.New(m)
+	arena := kva.NewArena(pmap.KVABaseI386, pmap.KVASizeI386)
+	sf, err := NewI386(m, pm, arena, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &i386Rig{m: m, pm: pm, arena: arena, sf: sf}
+}
+
+func (r *i386Rig) page(t *testing.T) *vm.Page {
+	t.Helper()
+	pg, err := r.m.Phys.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg
+}
+
+func TestAllocFreeBasic(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMP(), 8)
+	ctx := r.m.Ctx(0)
+	pg := r.page(t)
+	b, err := r.sf.Alloc(ctx, pg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Page() != pg {
+		t.Fatal("sf_buf_page wrong")
+	}
+	if b.KVA() == 0 {
+		t.Fatal("sf_buf_kva zero")
+	}
+	// The mapping actually works.
+	got, err := r.pm.Translate(ctx, b.KVA(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pg {
+		t.Fatal("mapping resolves to wrong page")
+	}
+	r.sf.Free(ctx, b)
+	if r.sf.InactiveLen() != 8 {
+		t.Fatalf("inactive = %d, want 8 (buf returned)", r.sf.InactiveLen())
+	}
+}
+
+func TestSharingSamePageSameBuf(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMP(), 8)
+	ctx := r.m.Ctx(0)
+	pg := r.page(t)
+	b1, _ := r.sf.Alloc(ctx, pg, 0)
+	b2, _ := r.sf.Alloc(ctx, pg, 0)
+	if b1 != b2 {
+		t.Fatal("same page must share one sf_buf")
+	}
+	ref, _, _ := r.sf.LookupRef(pg)
+	if ref != 2 {
+		t.Fatalf("ref = %d, want 2", ref)
+	}
+	r.sf.Free(ctx, b1)
+	if r.sf.InactiveLen() != 7 {
+		t.Fatal("buf must stay off the inactive list while referenced")
+	}
+	r.sf.Free(ctx, b2)
+	if r.sf.InactiveLen() != 8 {
+		t.Fatal("buf must return to inactive at ref 0")
+	}
+	s := r.sf.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit 1 miss", s)
+	}
+}
+
+func TestInactiveBufStaysValidAndRevives(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMP(), 8)
+	ctx := r.m.Ctx(0)
+	pg := r.page(t)
+	b1, _ := r.sf.Alloc(ctx, pg, 0)
+	r.sf.Free(ctx, b1)
+	// "An unused sf_buf may still represent a valid mapping."
+	if r.sf.ValidMappings() != 1 {
+		t.Fatal("valid mapping dropped on free")
+	}
+	b2, err := r.sf.Alloc(ctx, pg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 != b1 {
+		t.Fatal("revival must return the same sf_buf")
+	}
+	if r.sf.Stats().Hits != 1 {
+		t.Fatal("revival must count as a cache hit")
+	}
+	r.sf.Free(ctx, b2)
+}
+
+func TestLRUVictimSelection(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMP(), 2)
+	ctx := r.m.Ctx(0)
+	pA, pB, pC := r.page(t), r.page(t), r.page(t)
+	bA, _ := r.sf.Alloc(ctx, pA, 0)
+	bB, _ := r.sf.Alloc(ctx, pB, 0)
+	r.sf.Free(ctx, bA) // A becomes LRU
+	r.sf.Free(ctx, bB)
+	// Allocating C must evict A (the least recently freed), not B.
+	bC, _ := r.sf.Alloc(ctx, pC, 0)
+	if bC != bA {
+		t.Fatal("victim should be the LRU buffer")
+	}
+	if _, _, ok := r.sf.LookupRef(pA); ok {
+		t.Fatal("A's mapping must leave the hash")
+	}
+	if _, _, ok := r.sf.LookupRef(pB); !ok {
+		t.Fatal("B's mapping must survive")
+	}
+	r.sf.Free(ctx, bC)
+}
+
+func TestNoWaitAndSleepWakeup(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMP(), 1)
+	ctx := r.m.Ctx(0)
+	pg1, pg2 := r.page(t), r.page(t)
+	b1, _ := r.sf.Alloc(ctx, pg1, 0)
+
+	if _, err := r.sf.Alloc(ctx, pg2, NoWait); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("err = %v, want ErrWouldBlock", err)
+	}
+
+	// A second thread sleeps until the first frees.
+	done := make(chan *Buf)
+	go func() {
+		ctx2 := r.m.Ctx(1)
+		b, err := r.sf.Alloc(ctx2, pg2, 0)
+		if err != nil {
+			panic(err)
+		}
+		done <- b
+	}()
+	// Give the goroutine a chance to block, then release.
+	for r.sf.Stats().Sleeps == 0 {
+	}
+	r.sf.Free(ctx, b1)
+	b2 := <-done
+	if b2.Page() != pg2 {
+		t.Fatal("woken allocation mapped wrong page")
+	}
+	r.sf.Free(r.m.Ctx(1), b2)
+}
+
+func TestInterruptibleSleep(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMP(), 1)
+	ctx := r.m.Ctx(0)
+	b, _ := r.sf.Alloc(ctx, r.page(t), 0)
+
+	ctx2 := r.m.Ctx(1)
+	done := make(chan error)
+	go func() {
+		_, err := r.sf.Alloc(ctx2, r.page(t), Catch)
+		done <- err
+	}()
+	for r.sf.Stats().Sleeps == 0 {
+	}
+	ctx2.Interrupt()
+	r.sf.InterruptWakeup()
+	if err := <-done; !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	r.sf.Free(ctx, b)
+}
+
+func TestAccessedBitOptimizationSkipsInvalidation(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMP(), 1)
+	ctx := r.m.Ctx(0)
+	pA, pB := r.page(t), r.page(t)
+
+	// Map A but never touch it: its PTE accessed bit stays clear.
+	bA, _ := r.sf.Alloc(ctx, pA, 0)
+	r.sf.Free(ctx, bA)
+	r.m.ResetCounters()
+
+	// Reusing the buffer for B must not invalidate anything.
+	bB, _ := r.sf.Alloc(ctx, pB, 0)
+	if got := r.m.Counters().LocalInv.Load(); got != 0 {
+		t.Fatalf("local invalidations = %d, want 0 (accessed bit clear)", got)
+	}
+	if got := r.m.Counters().RemoteInvIssued.Load(); got != 0 {
+		t.Fatalf("remote invalidations = %d, want 0", got)
+	}
+	// And the cpumask must be all CPUs, since no TLB can hold the old
+	// mapping.
+	_, mask, _ := r.sf.LookupRef(pB)
+	if mask != r.m.AllCPUs() {
+		t.Fatalf("cpumask = %v, want all", mask)
+	}
+	r.sf.Free(ctx, bB)
+}
+
+func TestAccessedMappingRequiresInvalidation(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMP(), 1)
+	ctx := r.m.Ctx(0)
+	pA, pB := r.page(t), r.page(t)
+
+	bA, _ := r.sf.Alloc(ctx, pA, 0)
+	// Touch the mapping so its PTE accessed bit is set.
+	if _, err := r.pm.Translate(ctx, bA.KVA(), false); err != nil {
+		t.Fatal(err)
+	}
+	r.sf.Free(ctx, bA)
+	r.m.ResetCounters()
+
+	// Shared reuse must perform a global invalidation.
+	bB, _ := r.sf.Alloc(ctx, pB, 0)
+	if got := r.m.Counters().LocalInv.Load(); got != 1 {
+		t.Fatalf("local invalidations = %d, want 1", got)
+	}
+	if got := r.m.Counters().RemoteInvIssued.Load(); got != 1 {
+		t.Fatalf("remote invalidations = %d, want 1", got)
+	}
+	r.sf.Free(ctx, bB)
+}
+
+func TestPrivateReuseSkipsShootdown(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMP(), 1)
+	ctx := r.m.Ctx(0)
+	pA, pB := r.page(t), r.page(t)
+
+	bA, _ := r.sf.Alloc(ctx, pA, Private)
+	r.pm.Translate(ctx, bA.KVA(), false)
+	r.sf.Free(ctx, bA)
+	r.m.ResetCounters()
+
+	bB, _ := r.sf.Alloc(ctx, pB, Private)
+	if got := r.m.Counters().LocalInv.Load(); got != 1 {
+		t.Fatalf("local invalidations = %d, want 1", got)
+	}
+	if got := r.m.Counters().RemoteInvIssued.Load(); got != 0 {
+		t.Fatalf("remote invalidations = %d, want 0 for private mapping", got)
+	}
+	_, mask, _ := r.sf.LookupRef(pB)
+	if mask != smp.CPUSet(0).Set(0) {
+		t.Fatalf("cpumask = %v, want {0}", mask)
+	}
+	r.sf.Free(ctx, bB)
+}
+
+// TestCrossCPUHitPurgesStaleEntry is the protocol's subtlest requirement:
+// when a CPU not in the mapping's cpumask allocates it, the CPU's own TLB
+// might hold a stale entry for that virtual address from an earlier life,
+// and must be purged before use.  We verify both the purge and — by data
+// inspection through the honest MMU — that skipping it would have read the
+// wrong page's bytes.
+func TestCrossCPUHitPurgesStaleEntry(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMP(), 1)
+	ctx0, ctx1 := r.m.Ctx(0), r.m.Ctx(1)
+	pOld, pNew := r.page(t), r.page(t)
+	pOld.Data()[0] = 0xAA
+	pNew.Data()[0] = 0xBB
+
+	// Epoch 1: CPU 1 uses the (only) buffer mapped to pOld.
+	b, _ := r.sf.Alloc(ctx1, pOld, 0)
+	va := b.KVA()
+	if g, _ := r.pm.Translate(ctx1, va, false); g.Data()[0] != 0xAA {
+		t.Fatal("epoch-1 read wrong")
+	}
+	r.sf.Free(ctx1, b)
+
+	// Epoch 2: CPU 0 takes the buffer for pNew as a PRIVATE mapping, so
+	// no shootdown reaches CPU 1, whose TLB still caches va -> pOld.
+	b2, _ := r.sf.Alloc(ctx0, pNew, Private)
+	if b2.KVA() != va {
+		t.Fatal("test requires buffer reuse")
+	}
+	if got, ok := r.m.CPU(1).TLBFrameOf(pmap.VPN(va)); !ok || got != pOld.Frame() {
+		t.Fatal("CPU 1 should still hold the stale translation")
+	}
+
+	// Epoch 3: CPU 1 allocates pNew.  The hash hit path must notice CPU 1
+	// is missing from the cpumask and purge the stale entry.
+	b3, _ := r.sf.Alloc(ctx1, pNew, 0)
+	if b3 != b2 {
+		t.Fatal("expected shared buffer")
+	}
+	g, err := r.pm.Translate(ctx1, va, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Data()[0] != 0xBB {
+		t.Fatalf("CPU 1 read %#x through a stale TLB entry: coherence protocol broken", g.Data()[0])
+	}
+	r.sf.Free(ctx0, b2)
+	r.sf.Free(ctx1, b3)
+}
+
+// TestSharedAllocShootsMissingCPUs: allocating a private-to-other-CPU
+// mapping *without* Private must make it globally visible.
+func TestSharedAllocShootsMissingCPUs(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMPHTT(), 1)
+	ctx0 := r.m.Ctx(0)
+	pA, pB := r.page(t), r.page(t)
+
+	// Establish an accessed mapping so the next reuse zeroes the mask,
+	// then take the buffer CPU-private on CPU 0.
+	bA, _ := r.sf.Alloc(ctx0, pA, 0)
+	r.pm.Translate(ctx0, bA.KVA(), false)
+	r.sf.Free(ctx0, bA)
+	bB, _ := r.sf.Alloc(ctx0, pB, Private)
+	r.pm.Translate(ctx0, bB.KVA(), false)
+	_, mask, _ := r.sf.LookupRef(pB)
+	if mask.Count() != 1 {
+		t.Fatalf("mask = %v, want single CPU", mask)
+	}
+	r.sf.Free(ctx0, bB)
+	r.m.ResetCounters()
+
+	ctx2 := r.m.Ctx(2)
+	b2, _ := r.sf.Alloc(ctx2, pB, 0) // shared: must repair everywhere
+	if b2 != bB {
+		t.Fatal("expected hash hit")
+	}
+	_, mask, _ = r.sf.LookupRef(pB)
+	if mask != r.m.AllCPUs() {
+		t.Fatalf("mask = %v, want all CPUs after shared alloc", mask)
+	}
+	// CPU 2 was missing from the mask: one local invalidation.  CPUs 1,3
+	// were missing too: one shootdown issue covers them.
+	if got := r.m.Counters().LocalInv.Load(); got != 1 {
+		t.Fatalf("local = %d, want 1", got)
+	}
+	if got := r.m.Counters().RemoteInvIssued.Load(); got != 1 {
+		t.Fatalf("remote issued = %d, want 1", got)
+	}
+	r.sf.Free(ctx2, b2)
+}
+
+// TestProseMissPathIsUnsound reproduces the three-epoch scenario that
+// makes the paper's *prose* miss path ("accessed bit clear -> cpumask =
+// all processors") unsound, and verifies the shipped-code semantics this
+// package implements (retain the mask; zero it only when the replaced
+// mapping was accessed) keep the data correct:
+//
+//	epoch A: CPU 1 maps and reads page A (its TLB caches kva -> A);
+//	epoch B: CPU 0 takes the buffer CPU-private for page B and never
+//	         touches it — CPU 1 keeps its stale entry, mask = {0};
+//	epoch C: the buffer is reused for page C with B's accessed bit
+//	         clear.  Under the prose rule the mask would become "all"
+//	         and CPU 1 could read page A's bytes as page C's.  Under
+//	         the shipped rule the mask stays {0}, so CPU 1's first
+//	         allocation purges its TLB before reading.
+func TestProseMissPathIsUnsound(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMP(), 1)
+	ctx0, ctx1 := r.m.Ctx(0), r.m.Ctx(1)
+	pA, pB, pC := r.page(t), r.page(t), r.page(t)
+	pA.Data()[0] = 0xAA
+	pC.Data()[0] = 0xCC
+
+	// Epoch A.
+	bA, _ := r.sf.Alloc(ctx1, pA, 0)
+	va := bA.KVA()
+	if g, _ := r.pm.Translate(ctx1, va, false); g.Data()[0] != 0xAA {
+		t.Fatal("epoch A read wrong")
+	}
+	r.sf.Free(ctx1, bA)
+
+	// Epoch B: CPU-private to CPU 0, never touched.
+	bB, _ := r.sf.Alloc(ctx0, pB, Private)
+	if bB.KVA() != va {
+		t.Fatal("test requires single-buffer reuse")
+	}
+	r.sf.Free(ctx0, bB)
+
+	// Epoch C: reuse with accessed bit clear.
+	bC, _ := r.sf.Alloc(ctx0, pC, Private)
+	if bC.KVA() != va {
+		t.Fatal("test requires single-buffer reuse")
+	}
+	_, mask, _ := r.sf.LookupRef(pC)
+	if mask.Has(1) {
+		t.Fatalf("mask %v must exclude CPU 1: its TLB is stale", mask)
+	}
+	// CPU 1 still holds kva -> pA; prove it, then prove the protocol
+	// repairs it on CPU 1's next allocation.
+	if f, ok := r.m.CPU(1).TLBFrameOf(pmap.VPN(va)); !ok || f != pA.Frame() {
+		t.Fatal("scenario setup failed: CPU 1 lost its stale entry")
+	}
+	bC1, _ := r.sf.Alloc(ctx1, pC, 0)
+	g, err := r.pm.Translate(ctx1, va, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Data()[0] != 0xCC {
+		t.Fatalf("CPU 1 read %#x: the prose semantics corruption", g.Data()[0])
+	}
+	r.sf.Free(ctx0, bC)
+	r.sf.Free(ctx1, bC1)
+}
+
+func TestFreeUnreferencedPanics(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMP(), 2)
+	ctx := r.m.Ctx(0)
+	b, _ := r.sf.Alloc(ctx, r.page(t), 0)
+	r.sf.Free(ctx, b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free must panic")
+		}
+	}()
+	r.sf.Free(ctx, b)
+}
+
+func TestUPKernelNeverShootsDown(t *testing.T) {
+	r := newI386Rig(t, arch.XeonUP(), 2)
+	ctx := r.m.Ctx(0)
+	for i := 0; i < 10; i++ {
+		pg := r.page(t)
+		b, _ := r.sf.Alloc(ctx, pg, 0)
+		r.pm.Translate(ctx, b.KVA(), true)
+		r.sf.Free(ctx, b)
+	}
+	if got := r.m.Counters().RemoteInvIssued.Load(); got != 0 {
+		t.Fatalf("UP kernel issued %d remote invalidations", got)
+	}
+}
+
+func TestConcurrentAllocFreeRace(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMPHTT(), 16)
+	pages := make([]*vm.Page, 32)
+	for i := range pages {
+		pages[i] = r.page(t)
+	}
+	var wg sync.WaitGroup
+	for cpu := 0; cpu < 4; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			ctx := r.m.Ctx(cpu)
+			for i := 0; i < 500; i++ {
+				pg := pages[(i*7+cpu*13)%len(pages)]
+				b, err := r.sf.Alloc(ctx, pg, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if b.Page() != pg {
+					t.Error("wrong page under concurrency")
+					return
+				}
+				if _, err := r.pm.Translate(ctx, b.KVA(), false); err != nil {
+					t.Error(err)
+					return
+				}
+				r.sf.Free(ctx, b)
+			}
+		}(cpu)
+	}
+	wg.Wait()
+	if r.sf.InactiveLen() != 16 {
+		t.Fatalf("inactive = %d, want 16 after all frees", r.sf.InactiveLen())
+	}
+	s := r.sf.Stats()
+	if s.Allocs != s.Frees || s.Allocs != 2000 {
+		t.Fatalf("allocs/frees = %d/%d", s.Allocs, s.Frees)
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Fatal("empty hit rate should be 0")
+	}
+	s.Hits, s.Misses = 3, 1
+	if s.HitRate() != 0.75 {
+		t.Fatalf("hit rate = %v", s.HitRate())
+	}
+}

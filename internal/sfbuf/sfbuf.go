@@ -1,0 +1,142 @@
+// Package sfbuf implements the paper's contribution: the sf_buf ephemeral
+// mapping interface (Table 1) and its machine-dependent implementations.
+//
+// The interface combines two actions that kernels historically performed
+// through separate interfaces — allocating a temporary kernel virtual
+// address and installing a virtual-to-physical translation — so that an
+// implementation may reuse existing mappings and avoid TLB coherence
+// traffic.  Four implementations are provided:
+//
+//   - I386 (Section 4.2): a mapping cache over a bounded kernel VA region —
+//     a hash table of valid mappings indexed by physical page, an LRU
+//     inactive list whose entries may still be valid, a per-mapping cpumask,
+//     and the accessed-bit optimization.
+//   - AMD64 (Section 4.3): the direct map makes every operation trivial;
+//     an sf_buf is just a view of the vm_page and nothing ever invalidates.
+//   - Sparc64 (Section 4.4): a hybrid that uses the direct map when cache
+//     colors are compatible and a color-aware mapping cache otherwise.
+//   - Original: the pre-sf_buf baseline — every mapping allocates a fresh
+//     kernel virtual address and every unmapping performs a global TLB
+//     invalidation.  Every evaluation figure compares against it.
+package sfbuf
+
+import (
+	"errors"
+
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+// Flags modify sf_buf_alloc behaviour (Section 4.1).
+type Flags uint8
+
+const (
+	// Private marks the mapping as for the private use of the calling
+	// thread: implementations may skip remote TLB invalidations because
+	// no other CPU will ever dereference the returned address.
+	Private Flags = 1 << iota
+	// NoWait forbids sleeping: when no sf_buf is available Alloc
+	// returns ErrWouldBlock instead of waiting.
+	NoWait
+	// Catch makes a sleeping Alloc interruptible by a signal, in which
+	// case it returns ErrInterrupted.  It has no effect when NoWait is
+	// also given, matching the paper's rule.
+	Catch
+)
+
+// Errors returned by Alloc.
+var (
+	// ErrWouldBlock reports that no sf_buf was available and NoWait
+	// forbade sleeping (the paper's NULL return).
+	ErrWouldBlock = errors.New("sfbuf: no buffers available")
+	// ErrInterrupted reports that an interruptible sleep was broken by
+	// a signal (the paper's NULL return under "interruptible").
+	ErrInterrupted = errors.New("sfbuf: sleep interrupted by signal")
+)
+
+// Buf is an ephemeral mapping object — the sf_buf.  The paper keeps it
+// entirely opaque; here only the two accessor methods of Table 1 are
+// exported.  The unexported fields mirror Figure 1's struct sf_buf: the
+// mapped page, the immutable kernel virtual address, a reference count, a
+// cpumask, and the inactive-list linkage.  The hash chain of Figure 1 is a
+// Go map in this implementation.
+type Buf struct {
+	kva  uint64
+	page *vm.Page
+
+	// i386 / sparc64 mapping-cache state, owned by the cache's lock.
+	ref     int
+	cpumask smp.CPUSet
+	prev    *Buf // inactive list linkage (Figure 1's free_entry)
+	next    *Buf
+	inList  bool
+	home    *cache // owning cache, for sparc64's per-color dispatch
+}
+
+// KVA returns the kernel virtual address at which the mapping's page is
+// addressable — sf_buf_kva().
+func (b *Buf) KVA() uint64 { return b.kva }
+
+// Page returns the physical page mapped by the buffer — sf_buf_page().
+func (b *Buf) Page() *vm.Page { return b.page }
+
+// Stats counts mapper events.  Hits and Misses describe the mapping cache
+// (Section 6.5.2 reports cache hit rates); Sleeps counts blocked
+// allocations; VAAllocs counts trips to the general-purpose kernel virtual
+// address allocator, which only the original kernel takes per-mapping.
+type Stats struct {
+	Allocs      uint64
+	Frees       uint64
+	Hits        uint64
+	Misses      uint64
+	Sleeps      uint64
+	Interrupted uint64
+	WouldBlock  uint64
+	VAAllocs    uint64
+}
+
+// HitRate returns the mapping-cache hit rate in [0, 1], or 0 when no
+// allocations occurred.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// BatchMapper is implemented by mappers that can map and unmap a run of
+// pages as one request, the way the original kernel's pmap_qenter and
+// pmap_qremove handle a multi-page buffer: one virtual-address allocation
+// and one ranged TLB shootdown for the whole run.  Subsystems that operate
+// on multi-page extents (the pipe's direct windows, the memory disk's
+// block transfers) use the batch path when the kernel offers it.
+//
+// The sf_buf interface itself is deliberately per-page — its performance
+// comes from not needing invalidations at all, not from batching them.
+type BatchMapper interface {
+	Mapper
+	// AllocBatch maps the pages at consecutive kernel virtual addresses.
+	AllocBatch(ctx *smp.Context, pages []*vm.Page, flags Flags) ([]*Buf, error)
+	// FreeBatch releases a batch in one ranged operation.
+	FreeBatch(ctx *smp.Context, bufs []*Buf)
+}
+
+// Mapper is the machine-independent ephemeral mapping interface of
+// Table 1.  Alloc is sf_buf_alloc, Free is sf_buf_free; the two remaining
+// functions of the table are methods on Buf.
+type Mapper interface {
+	// Alloc returns an sf_buf mapping the given physical page.  An
+	// implementation may return the same Buf to multiple callers mapping
+	// the same page; the mapping remains valid until every caller has
+	// called Free.
+	Alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf, error)
+	// Free releases one reference to the mapping.
+	Free(ctx *smp.Context, b *Buf)
+	// Name identifies the implementation for reports.
+	Name() string
+	// Stats returns cumulative mapper statistics.
+	Stats() Stats
+	// ResetStats zeroes the statistics.
+	ResetStats()
+}

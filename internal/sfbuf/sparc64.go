@@ -1,0 +1,140 @@
+package sfbuf
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sfbuf/internal/kva"
+	"sfbuf/internal/pmap"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+// Sparc64 is the hybrid implementation sketched in Section 4.4.  The
+// architecture has a 64-bit address space and therefore a direct map, but
+// its virtually-indexed, virtually-tagged cache requires that all
+// simultaneous mappings of a physical page share a cache color (the low
+// bits of the virtual page number), or caching must be disabled.
+//
+// The implementation therefore checks color compatibility:
+//
+//   - If the page has no user-level mapping, or its user mapping's color
+//     matches the direct map's color for that page, the permanent direct
+//     mapping is used — the amd64 fast path.
+//   - Otherwise a virtual address of the required color is taken from a
+//     per-color mapping cache managed exactly like the i386 implementation.
+type Sparc64 struct {
+	m         *smp.Machine
+	pm        *pmap.Pmap
+	numColors int
+	colors    []*cache
+
+	directAllocs atomic.Uint64
+	directFrees  atomic.Uint64
+}
+
+var _ Mapper = (*Sparc64)(nil)
+
+// NewSparc64 builds the hybrid mapper with entriesPerColor cache slots for
+// each of numColors virtual cache colors.  numColors must be a power of
+// two (it is a bitmask over virtual page numbers).
+func NewSparc64(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena, numColors, entriesPerColor int) (*Sparc64, error) {
+	if numColors <= 0 || numColors&(numColors-1) != 0 {
+		return nil, fmt.Errorf("sfbuf: numColors %d is not a power of two", numColors)
+	}
+	if entriesPerColor <= 0 {
+		entriesPerColor = 1024
+	}
+	base, err := arena.Alloc(numColors * entriesPerColor)
+	if err != nil {
+		return nil, fmt.Errorf("sfbuf: reserving sparc64 color caches: %w", err)
+	}
+	// The reserved region is color-striped: virtual page i has color
+	// i % numColors, so each cache gets every numColors-th page, keeping
+	// each cache's addresses all of one color.
+	s := &Sparc64{m: m, pm: pm, numColors: numColors, colors: make([]*cache, numColors)}
+	baseVPN := pmap.VPN(base)
+	for color := 0; color < numColors; color++ {
+		var vas []uint64
+		for i := 0; i < entriesPerColor; i++ {
+			vpn := baseVPN + uint64(i*numColors)
+			// Align the stripe so vpn's color matches.
+			offset := (uint64(color) - vpn) & uint64(numColors-1)
+			vas = append(vas, (vpn+offset)<<vm.PageShift)
+		}
+		s.colors[color] = newCache(m, pm, vas)
+	}
+	return s, nil
+}
+
+// pageColor is the color the direct map would give the page: the direct
+// map is linear in physical addresses, so the color is determined by the
+// frame number.
+func (s *Sparc64) pageColor(page *vm.Page) int {
+	return int(pmap.VPN(pmap.DirectMapBase+uint64(page.PA())) & uint64(s.numColors-1))
+}
+
+// Alloc returns a direct-map buffer when colors permit, otherwise a
+// color-compatible cached mapping.
+func (s *Sparc64) Alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf, error) {
+	want := page.UserColor
+	if want < 0 || want == s.pageColor(page) {
+		// "The permanent, one-to-one, virtual-to-physical mapping is
+		// used when its color is compatible with the color of the
+		// user-level address space mappings for the physical page."
+		s.directAllocs.Add(1)
+		return &Buf{kva: s.pm.DirectVA(page), page: page}, nil
+	}
+	// "Otherwise ... a virtual address of a compatible color is
+	// allocated from a free list and managed through a dictionary as in
+	// the i386 implementation."
+	return s.colors[want%s.numColors].alloc(ctx, page, flags)
+}
+
+// Free releases the mapping; direct-map buffers need no action.
+func (s *Sparc64) Free(ctx *smp.Context, b *Buf) {
+	if b.home == nil {
+		s.directFrees.Add(1)
+		return
+	}
+	b.home.free(ctx, b)
+}
+
+// Name implements Mapper.
+func (s *Sparc64) Name() string { return "sf_buf/sparc64" }
+
+// Stats implements Mapper, aggregating across colors; direct-map
+// allocations count as hits.
+func (s *Sparc64) Stats() Stats {
+	var t Stats
+	for _, c := range s.colors {
+		cs := c.snapshotStats()
+		t.Allocs += cs.Allocs
+		t.Frees += cs.Frees
+		t.Hits += cs.Hits
+		t.Misses += cs.Misses
+		t.Sleeps += cs.Sleeps
+		t.Interrupted += cs.Interrupted
+		t.WouldBlock += cs.WouldBlock
+	}
+	d := s.directAllocs.Load()
+	t.Allocs += d
+	t.Hits += d
+	t.Frees += s.directFrees.Load()
+	return t
+}
+
+// ResetStats implements Mapper.
+func (s *Sparc64) ResetStats() {
+	for _, c := range s.colors {
+		c.resetStats()
+	}
+	s.directAllocs.Store(0)
+	s.directFrees.Store(0)
+}
+
+// NumColors returns the configured color count.
+func (s *Sparc64) NumColors() int { return s.numColors }
+
+// DirectAllocs returns how many allocations took the direct-map fast path.
+func (s *Sparc64) DirectAllocs() uint64 { return s.directAllocs.Load() }

@@ -1,0 +1,233 @@
+package sfbuf
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/kva"
+	"sfbuf/internal/pmap"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+// TestManySleepersDrainInOrder exhausts a tiny cache with long-held
+// references while a crowd of allocators sleeps, then releases and checks
+// everyone eventually gets a buffer and the cache drains clean.
+func TestManySleepersDrainInOrder(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMPHTT(), 2)
+	ctx := r.m.Ctx(0)
+	held := make([]*Buf, 2)
+	for i := range held {
+		pg := r.page(t)
+		b, err := r.sf.Alloc(ctx, pg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held[i] = b
+	}
+
+	const sleepers = 16
+	var succeeded atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < sleepers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sctx := r.m.Ctx(i % r.m.NumCPUs())
+			pg, err := r.m.Phys.Alloc()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b, err := r.sf.Alloc(sctx, pg, 0)
+			if err != nil {
+				t.Errorf("sleeper %d: %v", i, err)
+				return
+			}
+			succeeded.Add(1)
+			r.sf.Free(sctx, b)
+		}(i)
+	}
+	// Wait for the crowd to block, then release the held buffers.
+	for r.sf.Stats().Sleeps < sleepers {
+		if r.sf.Stats().WouldBlock > 0 {
+			t.Fatal("unexpected NoWait failure")
+		}
+	}
+	for _, b := range held {
+		r.sf.Free(ctx, b)
+	}
+	wg.Wait()
+	if got := succeeded.Load(); got != sleepers {
+		t.Fatalf("%d of %d sleepers succeeded", got, sleepers)
+	}
+	if r.sf.InactiveLen() != 2 {
+		t.Fatalf("inactive = %d, want 2", r.sf.InactiveLen())
+	}
+}
+
+// TestNoWaitNeverSleeps hammers an exhausted cache with NoWait allocations
+// from several goroutines; all must fail fast with ErrWouldBlock and none
+// may deadlock.
+func TestNoWaitNeverSleeps(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMP(), 1)
+	ctx := r.m.Ctx(0)
+	b, err := r.sf.Alloc(ctx, r.page(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sctx := r.m.Ctx(i % r.m.NumCPUs())
+			pg, _ := r.m.Phys.Alloc()
+			for j := 0; j < 50; j++ {
+				if _, err := r.sf.Alloc(sctx, pg, NoWait); !errors.Is(err, ErrWouldBlock) {
+					t.Errorf("want ErrWouldBlock, got %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.sf.Stats().Sleeps; got != 0 {
+		t.Fatalf("NoWait allocations slept %d times", got)
+	}
+	r.sf.Free(ctx, b)
+}
+
+// TestHitRevivalUnderChurn interleaves holders and churners so buffers
+// constantly cross between the hash, the inactive list and revival; the
+// data read through every mapping must stay correct throughout.
+func TestHitRevivalUnderChurn(t *testing.T) {
+	r := newI386Rig(t, arch.XeonMP(), 8)
+	pages := make([]*vm.Page, 6) // fewer pages than buffers: revival-heavy
+	for i := range pages {
+		pages[i] = r.page(t)
+		pages[i].Data()[0] = byte(0xA0 + i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := r.m.Ctx(w % r.m.NumCPUs())
+			for i := 0; i < 400; i++ {
+				idx := (i*5 + w*3) % len(pages)
+				b, err := r.sf.Alloc(ctx, pages[idx], 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := r.pm.Translate(ctx, b.KVA(), false)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got.Data()[0] != byte(0xA0+idx) {
+					t.Errorf("worker %d iter %d: read %#x, want %#x",
+						w, i, got.Data()[0], 0xA0+idx)
+					return
+				}
+				r.sf.Free(ctx, b)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.sf.InactiveLen() != 8 {
+		t.Fatalf("inactive = %d after drain, want 8", r.sf.InactiveLen())
+	}
+}
+
+// TestOriginalBatchRollbackOnExhaustion: the i386 original mapper's batch
+// path allocates per page; when the arena runs dry mid-batch it must roll
+// back the pages it already mapped, leaving no leaked VA or mapping.
+func TestOriginalBatchRollbackOnExhaustion(t *testing.T) {
+	m := smp.NewMachine(arch.XeonMP(), 64, true)
+	pm := pmap.New(m)
+	arena := kva.NewArena(pmap.KVABaseI386, 4*vm.PageSize) // room for 4 only
+	o := NewOriginal(m, pm, arena)
+	ctx := m.Ctx(0)
+	pages, err := m.Phys.AllocN(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AllocBatch(ctx, pages, 0); err == nil {
+		t.Fatal("batch larger than the arena must fail")
+	}
+	if got := arena.InUsePages(); got != 0 {
+		t.Fatalf("rollback leaked %d arena pages", got)
+	}
+	if got := pm.Mappings(); got != 0 {
+		t.Fatalf("rollback leaked %d mappings", got)
+	}
+	// The arena must still be fully usable.
+	bufs, err := o.AllocBatch(ctx, pages[:4], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.FreeBatch(ctx, bufs)
+	if arena.InUsePages() != 0 {
+		t.Fatalf("arena in use = %d after FreeBatch", arena.InUsePages())
+	}
+}
+
+// TestAMD64BatchRanged: the amd64 original batch path performs exactly one
+// ranged remote invalidation per batch and per-page locals.
+func TestAMD64BatchRanged(t *testing.T) {
+	m := smp.NewMachine(arch.OpteronMP(), 64, true)
+	pm := pmap.New(m)
+	arena := kva.NewArena(pmap.KVABaseAMD64, pmap.KVASizeAMD64)
+	o := NewOriginal(m, pm, arena)
+	ctx := m.Ctx(0)
+	pages, err := m.Phys.AllocN(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs, err := o.AllocBatch(ctx, pages, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ResetCounters()
+	o.FreeBatch(ctx, bufs)
+	if got := m.Counters().RemoteInvIssued.Load(); got != 1 {
+		t.Fatalf("remote issues = %d, want 1 (ranged)", got)
+	}
+	if got := m.Counters().LocalInv.Load(); got != 16 {
+		t.Fatalf("local invalidations = %d, want 16", got)
+	}
+	if got := o.Stats().VAAllocs; got != 1 {
+		t.Fatalf("VA allocations = %d, want 1 for the whole batch", got)
+	}
+}
+
+// TestI386BatchFallsBackPerPage: the i386 original batch path is the
+// per-page path (per-page VA allocations and per-page shootdowns).
+func TestI386BatchFallsBackPerPage(t *testing.T) {
+	m := smp.NewMachine(arch.XeonMP(), 64, true)
+	pm := pmap.New(m)
+	arena := kva.NewArena(pmap.KVABaseI386, pmap.KVASizeI386)
+	o := NewOriginal(m, pm, arena)
+	ctx := m.Ctx(0)
+	pages, err := m.Phys.AllocN(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs, err := o.AllocBatch(ctx, pages, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Stats().VAAllocs; got != 8 {
+		t.Fatalf("VA allocations = %d, want 8 (per page)", got)
+	}
+	m.ResetCounters()
+	o.FreeBatch(ctx, bufs)
+	if got := m.Counters().RemoteInvIssued.Load(); got != 8 {
+		t.Fatalf("remote issues = %d, want 8 (per page)", got)
+	}
+}

@@ -1,0 +1,72 @@
+package smp
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// CPUSet is a bitmask of virtual CPU ids, the paper's cpumask_t.  The i386
+// sf_buf implementation records in each mapping's cpumask the set of CPUs
+// on which the mapping is known valid (no stale TLB entry can exist there).
+type CPUSet uint64
+
+// MaxCPUs bounds the number of virtual CPUs a machine may have.
+const MaxCPUs = 64
+
+// Set returns s with cpu added.
+func (s CPUSet) Set(cpu int) CPUSet { return s | 1<<uint(cpu) }
+
+// Clear returns s with cpu removed.
+func (s CPUSet) Clear(cpu int) CPUSet { return s &^ (1 << uint(cpu)) }
+
+// Has reports whether cpu is in the set.
+func (s CPUSet) Has(cpu int) bool { return s&(1<<uint(cpu)) != 0 }
+
+// Count returns the number of CPUs in the set.
+func (s CPUSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Empty reports whether the set is empty.
+func (s CPUSet) Empty() bool { return s == 0 }
+
+// Union returns the union of both sets.
+func (s CPUSet) Union(o CPUSet) CPUSet { return s | o }
+
+// Minus returns the CPUs in s that are not in o.
+func (s CPUSet) Minus(o CPUSet) CPUSet { return s &^ o }
+
+// ForEach calls f for each CPU in the set, in ascending id order.
+func (s CPUSet) ForEach(f func(cpu int)) {
+	for s != 0 {
+		cpu := bits.TrailingZeros64(uint64(s))
+		f(cpu)
+		s = s.Clear(cpu)
+	}
+}
+
+// AllCPUs returns the set {0, ..., n-1}.
+func AllCPUs(n int) CPUSet {
+	if n <= 0 {
+		return 0
+	}
+	if n >= MaxCPUs {
+		return ^CPUSet(0)
+	}
+	return CPUSet(1)<<uint(n) - 1
+}
+
+// String renders the set as "{0,2,3}".
+func (s CPUSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(cpu int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", cpu)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

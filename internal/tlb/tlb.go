@@ -1,0 +1,152 @@
+// Package tlb models a per-CPU translation look-aside buffer.
+//
+// The model is deliberately honest about the property the paper's
+// algorithms must preserve: a TLB caches translations and keeps serving
+// them until it is explicitly invalidated or the entry is evicted for
+// capacity.  Nothing here consults the page tables — if the operating
+// system changes a mapping without invalidating, Lookup happily returns the
+// stale frame, and (because the MMU model routes loads and stores through
+// the returned frame) data corruption follows.  Tests rely on that to prove
+// the sf_buf protocol's coherence logic rather than assume it.
+package tlb
+
+// Stats counts TLB events.
+type Stats struct {
+	Lookups       uint64
+	Hits          uint64
+	Misses        uint64
+	Inserts       uint64
+	Invalidations uint64 // explicit single-entry invalidations that hit
+	Flushes       uint64
+	Evictions     uint64 // capacity evictions
+}
+
+type node struct {
+	vpn, frame uint64
+	prev, next *node
+}
+
+// TLB is a fully-associative, LRU-replacement translation cache mapping
+// virtual page numbers to physical frame numbers.  It is not safe for
+// concurrent use; the owning CPU serializes access (including shootdown
+// handlers) with its own lock.
+type TLB struct {
+	capacity int
+	entries  map[uint64]*node
+	// LRU list: head.next is most recently used, tail.prev least.
+	head, tail node
+	stats      Stats
+}
+
+// New creates a TLB with the given entry capacity.
+func New(capacity int) *TLB {
+	if capacity <= 0 {
+		panic("tlb: capacity must be positive")
+	}
+	t := &TLB{
+		capacity: capacity,
+		entries:  make(map[uint64]*node, capacity),
+	}
+	t.head.next = &t.tail
+	t.tail.prev = &t.head
+	return t
+}
+
+// Capacity returns the entry capacity.
+func (t *TLB) Capacity() int { return t.capacity }
+
+// Len returns the number of resident entries.
+func (t *TLB) Len() int { return len(t.entries) }
+
+func (t *TLB) unlink(n *node) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+}
+
+func (t *TLB) pushFront(n *node) {
+	n.next = t.head.next
+	n.prev = &t.head
+	t.head.next.prev = n
+	t.head.next = n
+}
+
+// Lookup returns the cached frame for vpn.  A hit refreshes the entry's
+// recency.  The returned frame may be stale with respect to the page
+// tables; that is the point.
+func (t *TLB) Lookup(vpn uint64) (frame uint64, ok bool) {
+	t.stats.Lookups++
+	n, ok := t.entries[vpn]
+	if !ok {
+		t.stats.Misses++
+		return 0, false
+	}
+	t.stats.Hits++
+	t.unlink(n)
+	t.pushFront(n)
+	return n.frame, true
+}
+
+// Insert caches vpn -> frame, evicting the least recently used entry when
+// at capacity.  Re-inserting an existing vpn updates the frame in place.
+func (t *TLB) Insert(vpn, frame uint64) {
+	t.stats.Inserts++
+	if n, ok := t.entries[vpn]; ok {
+		n.frame = frame
+		t.unlink(n)
+		t.pushFront(n)
+		return
+	}
+	if len(t.entries) >= t.capacity {
+		victim := t.tail.prev
+		t.unlink(victim)
+		delete(t.entries, victim.vpn)
+		t.stats.Evictions++
+	}
+	n := &node{vpn: vpn, frame: frame}
+	t.entries[vpn] = n
+	t.pushFront(n)
+}
+
+// Invalidate drops the entry for vpn, reporting whether one was resident
+// (the model's invlpg).
+func (t *TLB) Invalidate(vpn uint64) bool {
+	n, ok := t.entries[vpn]
+	if !ok {
+		return false
+	}
+	t.stats.Invalidations++
+	t.unlink(n)
+	delete(t.entries, vpn)
+	return true
+}
+
+// FlushAll empties the TLB (the model's full flush, e.g. CR3 reload).
+func (t *TLB) FlushAll() {
+	t.stats.Flushes++
+	t.entries = make(map[uint64]*node, t.capacity)
+	t.head.next = &t.tail
+	t.tail.prev = &t.head
+}
+
+// Resident reports whether vpn is cached, without touching recency or
+// statistics.  Test helper.
+func (t *TLB) Resident(vpn uint64) bool {
+	_, ok := t.entries[vpn]
+	return ok
+}
+
+// FrameOf returns the cached frame for vpn without touching recency or
+// statistics, for invariant checks.
+func (t *TLB) FrameOf(vpn uint64) (uint64, bool) {
+	n, ok := t.entries[vpn]
+	if !ok {
+		return 0, false
+	}
+	return n.frame, true
+}
+
+// Stats returns a copy of the event counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the event counters.
+func (t *TLB) ResetStats() { t.stats = Stats{} }

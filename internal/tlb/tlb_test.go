@@ -1,0 +1,154 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupMissThenHit(t *testing.T) {
+	tl := New(4)
+	if _, ok := tl.Lookup(10); ok {
+		t.Fatal("lookup in empty TLB hit")
+	}
+	tl.Insert(10, 99)
+	f, ok := tl.Lookup(10)
+	if !ok || f != 99 {
+		t.Fatalf("got (%d,%v), want (99,true)", f, ok)
+	}
+	s := tl.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Inserts != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInsertUpdatesExisting(t *testing.T) {
+	tl := New(4)
+	tl.Insert(1, 10)
+	tl.Insert(1, 20)
+	if f, _ := tl.Lookup(1); f != 20 {
+		t.Fatalf("frame = %d, want 20", f)
+	}
+	if tl.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tl.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	tl := New(3)
+	tl.Insert(1, 1)
+	tl.Insert(2, 2)
+	tl.Insert(3, 3)
+	tl.Lookup(1) // refresh 1; 2 is now LRU
+	tl.Insert(4, 4)
+	if tl.Resident(2) {
+		t.Fatal("entry 2 should have been evicted")
+	}
+	for _, vpn := range []uint64{1, 3, 4} {
+		if !tl.Resident(vpn) {
+			t.Fatalf("entry %d should be resident", vpn)
+		}
+	}
+	if tl.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", tl.Stats().Evictions)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	tl := New(4)
+	tl.Insert(7, 70)
+	if !tl.Invalidate(7) {
+		t.Fatal("invalidate of resident entry returned false")
+	}
+	if tl.Invalidate(7) {
+		t.Fatal("invalidate of absent entry returned true")
+	}
+	if tl.Len() != 0 {
+		t.Fatalf("len = %d after invalidate", tl.Len())
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	tl := New(8)
+	for i := uint64(0); i < 8; i++ {
+		tl.Insert(i, i)
+	}
+	tl.FlushAll()
+	if tl.Len() != 0 {
+		t.Fatalf("len = %d after flush", tl.Len())
+	}
+	// The TLB must still work after a flush.
+	tl.Insert(3, 33)
+	if f, ok := tl.Lookup(3); !ok || f != 33 {
+		t.Fatalf("post-flush lookup got (%d,%v)", f, ok)
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	tl := New(16)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		tl.Insert(uint64(rng.Intn(100)), uint64(i))
+		if tl.Len() > 16 {
+			t.Fatalf("len %d exceeds capacity 16", tl.Len())
+		}
+	}
+}
+
+// TestStaleServing pins down the property everything else depends on: a
+// TLB keeps serving a translation after the "page tables" change, until it
+// is explicitly invalidated.
+func TestStaleServing(t *testing.T) {
+	tl := New(4)
+	tl.Insert(5, 50)
+	// The OS now remaps vpn 5 to frame 60 but forgets to invalidate.
+	if f, ok := tl.Lookup(5); !ok || f != 50 {
+		t.Fatalf("TLB must keep serving the stale frame, got (%d,%v)", f, ok)
+	}
+	tl.Invalidate(5)
+	if _, ok := tl.Lookup(5); ok {
+		t.Fatal("entry served after invalidation")
+	}
+}
+
+// Property: after any operation sequence, Lookup agrees with the last
+// surviving Insert for each vpn, and Len never exceeds capacity.
+func TestQuickAgainstReferenceModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		VPN  uint8
+		F    uint8
+	}
+	check := func(ops []op) bool {
+		tl := New(8)
+		// Reference model tracks only what MUST be true: an entry the
+		// model knows is absent must miss; a present entry must either
+		// match the model's frame or have been capacity-evicted.
+		model := map[uint64]uint64{}
+		for _, o := range ops {
+			vpn, f := uint64(o.VPN%32), uint64(o.F)
+			switch o.Kind % 3 {
+			case 0:
+				tl.Insert(vpn, f)
+				model[vpn] = f
+			case 1:
+				tl.Invalidate(vpn)
+				delete(model, vpn)
+			case 2:
+				if got, ok := tl.FrameOf(vpn); ok {
+					want, inModel := model[vpn]
+					if !inModel || got != want {
+						return false
+					}
+				}
+			}
+			if tl.Len() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package vm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	pm := NewPhysMem(8, true)
+	if pm.FreeFrames() != 8 {
+		t.Fatalf("free = %d, want 8", pm.FreeFrames())
+	}
+	p, err := pm.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Frame() == 0 {
+		t.Fatal("frame 0 must stay a sentinel")
+	}
+	if len(p.Data()) != PageSize {
+		t.Fatalf("backed page data len = %d", len(p.Data()))
+	}
+	pm.Free(p)
+	if pm.FreeFrames() != 8 {
+		t.Fatalf("free = %d after free, want 8", pm.FreeFrames())
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	pm := NewPhysMem(2, false)
+	a, _ := pm.Alloc()
+	b, _ := pm.Alloc()
+	if _, err := pm.Alloc(); err != ErrNoMemory {
+		t.Fatalf("err = %v, want ErrNoMemory", err)
+	}
+	pm.Free(a)
+	pm.Free(b)
+}
+
+func TestAllocNAtomicity(t *testing.T) {
+	pm := NewPhysMem(4, false)
+	if _, err := pm.AllocN(5); err != ErrNoMemory {
+		t.Fatalf("err = %v, want ErrNoMemory", err)
+	}
+	if pm.FreeFrames() != 4 {
+		t.Fatalf("failed AllocN leaked pages: free = %d", pm.FreeFrames())
+	}
+	ps, err := pm.AllocN(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, p := range ps {
+		if seen[p.Frame()] {
+			t.Fatalf("duplicate frame %d", p.Frame())
+		}
+		seen[p.Frame()] = true
+	}
+}
+
+func TestFreeZeroesBackedPages(t *testing.T) {
+	pm := NewPhysMem(1, true)
+	p, _ := pm.Alloc()
+	p.Data()[0] = 0xAA
+	pm.Free(p)
+	q, _ := pm.Alloc()
+	if q.Data()[0] != 0 {
+		t.Fatal("recycled page leaked previous contents")
+	}
+}
+
+func TestWireProtectsFromFree(t *testing.T) {
+	pm := NewPhysMem(1, false)
+	p, _ := pm.Alloc()
+	p.Wire()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("freeing a wired page must panic")
+			}
+		}()
+		pm.Free(p)
+	}()
+	p.Unwire()
+	pm.Free(p)
+}
+
+func TestUnwireUnderflowPanics(t *testing.T) {
+	pm := NewPhysMem(1, false)
+	p, _ := pm.Alloc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unwire of unwired page must panic")
+		}
+	}()
+	p.Unwire()
+}
+
+func TestPageByFrame(t *testing.T) {
+	pm := NewPhysMem(3, false)
+	p, _ := pm.Alloc()
+	if pm.PageByFrame(p.Frame()) != p {
+		t.Fatal("PageByFrame returned wrong page")
+	}
+	if pm.PageByFrame(0) != nil {
+		t.Fatal("frame 0 must be nil sentinel")
+	}
+	if pm.PageByFrame(99) != nil {
+		t.Fatal("out-of-range frame must be nil")
+	}
+}
+
+func TestUserMemReadWrite(t *testing.T) {
+	pm := NewPhysMem(8, true)
+	u, err := AllocUserMem(pm, 3*PageSize+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, 2*PageSize)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	// Straddle page boundaries deliberately.
+	if err := u.WriteAt(PageSize/2, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(src))
+	if err := u.ReadAt(PageSize/2, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, dst) {
+		t.Fatal("user memory round trip corrupted data")
+	}
+}
+
+func TestUserMemBounds(t *testing.T) {
+	pm := NewPhysMem(2, false)
+	u, _ := AllocUserMem(pm, PageSize)
+	if err := u.WriteAt(PageSize-1, []byte{1, 2}); err != ErrBounds {
+		t.Fatalf("err = %v, want ErrBounds", err)
+	}
+	if err := u.ReadAt(-1, make([]byte, 1)); err != ErrBounds {
+		t.Fatalf("err = %v, want ErrBounds", err)
+	}
+	if _, _, err := u.PageAt(PageSize); err != ErrBounds {
+		t.Fatalf("err = %v, want ErrBounds", err)
+	}
+}
+
+func TestUserMemWireUnwire(t *testing.T) {
+	pm := NewPhysMem(4, false)
+	u, _ := AllocUserMem(pm, 3*PageSize)
+	if err := u.Wire(PageSize, PageSize*2); err != nil {
+		t.Fatal(err)
+	}
+	if u.Pages()[0].Wired() {
+		t.Fatal("page 0 should not be wired")
+	}
+	if !u.Pages()[1].Wired() || !u.Pages()[2].Wired() {
+		t.Fatal("pages 1,2 should be wired")
+	}
+	if err := u.Unwire(PageSize, PageSize*2); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range u.Pages() {
+		if p.Wired() {
+			t.Fatalf("%v still wired", p)
+		}
+	}
+}
+
+func TestUserMemPageRange(t *testing.T) {
+	pm := NewPhysMem(4, false)
+	u, _ := AllocUserMem(pm, 4*PageSize)
+	ps, err := u.PageRange(PageSize+1, PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("range spanning two pages returned %d pages", len(ps))
+	}
+	ps, err = u.PageRange(0, 0)
+	if err != nil || ps != nil {
+		t.Fatalf("empty range = (%v, %v)", ps, err)
+	}
+}
+
+// Property: random user-memory writes and reads behave like a flat byte
+// array.
+func TestQuickUserMemFlatModel(t *testing.T) {
+	pm := NewPhysMem(16, true)
+	u, err := AllocUserMem(pm, 5*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := make([]byte, 5*PageSize)
+	rng := rand.New(rand.NewSource(42))
+	f := func(off uint16, val byte, n uint8) bool {
+		o := int(off) % (len(model) - 256)
+		c := int(n)%256 + 1
+		buf := make([]byte, c)
+		for i := range buf {
+			buf[i] = val ^ byte(rng.Intn(256))
+		}
+		if err := u.WriteAt(o, buf); err != nil {
+			return false
+		}
+		copy(model[o:], buf)
+		got := make([]byte, c)
+		if err := u.ReadAt(o, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, model[o:o+c])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhysMemStats(t *testing.T) {
+	pm := NewPhysMem(4, false)
+	p, _ := pm.Alloc()
+	pm.Free(p)
+	a, f := pm.Stats()
+	if a != 1 || f != 1 {
+		t.Fatalf("stats = (%d,%d), want (1,1)", a, f)
+	}
+}

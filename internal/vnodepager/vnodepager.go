@@ -1,0 +1,85 @@
+// Package vnodepager reproduces the vnode pager's use of ephemeral
+// mappings (Section 2.6): paging to and from file systems whose block size
+// is smaller than the page size.  Filling one memory page requires several
+// distinct block reads, which the pager performs through an ephemeral
+// mapping of the target page; writing a page back likewise reads the
+// mapped page in block-sized pieces.  These mappings are shared, not
+// CPU-private: the paging machinery may complete an I/O on any CPU.
+package vnodepager
+
+import (
+	"fmt"
+
+	"sfbuf/internal/kcopy"
+	"sfbuf/internal/kernel"
+	"sfbuf/internal/memdisk"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+// Pager pages between memory pages and a small-block backing store.
+type Pager struct {
+	k *kernel.Kernel
+	d *memdisk.Disk
+	// blockSize is the filesystem block size, smaller than a page.
+	blockSize int
+}
+
+// New creates a pager over disk d with the given block size, which must
+// divide the page size.
+func New(k *kernel.Kernel, d *memdisk.Disk, blockSize int) (*Pager, error) {
+	if blockSize <= 0 || vm.PageSize%blockSize != 0 || blockSize > vm.PageSize {
+		return nil, fmt.Errorf("vnodepager: invalid block size %d", blockSize)
+	}
+	return &Pager{k: k, d: d, blockSize: blockSize}, nil
+}
+
+// BlocksPerPage returns how many backing blocks fill one page.
+func (p *Pager) BlocksPerPage() int { return vm.PageSize / p.blockSize }
+
+// GetPage fills pg from the backing blocks listed in blocks (one disk
+// block number per block-sized slice of the page), through a shared
+// ephemeral mapping of the target page.
+func (p *Pager) GetPage(ctx *smp.Context, pg *vm.Page, blocks []uint32) error {
+	if len(blocks) != p.BlocksPerPage() {
+		return fmt.Errorf("vnodepager: need %d blocks, got %d", p.BlocksPerPage(), len(blocks))
+	}
+	b, err := p.k.Map.Alloc(ctx, pg, 0) // shared
+	if err != nil {
+		return err
+	}
+	defer p.k.Map.Free(ctx, b)
+	buf := make([]byte, p.blockSize)
+	for i, blk := range blocks {
+		if err := p.d.ReadAt(ctx, buf, int64(blk)*int64(p.blockSize)); err != nil {
+			return err
+		}
+		if err := kcopy.CopyIn(ctx, p.k.Pmap, b.KVA()+uint64(i*p.blockSize), buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PutPage writes pg back to the given backing blocks through a shared
+// ephemeral mapping.
+func (p *Pager) PutPage(ctx *smp.Context, pg *vm.Page, blocks []uint32) error {
+	if len(blocks) != p.BlocksPerPage() {
+		return fmt.Errorf("vnodepager: need %d blocks, got %d", p.BlocksPerPage(), len(blocks))
+	}
+	b, err := p.k.Map.Alloc(ctx, pg, 0) // shared
+	if err != nil {
+		return err
+	}
+	defer p.k.Map.Free(ctx, b)
+	buf := make([]byte, p.blockSize)
+	for i, blk := range blocks {
+		if err := kcopy.CopyOut(ctx, p.k.Pmap, buf, b.KVA()+uint64(i*p.blockSize)); err != nil {
+			return err
+		}
+		if err := p.d.WriteAt(ctx, buf, int64(blk)*int64(p.blockSize)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package vnodepager
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/kernel"
+	"sfbuf/internal/memdisk"
+	"sfbuf/internal/vm"
+)
+
+func pagerRig(t *testing.T, mk kernel.MapperKind, blockSize int) (*kernel.Kernel, *memdisk.Disk, *Pager) {
+	t.Helper()
+	k, err := kernel.Boot(kernel.Config{
+		Platform:     arch.XeonMP(),
+		Mapper:       mk,
+		PhysPages:    256,
+		Backed:       true,
+		CacheEntries: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := memdisk.New(k, 64*vm.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(k, d, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, d, p
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	for _, mk := range []kernel.MapperKind{kernel.SFBuf, kernel.OriginalKernel} {
+		k, d, p := pagerRig(t, mk, 512)
+		ctx := k.Ctx(0)
+
+		// Scatter a page's worth of data across 8 non-contiguous
+		// 512-byte blocks, as a small-block filesystem would.
+		want := make([]byte, vm.PageSize)
+		rand.New(rand.NewSource(8)).Read(want)
+		blocks := []uint32{3, 19, 7, 42, 11, 55, 2, 30}
+		for i, blk := range blocks {
+			if err := d.WriteAt(ctx, want[i*512:(i+1)*512], int64(blk)*512); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		pg, _ := k.M.Phys.Alloc()
+		if err := p.GetPage(ctx, pg, blocks); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pg.Data(), want) {
+			t.Fatalf("%v: GetPage assembled wrong data", mk)
+		}
+
+		// Page out to a different block list and verify the disk.
+		outBlocks := []uint32{60, 61, 62, 63, 56, 57, 58, 59}
+		if err := p.PutPage(ctx, pg, outBlocks); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 512)
+		for i, blk := range outBlocks {
+			if err := d.ReadAt(ctx, got, int64(blk)*512); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want[i*512:(i+1)*512]) {
+				t.Fatalf("%v: PutPage block %d wrong", mk, blk)
+			}
+		}
+	}
+}
+
+func TestBlockCountValidation(t *testing.T) {
+	k, _, p := pagerRig(t, kernel.SFBuf, 1024)
+	pg, _ := k.M.Phys.Alloc()
+	if err := p.GetPage(k.Ctx(0), pg, []uint32{1, 2}); err == nil {
+		t.Fatal("wrong block count must fail")
+	}
+	if p.BlocksPerPage() != 4 {
+		t.Fatalf("blocks per page = %d, want 4", p.BlocksPerPage())
+	}
+}
+
+func TestInvalidBlockSizes(t *testing.T) {
+	k, d, _ := pagerRig(t, kernel.SFBuf, 512)
+	for _, bs := range []int{0, -1, 3000, 8192} {
+		if _, err := New(k, d, bs); err == nil {
+			t.Fatalf("block size %d must be rejected", bs)
+		}
+	}
+}
+
+func TestPagerMappingsAreShared(t *testing.T) {
+	// The vnode pager's mappings are not CPU-private (Section 2.6): after
+	// a GetPage on CPU 0, the mapping must be valid on every CPU, which
+	// we observe through the absence of extra invalidations when CPU 1
+	// immediately maps the same page.
+	k, d, p := pagerRig(t, kernel.SFBuf, 512)
+	ctx0, ctx1 := k.Ctx(0), k.Ctx(1)
+	// Make the underlying disk's mappings shared as well, so the only
+	// mappings in play are shared ones (the disk's default CPU-private
+	// mappings would legitimately invalidate when CPU 1 adopts them).
+	d.SetPrivateMappings(false)
+	pg, _ := k.M.Phys.Alloc()
+	blocks := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := p.GetPage(ctx0, pg, blocks); err != nil {
+		t.Fatal(err)
+	}
+	k.Reset()
+	if err := p.PutPage(ctx1, pg, blocks); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.M.Counters().LocalInv.Load(); got != 0 {
+		t.Fatalf("shared pager mapping required %d local invalidations on CPU 1", got)
+	}
+}

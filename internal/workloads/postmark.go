@@ -1,0 +1,188 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sfbuf/internal/fs"
+	"sfbuf/internal/kernel"
+	"sfbuf/internal/smp"
+)
+
+// PostMarkConfig parameterizes the PostMark benchmark (Section 6.4.2):
+// "It creates a pool of continuously changing files and measures the
+// transaction rates where a transaction is creating, deleting, reading
+// from or appending to a file.  We used the benchmark's default
+// parameters, i.e., block size of 512 bytes and file sizes ranging from
+// 500 bytes up to 9.77 KB."
+type PostMarkConfig struct {
+	// InitialFiles in the pool; the paper runs 1,000 and 20,000.
+	InitialFiles int
+	// Transactions to execute; the paper runs 50,000 and 100,000.
+	Transactions int
+	// MinSize and MaxSize bound file sizes (500 B .. 9.77 KB).
+	MinSize, MaxSize int
+	// ReadUnit is PostMark's I/O block size (512 B).
+	ReadUnit int
+	// Seed makes runs reproducible.
+	Seed int64
+	// CPU runs the benchmark process.
+	CPU int
+}
+
+// PostMarkConfig3 is the paper's largest configuration: 20,000 initial
+// files and 100,000 transactions (Figures 8-10).
+func PostMarkConfig3() PostMarkConfig {
+	return PostMarkConfig{
+		InitialFiles: 20000,
+		Transactions: 100000,
+		MinSize:      500,
+		MaxSize:      9770,
+		ReadUnit:     512,
+		Seed:         20050410,
+	}
+}
+
+// PostMarkConfig1 is the paper's first configuration: 1,000 files and
+// 50,000 transactions.
+func PostMarkConfig1() PostMarkConfig {
+	c := PostMarkConfig3()
+	c.InitialFiles = 1000
+	c.Transactions = 50000
+	return c
+}
+
+// PostMarkConfig2 is the paper's second configuration: 20,000 files and
+// 50,000 transactions.
+func PostMarkConfig2() PostMarkConfig {
+	c := PostMarkConfig3()
+	c.Transactions = 50000
+	return c
+}
+
+// PostMarkResult reports what the benchmark did.
+type PostMarkResult struct {
+	Transactions int
+	Creates      int
+	Deletes      int
+	Reads        int
+	Appends      int
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// PostMarkInit builds the initial file pool.  It is the setup phase and is
+// excluded from measurement, like the paper's (measurement starts at the
+// transaction loop).
+func PostMarkInit(ctx *smp.Context, fsys *fs.FS, cfg PostMarkConfig) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	data := make([]byte, cfg.MaxSize)
+	rng.Read(data)
+	for i := 0; i < cfg.InitialFiles; i++ {
+		size := cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
+		name := fmt.Sprintf("pm%07d", i)
+		if err := fsys.WriteFile(ctx, name, data[:size]); err != nil {
+			return fmt.Errorf("postmark init file %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// PostMark runs the transaction phase.  Each transaction is a pair, per
+// Katcher's definition: one of {create, delete} and one of {read, append}.
+func PostMark(k *kernel.Kernel, fsys *fs.FS, cfg PostMarkConfig) (PostMarkResult, error) {
+	ctx := k.Ctx(cfg.CPU)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	var res PostMarkResult
+
+	// Track the live pool with a slice for O(1) random selection; sorted
+	// so the run is reproducible (List's order is not).
+	names := fsys.List()
+	sort.Strings(names)
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	addName := func(n string) {
+		idx[n] = len(names)
+		names = append(names, n)
+	}
+	delName := func(n string) {
+		i := idx[n]
+		last := names[len(names)-1]
+		names[i] = last
+		idx[last] = i
+		names = names[:len(names)-1]
+		delete(idx, n)
+	}
+
+	data := make([]byte, cfg.MaxSize)
+	rng.Read(data)
+	next := cfg.InitialFiles
+
+	for t := 0; t < cfg.Transactions; t++ {
+		// Half 1: create or delete.
+		if rng.Intn(2) == 0 || len(names) == 0 {
+			size := cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
+			name := fmt.Sprintf("pm%07d", next)
+			next++
+			err := fsys.WriteFile(ctx, name, data[:size])
+			switch {
+			case err == nil:
+				addName(name)
+				res.Creates++
+				res.BytesWritten += int64(size)
+			case errors.Is(err, fs.ErrNoSpace) || errors.Is(err, fs.ErrNoInodes):
+				// Pool full: PostMark deletes instead.
+				if len(names) > 0 {
+					victim := names[rng.Intn(len(names))]
+					if err := fsys.Delete(ctx, victim); err != nil {
+						return res, err
+					}
+					delName(victim)
+					res.Deletes++
+				}
+			default:
+				return res, fmt.Errorf("postmark create: %w", err)
+			}
+		} else {
+			victim := names[rng.Intn(len(names))]
+			if err := fsys.Delete(ctx, victim); err != nil {
+				return res, fmt.Errorf("postmark delete: %w", err)
+			}
+			delName(victim)
+			res.Deletes++
+		}
+
+		// Half 2: read or append.
+		if len(names) == 0 {
+			res.Transactions++
+			continue
+		}
+		target := names[rng.Intn(len(names))]
+		if rng.Intn(2) == 0 {
+			n, err := fsys.ReadFull(ctx, target, cfg.ReadUnit)
+			if err != nil {
+				return res, fmt.Errorf("postmark read: %w", err)
+			}
+			res.Reads++
+			res.BytesRead += n
+		} else {
+			size := cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
+			err := fsys.Append(ctx, target, data[:size])
+			switch {
+			case err == nil:
+				res.Appends++
+				res.BytesWritten += int64(size)
+			case errors.Is(err, fs.ErrNoSpace) || errors.Is(err, fs.ErrFileTooBig):
+				// Full: count the attempt, move on (PostMark keeps going).
+			default:
+				return res, fmt.Errorf("postmark append: %w", err)
+			}
+		}
+		res.Transactions++
+	}
+	return res, nil
+}

@@ -1,0 +1,266 @@
+package workloads
+
+import (
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/fs"
+	"sfbuf/internal/kernel"
+	"sfbuf/internal/memdisk"
+	"sfbuf/internal/netstack"
+)
+
+func bootWL(t *testing.T, plat arch.Platform, mk kernel.MapperKind, physPages int, backed bool) *kernel.Kernel {
+	t.Helper()
+	k, err := kernel.Boot(kernel.Config{
+		Platform:     plat,
+		Mapper:       mk,
+		PhysPages:    physPages,
+		Backed:       backed,
+		CacheEntries: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestBWPipeMovesAllBytes(t *testing.T) {
+	for _, mk := range []kernel.MapperKind{kernel.SFBuf, kernel.OriginalKernel} {
+		k := bootWL(t, arch.XeonMP(), mk, 256, false)
+		cfg := DefaultBWPipe(k)
+		cfg.TotalBytes = 2 << 20
+		moved, err := BWPipe(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if moved != 2<<20 {
+			t.Fatalf("moved %d, want %d", moved, 2<<20)
+		}
+		if k.M.TotalCycles() <= 0 {
+			t.Fatal("no cycles consumed")
+		}
+	}
+}
+
+func TestBWPipeSFBufFasterThanOriginal(t *testing.T) {
+	elapsed := func(mk kernel.MapperKind) int64 {
+		k := bootWL(t, arch.XeonMP(), mk, 256, false)
+		cfg := DefaultBWPipe(k)
+		cfg.TotalBytes = 2 << 20
+		if _, err := BWPipe(k, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return int64(k.M.TotalCycles())
+	}
+	sf, orig := elapsed(kernel.SFBuf), elapsed(kernel.OriginalKernel)
+	if sf >= orig {
+		t.Fatalf("sf_buf (%d cycles) not faster than original (%d)", sf, orig)
+	}
+}
+
+func TestBWPipeRejectsBadConfig(t *testing.T) {
+	k := bootWL(t, arch.XeonUP(), kernel.SFBuf, 128, false)
+	if _, err := BWPipe(k, BWPipeConfig{}); err == nil {
+		t.Fatal("zero config must fail")
+	}
+}
+
+func TestDDReadsWholeDisk(t *testing.T) {
+	k := bootWL(t, arch.OpteronMP(), kernel.SFBuf, 2048, false)
+	d, err := memdisk.New(k, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PopulateDisk(k.Ctx(0), d, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := DD(k, d, DDConfig{BlockSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 4<<20 {
+		t.Fatalf("moved %d, want %d", moved, 4<<20)
+	}
+}
+
+func TestPostMarkRunsTransactions(t *testing.T) {
+	k := bootWL(t, arch.XeonMP(), kernel.SFBuf, 4096, true)
+	d, err := memdisk.New(k, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := k.Ctx(0)
+	fsys, err := fs.Mkfs(ctx, k, d, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PostMarkConfig1()
+	cfg.InitialFiles = 40
+	cfg.Transactions = 200
+	if err := PostMarkInit(ctx, fsys, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if fsys.NumFiles() != 40 {
+		t.Fatalf("init created %d files, want 40", fsys.NumFiles())
+	}
+	res, err := PostMark(k, fsys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transactions != 200 {
+		t.Fatalf("transactions = %d, want 200", res.Transactions)
+	}
+	if res.Creates+res.Deletes == 0 || res.Reads+res.Appends == 0 {
+		t.Fatalf("degenerate mix: %+v", res)
+	}
+	if res.BytesRead == 0 || res.BytesWritten == 0 {
+		t.Fatalf("no data moved: %+v", res)
+	}
+	// The filesystem must still be consistent after the churn.
+	if err := fsys.Fsck(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPostMarkDeterministic(t *testing.T) {
+	run := func() PostMarkResult {
+		k := bootWL(t, arch.XeonUP(), kernel.SFBuf, 4096, true)
+		d, _ := memdisk.New(k, 8<<20)
+		ctx := k.Ctx(0)
+		fsys, _ := fs.Mkfs(ctx, k, d, 256)
+		cfg := PostMarkConfig1()
+		cfg.InitialFiles = 30
+		cfg.Transactions = 150
+		PostMarkInit(ctx, fsys, cfg)
+		res, err := PostMark(k, fsys, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("postmark not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestNetperfMovesAllBytes(t *testing.T) {
+	for _, mtu := range []int{netstack.MTUSmall, netstack.MTULarge} {
+		k := bootWL(t, arch.XeonMP(), kernel.SFBuf, 512, false)
+		cfg := DefaultNetperf(k, mtu)
+		cfg.TotalBytes = 1 << 20
+		moved, err := Netperf(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if moved != 1<<20 {
+			t.Fatalf("mtu %d: moved %d, want %d", mtu, moved, 1<<20)
+		}
+	}
+}
+
+func TestSynthesizeTraceProperties(t *testing.T) {
+	tr := SynthesizeTrace("test", 4<<20, 64, 500, 1.2, 7)
+	if len(tr.FileSizes) != 64 || len(tr.Requests) != 500 {
+		t.Fatalf("shape: %d files %d requests", len(tr.FileSizes), len(tr.Requests))
+	}
+	var sum int64
+	for _, sz := range tr.FileSizes {
+		if sz <= 0 {
+			t.Fatal("non-positive file size")
+		}
+		sum += int64(sz)
+	}
+	if sum != tr.Footprint {
+		t.Fatalf("footprint %d != sum %d", tr.Footprint, sum)
+	}
+	// Footprint must be within 1% of the request.
+	if diff := sum - 4<<20; diff < -(4<<20)/100 || diff > (4<<20)/100 {
+		t.Fatalf("footprint drifted: %d vs %d", sum, 4<<20)
+	}
+	for _, r := range tr.Requests {
+		if r < 0 || r >= 64 {
+			t.Fatalf("request index %d out of range", r)
+		}
+	}
+	// Zipf: the most popular file should dominate.
+	counts := map[int]int{}
+	for _, r := range tr.Requests {
+		counts[r]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < len(tr.Requests)/10 {
+		t.Fatalf("no popularity skew: max count %d of %d", max, len(tr.Requests))
+	}
+	// Determinism.
+	tr2 := SynthesizeTrace("test", 4<<20, 64, 500, 1.2, 7)
+	if tr2.Footprint != tr.Footprint || tr2.Requests[0] != tr.Requests[0] {
+		t.Fatal("trace synthesis not deterministic")
+	}
+}
+
+func TestWebServerServesTrace(t *testing.T) {
+	tr := SynthesizeTrace("mini", 2<<20, 32, 200, 1.2, 11)
+	k := bootWL(t, arch.XeonMPHTT(), kernel.SFBuf, 4096, true)
+	ctx := k.Ctx(0)
+	corpus, err := BuildCorpus(ctx, k, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.FS.NumFiles() != 32 {
+		t.Fatalf("corpus has %d files, want 32", corpus.FS.NumFiles())
+	}
+	k.Reset()
+	res, err := WebServer(k, corpus, tr, DefaultWeb(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 200 {
+		t.Fatalf("served %d requests, want 200", res.Requests)
+	}
+	// Bytes served = sum of requested file sizes.
+	var want int64
+	for _, r := range tr.Requests {
+		want += int64(tr.FileSizes[r])
+	}
+	if res.BytesServed != want {
+		t.Fatalf("served %d bytes, want %d", res.BytesServed, want)
+	}
+	// The web server must actually use multiple CPUs.
+	busy := 0
+	for i := 0; i < k.M.NumCPUs(); i++ {
+		if k.M.CPU(i).Cycles() > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d CPUs busy; web server should parallelize", busy)
+	}
+}
+
+func TestWebServerSFBufBeatsOriginal(t *testing.T) {
+	tr := SynthesizeTrace("mini", 2<<20, 32, 300, 1.2, 13)
+	elapsed := func(mk kernel.MapperKind) int64 {
+		k := bootWL(t, arch.XeonMP(), mk, 4096, true)
+		ctx := k.Ctx(0)
+		corpus, err := BuildCorpus(ctx, k, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Reset()
+		if _, err := WebServer(k, corpus, tr, DefaultWeb(k)); err != nil {
+			t.Fatal(err)
+		}
+		return int64(k.M.ParallelCycles())
+	}
+	sf, orig := elapsed(kernel.SFBuf), elapsed(kernel.OriginalKernel)
+	if sf >= orig {
+		t.Fatalf("sf_buf web (%d cycles) not faster than original (%d)", sf, orig)
+	}
+}

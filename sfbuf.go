@@ -1,0 +1,156 @@
+// Package sfbuf is a simulation-backed reproduction of "A Portable Kernel
+// Abstraction for Low-Overhead Ephemeral Mapping Management" (Elmeleegy,
+// Chanda, Cox, Zwaenepoel; USENIX ATC 2005): the sf_buf ephemeral mapping
+// interface, its machine-dependent implementations, the original-kernel
+// baseline, every kernel subsystem the paper converts, and the full
+// evaluation suite.
+//
+// The package is a facade over the internal packages, exposing the pieces
+// a downstream user needs:
+//
+//   - Boot a simulated kernel for one of the paper's five platforms,
+//     running either the sf_buf kernel or the original kernel.
+//   - Allocate and free ephemeral mappings through the Table-1 interface.
+//   - Drive the converted subsystems: pipes, memory disks, a filesystem,
+//     zero-copy sockets, sendfile, ptrace and execve.
+//   - Run the paper's experiments and regenerate its figures.
+//
+// Quick start:
+//
+//	k := sfbuf.MustBoot(sfbuf.Config{
+//		Platform: sfbuf.XeonMP(),
+//		Mapper:   sfbuf.SFBufKernel,
+//		Backed:   true,
+//	})
+//	ctx := k.Ctx(0)
+//	page, _ := k.M.Phys.Alloc()
+//	b, _ := k.Map.Alloc(ctx, page, sfbuf.Private)
+//	// ... use b.KVA() through kcopy, then:
+//	k.Map.Free(ctx, b)
+package sfbuf
+
+import (
+	"sfbuf/internal/arch"
+	"sfbuf/internal/experiments"
+	"sfbuf/internal/kernel"
+	"sfbuf/internal/sfbuf"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+// Core ephemeral-mapping types (Table 1 of the paper).
+type (
+	// Buf is an ephemeral mapping object (an sf_buf): KVA() returns its
+	// kernel virtual address, Page() its physical page.
+	Buf = sfbuf.Buf
+	// Flags modify Alloc behaviour: Private, NoWait, Catch.
+	Flags = sfbuf.Flags
+	// Mapper is the four-function ephemeral mapping interface.
+	Mapper = sfbuf.Mapper
+	// BatchMapper additionally maps page runs with single ranged
+	// operations (the original kernel's pmap_qenter path).
+	BatchMapper = sfbuf.BatchMapper
+	// MapperStats reports mapping-cache behaviour.
+	MapperStats = sfbuf.Stats
+)
+
+// Alloc flags (Section 4.1).
+const (
+	// Private marks a mapping for the exclusive use of the calling
+	// thread, letting implementations skip remote TLB invalidations.
+	Private = sfbuf.Private
+	// NoWait forbids sleeping when no buffer is available.
+	NoWait = sfbuf.NoWait
+	// Catch makes the sleep interruptible by a signal.
+	Catch = sfbuf.Catch
+)
+
+// Alloc errors.
+var (
+	// ErrWouldBlock is Alloc's NoWait failure.
+	ErrWouldBlock = sfbuf.ErrWouldBlock
+	// ErrInterrupted is Alloc's interrupted-sleep failure.
+	ErrInterrupted = sfbuf.ErrInterrupted
+)
+
+// Kernel assembly.
+type (
+	// Config describes the kernel to boot: platform, mapper kind,
+	// physical memory, mapping-cache size.
+	Config = kernel.Config
+	// Kernel is a booted simulated kernel.
+	Kernel = kernel.Kernel
+	// MapperKind selects the sf_buf kernel or the original kernel.
+	MapperKind = kernel.MapperKind
+	// Context is a kernel thread of control pinned to a virtual CPU.
+	Context = smp.Context
+	// Platform describes one of the evaluation machines.
+	Platform = arch.Platform
+	// Page is a physical page (the vm_page).
+	Page = vm.Page
+	// UserMem is a user-space buffer backed by physical pages.
+	UserMem = vm.UserMem
+)
+
+// Kernel variants.
+const (
+	// SFBufKernel boots the paper's kernel with the architecture's
+	// sf_buf implementation.
+	SFBufKernel = kernel.SFBuf
+	// OriginalKernel boots the baseline: fresh virtual address per
+	// mapping, global TLB invalidation per unmapping.
+	OriginalKernel = kernel.OriginalKernel
+)
+
+// Boot constructs a simulated kernel per the configuration.
+func Boot(cfg Config) (*Kernel, error) { return kernel.Boot(cfg) }
+
+// MustBoot is Boot, panicking on error.
+func MustBoot(cfg Config) *Kernel { return kernel.MustBoot(cfg) }
+
+// AllocUserMem allocates a page-backed user buffer on kernel k.
+func AllocUserMem(k *Kernel, size int) (*UserMem, error) {
+	return vm.AllocUserMem(k.M.Phys, size)
+}
+
+// The paper's evaluation platforms (Section 6.1).
+var (
+	XeonUP    = arch.XeonUP
+	XeonHTT   = arch.XeonHTT
+	XeonMP    = arch.XeonMP
+	XeonMPHTT = arch.XeonMPHTT
+	OpteronMP = arch.OpteronMP
+	Sparc64MP = arch.Sparc64MP
+)
+
+// EvaluationPlatforms returns the five platforms in figure order.
+func EvaluationPlatforms() []Platform { return arch.Evaluation() }
+
+// Experiment access: run any of the paper's figures programmatically.
+type (
+	// ExperimentOptions configures experiment runs (scale, platforms).
+	ExperimentOptions = experiments.Options
+	// ExperimentResult is one reproduced table or figure.
+	ExperimentResult = experiments.Result
+)
+
+// Experiments returns the registered experiment ids in figure order.
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment executes one experiment by id ("fig2", "sec3", ...).
+func RunExperiment(id string, o ExperimentOptions) (*ExperimentResult, error) {
+	r, ok := experiments.Get(id)
+	if !ok {
+		return nil, errUnknownExperiment(id)
+	}
+	return r(o)
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "sfbuf: unknown experiment " + string(e)
+}
+
+// DefaultExperimentOptions returns the paper-scale configuration.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
