@@ -1,0 +1,41 @@
+# Targets mirror .github/workflows/ci.yml so local runs and CI stay in
+# lockstep: `make ci` is exactly what the workflow runs.
+
+GO ?= go
+
+.PHONY: all build test race bench lint vet fmt ci clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) build ./cmd/... ./examples/...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short smoke run: every benchmark once, so they cannot bit-rot.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Full-length contention benchmark (the sharded-vs-global comparison).
+bench-contended:
+	$(GO) test -run '^$$' -bench BenchmarkAllocContended -benchtime 500000x -benchmem .
+
+lint: vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+ci: build lint test race bench
+
+clean:
+	$(GO) clean ./...

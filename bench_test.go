@@ -164,8 +164,11 @@ type ablationRig struct {
 func newAblationRig(b *testing.B, mode sfbuf.Ablation, entries, npages int) *ablationRig {
 	b.Helper()
 	k, err := kernel.Boot(kernel.Config{
-		Platform:     arch.XeonMP(),
-		Mapper:       kernel.SFBuf,
+		Platform: arch.XeonMP(),
+		Mapper:   kernel.SFBuf,
+		// The ablation benchmarks mirror the ablation experiment, which
+		// studies the paper's cache engine.
+		Cache:        kernel.CacheGlobal,
 		PhysPages:    npages + 64,
 		CacheEntries: entries,
 	})
@@ -209,6 +212,65 @@ func BenchmarkAblationFullDesign(b *testing.B)  { ablationWorkload(b, 0) }
 func BenchmarkAblationAccessedBit(b *testing.B) { ablationWorkload(b, sfbuf.AblateAccessedBit) }
 func BenchmarkAblationNoSharing(b *testing.B)   { ablationWorkload(b, sfbuf.AblateSharing) }
 func BenchmarkAblationNoLazyReuse(b *testing.B) { ablationWorkload(b, sfbuf.AblateLazyTeardown) }
+
+// BenchmarkScaleExperiment regenerates the sharded-vs-global-vs-original
+// contention table (experiment "scale").
+func BenchmarkScaleExperiment(b *testing.B) {
+	runExperiment(b, "scale",
+		"remote_per_kop/sf_buf sharded", "remote_per_kop/sf_buf global-lock",
+		"ipis_per_kop/sf_buf sharded", "ipis_per_kop/sf_buf global-lock")
+}
+
+// BenchmarkAllocContended hammers Alloc/touch/Free from one goroutine per
+// virtual CPU over a working set larger than the cache — the workload the
+// sharded engine exists for.  Wall-clock ns/op measures real lock
+// contention between the goroutines; the reported metrics expose the
+// shootdown traffic the simulated machine observed.
+func BenchmarkAllocContended(b *testing.B) {
+	cases := []struct {
+		name  string
+		mk    kernel.MapperKind
+		cache kernel.CachePolicy
+	}{
+		{"sharded", kernel.SFBuf, kernel.CacheSharded},
+		{"global", kernel.SFBuf, kernel.CacheGlobal},
+		{"original", kernel.OriginalKernel, kernel.CacheSharded},
+	}
+	const entries = 512
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			k := kernel.MustBoot(kernel.Config{
+				Platform:     arch.XeonMPHTT(),
+				Mapper:       c.mk,
+				Cache:        c.cache,
+				PhysPages:    8*entries + 128,
+				CacheEntries: entries,
+			})
+			pages, err := k.M.Phys.AllocN(4 * entries)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			done, err := experiments.Churn(k, pages, b.N)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ops := float64(done)
+			if ops == 0 {
+				return
+			}
+			cnt := k.M.SnapshotCounters()
+			b.ReportMetric(float64(cnt.RemoteInvIssued)/ops, "remoteinv/op")
+			b.ReportMetric(float64(cnt.IPIsDelivered)/ops, "ipis/op")
+			b.ReportMetric(float64(cnt.LocalInv)/ops, "localinv/op")
+			// The machine's modeled time: this is where the shootdown
+			// waits the batching avoids actually live (wall-clock ns/op
+			// only shows scheduler/lock behavior of the simulator).
+			b.ReportMetric(float64(k.M.TotalCycles())/ops, "simcycles/op")
+		})
+	}
+}
 
 // BenchmarkMapperMicro compares the four mapper implementations on the
 // same single-page map/touch/unmap loop (Go-time measured; simulated
@@ -306,6 +368,7 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		"fig15": true, "fig16": true, "fig17": true, "fig18": true,
 		"fig19": true, "fig20": true,
 		"ablation": true, // covered by the BenchmarkAblation* family
+		"scale":    true, // covered by BenchmarkScaleExperiment + BenchmarkAllocContended
 	}
 	for _, id := range experiments.IDs() {
 		if !covered[id] {

@@ -1,0 +1,3 @@
+module sfbuf
+
+go 1.24

@@ -45,6 +45,8 @@ func RunAblation(o Options) (*Result, error) {
 	for _, cfg := range ablationConfigs {
 		o.logf("  ablation: %s", cfg.label)
 		k, err := kernel.Boot(kernel.Config{
+			// Figure reproduction pins the paper's cache engine.
+			Cache:        kernel.CacheGlobal,
 			Platform:     arch.XeonMP(),
 			Mapper:       kernel.SFBuf,
 			PhysPages:    npages + 64,
@@ -112,6 +114,8 @@ func RunAblation(o Options) (*Result, error) {
 	for _, cfg := range []ablationConfig{ablationConfigs[0], ablationConfigs[1]} {
 		o.logf("  ablation (miss regime): %s", cfg.label)
 		k, err := kernel.Boot(kernel.Config{
+			// Figure reproduction pins the paper's cache engine.
+			Cache:        kernel.CacheGlobal,
 			Platform:     arch.XeonMP(),
 			Mapper:       kernel.SFBuf,
 			PhysPages:    2*entries + 64,

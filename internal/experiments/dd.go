@@ -52,6 +52,8 @@ func ddRun1(o Options, plat arch.Platform, cfg ddConfig, diskBytes int64) (measu
 	}
 
 	k, err := kernel.Boot(kernel.Config{
+		// Figure reproduction pins the paper's cache engine.
+		Cache:        kernel.CacheGlobal,
 		Platform:     plat,
 		Mapper:       cfg.mapper,
 		PhysPages:    int(disk>>12) + 128,

@@ -21,6 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"sec3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "ablation",
+		"scale",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -207,6 +208,30 @@ func TestFig20AccessedBitEffect(t *testing.T) {
 	off := res.Metrics["local/6K cache entries/offload=off"]
 	if off <= on {
 		t.Errorf("offload off (%v locals) should exceed on (%v)", off, on)
+	}
+}
+
+func TestScaleShardedBeatsGlobalOnShootdowns(t *testing.T) {
+	res, err := RunScale(Options{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := res.Metrics["remote_per_kop/sf_buf sharded"]
+	global := res.Metrics["remote_per_kop/sf_buf global-lock"]
+	orig := res.Metrics["remote_per_kop/original"]
+	if global <= 0 || orig <= 0 {
+		t.Fatalf("churn must make the global cache (%v) and original kernel (%v) shoot down", global, orig)
+	}
+	// Batching must coalesce teardown rounds by a wide margin: at least
+	// 4x fewer IPI rounds per op than the per-miss global design.
+	if sharded*4 > global {
+		t.Fatalf("sharded remote rounds/1k ops = %v, want <= 1/4 of global %v", sharded, global)
+	}
+	if ipiS, ipiG := res.Metrics["ipis_per_kop/sf_buf sharded"], res.Metrics["ipis_per_kop/sf_buf global-lock"]; ipiS >= ipiG {
+		t.Fatalf("sharded IPIs/1k ops = %v, want below global %v", ipiS, ipiG)
+	}
+	if co := res.Metrics["coalesce/sf_buf sharded"]; co < 2 {
+		t.Fatalf("coalescing factor = %v, want >= 2 invalidations per flush", co)
 	}
 }
 

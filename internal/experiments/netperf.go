@@ -26,6 +26,8 @@ func netperfRun(o Options, plat arch.Platform, mk kernel.MapperKind, mtu int) (m
 
 func netperfRun1(o Options, plat arch.Platform, mk kernel.MapperKind, mtu int) (measurement, error) {
 	k, err := kernel.Boot(kernel.Config{
+		// Figure reproduction pins the paper's cache engine.
+		Cache:        kernel.CacheGlobal,
 		Platform:     plat,
 		Mapper:       mk,
 		PhysPages:    1024,

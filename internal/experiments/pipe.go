@@ -24,6 +24,8 @@ func pipeRun(o Options, plat arch.Platform, mk kernel.MapperKind) (measurement, 
 
 func pipeRun1(o Options, plat arch.Platform, mk kernel.MapperKind) (measurement, error) {
 	k, err := kernel.Boot(kernel.Config{
+		// Figure reproduction pins the paper's cache engine.
+		Cache:        kernel.CacheGlobal,
 		Platform:     plat,
 		Mapper:       mk,
 		PhysPages:    512,

@@ -41,6 +41,8 @@ func postmarkRun1(o Options, plat arch.Platform, mk kernel.MapperKind) (measurem
 	entries := o.scaleInt(sfbuf.DefaultI386Entries, 2048)
 
 	k, err := kernel.Boot(kernel.Config{
+		// Figure reproduction pins the paper's cache engine.
+		Cache:     kernel.CacheGlobal,
 		Platform:  plat,
 		Mapper:    mk,
 		PhysPages: int(diskBytes>>12) + 256,

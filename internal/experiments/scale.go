@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/kernel"
+	"sfbuf/internal/vm"
+)
+
+func init() {
+	register("scale", RunScale)
+}
+
+// RunScale goes beyond the paper: it measures the mapping cache itself
+// under multiprocessor contention, comparing the sharded per-CPU engine
+// against the paper's global-lock cache and the original kernel.  Every
+// CPU churns shared Alloc/touch/Free cycles over a working set larger
+// than the cache, the worst case for the Section 4.2 design: each miss
+// replaces an accessed mapping, so the global cache pays one shootdown
+// IPI round per miss, while the sharded cache batches the same teardown
+// debt into one ranged round per reclaim batch.
+//
+// Reported per variant: hit rate, local invalidations, remote IPI rounds
+// and IPIs delivered per 1000 operations, and the shootdown-queue
+// coalescing factor (invalidations retired per flush).
+func RunScale(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "scale",
+		Title: "Contended Alloc/Free: sharded vs. global-lock vs. original (Xeon 4-way)",
+		Columns: []string{"variant", "ops", "hit rate", "local/1k ops",
+			"remote rounds/1k ops", "IPIs/1k ops", "coalesce"},
+		Notes: []string{
+			"working set is 4x the cache so every shared reuse of the global cache pays a shootdown round",
+			"coalesce = invalidations retired per batched flush (sharded engine only)",
+		},
+	}
+
+	plat := arch.XeonMPHTT()
+	entries := o.scaleInt(256, 64)
+	ops := o.scaleInt(200000, 4000)
+
+	type variant struct {
+		name string
+		cfg  kernel.Config
+	}
+	base := kernel.Config{
+		Platform:     plat,
+		PhysPages:    8*entries + 128,
+		Backed:       false,
+		CacheEntries: entries,
+	}
+	variants := []variant{
+		{"sf_buf sharded", func() kernel.Config {
+			c := base
+			c.Mapper = kernel.SFBuf
+			c.Cache = kernel.CacheSharded
+			return c
+		}()},
+		{"sf_buf global-lock", func() kernel.Config {
+			c := base
+			c.Mapper = kernel.SFBuf
+			c.Cache = kernel.CacheGlobal
+			return c
+		}()},
+		{"original", func() kernel.Config {
+			c := base
+			c.Mapper = kernel.OriginalKernel
+			return c
+		}()},
+	}
+
+	for _, v := range variants {
+		k, err := kernel.Boot(v.cfg)
+		if err != nil {
+			return nil, err
+		}
+		pages, err := k.M.Phys.AllocN(4 * entries)
+		if err != nil {
+			return nil, err
+		}
+		done, err := Churn(k, pages, ops)
+		if err != nil {
+			return nil, fmt.Errorf("scale %s: %w", v.name, err)
+		}
+
+		s := k.M.SnapshotCounters()
+		st := k.Map.Stats()
+		perK := func(n uint64) float64 { return float64(n) * 1000 / float64(done) }
+		coalesce := 0.0
+		if s.BatchedFlushes > 0 {
+			coalesce = float64(s.BatchedInv) / float64(s.BatchedFlushes)
+		}
+		res.Rows = append(res.Rows, []string{
+			v.name, fmt.Sprintf("%d", done), fmt.Sprintf("%.2f", st.HitRate()),
+			fmtF(perK(s.LocalInv)), fmtF(perK(s.RemoteInvIssued)),
+			fmtF(perK(s.IPIsDelivered)), fmtF(coalesce),
+		})
+		res.SetMetric("remote_per_kop/"+v.name, perK(s.RemoteInvIssued))
+		res.SetMetric("ipis_per_kop/"+v.name, perK(s.IPIsDelivered))
+		res.SetMetric("local_per_kop/"+v.name, perK(s.LocalInv))
+		res.SetMetric("hitrate/"+v.name, st.HitRate())
+		res.SetMetric("coalesce/"+v.name, coalesce)
+	}
+	return res, nil
+}
+
+// Churn runs roughly ops shared Alloc/touch/Free cycles spread across
+// every CPU, one goroutine per CPU, each walking the working set at a
+// different stride so frames stay spread across shards and CPUs genuinely
+// contend.  It returns the operation count actually executed (ops rounded
+// down to a multiple of the CPU count).  BenchmarkAllocContended drives
+// the same loop, so the benchmark and the scale experiment cannot drift
+// apart.
+func Churn(k *kernel.Kernel, pages []*vm.Page, ops int) (int, error) {
+	ncpu := k.M.NumCPUs()
+	n := ops / ncpu
+	var wg sync.WaitGroup
+	errs := make([]error, ncpu)
+	for cpu := 0; cpu < ncpu; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			ctx := k.Ctx(cpu)
+			for i := 0; i < n; i++ {
+				pg := pages[(i*(2*cpu+1)+cpu*7)%len(pages)]
+				b, err := k.Map.Alloc(ctx, pg, 0)
+				if err != nil {
+					errs[cpu] = err
+					return
+				}
+				// Touch through the honest MMU so the accessed bit is
+				// set and the coherence protocol is load-bearing.
+				if _, err := k.Pmap.Translate(ctx, b.KVA(), false); err != nil {
+					errs[cpu] = err
+					return
+				}
+				k.Map.Free(ctx, b)
+			}
+		}(cpu)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	// Guard the simulation's invariant: contention must never corrupt a
+	// mapping (stale TLB reads fault or return wrong frames upstream).
+	if st := k.Map.Stats(); st.Allocs != st.Frees {
+		return 0, fmt.Errorf("leaked references: allocs %d != frees %d", st.Allocs, st.Frees)
+	}
+	return n * ncpu, nil
+}

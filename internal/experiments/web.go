@@ -50,6 +50,8 @@ func webRun(o Options, plat arch.Platform, mk kernel.MapperKind, trace *workload
 func webRun1(o Options, plat arch.Platform, mk kernel.MapperKind, trace *workloads.Trace, cacheEntries int, offload bool) (measurement, error) {
 	diskPages := int(workloads.CorpusDiskSize(trace)>>12) + 256
 	k, err := kernel.Boot(kernel.Config{
+		// Figure reproduction pins the paper's cache engine.
+		Cache:     kernel.CacheGlobal,
 		Platform:  plat,
 		Mapper:    mk,
 		PhysPages: diskPages + 1024,

@@ -40,20 +40,23 @@ func TestBootAllPlatformsBothKernels(t *testing.T) {
 
 func TestMapperSelection(t *testing.T) {
 	cases := []struct {
-		plat arch.Platform
-		mk   MapperKind
-		want string
+		plat  arch.Platform
+		mk    MapperKind
+		cache CachePolicy
+		want  string
 	}{
-		{arch.XeonMP(), SFBuf, "sf_buf/i386"},
-		{arch.OpteronMP(), SFBuf, "sf_buf/amd64"},
-		{arch.Sparc64MP(), SFBuf, "sf_buf/sparc64"},
-		{arch.XeonMP(), OriginalKernel, "original"},
-		{arch.OpteronMP(), OriginalKernel, "original"},
+		{arch.XeonMP(), SFBuf, CacheSharded, "sf_buf/i386-sharded"},
+		{arch.XeonMP(), SFBuf, CacheGlobal, "sf_buf/i386"},
+		{arch.OpteronMP(), SFBuf, CacheSharded, "sf_buf/amd64"},
+		{arch.Sparc64MP(), SFBuf, CacheSharded, "sf_buf/sparc64"},
+		{arch.Sparc64MP(), SFBuf, CacheGlobal, "sf_buf/sparc64"},
+		{arch.XeonMP(), OriginalKernel, CacheSharded, "original"},
+		{arch.OpteronMP(), OriginalKernel, CacheGlobal, "original"},
 	}
 	for _, c := range cases {
-		k := MustBoot(Config{Platform: c.plat, Mapper: c.mk, PhysPages: 64, CacheEntries: 16})
+		k := MustBoot(Config{Platform: c.plat, Mapper: c.mk, Cache: c.cache, PhysPages: 64, CacheEntries: 16})
 		if k.Map.Name() != c.want {
-			t.Fatalf("%s/%v: mapper %q, want %q", c.plat.Name, c.mk, k.Map.Name(), c.want)
+			t.Fatalf("%s/%v/%v: mapper %q, want %q", c.plat.Name, c.mk, c.cache, k.Map.Name(), c.want)
 		}
 	}
 }
@@ -77,6 +80,33 @@ func TestCacheEntriesConfig(t *testing.T) {
 	}
 	if i386.Entries() != 6*1024 {
 		t.Fatalf("entries = %d, want 6144", i386.Entries())
+	}
+}
+
+func TestShardedCacheKnobs(t *testing.T) {
+	k := MustBoot(Config{
+		Platform:       arch.XeonMP(),
+		Mapper:         SFBuf,
+		PhysPages:      64,
+		CacheEntries:   1024,
+		CacheShards:    4,
+		ShootdownBatch: 9,
+	})
+	i386, ok := k.Map.(*sfbuf.I386)
+	if !ok {
+		t.Fatal("expected i386 mapper")
+	}
+	if got := i386.Shards(); got != 4 {
+		t.Fatalf("shards = %d, want 4", got)
+	}
+	if got := k.M.ShootdownBatch(); got != 9 {
+		t.Fatalf("shootdown batch = %d, want 9", got)
+	}
+	// The global engine reports a single stripe.
+	kg := MustBoot(Config{Platform: arch.XeonMP(), Mapper: SFBuf, Cache: CacheGlobal,
+		PhysPages: 64, CacheEntries: 1024})
+	if got := kg.Map.(*sfbuf.I386).Shards(); got != 1 {
+		t.Fatalf("global engine shards = %d, want 1", got)
 	}
 }
 

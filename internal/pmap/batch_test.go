@@ -1,0 +1,71 @@
+package pmap
+
+import (
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+// TestKRemoveBatch verifies the bulk teardown: one pass invalidates every
+// entry and reports exactly which were valid AND accessed — the set that
+// owes TLB invalidations.
+func TestKRemoveBatch(t *testing.T) {
+	m := smp.NewMachine(arch.XeonMP(), 64, false)
+	pm := New(m)
+	ctx := m.Ctx(0)
+	pages, err := m.Phys.AllocN(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := uint64(KVABaseI386)
+	vas := []uint64{base, base + vm.PageSize, base + 2*vm.PageSize}
+	for i, va := range vas {
+		pm.KEnter(ctx, va, pages[i])
+	}
+	// Touch only the first mapping: its accessed bit sets; the second
+	// stays untouched; the third is torn down before the batch.
+	if _, err := pm.Translate(ctx, vas[0], false); err != nil {
+		t.Fatal(err)
+	}
+	pm.KRemove(ctx, vas[2])
+
+	vpns := []uint64{VPN(vas[0]), VPN(vas[1]), VPN(vas[2])}
+	accessed := pm.KRemoveBatch(ctx, vpns, nil)
+	want := []bool{true, false, false}
+	for i := range want {
+		if accessed[i] != want[i] {
+			t.Errorf("accessed[%d] = %v, want %v", i, accessed[i], want[i])
+		}
+	}
+	if pm.Mappings() != 0 {
+		t.Fatalf("mappings = %d after batch removal, want 0", pm.Mappings())
+	}
+	for _, va := range vas {
+		if pte, ok := pm.Probe(va); ok && pte.Valid {
+			t.Fatalf("va %#x still valid", va)
+		}
+	}
+}
+
+// TestKRemoveBatchReusesBuffer checks the appended-result contract hot
+// paths rely on.
+func TestKRemoveBatchReusesBuffer(t *testing.T) {
+	m := smp.NewMachine(arch.XeonMP(), 64, false)
+	pm := New(m)
+	ctx := m.Ctx(0)
+	pg, err := m.Phys.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]bool, 0, 8)
+	for round := 0; round < 3; round++ {
+		pm.KEnter(ctx, KVABaseI386, pg)
+		got := pm.KRemoveBatch(ctx, []uint64{VPN(KVABaseI386)}, scratch[:0])
+		if len(got) != 1 || got[0] {
+			t.Fatalf("round %d: accessed = %v, want [false]", round, got)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"sfbuf/internal/arch"
+	"sfbuf/internal/cycles"
 	"sfbuf/internal/smp"
 	"sfbuf/internal/vm"
 )
@@ -154,6 +155,32 @@ func (p *Pmap) KRemove(ctx *smp.Context, va uint64) {
 	p.mu.Unlock()
 	ctx.TouchPTE(vpn)
 	ctx.Charge(ctx.Cost().PTEWrite)
+}
+
+// KRemoveBatch invalidates the translations for every vpn in one
+// page-table pass — the bulk pmap_qremove-style teardown the sharded
+// cache's reclaim uses — and reports, for each vpn, whether its entry was
+// valid with the accessed bit set (the caller owes TLB invalidations only
+// for those).  The result is appended to accessed, which callers on hot
+// paths reuse across rounds to stay allocation-free.  As with KRemove,
+// TLB invalidation is the caller's responsibility.
+func (p *Pmap) KRemoveBatch(ctx *smp.Context, vpns []uint64, accessed []bool) []bool {
+	p.mu.Lock()
+	for _, vpn := range vpns {
+		a := false
+		if pte, ok := p.pt[vpn]; ok {
+			a = pte.Valid && pte.Accessed
+			pte.Valid = false
+			pte.Accessed = false
+			pte.Modified = false
+			pte.Frame = 0
+		}
+		accessed = append(accessed, a)
+	}
+	p.mu.Unlock()
+	ctx.TouchPTERange(vpns)
+	ctx.Charge(ctx.Cost().PTEWrite * cycles.Cycles(len(vpns)))
+	return accessed
 }
 
 // Probe returns a copy of the PTE for va, for assertions and the

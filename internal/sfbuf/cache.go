@@ -90,6 +90,24 @@ const (
 	AblateLazyTeardown
 )
 
+// mapCore is the contract between the architecture wrappers (I386,
+// Sparc64) and a mapping-cache engine.  Two engines implement it: cache,
+// the paper's global-lock design, and shardedCache, the lock-striped
+// per-CPU design with batched teardown shootdowns.  Buf.home holds the
+// engine that owns a buffer so Free dispatches without knowing which
+// engine — or, on sparc64, which color — allocated it.
+type mapCore interface {
+	alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf, error)
+	free(ctx *smp.Context, b *Buf)
+	interruptWakeup()
+	snapshotStats() Stats
+	resetStats()
+	inactiveLen() int
+	validMappings() int
+	lookupRef(frame uint64) (ref int, mask smp.CPUSet, ok bool)
+	setAblate(a Ablation)
+}
+
 type cache struct {
 	m  *smp.Machine
 	pm *pmap.Pmap
@@ -295,6 +313,10 @@ func (c *cache) validMappings() int {
 	defer c.mu.Unlock()
 	return len(c.hash)
 }
+
+// setAblate disables the selected design choices; not safe concurrently
+// with allocations.
+func (c *cache) setAblate(a Ablation) { c.ablate = a }
 
 // lookupRef returns the ref count and cpumask of the buf mapping frame,
 // for invariant checks.

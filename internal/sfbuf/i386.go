@@ -20,29 +20,65 @@ const DefaultI386Entries = 64 * 1024
 // physical memory, so a configurable region is reserved at boot and
 // managed as a cache of virtual-to-physical mappings indexed by physical
 // page.
+//
+// Two cache engines implement the same interface: the paper's global-lock
+// design (NewI386), kept byte-for-byte for figure reproduction and the
+// protocol's unit tests, and the sharded per-CPU design with batched
+// teardown shootdowns (NewI386Sharded) that removes the single mutex on
+// large machines.
 type I386 struct {
-	c       *cache
+	c       mapCore
+	name    string
 	entries int
 	base    uint64
 }
 
 var _ Mapper = (*I386)(nil)
 
-// NewI386 reserves entries pages of kernel virtual address space from the
-// arena and builds the mapping cache over them.
-func NewI386(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena, entries int) (*I386, error) {
-	if entries <= 0 {
-		entries = DefaultI386Entries
-	}
+// reserveVAs carves entries pages of kernel virtual address space out of
+// the arena for a mapping cache.
+func reserveVAs(arena *kva.Arena, entries int) (uint64, []uint64, error) {
 	base, err := arena.Alloc(entries)
 	if err != nil {
-		return nil, fmt.Errorf("sfbuf: reserving %d pages for the i386 mapping cache: %w", entries, err)
+		return 0, nil, fmt.Errorf("sfbuf: reserving %d pages for the i386 mapping cache: %w", entries, err)
 	}
 	vas := make([]uint64, entries)
 	for i := range vas {
 		vas[i] = base + uint64(i)*vm.PageSize
 	}
-	return &I386{c: newCache(m, pm, vas), entries: entries, base: base}, nil
+	return base, vas, nil
+}
+
+// NewI386 reserves entries pages of kernel virtual address space from the
+// arena and builds the paper's global-lock mapping cache over them.
+func NewI386(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena, entries int) (*I386, error) {
+	if entries <= 0 {
+		entries = DefaultI386Entries
+	}
+	base, vas, err := reserveVAs(arena, entries)
+	if err != nil {
+		return nil, err
+	}
+	return &I386{c: newCache(m, pm, vas), name: "sf_buf/i386", entries: entries, base: base}, nil
+}
+
+// NewI386Sharded builds the same mapping cache on the sharded engine:
+// lock-striped shards, per-CPU clean freelists, and batched teardown
+// shootdowns.  cfg zero values derive sensible defaults.
+func NewI386Sharded(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena, entries int, cfg ShardedConfig) (*I386, error) {
+	if entries <= 0 {
+		entries = DefaultI386Entries
+	}
+	base, vas, err := reserveVAs(arena, entries)
+	if err != nil {
+		return nil, err
+	}
+	return &I386{
+		c:       newShardedCache(m, pm, vas, cfg),
+		name:    "sf_buf/i386-sharded",
+		entries: entries,
+		base:    base,
+	}, nil
 }
 
 // Alloc implements sf_buf_alloc for i386.
@@ -56,7 +92,7 @@ func (s *I386) Free(ctx *smp.Context, b *Buf) {
 }
 
 // Name implements Mapper.
-func (s *I386) Name() string { return "sf_buf/i386" }
+func (s *I386) Name() string { return s.name }
 
 // Stats implements Mapper.
 func (s *I386) Stats() Stats { return s.c.snapshotStats() }
@@ -67,7 +103,15 @@ func (s *I386) ResetStats() { s.c.resetStats() }
 // Entries returns the cache capacity in mappings.
 func (s *I386) Entries() int { return s.entries }
 
-// InactiveLen returns the current inactive-list length (test helper).
+// Shards returns the lock-stripe count: 1 for the global-lock engine.
+func (s *I386) Shards() int {
+	if sc, ok := s.c.(*shardedCache); ok {
+		return sc.numShards()
+	}
+	return 1
+}
+
+// InactiveLen returns the current unreferenced-buffer count (test helper).
 func (s *I386) InactiveLen() int { return s.c.inactiveLen() }
 
 // ValidMappings returns the number of live hash-table entries (test
@@ -88,5 +132,5 @@ func (s *I386) InterruptWakeup() { s.c.interruptWakeup() }
 // to restore the full design.  Must be called before use, not concurrently
 // with allocations.
 func (s *I386) Ablate(a Ablation) {
-	s.c.ablate = a
+	s.c.setAblate(a)
 }

@@ -64,13 +64,21 @@ type Buf struct {
 	kva  uint64
 	page *vm.Page
 
-	// i386 / sparc64 mapping-cache state, owned by the cache's lock.
+	// i386 / sparc64 mapping-cache state, owned by the cache's lock (for
+	// the sharded cache: the lock of the shard the buf is currently
+	// homed in, or exclusively by the holder while the buf is clean).
 	ref     int
 	cpumask smp.CPUSet
+	// tlbmask is maintained only by the sharded cache: the CPUs that may
+	// have pulled this mapping's translation into their TLBs during its
+	// current life (the allocating CPU for Private mappings, every CPU
+	// for shared ones).  It is the precise target set for the batched
+	// teardown shootdown.
+	tlbmask smp.CPUSet
 	prev    *Buf // inactive list linkage (Figure 1's free_entry)
 	next    *Buf
 	inList  bool
-	home    *cache // owning cache, for sparc64's per-color dispatch
+	home    mapCore // owning cache, for sparc64's per-color dispatch
 }
 
 // KVA returns the kernel virtual address at which the mapping's page is
@@ -93,6 +101,15 @@ type Stats struct {
 	Interrupted uint64
 	WouldBlock  uint64
 	VAAllocs    uint64
+
+	// Sharded-cache events; zero for the paper's global-lock cache.
+	// FreelistAllocs counts misses served by a clean buffer from the
+	// allocating CPU's freelist or the overflow pool without touching
+	// any shard's inactive list; Reclaims counts batched teardown rounds
+	// and Reclaimed the buffers those rounds recycled.
+	FreelistAllocs uint64
+	Reclaims       uint64
+	Reclaimed      uint64
 }
 
 // HitRate returns the mapping-cache hit rate in [0, 1], or 0 when no

@@ -1,0 +1,684 @@
+package sfbuf
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sfbuf/internal/pmap"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+// This file implements the sharded mapping cache: a scalability redesign
+// of the Section 4.2 cache for machines with many CPUs.  The paper's
+// design serializes every Alloc and Free behind one mutex and pays one
+// shootdown IPI round per shared reuse of an accessed mapping.  The
+// sharded design removes both bottlenecks while keeping the Table 1 API
+// and the TLB-coherence obligations intact:
+//
+//   - The hash table and inactive list are split into lock-striped shards
+//     indexed by physical page number, so allocations of different pages
+//     contend only when their frames collide on a shard.
+//   - Each CPU keeps a small freelist of CLEAN buffers — torn down, PTE
+//     invalid, guaranteed absent from every TLB.  A miss takes a clean
+//     buffer, installs the new translation, and returns WITHOUT issuing
+//     any invalidation: the accessed-bit argument of Section 4.2 applies
+//     exactly (the replaced entry was invalid and unaccessed), and because
+//     the buffer is clean the cpumask may remain "all processors" even for
+//     shared mappings.
+//   - Clean buffers are produced in batches: when the freelists run dry, a
+//     reclaim round harvests the least-recently-used inactive buffers from
+//     the shards, tears their mappings down, and retires every required
+//     invalidation through the per-CPU shootdown queue in ONE ranged IPI
+//     round (smp.QueueShootdown / smp.FlushShootdowns).  Teardown
+//     invalidations target each mapping's tlbmask — the CPUs that could
+//     have pulled the translation into their TLBs, which the per-mapping
+//     bookkeeping the paper already requires tells us precisely — so a
+//     CPU-private workload never interrupts other processors at all.
+//
+// The net effect is that the per-operation shootdown cost of the global
+// design (one IPI round per shared miss) becomes one IPI round per
+// ReclaimBatch misses, and the single mutex becomes per-shard striping
+// plus an uncontended per-CPU freelist lock.
+//
+// Coherence argument.  A buffer's life starts clean: no TLB on any CPU
+// holds a translation for its virtual address.  While the mapping is
+// live, TLB entries for it are current by definition (the PTE does not
+// change during a life; revivals from the inactive list reuse the same
+// translation).  Therefore no CPU ever holds a STALE entry for a mapped
+// buffer, and cpumask = all processors is truthful for every mapping this
+// engine hands out — no purge-on-first-use is ever needed.  Staleness can
+// only arise at reuse, and reuse only happens through reclaim, which
+// invalidates the mapping everywhere it could be cached before the buffer
+// re-enters circulation.  The stress tests verify this through the honest
+// MMU: reads through every mapping must return the mapped page's bytes.
+
+// Defaults for the sharded cache's tuning knobs.
+const (
+	// DefaultPerCPUFree is the clean-buffer stock each CPU may park.
+	DefaultPerCPUFree = 16
+	// DefaultReclaimBatch is how many inactive buffers one reclaim round
+	// tears down — and thus how many misses share one shootdown round.
+	DefaultReclaimBatch = 32
+)
+
+// ShardedConfig tunes the sharded mapping cache.  Zero values select
+// defaults derived from the machine and cache size.
+type ShardedConfig struct {
+	// Shards is the lock-stripe count; it is rounded up to a power of
+	// two.  Zero derives 2x the CPU count, scaled down for tiny caches.
+	Shards int
+	// PerCPUFree bounds each CPU's clean-buffer freelist.
+	PerCPUFree int
+	// ReclaimBatch is the number of buffers recycled per reclaim round.
+	ReclaimBatch int
+}
+
+// withDefaults resolves zero fields against the machine and cache size.
+func (c ShardedConfig) withDefaults(ncpu, entries int) ShardedConfig {
+	if c.Shards <= 0 {
+		c.Shards = 1
+		for c.Shards < ncpu*2 {
+			c.Shards <<= 1
+		}
+	} else {
+		n := 1
+		for n < c.Shards {
+			n <<= 1
+		}
+		c.Shards = n
+	}
+	// Never stripe so finely that shards average fewer than 8 entries.
+	for c.Shards > 1 && entries/c.Shards < 8 {
+		c.Shards >>= 1
+	}
+	if c.ReclaimBatch <= 0 {
+		c.ReclaimBatch = DefaultReclaimBatch
+	}
+	if max := entries / 4; c.ReclaimBatch > max {
+		c.ReclaimBatch = max
+	}
+	if c.ReclaimBatch < 1 {
+		c.ReclaimBatch = 1
+	}
+	if c.PerCPUFree <= 0 {
+		// A freelist should absorb a whole reclaim batch so steady-state
+		// churn restocks without touching the shared overflow pool.
+		c.PerCPUFree = DefaultPerCPUFree
+		if want := c.ReclaimBatch * 3 / 2; want > c.PerCPUFree {
+			c.PerCPUFree = want
+		}
+	}
+	if max := entries / (2 * ncpu); c.PerCPUFree > max {
+		c.PerCPUFree = max
+	}
+	if c.PerCPUFree < 1 {
+		c.PerCPUFree = 1
+	}
+	return c
+}
+
+// cacheShard is one lock stripe: a slice of the hash table plus the
+// inactive buffers whose mappings hash here.  Only latently-valid buffers
+// (freed but still mapped) sit on a shard's inactive list; clean buffers
+// live on the freelists and overflow pool instead.
+type cacheShard struct {
+	mu       sync.Mutex
+	hash     map[uint64]*Buf
+	inactive bufList
+}
+
+// cpuFree is one CPU's clean-buffer stock.  Its mutex is uncontended
+// except when another CPU steals during a shortage.
+type cpuFree struct {
+	mu   sync.Mutex
+	bufs []*Buf
+}
+
+type shardedCache struct {
+	m   *smp.Machine
+	pm  *pmap.Pmap
+	cfg ShardedConfig
+
+	shards    []*cacheShard
+	shardMask uint64
+	freelists []*cpuFree
+
+	// pool is the overflow stock of clean buffers beyond the per-CPU
+	// freelists, and doubles as the sleep rendezvous for exhaustion.
+	pool struct {
+		mu   sync.Mutex
+		cond *sync.Cond
+		bufs []*Buf
+	}
+	// waiters counts sleepers in alloc.  It changes only under pool.mu
+	// but is read atomically on the free fast path, which must not take
+	// a cache-global lock just to learn nobody is waiting.
+	waiters atomic.Int32
+	// freeGen increments whenever a buffer becomes reusable; sleepers
+	// compare it against the value read before their scan to close the
+	// lost-wakeup window without holding a global lock on the fast path.
+	freeGen atomic.Uint64
+
+	// reclaimHand rotates the shard a reclaim round harvests first, so
+	// pressure spreads across stripes.
+	reclaimHand atomic.Uint64
+
+	ablate Ablation
+
+	// Statistics are per-field atomics: the engine exists to kill the
+	// global lock, so it cannot count through one.
+	allocs, frees, hits, misses         atomic.Uint64
+	sleeps, interrupted, wouldBlock     atomic.Uint64
+	freelistAllocs, reclaims, reclaimed atomic.Uint64
+}
+
+var (
+	_ mapCore = (*cache)(nil)
+	_ mapCore = (*shardedCache)(nil)
+)
+
+// newShardedCache builds the engine over the given virtual addresses.
+// Every buffer starts clean — never mapped, absent from all TLBs — with
+// its cpumask truthfully "all processors", distributed round-robin across
+// the per-CPU freelists with the remainder in the overflow pool.
+func newShardedCache(m *smp.Machine, pm *pmap.Pmap, vas []uint64, cfg ShardedConfig) *shardedCache {
+	cfg = cfg.withDefaults(m.NumCPUs(), len(vas))
+	c := &shardedCache{
+		m:         m,
+		pm:        pm,
+		cfg:       cfg,
+		shards:    make([]*cacheShard, cfg.Shards),
+		shardMask: uint64(cfg.Shards - 1),
+		freelists: make([]*cpuFree, m.NumCPUs()),
+	}
+	c.pool.cond = sync.NewCond(&c.pool.mu)
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{hash: make(map[uint64]*Buf, len(vas)/cfg.Shards+1)}
+	}
+	for i := range c.freelists {
+		c.freelists[i] = &cpuFree{}
+	}
+	all := m.AllCPUs()
+	for i, va := range vas {
+		b := &Buf{kva: va, home: c, cpumask: all}
+		if f := c.freelists[i%len(c.freelists)]; len(f.bufs) < cfg.PerCPUFree {
+			f.bufs = append(f.bufs, b)
+		} else {
+			c.pool.bufs = append(c.pool.bufs, b)
+		}
+	}
+	return c
+}
+
+func (c *shardedCache) shardFor(frame uint64) *cacheShard {
+	// Fibonacci hashing spreads dense frame numbers across stripes.
+	return c.shards[(frame*0x9E3779B97F4A7C15>>32)&c.shardMask]
+}
+
+// bumpFree publishes that a buffer became reusable and wakes one sleeper.
+// The generation increment must happen after the buffer is visible on its
+// list so a concurrent allocator that misses the buffer is guaranteed to
+// observe the new generation and rescan instead of sleeping.  A sleeper
+// that registers after the waiters check necessarily re-reads freeGen
+// after registering (both are sequentially consistent atomics), sees the
+// increment, and rescans — so skipping the lock here cannot strand it.
+func (c *shardedCache) bumpFree() {
+	c.freeGen.Add(1)
+	if c.waiters.Load() > 0 {
+		c.pool.mu.Lock()
+		c.pool.cond.Signal()
+		c.pool.mu.Unlock()
+	}
+}
+
+// taint records which CPUs may pull the mapping into their TLBs during
+// this use: the calling CPU for Private mappings, everyone for shared
+// mappings (any CPU may dereference a shared address).  Caller holds the
+// buf's shard lock.
+func (c *shardedCache) taint(ctx *smp.Context, b *Buf, flags Flags) {
+	if flags&Private != 0 {
+		b.tlbmask = b.tlbmask.Set(ctx.CPUID())
+	} else {
+		b.tlbmask = c.m.AllCPUs()
+	}
+}
+
+// alloc implements sf_buf_alloc on the sharded engine.  The hit path
+// touches exactly one shard lock; the miss path additionally takes the
+// allocating CPU's freelist lock, falling back to stealing and batched
+// reclaim only under shortage.
+func (c *shardedCache) alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf, error) {
+	ctx.Charge(ctx.Cost().MapperOp)
+	ctx.ChargeLock()
+	c.allocs.Add(1)
+	frame := page.Frame()
+
+	for {
+		gen := c.freeGen.Load()
+		s := c.shardFor(frame)
+
+		s.mu.Lock()
+		if b, ok := s.hash[frame]; ok && c.ablate&AblateSharing == 0 {
+			if b.ref == 0 {
+				s.inactive.remove(b)
+			}
+			b.ref++
+			c.taint(ctx, b, flags)
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return b, nil
+		}
+		// Miss.  The clean-stock locks (freelist, pool) never nest
+		// around shard locks anywhere, so the fast restock can run
+		// without giving up this shard — one critical section covers
+		// lookup, stock-taking and installation.
+		b := c.takeCleanFast(ctx)
+		if b == nil {
+			s.mu.Unlock()
+			b = c.reclaim(ctx)
+			if b != nil {
+				ctx.ChargeLock()
+				s.mu.Lock()
+				if cur, ok := s.hash[frame]; ok && c.ablate&AblateSharing == 0 {
+					// Another CPU mapped the frame while the shard
+					// was unlocked; share its mapping, restock ours.
+					if cur.ref == 0 {
+						s.inactive.remove(cur)
+					}
+					cur.ref++
+					c.taint(ctx, cur, flags)
+					s.mu.Unlock()
+					c.putClean(ctx, b)
+					c.hits.Add(1)
+					return cur, nil
+				}
+			}
+		}
+		if b != nil {
+			b.page = page
+			b.ref = 1
+			// The buffer is clean: the old PTE is invalid and
+			// unaccessed, so no invalidation is needed and the
+			// all-processors cpumask set at cleaning time stays
+			// truthful — the accessed-bit optimization, guaranteed
+			// rather than opportunistic.
+			c.pm.KEnter(ctx, b.kva, page)
+			if c.ablate&AblateSharing == 0 {
+				s.hash[frame] = b
+			}
+			c.taint(ctx, b, flags)
+			s.mu.Unlock()
+			c.misses.Add(1)
+			return b, nil
+		}
+
+		// Exhausted: every buffer is referenced.
+		if flags&NoWait != 0 {
+			c.wouldBlock.Add(1)
+			return nil, ErrWouldBlock
+		}
+		c.pool.mu.Lock()
+		c.waiters.Add(1)
+		if c.freeGen.Load() != gen {
+			// A buffer was freed after our scan began; rescan.
+			c.waiters.Add(-1)
+			c.pool.mu.Unlock()
+			continue
+		}
+		c.sleeps.Add(1)
+		c.pool.cond.Wait()
+		c.waiters.Add(-1)
+		if flags&Catch != 0 && ctx.Interrupted() {
+			// Pass the wakeup on: the signal this sleeper consumed may
+			// have announced a freed buffer that another sleeper is
+			// still waiting for.
+			if c.waiters.Load() > 0 {
+				c.pool.cond.Signal()
+			}
+			c.pool.mu.Unlock()
+			c.interrupted.Add(1)
+			return nil, ErrInterrupted
+		}
+		c.pool.mu.Unlock()
+	}
+}
+
+// takeCleanFast returns a clean buffer from the calling CPU's freelist,
+// the overflow pool, or a sibling CPU's freelist.  It takes no shard
+// locks, so callers may hold one.  Returns nil when the clean stock is
+// exhausted and a reclaim round is needed.
+func (c *shardedCache) takeCleanFast(ctx *smp.Context) *Buf {
+	// Each lock taken on this path is charged: the modeled cost must not
+	// flatter the sharded engine against the global design's one mutex.
+	ctx.ChargeLock()
+	f := c.freelists[ctx.CPUID()]
+	f.mu.Lock()
+	if n := len(f.bufs); n > 0 {
+		b := f.bufs[n-1]
+		f.bufs = f.bufs[:n-1]
+		f.mu.Unlock()
+		c.freelistAllocs.Add(1)
+		return b
+	}
+	f.mu.Unlock()
+
+	ctx.ChargeLock()
+	c.pool.mu.Lock()
+	if n := len(c.pool.bufs); n > 0 {
+		b := c.pool.bufs[n-1]
+		c.pool.bufs = c.pool.bufs[:n-1]
+		c.pool.mu.Unlock()
+		c.freelistAllocs.Add(1)
+		return b
+	}
+	c.pool.mu.Unlock()
+
+	for i, of := range c.freelists {
+		if i == ctx.CPUID() {
+			continue
+		}
+		ctx.ChargeLock()
+		of.mu.Lock()
+		if n := len(of.bufs); n > 0 {
+			b := of.bufs[n-1]
+			of.bufs = of.bufs[:n-1]
+			of.mu.Unlock()
+			c.freelistAllocs.Add(1)
+			return b
+		}
+		of.mu.Unlock()
+	}
+	return nil
+}
+
+// putClean restocks a clean buffer the allocator ended up not needing.
+func (c *shardedCache) putClean(ctx *smp.Context, b *Buf) {
+	ctx.ChargeLock()
+	f := c.freelists[ctx.CPUID()]
+	f.mu.Lock()
+	if len(f.bufs) < c.cfg.PerCPUFree {
+		f.bufs = append(f.bufs, b)
+		f.mu.Unlock()
+	} else {
+		f.mu.Unlock()
+		c.pool.mu.Lock()
+		c.pool.bufs = append(c.pool.bufs, b)
+		c.pool.mu.Unlock()
+	}
+	c.bumpFree()
+}
+
+// reclaimScratch holds one reclaim round's working slices; pooling them
+// keeps the steady-state churn path allocation-free.
+type reclaimScratch struct {
+	victims    []*Buf
+	vpns       []uint64
+	accessed   []bool
+	selfVpns   []uint64
+	queueVpns  []uint64
+	queueMasks []smp.CPUSet
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(reclaimScratch) }}
+
+// reclaim harvests up to ReclaimBatch least-recently-used inactive
+// buffers, tears their mappings down, and retires every invalidation the
+// teardown owes through the per-CPU shootdown queue — ONE ranged IPI
+// round for the whole batch instead of one round per mapping.  Mappings
+// whose accessed bit is clear owe nothing (no TLB can cache an unaccessed
+// translation), and accessed mappings owe only their tlbmask, so a
+// CPU-private workload reclaims without interrupting anyone.  Returns one
+// clean buffer for the caller, restocking the rest.
+func (c *shardedCache) reclaim(ctx *smp.Context) *Buf {
+	scratch := scratchPool.Get().(*reclaimScratch)
+	defer func() {
+		scratch.victims = scratch.victims[:0]
+		scratch.vpns = scratch.vpns[:0]
+		scratch.accessed = scratch.accessed[:0]
+		scratch.selfVpns = scratch.selfVpns[:0]
+		scratch.queueVpns = scratch.queueVpns[:0]
+		scratch.queueMasks = scratch.queueMasks[:0]
+		scratchPool.Put(scratch)
+	}()
+	victims := scratch.victims
+	start := c.reclaimHand.Add(1)
+	for i := 0; i < len(c.shards) && len(victims) < c.cfg.ReclaimBatch; i++ {
+		t := c.shards[(start+uint64(i))%uint64(len(c.shards))]
+		ctx.ChargeLock()
+		t.mu.Lock()
+		for len(victims) < c.cfg.ReclaimBatch {
+			b := t.inactive.popHead()
+			if b == nil {
+				break
+			}
+			if b.page != nil {
+				if cur, ok := t.hash[b.page.Frame()]; ok && cur == b {
+					delete(t.hash, b.page.Frame())
+				}
+			}
+			victims = append(victims, b)
+		}
+		t.mu.Unlock()
+	}
+	scratch.victims = victims
+	if len(victims) == 0 {
+		return nil
+	}
+
+	c.reclaims.Add(1)
+	c.reclaimed.Add(uint64(len(victims)))
+	all := c.m.AllCPUs()
+	self := ctx.CPUID()
+
+	// Tear every victim's mapping down in one page-table pass, then
+	// retire the invalidation debt: one batched local purge for the
+	// initiating CPU, and the remote share queued per victim's tlbmask.
+	vpns := scratch.vpns
+	for _, b := range victims {
+		vpns = append(vpns, pmap.VPN(b.kva))
+	}
+	accessed := c.pm.KRemoveBatch(ctx, vpns, scratch.accessed)
+	selfVpns := scratch.selfVpns
+	queueVpns, queueMasks := scratch.queueVpns, scratch.queueMasks
+	for i, b := range victims {
+		if accessed[i] || (c.ablate&AblateAccessedBit != 0 && b.page != nil) {
+			mask := b.tlbmask
+			if mask.Has(self) {
+				selfVpns = append(selfVpns, vpns[i])
+				mask = mask.Clear(self)
+			}
+			queueVpns = append(queueVpns, vpns[i])
+			queueMasks = append(queueMasks, mask)
+		}
+		b.page = nil
+		b.tlbmask = 0
+		b.cpumask = all
+	}
+	ctx.InvalidateLocalRange(selfVpns)
+	ctx.QueueShootdownBatch(queueMasks, queueVpns)
+	scratch.vpns, scratch.accessed, scratch.selfVpns = vpns, accessed, selfVpns
+	scratch.queueVpns, scratch.queueMasks = queueVpns, queueMasks
+	// The forced flush: the virtual addresses are about to be reused, so
+	// the queued invalidations must land now — in one IPI round.
+	ctx.FlushShootdowns()
+
+	b := victims[0]
+	if rest := victims[1:]; len(rest) > 0 {
+		// Spread the surplus across every CPU's freelist, starting with
+		// our own: each CPU's next misses then restock locally instead
+		// of stealing through the sibling freelists lock by lock.
+		ncpu := len(c.freelists)
+		share := (len(rest) + ncpu - 1) / ncpu
+		for i := 0; i < ncpu && len(rest) > 0; i++ {
+			f := c.freelists[(ctx.CPUID()+i)%ncpu]
+			n := share
+			if n > len(rest) {
+				n = len(rest)
+			}
+			ctx.ChargeLock()
+			f.mu.Lock()
+			if room := c.cfg.PerCPUFree - len(f.bufs); n > room {
+				n = room
+			}
+			if n > 0 {
+				f.bufs = append(f.bufs, rest[:n]...)
+				rest = rest[n:]
+			}
+			f.mu.Unlock()
+		}
+		if len(rest) > 0 {
+			c.pool.mu.Lock()
+			c.pool.bufs = append(c.pool.bufs, rest...)
+			c.pool.mu.Unlock()
+		}
+		c.bumpFree()
+	}
+	return b
+}
+
+// teardown removes b's mapping and queues whatever invalidations the
+// removal owes.  The caller owns b exclusively (popped from a shard under
+// its lock) and must flush the shootdown queue before reusing b's address.
+func (c *shardedCache) teardown(ctx *smp.Context, b *Buf) {
+	if b.page == nil {
+		b.tlbmask = 0
+		return
+	}
+	vpn := pmap.VPN(b.kva)
+	pte, ok := c.pm.Probe(b.kva)
+	c.pm.KRemove(ctx, b.kva)
+	if ok && (pte.Accessed || (c.ablate&AblateAccessedBit != 0 && pte.Valid)) {
+		mask := b.tlbmask
+		if mask.Has(ctx.CPUID()) {
+			ctx.InvalidateLocal(vpn)
+			mask = mask.Clear(ctx.CPUID())
+		}
+		ctx.QueueShootdown(mask, vpn)
+	}
+	b.page = nil
+	b.tlbmask = 0
+}
+
+// free implements sf_buf_free: decrement, and at zero either park the
+// buffer on its shard's inactive list with the mapping latently valid
+// (the lazy-teardown default the cache's hit rate depends on) or, under
+// AblateLazyTeardown, tear it down eagerly.
+func (c *shardedCache) free(ctx *smp.Context, b *Buf) {
+	ctx.Charge(ctx.Cost().MapperOp)
+	ctx.ChargeLock()
+	c.frees.Add(1)
+	if b.page == nil {
+		// A referenced buffer always has a page; a clean one was
+		// already freed (and since reclaimed).
+		panic("sfbuf: free of unreferenced sf_buf")
+	}
+	s := c.shardFor(b.page.Frame())
+	s.mu.Lock()
+	if b.ref <= 0 {
+		s.mu.Unlock()
+		panic("sfbuf: free of unreferenced sf_buf")
+	}
+	b.ref--
+	if b.ref > 0 {
+		s.mu.Unlock()
+		return
+	}
+	if c.ablate&AblateLazyTeardown != 0 {
+		// Eager teardown: detach from the shard now, retire the
+		// mapping's invalidation debt immediately, restock as clean.
+		if cur, ok := s.hash[b.page.Frame()]; ok && cur == b {
+			delete(s.hash, b.page.Frame())
+		}
+		s.mu.Unlock()
+		c.teardown(ctx, b)
+		ctx.FlushShootdowns()
+		b.cpumask = c.m.AllCPUs()
+		c.putClean(ctx, b)
+		return
+	}
+	s.inactive.pushTail(b)
+	s.mu.Unlock()
+	c.bumpFree()
+}
+
+// interruptWakeup wakes every sleeper so pending signals can be observed.
+func (c *shardedCache) interruptWakeup() {
+	c.pool.mu.Lock()
+	c.pool.cond.Broadcast()
+	c.pool.mu.Unlock()
+}
+
+func (c *shardedCache) snapshotStats() Stats {
+	return Stats{
+		Allocs:         c.allocs.Load(),
+		Frees:          c.frees.Load(),
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Sleeps:         c.sleeps.Load(),
+		Interrupted:    c.interrupted.Load(),
+		WouldBlock:     c.wouldBlock.Load(),
+		FreelistAllocs: c.freelistAllocs.Load(),
+		Reclaims:       c.reclaims.Load(),
+		Reclaimed:      c.reclaimed.Load(),
+	}
+}
+
+func (c *shardedCache) resetStats() {
+	c.allocs.Store(0)
+	c.frees.Store(0)
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.sleeps.Store(0)
+	c.interrupted.Store(0)
+	c.wouldBlock.Store(0)
+	c.freelistAllocs.Store(0)
+	c.reclaims.Store(0)
+	c.reclaimed.Store(0)
+}
+
+// inactiveLen counts every unreferenced buffer: latently-valid buffers on
+// the shard inactive lists plus clean buffers on the freelists and pool.
+func (c *shardedCache) inactiveLen() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.inactive.n
+		s.mu.Unlock()
+	}
+	for _, f := range c.freelists {
+		f.mu.Lock()
+		n += len(f.bufs)
+		f.mu.Unlock()
+	}
+	c.pool.mu.Lock()
+	n += len(c.pool.bufs)
+	c.pool.mu.Unlock()
+	return n
+}
+
+func (c *shardedCache) validMappings() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.hash)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+func (c *shardedCache) lookupRef(frame uint64) (ref int, mask smp.CPUSet, ok bool) {
+	s := c.shardFor(frame)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.hash[frame]
+	if !ok {
+		return 0, 0, false
+	}
+	return b.ref, b.cpumask, true
+}
+
+func (c *shardedCache) setAblate(a Ablation) { c.ablate = a }
+
+// NumShards reports the resolved stripe count (test and report helper).
+func (c *shardedCache) numShards() int { return c.cfg.Shards }

@@ -1,0 +1,181 @@
+package sfbuf
+
+import (
+	"sync"
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/vm"
+)
+
+// TestShardedConcurrentChurn is the sharded engine's -race workout: one
+// contending goroutine per simulated CPU plus extras sharing CPUs, all
+// churning shared and private mappings over a working set larger than the
+// cache so hits, clean misses, stealing and batched reclaims interleave.
+// Every read goes through the honest MMU, so a batched shootdown that
+// left a stale mapping dereferenceable shows up as wrong bytes, not just
+// a counter.
+func TestShardedConcurrentChurn(t *testing.T) {
+	const entries = 24
+	r := newShardedRig(t, arch.XeonMPHTT(), entries,
+		ShardedConfig{ReclaimBatch: 4, PerCPUFree: 2})
+	pages := make([]*vm.Page, 3*entries)
+	for i := range pages {
+		pages[i] = r.page(t)
+		pages[i].Data()[0] = byte(i)
+	}
+
+	const workers = 6 // more workers than CPUs: some share a CPU id
+	const iters = 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := r.m.Ctx(w % r.m.NumCPUs())
+			for i := 0; i < iters; i++ {
+				idx := (i*(2*w+3) + w*11) % len(pages)
+				pg := pages[idx]
+				var flags Flags
+				if (i+w)%3 == 0 {
+					flags = Private
+				}
+				b, err := r.sf.Alloc(ctx, pg, flags)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if b.Page() != pg {
+					t.Errorf("worker %d iter %d: wrong page", w, i)
+					return
+				}
+				got, err := r.pm.Translate(ctx, b.KVA(), false)
+				if err != nil {
+					t.Errorf("worker %d iter %d: %v", w, i, err)
+					return
+				}
+				if got.Data()[0] != byte(idx) {
+					t.Errorf("worker %d iter %d: read %#x, want %#x — stale mapping dereferenced",
+						w, i, got.Data()[0], byte(idx))
+					return
+				}
+				r.sf.Free(ctx, b)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Drain invariants: every reference released, every buffer back on
+	// an unreferenced list, no mapping left claiming a reference.
+	s := r.sf.Stats()
+	if s.Allocs != s.Frees || s.Allocs != workers*iters {
+		t.Fatalf("allocs/frees = %d/%d, want %d", s.Allocs, s.Frees, workers*iters)
+	}
+	if got := r.sf.InactiveLen(); got != entries {
+		t.Fatalf("inactive = %d, want %d after drain", got, entries)
+	}
+	if got := r.sf.ValidMappings(); got > entries {
+		t.Fatalf("valid mappings = %d > %d buffers", got, entries)
+	}
+	for _, pg := range pages {
+		if ref, mask, ok := r.sf.LookupRef(pg); ok {
+			if ref != 0 {
+				t.Fatalf("page %d: ref = %d after drain", pg.Frame(), ref)
+			}
+			if mask != r.m.AllCPUs() {
+				t.Fatalf("page %d: cpumask = %v, want all (no stale view possible)", pg.Frame(), mask)
+			}
+		}
+	}
+	if s.Reclaims == 0 {
+		t.Fatal("stress must have exercised batched reclaim")
+	}
+}
+
+// TestShardedNoWaitStress verifies exhaustion behavior under concurrency:
+// with every buffer pinned, NoWait allocators on every CPU fail fast and
+// never sleep.
+func TestShardedNoWaitStress(t *testing.T) {
+	r := newShardedRig(t, arch.XeonMP(), 2, ShardedConfig{})
+	ctx := r.m.Ctx(0)
+	held := make([]*Buf, 2)
+	for i := range held {
+		b, err := r.sf.Alloc(ctx, r.page(t), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held[i] = b
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sctx := r.m.Ctx(w % r.m.NumCPUs())
+			pg, _ := r.m.Phys.Alloc()
+			for i := 0; i < 50; i++ {
+				if _, err := r.sf.Alloc(sctx, pg, NoWait); err != ErrWouldBlock {
+					t.Errorf("want ErrWouldBlock, got %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.sf.Stats().Sleeps; got != 0 {
+		t.Fatalf("NoWait slept %d times", got)
+	}
+	for _, b := range held {
+		r.sf.Free(ctx, b)
+	}
+	if r.sf.InactiveLen() != 2 {
+		t.Fatal("cache did not drain")
+	}
+}
+
+// TestShardedSleepersDrain exhausts the cache with held references while
+// a crowd sleeps, then releases and checks everyone is served.
+func TestShardedSleepersDrain(t *testing.T) {
+	r := newShardedRig(t, arch.XeonMPHTT(), 2, ShardedConfig{})
+	ctx := r.m.Ctx(0)
+	held := make([]*Buf, 2)
+	for i := range held {
+		b, err := r.sf.Alloc(ctx, r.page(t), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held[i] = b
+	}
+	const sleepers = 12
+	var wg sync.WaitGroup
+	for i := 0; i < sleepers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sctx := r.m.Ctx(i % r.m.NumCPUs())
+			pg, err := r.m.Phys.Alloc()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b, err := r.sf.Alloc(sctx, pg, 0)
+			if err != nil {
+				t.Errorf("sleeper %d: %v", i, err)
+				return
+			}
+			r.sf.Free(sctx, b)
+		}(i)
+	}
+	for r.sf.Stats().Sleeps < sleepers {
+		if r.sf.Stats().WouldBlock > 0 {
+			t.Fatal("unexpected NoWait failure")
+		}
+	}
+	for _, b := range held {
+		r.sf.Free(ctx, b)
+	}
+	wg.Wait()
+	if got := r.sf.InactiveLen(); got != 2 {
+		t.Fatalf("inactive = %d, want 2", got)
+	}
+}

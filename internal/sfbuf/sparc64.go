@@ -27,7 +27,7 @@ type Sparc64 struct {
 	m         *smp.Machine
 	pm        *pmap.Pmap
 	numColors int
-	colors    []*cache
+	colors    []mapCore
 
 	directAllocs atomic.Uint64
 	directFrees  atomic.Uint64
@@ -36,9 +36,25 @@ type Sparc64 struct {
 var _ Mapper = (*Sparc64)(nil)
 
 // NewSparc64 builds the hybrid mapper with entriesPerColor cache slots for
-// each of numColors virtual cache colors.  numColors must be a power of
-// two (it is a bitmask over virtual page numbers).
+// each of numColors virtual cache colors, using the paper's global-lock
+// cache per color.  numColors must be a power of two (it is a bitmask over
+// virtual page numbers).
 func NewSparc64(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena, numColors, entriesPerColor int) (*Sparc64, error) {
+	return newSparc64(m, pm, arena, numColors, entriesPerColor, func(vas []uint64) mapCore {
+		return newCache(m, pm, vas)
+	})
+}
+
+// NewSparc64Sharded builds the hybrid mapper with one sharded cache per
+// color — the per-color striping the paper already mandates, multiplied by
+// the lock striping and batched shootdowns of the sharded engine.
+func NewSparc64Sharded(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena, numColors, entriesPerColor int, cfg ShardedConfig) (*Sparc64, error) {
+	return newSparc64(m, pm, arena, numColors, entriesPerColor, func(vas []uint64) mapCore {
+		return newShardedCache(m, pm, vas, cfg)
+	})
+}
+
+func newSparc64(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena, numColors, entriesPerColor int, mk func(vas []uint64) mapCore) (*Sparc64, error) {
 	if numColors <= 0 || numColors&(numColors-1) != 0 {
 		return nil, fmt.Errorf("sfbuf: numColors %d is not a power of two", numColors)
 	}
@@ -52,7 +68,7 @@ func NewSparc64(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena, numColors, entr
 	// The reserved region is color-striped: virtual page i has color
 	// i % numColors, so each cache gets every numColors-th page, keeping
 	// each cache's addresses all of one color.
-	s := &Sparc64{m: m, pm: pm, numColors: numColors, colors: make([]*cache, numColors)}
+	s := &Sparc64{m: m, pm: pm, numColors: numColors, colors: make([]mapCore, numColors)}
 	baseVPN := pmap.VPN(base)
 	for color := 0; color < numColors; color++ {
 		var vas []uint64
@@ -62,7 +78,7 @@ func NewSparc64(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena, numColors, entr
 			offset := (uint64(color) - vpn) & uint64(numColors-1)
 			vas = append(vas, (vpn+offset)<<vm.PageShift)
 		}
-		s.colors[color] = newCache(m, pm, vas)
+		s.colors[color] = mk(vas)
 	}
 	return s, nil
 }
@@ -116,6 +132,9 @@ func (s *Sparc64) Stats() Stats {
 		t.Sleeps += cs.Sleeps
 		t.Interrupted += cs.Interrupted
 		t.WouldBlock += cs.WouldBlock
+		t.FreelistAllocs += cs.FreelistAllocs
+		t.Reclaims += cs.Reclaims
+		t.Reclaimed += cs.Reclaimed
 	}
 	d := s.directAllocs.Load()
 	t.Allocs += d

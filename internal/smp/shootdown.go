@@ -27,6 +27,39 @@ func (c *Context) InvalidateLocal(vpn uint64) {
 	c.m.counters.LocalInv.Add(1)
 }
 
+// InvalidateLocalRange purges every vpn from the context CPU's TLB in one
+// pass: the same per-entry invlpg costs and LocalInv counts as calling
+// InvalidateLocal per page, but a single lock round trip — the local half
+// of a batched teardown.
+func (c *Context) InvalidateLocalRange(vpns []uint64) {
+	if len(vpns) == 0 {
+		return
+	}
+	cpu := c.cpu
+	var cached int
+	cpu.mu.Lock()
+	for _, vpn := range vpns {
+		if cpu.pteCache.touch(vpn) {
+			cached++
+		}
+		cpu.tlb.Invalidate(vpn)
+	}
+	cpu.mu.Unlock()
+	c.Charge(c.Cost().LocalInvCachedPTE*cycles.Cycles(cached) +
+		c.Cost().LocalInvUncachedPTE*cycles.Cycles(len(vpns)-cached))
+	c.m.counters.LocalInv.Add(uint64(len(vpns)))
+}
+
+// TouchPTERange records PTE-cache touches for every vpn in one lock round
+// (the batched counterpart of TouchPTE).
+func (c *Context) TouchPTERange(vpns []uint64) {
+	c.cpu.mu.Lock()
+	for _, vpn := range vpns {
+		c.cpu.pteCache.touch(vpn)
+	}
+	c.cpu.mu.Unlock()
+}
+
 // Shootdown sends TLB-shootdown IPIs for vpn to every CPU in targets other
 // than the initiator.  The initiator is charged the platform's measured
 // shootdown wait (it spins until all targets acknowledge); each target is
@@ -80,9 +113,7 @@ func (c *Context) ShootdownRange(targets CPUSet, vpns []uint64) {
 		}
 		t := c.m.cpus[id]
 		t.mu.Lock()
-		for _, vpn := range vpns {
-			t.tlb.Invalidate(vpn)
-		}
+		t.tlb.InvalidateRange(vpns)
 		t.mu.Unlock()
 		c.m.counters.HandlerCycles.Add(int64(c.Cost().IPIHandler) +
 			int64(c.Cost().LocalInvCachedPTE)*int64(len(vpns)))

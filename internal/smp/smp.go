@@ -86,6 +86,11 @@ type Counters struct {
 	// initiator's (already charged) wait — folding both into elapsed
 	// time would double-count wall-clock time.
 	HandlerCycles atomic.Int64
+	// BatchedFlushes counts shootdown-queue drains (each at most one
+	// ranged IPI round) and BatchedInv the invalidations they retired;
+	// BatchedInv/BatchedFlushes is the coalescing factor batching earns.
+	BatchedFlushes atomic.Uint64
+	BatchedInv     atomic.Uint64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -95,6 +100,8 @@ type Snapshot struct {
 	IPIsDelivered   uint64
 	FullFlushes     uint64
 	HandlerCycles   int64
+	BatchedFlushes  uint64
+	BatchedInv      uint64
 }
 
 // Sub returns the event deltas since an earlier snapshot.
@@ -105,6 +112,8 @@ func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 		IPIsDelivered:   s.IPIsDelivered - earlier.IPIsDelivered,
 		FullFlushes:     s.FullFlushes - earlier.FullFlushes,
 		HandlerCycles:   s.HandlerCycles - earlier.HandlerCycles,
+		BatchedFlushes:  s.BatchedFlushes - earlier.BatchedFlushes,
+		BatchedInv:      s.BatchedInv - earlier.BatchedInv,
 	}
 }
 
@@ -113,6 +122,10 @@ type Machine struct {
 	Plat arch.Platform
 	Phys *vm.PhysMem
 	cpus []*CPU
+	// sdq holds one batched-shootdown queue per CPU; sdBatch is the
+	// queue depth that forces a flush (0 means DefaultShootdownBatch).
+	sdq     []*shootdownQueue
+	sdBatch atomic.Int64
 
 	counters Counters
 }
@@ -127,6 +140,10 @@ func NewMachine(p arch.Platform, frames int, backed bool) *Machine {
 		Plat: p,
 		Phys: vm.NewPhysMem(frames, backed),
 		cpus: make([]*CPU, p.NumCPUs),
+		sdq:  make([]*shootdownQueue, p.NumCPUs),
+	}
+	for i := range m.sdq {
+		m.sdq[i] = &shootdownQueue{}
 	}
 	coreOf := make(map[int]int, p.NumCPUs)
 	for core, members := range p.Cores {
@@ -165,6 +182,8 @@ func (m *Machine) SnapshotCounters() Snapshot {
 		IPIsDelivered:   m.counters.IPIsDelivered.Load(),
 		FullFlushes:     m.counters.FullFlushes.Load(),
 		HandlerCycles:   m.counters.HandlerCycles.Load(),
+		BatchedFlushes:  m.counters.BatchedFlushes.Load(),
+		BatchedInv:      m.counters.BatchedInv.Load(),
 	}
 }
 
@@ -176,6 +195,8 @@ func (m *Machine) ResetCounters() {
 	m.counters.IPIsDelivered.Store(0)
 	m.counters.FullFlushes.Store(0)
 	m.counters.HandlerCycles.Store(0)
+	m.counters.BatchedFlushes.Store(0)
+	m.counters.BatchedInv.Store(0)
 	for _, c := range m.cpus {
 		c.cycles.Store(0)
 	}

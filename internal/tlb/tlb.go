@@ -35,7 +35,10 @@ type TLB struct {
 	entries  map[uint64]*node
 	// LRU list: head.next is most recently used, tail.prev least.
 	head, tail node
-	stats      Stats
+	// freeNodes recycles evicted/invalidated nodes (chained via next) so
+	// a warm TLB inserts without allocating.
+	freeNodes *node
+	stats     Stats
 }
 
 // New creates a TLB with the given entry capacity.
@@ -61,6 +64,21 @@ func (t *TLB) Len() int { return len(t.entries) }
 func (t *TLB) unlink(n *node) {
 	n.prev.next = n.next
 	n.next.prev = n.prev
+}
+
+func (t *TLB) recycle(n *node) {
+	n.prev = nil
+	n.next = t.freeNodes
+	t.freeNodes = n
+}
+
+func (t *TLB) newNode(vpn, frame uint64) *node {
+	if n := t.freeNodes; n != nil {
+		t.freeNodes = n.next
+		n.vpn, n.frame = vpn, frame
+		return n
+	}
+	return &node{vpn: vpn, frame: frame}
 }
 
 func (t *TLB) pushFront(n *node) {
@@ -100,9 +118,10 @@ func (t *TLB) Insert(vpn, frame uint64) {
 		victim := t.tail.prev
 		t.unlink(victim)
 		delete(t.entries, victim.vpn)
+		t.recycle(victim)
 		t.stats.Evictions++
 	}
-	n := &node{vpn: vpn, frame: frame}
+	n := t.newNode(vpn, frame)
 	t.entries[vpn] = n
 	t.pushFront(n)
 }
@@ -117,13 +136,32 @@ func (t *TLB) Invalidate(vpn uint64) bool {
 	t.stats.Invalidations++
 	t.unlink(n)
 	delete(t.entries, vpn)
+	t.recycle(n)
 	return true
+}
+
+// InvalidateRange drops the entries for every vpn in vpns, returning how
+// many were resident.  It models the loop a ranged-shootdown IPI handler
+// runs: one interrupt, many invlpg instructions.
+func (t *TLB) InvalidateRange(vpns []uint64) int {
+	n := 0
+	for _, vpn := range vpns {
+		if t.Invalidate(vpn) {
+			n++
+		}
+	}
+	return n
 }
 
 // FlushAll empties the TLB (the model's full flush, e.g. CR3 reload).
 func (t *TLB) FlushAll() {
 	t.stats.Flushes++
-	t.entries = make(map[uint64]*node, t.capacity)
+	for n := t.head.next; n != &t.tail; {
+		next := n.next
+		t.recycle(n)
+		n = next
+	}
+	clear(t.entries)
 	t.head.next = &t.tail
 	t.tail.prev = &t.head
 }

@@ -82,6 +82,13 @@ type (
 	Kernel = kernel.Kernel
 	// MapperKind selects the sf_buf kernel or the original kernel.
 	MapperKind = kernel.MapperKind
+	// CachePolicy selects the mapping-cache engine: the sharded per-CPU
+	// design with batched shootdowns (default) or the paper's
+	// global-lock cache.
+	CachePolicy = kernel.CachePolicy
+	// ShardedConfig tunes the sharded engine's stripe count, per-CPU
+	// freelist depth and reclaim batch.
+	ShardedConfig = sfbuf.ShardedConfig
 	// Context is a kernel thread of control pinned to a virtual CPU.
 	Context = smp.Context
 	// Platform describes one of the evaluation machines.
@@ -100,6 +107,16 @@ const (
 	// OriginalKernel boots the baseline: fresh virtual address per
 	// mapping, global TLB invalidation per unmapping.
 	OriginalKernel = kernel.OriginalKernel
+)
+
+// Mapping-cache engines (Config.Cache).
+const (
+	// CacheSharded is the default: lock-striped shards, per-CPU clean
+	// freelists, and teardown shootdowns batched into ranged IPI rounds.
+	CacheSharded = kernel.CacheSharded
+	// CacheGlobal is the paper's Section 4.2 single-lock cache, used by
+	// the figure-reproduction experiments.
+	CacheGlobal = kernel.CacheGlobal
 )
 
 // Boot constructs a simulated kernel per the configuration.
