@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint vet fmt ci clean
+.PHONY: all build test race fuzz-smoke fuzz bench lint vet fmt ci clean
 
 all: build test
 
@@ -12,10 +12,18 @@ build:
 	$(GO) build ./cmd/... ./examples/...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
+
+# Run the checked-in fuzz seed corpus as unit tests (what CI smokes).
+fuzz-smoke:
+	$(GO) test -run 'Fuzz' ./internal/sfbuf
+
+# Actually fuzz the vectored sharded engine for a minute.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzBatchOps -fuzztime 60s ./internal/sfbuf
 
 # Short smoke run: every benchmark once, so they cannot bit-rot.
 bench:
@@ -24,6 +32,11 @@ bench:
 # Full-length contention benchmark (the sharded-vs-global comparison).
 bench-contended:
 	$(GO) test -run '^$$' -bench BenchmarkAllocContended -benchtime 500000x -benchmem .
+
+# Vectored batch economy: locks/page and shootdown rounds/page, batch=16
+# against the single-page baseline.
+bench-batch:
+	$(GO) test -run '^$$' -bench BenchmarkAllocBatch -benchtime 200000x .
 
 lint: vet
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -35,7 +48,7 @@ vet:
 fmt:
 	gofmt -w .
 
-ci: build lint test race bench
+ci: build lint test race fuzz-smoke bench
 
 clean:
 	$(GO) clean ./...

@@ -272,6 +272,72 @@ func BenchmarkAllocContended(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocBatch is the vectored path's acceptance benchmark:
+// contended churn in runs of 16 pages, comparing the sharded engine's
+// native AllocBatch/FreeBatch against the same pages churned one at a
+// time, against the global-lock cache's loop fallback, and against the
+// original kernel's pmap_qenter path.  Reported per page moved: lock
+// round trips, shootdown rounds (single-page IPI rounds plus batched
+// flush rounds), and simulated cycles — the per-engine batch stats the
+// bench smoke records.  The sharded vectored row must show >= 2x fewer
+// locks/page than sharded single-page at equal shootdown rounds/page
+// (enforced by TestVectoredLockAndShootdownEconomy and the scale
+// experiment's batch rows; this benchmark is where the numbers surface).
+func BenchmarkAllocBatch(b *testing.B) {
+	const batch = 16 // == experiments.ScaleBatch
+	cases := []struct {
+		name    string
+		mk      kernel.MapperKind
+		cache   kernel.CachePolicy
+		batched bool
+	}{
+		{"sharded-batch16", kernel.SFBuf, kernel.CacheSharded, true},
+		{"sharded-single", kernel.SFBuf, kernel.CacheSharded, false},
+		{"global-batch16", kernel.SFBuf, kernel.CacheGlobal, true},
+		{"original-batch16", kernel.OriginalKernel, kernel.CacheSharded, true},
+	}
+	const entries = 512
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			k := kernel.MustBoot(kernel.Config{
+				Platform:     arch.XeonMPHTT(),
+				Mapper:       c.mk,
+				Cache:        c.cache,
+				PhysPages:    8*entries + 128,
+				CacheEntries: entries,
+			})
+			pages, err := k.M.Phys.AllocN(4 * entries)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var done int
+			if c.batched {
+				done, err = experiments.ChurnBatch(k, pages, b.N, batch)
+			} else {
+				done, err = experiments.Churn(k, pages, b.N)
+			}
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if done == 0 {
+				return
+			}
+			perPage := float64(done)
+			cnt := k.M.SnapshotCounters()
+			st := k.Map.Stats()
+			b.ReportMetric(float64(cnt.LockAcq)/perPage, "locks/page")
+			b.ReportMetric(float64(cnt.RemoteInvIssued)/perPage, "sdrounds/page")
+			b.ReportMetric(float64(cnt.IPIsDelivered)/perPage, "ipis/page")
+			b.ReportMetric(float64(k.M.TotalCycles())/perPage, "simcycles/page")
+			if st.BatchAllocs > 0 {
+				b.ReportMetric(float64(st.BatchPages)/float64(st.BatchAllocs), "pages/batch")
+			}
+		})
+	}
+}
+
 // BenchmarkMapperMicro compares the four mapper implementations on the
 // same single-page map/touch/unmap loop (Go-time measured; simulated
 // cycles reported as a metric).

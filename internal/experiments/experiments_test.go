@@ -235,6 +235,30 @@ func TestScaleShardedBeatsGlobalOnShootdowns(t *testing.T) {
 	}
 }
 
+func TestScaleBatchRowsAmortizeLocks(t *testing.T) {
+	res, err := RunScale(Options{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := res.Metrics["locks_per_op/sf_buf sharded"]
+	batch := res.Metrics["locks_per_op/sf_buf sharded batch"]
+	if single <= 0 || batch <= 0 {
+		t.Fatalf("lock metrics missing: single %v, batch %v", single, batch)
+	}
+	// The vectored path's whole point: at least half the lock round
+	// trips per page of the single-page path.
+	if batch*2 > single {
+		t.Fatalf("sharded batch locks/op = %v, want <= half of single-page %v", batch, single)
+	}
+	// And it must not regress shootdown behaviour.  The churn is
+	// genuinely concurrent, so reclaim timing wobbles a few percent
+	// run to run; the deterministic bound lives in the sfbuf package's
+	// TestVectoredLockAndShootdownEconomy.
+	if r, s := res.Metrics["remote_per_kop/sf_buf sharded batch"], res.Metrics["remote_per_kop/sf_buf sharded"]; r > s*1.1 {
+		t.Fatalf("batch remote rounds/1k = %v, want <= 1.1x single-page %v", r, s)
+	}
+}
+
 func TestResultRender(t *testing.T) {
 	r := &Result{
 		ID:      "figX",

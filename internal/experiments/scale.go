@@ -23,14 +23,18 @@ func init() {
 // debt into one ranged round per reclaim batch.
 //
 // Reported per variant: hit rate, local invalidations, remote IPI rounds
-// and IPIs delivered per 1000 operations, and the shootdown-queue
-// coalescing factor (invalidations retired per flush).
+// and IPIs delivered per 1000 operations, lock round trips per operation,
+// and the shootdown-queue coalescing factor (invalidations retired per
+// flush).  Each engine appears twice: churning one page at a time, and
+// churning the same pages through the vectored AllocBatch/FreeBatch calls
+// in runs of ScaleBatch — the lock column is where the vectored fast path
+// shows up.
 func RunScale(o Options) (*Result, error) {
 	res := &Result{
 		ID:    "scale",
 		Title: "Contended Alloc/Free: sharded vs. global-lock vs. original (Xeon 4-way)",
 		Columns: []string{"variant", "ops", "hit rate", "local/1k ops",
-			"remote rounds/1k ops", "IPIs/1k ops", "coalesce"},
+			"remote rounds/1k ops", "IPIs/1k ops", "locks/op", "coalesce"},
 		Notes: []string{
 			"working set is 4x the cache so every shared reuse of the global cache pays a shootdown round",
 			"coalesce = invalidations retired per batched flush (sharded engine only)",
@@ -40,6 +44,18 @@ func RunScale(o Options) (*Result, error) {
 	plat := arch.XeonMPHTT()
 	entries := o.scaleInt(256, 64)
 	ops := o.scaleInt(200000, 4000)
+	// Cap the batch so every CPU can hold a full run concurrently with
+	// half the cache to spare: otherwise all CPUs could sleep mid-batch
+	// holding partial runs with nobody left to free.
+	batch := ScaleBatch
+	if max := entries / (2 * plat.NumCPUs); batch > max {
+		batch = max
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("batch rows churn the same pages through AllocBatch/FreeBatch in runs of %d", batch))
 
 	type variant struct {
 		name string
@@ -71,40 +87,58 @@ func RunScale(o Options) (*Result, error) {
 		}()},
 	}
 
-	for _, v := range variants {
-		k, err := kernel.Boot(v.cfg)
-		if err != nil {
-			return nil, err
-		}
-		pages, err := k.M.Phys.AllocN(4 * entries)
-		if err != nil {
-			return nil, err
-		}
-		done, err := Churn(k, pages, ops)
-		if err != nil {
-			return nil, fmt.Errorf("scale %s: %w", v.name, err)
-		}
+	for _, batched := range []bool{false, true} {
+		for _, v := range variants {
+			name := v.name
+			if batched {
+				name = v.name + " batch"
+			}
+			k, err := kernel.Boot(v.cfg)
+			if err != nil {
+				return nil, err
+			}
+			pages, err := k.M.Phys.AllocN(4 * entries)
+			if err != nil {
+				return nil, err
+			}
+			var done int
+			if batched {
+				done, err = ChurnBatch(k, pages, ops, batch)
+			} else {
+				done, err = Churn(k, pages, ops)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("scale %s: %w", name, err)
+			}
 
-		s := k.M.SnapshotCounters()
-		st := k.Map.Stats()
-		perK := func(n uint64) float64 { return float64(n) * 1000 / float64(done) }
-		coalesce := 0.0
-		if s.BatchedFlushes > 0 {
-			coalesce = float64(s.BatchedInv) / float64(s.BatchedFlushes)
+			s := k.M.SnapshotCounters()
+			st := k.Map.Stats()
+			perK := func(n uint64) float64 { return float64(n) * 1000 / float64(done) }
+			coalesce := 0.0
+			if s.BatchedFlushes > 0 {
+				coalesce = float64(s.BatchedInv) / float64(s.BatchedFlushes)
+			}
+			locksPerOp := float64(s.LockAcq) / float64(done)
+			res.Rows = append(res.Rows, []string{
+				name, fmt.Sprintf("%d", done), fmt.Sprintf("%.2f", st.HitRate()),
+				fmtF(perK(s.LocalInv)), fmtF(perK(s.RemoteInvIssued)),
+				fmtF(perK(s.IPIsDelivered)), fmt.Sprintf("%.2f", locksPerOp),
+				fmtF(coalesce),
+			})
+			res.SetMetric("remote_per_kop/"+name, perK(s.RemoteInvIssued))
+			res.SetMetric("ipis_per_kop/"+name, perK(s.IPIsDelivered))
+			res.SetMetric("local_per_kop/"+name, perK(s.LocalInv))
+			res.SetMetric("hitrate/"+name, st.HitRate())
+			res.SetMetric("coalesce/"+name, coalesce)
+			res.SetMetric("locks_per_op/"+name, locksPerOp)
 		}
-		res.Rows = append(res.Rows, []string{
-			v.name, fmt.Sprintf("%d", done), fmt.Sprintf("%.2f", st.HitRate()),
-			fmtF(perK(s.LocalInv)), fmtF(perK(s.RemoteInvIssued)),
-			fmtF(perK(s.IPIsDelivered)), fmtF(coalesce),
-		})
-		res.SetMetric("remote_per_kop/"+v.name, perK(s.RemoteInvIssued))
-		res.SetMetric("ipis_per_kop/"+v.name, perK(s.IPIsDelivered))
-		res.SetMetric("local_per_kop/"+v.name, perK(s.LocalInv))
-		res.SetMetric("hitrate/"+v.name, st.HitRate())
-		res.SetMetric("coalesce/"+v.name, coalesce)
 	}
 	return res, nil
 }
+
+// ScaleBatch is the run length the scale experiment's batch rows use —
+// also the batch size of the acceptance benchmark BenchmarkAllocBatch.
+const ScaleBatch = 16
 
 // Churn runs roughly ops shared Alloc/touch/Free cycles spread across
 // every CPU, one goroutine per CPU, each walking the working set at a
@@ -152,4 +186,52 @@ func Churn(k *kernel.Kernel, pages []*vm.Page, ops int) (int, error) {
 		return 0, fmt.Errorf("leaked references: allocs %d != frees %d", st.Allocs, st.Frees)
 	}
 	return n * ncpu, nil
+}
+
+// ChurnBatch is the vectored counterpart of Churn: every CPU churns the
+// same shared working set, but maps batch pages per AllocBatch, touches
+// each through the honest MMU, and releases them with one FreeBatch.  The
+// returned count is in pages (single-page-op equivalents), so rows and
+// metrics stay directly comparable with Churn's.  BenchmarkAllocBatch
+// drives this loop, keeping the benchmark and the experiment in lockstep.
+func ChurnBatch(k *kernel.Kernel, pages []*vm.Page, ops, batch int) (int, error) {
+	ncpu := k.M.NumCPUs()
+	rounds := ops / ncpu / batch
+	var wg sync.WaitGroup
+	errs := make([]error, ncpu)
+	for cpu := 0; cpu < ncpu; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			ctx := k.Ctx(cpu)
+			scratch := make([]*vm.Page, batch)
+			for i := 0; i < rounds; i++ {
+				for j := 0; j < batch; j++ {
+					scratch[j] = pages[(i*batch*(2*cpu+1)+j*7+cpu*11)%len(pages)]
+				}
+				bufs, err := k.Map.AllocBatch(ctx, scratch, 0)
+				if err != nil {
+					errs[cpu] = err
+					return
+				}
+				for _, b := range bufs {
+					if _, err := k.Pmap.Translate(ctx, b.KVA(), false); err != nil {
+						errs[cpu] = err
+						return
+					}
+				}
+				k.Map.FreeBatch(ctx, bufs)
+			}
+		}(cpu)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	if st := k.Map.Stats(); st.Allocs != st.Frees {
+		return 0, fmt.Errorf("leaked references: allocs %d != frees %d", st.Allocs, st.Frees)
+	}
+	return rounds * ncpu * batch, nil
 }

@@ -9,6 +9,7 @@ package kcopy
 
 import (
 	"sfbuf/internal/pmap"
+	"sfbuf/internal/sfbuf"
 	"sfbuf/internal/smp"
 	"sfbuf/internal/vm"
 )
@@ -54,6 +55,41 @@ func CopyOut(ctx *smp.Context, pm *pmap.Pmap, dst []byte, kva uint64) error {
 		ctx.ChargeBytes(ctx.Cost().CopyPerByte, n)
 		dst = dst[n:]
 		kva += uint64(n)
+	}
+	return nil
+}
+
+// CopyInVec copies src into the page run mapped by bufs, starting at byte
+// offset off within the run.  A vectored mapping's buffers need not be
+// virtually contiguous (only the original kernel's 64-bit path returns a
+// consecutive range), so each page's bytes move through that page's own
+// kernel virtual address — and therefore through the executing CPU's TLB,
+// keeping the coherence protocol load-bearing page by page.
+func CopyInVec(ctx *smp.Context, pm *pmap.Pmap, bufs []*sfbuf.Buf, off int, src []byte) error {
+	for len(src) > 0 {
+		pi, po := off/vm.PageSize, off%vm.PageSize
+		n := min(vm.PageSize-po, len(src))
+		if err := CopyIn(ctx, pm, bufs[pi].KVA()+uint64(po), src[:n]); err != nil {
+			return err
+		}
+		src = src[n:]
+		off += n
+	}
+	return nil
+}
+
+// CopyOutVec copies len(dst) bytes out of the page run mapped by bufs,
+// starting at byte offset off within the run; the vectored counterpart of
+// CopyOut with the same per-page translation behaviour as CopyInVec.
+func CopyOutVec(ctx *smp.Context, pm *pmap.Pmap, dst []byte, bufs []*sfbuf.Buf, off int) error {
+	for len(dst) > 0 {
+		pi, po := off/vm.PageSize, off%vm.PageSize
+		n := min(vm.PageSize-po, len(dst))
+		if err := CopyOut(ctx, pm, dst[:n], bufs[pi].KVA()+uint64(po)); err != nil {
+			return err
+		}
+		dst = dst[n:]
+		off += n
 	}
 	return nil
 }

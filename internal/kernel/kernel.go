@@ -65,6 +65,41 @@ func (p CachePolicy) String() string {
 	return "sharded"
 }
 
+// VectoredPolicy decides whether the converted I/O subsystems map
+// multi-page extents through the vectored calls (AllocBatch/FreeBatch) or
+// page by page.
+type VectoredPolicy int
+
+const (
+	// VectoredAuto is the default: batch exactly where batching buys
+	// something.  Subsystems consult NativeBatch — the sharded cache, the
+	// amd64 direct map, and the original kernel's pmap_qenter path take
+	// the vectored route; the paper's global-lock cache keeps its
+	// historical per-page behaviour, so figure reproduction on
+	// CacheGlobal stays byte-identical.
+	VectoredAuto VectoredPolicy = iota
+	// VectoredOn forces every converted subsystem onto the vectored
+	// path, including the loop-fallback engines and the send paths of
+	// the original kernel (which never batched historically).
+	VectoredOn
+	// VectoredOff forces every subsystem onto the per-page path — the
+	// ablation knob for measuring what batching is worth.  Note it also
+	// strips the original kernel of its pmap_qenter window batching, so
+	// figure experiments must leave the policy on Auto.
+	VectoredOff
+)
+
+// String names the policy for reports.
+func (v VectoredPolicy) String() string {
+	switch v {
+	case VectoredOn:
+		return "on"
+	case VectoredOff:
+		return "off"
+	}
+	return "auto"
+}
+
 // Config describes the kernel to boot.
 type Config struct {
 	// Platform is one of the Section 6.1 machines.
@@ -96,6 +131,10 @@ type Config struct {
 	// ShootdownBatch caps the per-CPU shootdown queue before a flush is
 	// forced; zero means smp.DefaultShootdownBatch.
 	ShootdownBatch int
+	// Vectored selects whether multi-page I/O maps page runs through the
+	// vectored AllocBatch/FreeBatch calls; the zero value (Auto) batches
+	// exactly where the booted engine makes batching a genuine fast path.
+	Vectored VectoredPolicy
 }
 
 // Kernel is one booted simulated kernel instance.
@@ -175,6 +214,37 @@ func MustBoot(cfg Config) *Kernel {
 
 // Ctx returns a kernel thread context on the given CPU.
 func (k *Kernel) Ctx(cpu int) *smp.Context { return k.M.Ctx(cpu) }
+
+// UseVectored reports whether multi-page extents (pipe direct windows,
+// memory-disk runs) should be mapped through the vectored calls.  Auto
+// follows the engine: native batchers (sharded cache, amd64 direct map,
+// the original kernel's pmap_qenter path) batch; the global-lock cache
+// keeps the per-page path the paper describes.
+func (k *Kernel) UseVectored() bool {
+	switch k.Cfg.Vectored {
+	case VectoredOn:
+		return true
+	case VectoredOff:
+		return false
+	}
+	return sfbuf.NativeBatch(k.Map)
+}
+
+// UseVectoredSend reports whether the send-side subsystems (sendfile,
+// zero-copy socket send) should batch-map their page runs.  Auto excludes
+// the original kernel even though its mapper batches: the historical
+// sendfile allocated kernel virtual addresses one page at a time, and the
+// evaluation baselines must keep paying exactly that.  VectoredOn forces
+// batching everywhere.
+func (k *Kernel) UseVectoredSend() bool {
+	switch k.Cfg.Vectored {
+	case VectoredOn:
+		return true
+	case VectoredOff:
+		return false
+	}
+	return k.Cfg.Mapper != OriginalKernel && sfbuf.NativeBatch(k.Map)
+}
 
 // Reset zeroes all machine counters and mapper statistics, preparing for a
 // measured run.

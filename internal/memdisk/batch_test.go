@@ -122,3 +122,38 @@ func TestQuickBatchedWriteReadback(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRequestLargerThanMappingCache pins the vectored fallback: a
+// transfer spanning more pages than the sharded cache holds buffers must
+// fall back to the per-page loop rather than fail with ErrBatchTooLarge.
+func TestRequestLargerThanMappingCache(t *testing.T) {
+	k := kernel.MustBoot(kernel.Config{
+		Platform:     arch.XeonMP(),
+		Mapper:       kernel.SFBuf,
+		Backed:       true,
+		PhysPages:    256,
+		CacheEntries: 8, // far smaller than the 32-page request below
+	})
+	d, err := New(k, 64*vm.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := k.Ctx(0)
+	src := make([]byte, 32*vm.PageSize)
+	for i := range src {
+		src[i] = byte(i * 13)
+	}
+	if err := d.WriteAt(ctx, src, vm.PageSize/2); err != nil {
+		t.Fatalf("oversized write: %v", err)
+	}
+	got := make([]byte, len(src))
+	if err := d.ReadAt(ctx, got, vm.PageSize/2); err != nil {
+		t.Fatalf("oversized read: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("oversized transfer corrupted data")
+	}
+	if st := k.Map.Stats(); st.Allocs != st.Frees {
+		t.Fatalf("leaked mappings: allocs %d != frees %d", st.Allocs, st.Frees)
+	}
+}

@@ -99,10 +99,11 @@ func (d *Disk) WriteAt(ctx *smp.Context, src []byte, off int64) error {
 }
 
 // transfer moves one request's bytes between buf and the disk.  A request
-// spanning multiple pages maps them as one batch when the kernel's mapper
-// supports it (the original kernel's pmap_qenter path for a multi-page
-// buffer); the sf_buf kernel maps page by page through the ephemeral
-// mapping interface, exactly as Section 2.2 describes.
+// spanning multiple pages maps them as one vectored batch when the
+// kernel's mapper makes batching a fast path (the original kernel's
+// pmap_qenter run, the sharded cache's per-shard batching); the paper's
+// global-lock kernel maps page by page through the ephemeral mapping
+// interface, exactly as Section 2.2 describes.
 func (d *Disk) transfer(ctx *smp.Context, buf []byte, off int64, write bool) error {
 	if off < 0 || off+int64(len(buf)) > d.size {
 		return ErrOutOfRange
@@ -121,25 +122,24 @@ func (d *Disk) transfer(ctx *smp.Context, buf []byte, off int64, write bool) err
 
 	first := int(off / vm.PageSize)
 	last := int((off + int64(len(buf)) - 1) / vm.PageSize)
-	if bm, ok := d.k.Map.(sfbuf.BatchMapper); ok && last > first {
-		bufs, err := bm.AllocBatch(ctx, d.pages[first:last+1], d.flags())
-		if err != nil {
+	if last > first && d.k.UseVectored() {
+		bufs, err := d.k.Map.AllocBatch(ctx, d.pages[first:last+1], d.flags())
+		switch {
+		case errors.Is(err, sfbuf.ErrBatchTooLarge):
+			// The request spans more pages than the mapping cache holds
+			// buffers; the per-page loop below still serves it.
+		case err != nil:
 			return fmt.Errorf("memdisk: batch mapping: %w", err)
-		}
-		defer bm.FreeBatch(ctx, bufs)
-		for i, b := range bufs {
-			po, n := pageSpan(off, len(buf), first+i)
-			bo := int64(first+i)*vm.PageSize + int64(po) - off
+		default:
+			defer d.k.Map.FreeBatch(ctx, bufs)
+			runOff := int(off - int64(first)*vm.PageSize)
 			if write {
-				err = kcopy.CopyIn(ctx, d.k.Pmap, b.KVA()+uint64(po), buf[bo:bo+int64(n)])
+				err = kcopy.CopyInVec(ctx, d.k.Pmap, bufs, runOff, buf)
 			} else {
-				err = kcopy.CopyOut(ctx, d.k.Pmap, buf[bo:bo+int64(n)], b.KVA()+uint64(po))
+				err = kcopy.CopyOutVec(ctx, d.k.Pmap, buf, bufs, runOff)
 			}
-			if err != nil {
-				return err
-			}
+			return err
 		}
-		return nil
 	}
 
 	for len(buf) > 0 {
@@ -163,23 +163,6 @@ func (d *Disk) transfer(ctx *smp.Context, buf []byte, off int64, write bool) err
 		off += int64(n)
 	}
 	return nil
-}
-
-// pageSpan returns the in-page offset and length of the part of a request
-// [off, off+n) that falls on page index pi.
-func pageSpan(off int64, n int, pi int) (po, cnt int) {
-	start := int64(pi) * vm.PageSize
-	end := start + vm.PageSize
-	reqEnd := off + int64(n)
-	lo := off
-	if start > lo {
-		lo = start
-	}
-	hi := reqEnd
-	if end < hi {
-		hi = end
-	}
-	return int(lo - start), int(hi - lo)
 }
 
 // Ops returns the cumulative read and write operation counts.

@@ -193,6 +193,9 @@ func (c *Conn) SendZeroCopy(ctx *smp.Context, um *vm.UserMem, off, n int) error 
 		return vm.ErrBounds
 	}
 	ctx.Charge(ctx.Cost().Syscall)
+	if c.st.K.UseVectoredSend() {
+		return c.sendZeroCopyVectored(ctx, um, off, n)
+	}
 	k := c.st.K
 	mss := c.st.MSS()
 
@@ -248,6 +251,90 @@ func (c *Conn) SendZeroCopy(ctx *smp.Context, um *vm.UserMem, off, n int) error 
 		}
 	}
 	return flush()
+}
+
+// sendZeroCopyVectored is the batched mapping variant of SendZeroCopy:
+// each packet's page run is wired and mapped with one vectored AllocBatch
+// and released — when the covering acknowledgment arrives — with one
+// FreeBatch through a run-release refcount.  Packet boundaries, wire
+// counts and checksum behaviour are identical to the per-page path (a
+// page straddling two packets is still wired and mapped once per packet);
+// only the mapping-side lock economy changes.
+func (c *Conn) sendZeroCopyVectored(ctx *smp.Context, um *vm.UserMem, off, n int) error {
+	k := c.st.K
+	mss := c.st.MSS()
+	cur, remaining := off, n
+	for remaining > 0 {
+		pktBytes := min(mss, remaining)
+		// Resolve and wire the run of pages carrying this packet.
+		var (
+			pages []*vm.Page
+			pos   []int
+			lens  []int
+		)
+		for b := 0; b < pktBytes; {
+			pg, po, err := um.PageAt(cur + b)
+			if err != nil {
+				for _, p := range pages {
+					p.Unwire()
+				}
+				return err
+			}
+			take := min(vm.PageSize-po, pktBytes-b)
+			pg.Wire()
+			ctx.Charge(ctx.Cost().PageWire)
+			pages = append(pages, pg)
+			pos = append(pos, po)
+			lens = append(lens, take)
+			b += take
+		}
+		pkt := &mbuf.Chain{}
+		bufs, err := k.Map.AllocBatch(ctx, pages, 0) // shared: no Private flag
+		if errors.Is(err, sfbuf.ErrBatchTooLarge) {
+			// Packet run exceeds the whole mapping cache (pathologically
+			// tiny cache): map its pages one at a time instead.
+			for j, pg := range pages {
+				b, err := k.Map.Alloc(ctx, pg, 0)
+				if err != nil {
+					for _, rest := range pages[j:] {
+						rest.Unwire()
+					}
+					pkt.Free(ctx)
+					return fmt.Errorf("netstack: mapping send page: %w", err)
+				}
+				buf, page := b, pg
+				ext := mbuf.NewExt(b, pg, func(fctx *smp.Context) {
+					k.Map.Free(fctx, buf)
+					page.Unwire()
+				})
+				pkt.Append(mbuf.NewExtMbuf(ext, pos[j], lens[j]))
+			}
+		} else if err != nil {
+			for _, p := range pages {
+				p.Unwire()
+			}
+			return fmt.Errorf("netstack: batch-mapping send run: %w", err)
+		} else {
+			rel := mbuf.NewRunRelease(k.Map, bufs, pages)
+			for j := range bufs {
+				pkt.Append(mbuf.NewExtMbuf(mbuf.NewExt(bufs[j], pages[j], rel.Unref), pos[j], lens[j]))
+			}
+		}
+		ctx.Charge(ctx.Cost().PacketFixed)
+		if !c.st.ChecksumOffload {
+			if err := c.checksumPacket(ctx, pkt); err != nil {
+				pkt.Free(ctx)
+				return err
+			}
+		}
+		if err := c.transmit(ctx, pkt); err != nil {
+			pkt.Free(ctx)
+			return err
+		}
+		cur += pktBytes
+		remaining -= pktBytes
+	}
+	return nil
 }
 
 // SendChain transmits a prepared chain (the sendfile path).  Ownership of

@@ -107,9 +107,7 @@ func (p *Pipe) Close() {
 		// consumed pages were unwired as the reader advanced.  Batch
 		// mappings are released on CPU 0's behalf (process teardown).
 		if p.direct.bufs != nil {
-			if bm, ok := p.k.Map.(sfbuf.BatchMapper); ok {
-				bm.FreeBatch(p.k.Ctx(0), p.direct.bufs)
-			}
+			p.k.Map.FreeBatch(p.k.Ctx(0), p.direct.bufs)
 			p.direct.bufs = nil
 		}
 		for _, pg := range p.direct.pages {
@@ -269,11 +267,19 @@ func (p *Pipe) Read(ctx *smp.Context, dst []byte) (int, error) {
 }
 
 func (p *Pipe) readDirect(ctx *smp.Context, w *directWindow, dst []byte) (int, error) {
-	// The original kernel maps the whole loaned window as one batch
-	// (its per-pipe KVA window + pmap_qenter); the sf_buf kernel maps
-	// page by page through the ephemeral mapping interface.
-	if bm, ok := p.k.Map.(sfbuf.BatchMapper); ok {
-		return p.readDirectBatch(ctx, bm, w, dst)
+	// Kernels whose mapper makes batching a genuine fast path map the
+	// whole loaned window as one vectored request: the original kernel's
+	// per-pipe KVA window + pmap_qenter, the sharded cache's per-shard
+	// batching, the amd64 direct map's free casts.  The paper's
+	// global-lock kernel maps page by page through the ephemeral mapping
+	// interface, exactly as Section 2.1 describes.  A window larger than
+	// the whole mapping cache (ErrBatchTooLarge) falls back to the
+	// per-page path rather than failing the read.
+	if p.k.UseVectored() {
+		n, err := p.readDirectBatch(ctx, w, dst)
+		if !errors.Is(err, sfbuf.ErrBatchTooLarge) {
+			return n, err
+		}
 	}
 	read := 0
 	// "For each physical page, it creates an ephemeral mapping that is
@@ -316,35 +322,32 @@ func (p *Pipe) readDirect(ctx *smp.Context, w *directWindow, dst []byte) (int, e
 	return read, nil
 }
 
-// readDirectBatch is the original kernel's window path: map the whole
-// window once, copy out as the reader drains, unmap with one ranged
-// invalidation when the window is consumed.
-func (p *Pipe) readDirectBatch(ctx *smp.Context, bm sfbuf.BatchMapper, w *directWindow, dst []byte) (int, error) {
+// readDirectBatch is the vectored window path: map the whole window with
+// one AllocBatch, copy out of the buffer vector as the reader drains, and
+// unmap everything with one FreeBatch (one ranged invalidation on the
+// original kernel, one batched teardown on the sharded cache) when the
+// window is consumed.
+func (p *Pipe) readDirectBatch(ctx *smp.Context, w *directWindow, dst []byte) (int, error) {
 	if w.bufs == nil {
-		bufs, err := bm.AllocBatch(ctx, w.pages, sfbuf.Private)
+		bufs, err := p.k.Map.AllocBatch(ctx, w.pages, sfbuf.Private)
 		if err != nil {
 			return 0, fmt.Errorf("pipe: batch-mapping loaned window: %w", err)
 		}
 		w.bufs = bufs
 	}
 	read := 0
-	for read < len(dst) && w.n > 0 {
-		b := w.bufs[w.pageIdx]
-		chunk := min(vm.PageSize-w.off, w.n)
-		chunk = min(chunk, len(dst)-read)
-		if err := kcopy.CopyOut(ctx, p.k.Pmap, dst[read:read+chunk], b.KVA()+uint64(w.off)); err != nil {
-			return read, err
+	if len(dst) > 0 && w.n > 0 {
+		read = min(len(dst), w.n)
+		off := w.pageIdx*vm.PageSize + w.off
+		if err := kcopy.CopyOutVec(ctx, p.k.Pmap, dst[:read], w.bufs, off); err != nil {
+			return 0, err
 		}
-		read += chunk
-		w.off += chunk
-		w.n -= chunk
-		if w.off == vm.PageSize {
-			w.pageIdx++
-			w.off = 0
-		}
+		off += read
+		w.pageIdx, w.off = off/vm.PageSize, off%vm.PageSize
+		w.n -= read
 	}
 	if w.n == 0 {
-		bm.FreeBatch(ctx, w.bufs)
+		p.k.Map.FreeBatch(ctx, w.bufs)
 		w.bufs = nil
 		for _, pg := range w.pages {
 			pg.Unwire()

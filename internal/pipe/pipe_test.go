@@ -344,3 +344,50 @@ func TestBackToBackTransfers(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDirectWindowLargerThanMappingCache pins the vectored fallback: a
+// loaned window spanning more pages than the sharded cache holds buffers
+// must be read page by page rather than fail with ErrBatchTooLarge.
+func TestDirectWindowLargerThanMappingCache(t *testing.T) {
+	k := kernel.MustBoot(kernel.Config{
+		Platform:     arch.XeonMP(),
+		Mapper:       kernel.SFBuf,
+		Backed:       true,
+		PhysPages:    256,
+		CacheEntries: 4, // the 8-page window below cannot batch-map
+	})
+	um, err := vm.AllocUserMem(k.M.Phys, 8*vm.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, 8*vm.PageSize)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	if err := um.WriteAt(0, src); err != nil {
+		t.Fatal(err)
+	}
+	p := New(k)
+	done := make(chan error, 1)
+	go func() { done <- p.Write(k.Ctx(1), um, 0, len(src)) }()
+	got := make([]byte, 0, len(src))
+	buf := make([]byte, 4096)
+	for len(got) < len(src) {
+		n, err := p.Read(k.Ctx(0), buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("byte %d: got %#x want %#x", i, got[i], src[i])
+		}
+	}
+	if st := k.Map.Stats(); st.Allocs != st.Frees {
+		t.Fatalf("leaked mappings: allocs %d != frees %d", st.Allocs, st.Frees)
+	}
+}

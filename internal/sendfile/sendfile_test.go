@@ -175,3 +175,63 @@ func TestSendFileEmptyFile(t *testing.T) {
 		t.Fatalf("sendfile(empty) = (%d, %v)", n, err)
 	}
 }
+
+// TestSendFileTinyMappingCacheFallsBackPerRun pins the vectored
+// fallback: with a cache smaller than VectoredRun, the run's AllocBatch
+// fails with ErrBatchTooLarge and the pages must still flow one mapping
+// at a time.
+func TestSendFileTinyMappingCacheFallsBackPerRun(t *testing.T) {
+	k, err := kernel.Boot(kernel.Config{
+		Platform:     arch.XeonMP(),
+		Mapper:       kernel.SFBuf,
+		PhysPages:    1024,
+		Backed:       true,
+		CacheEntries: 8, // < VectoredRun (16)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := memdisk.New(k, 512*fs.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := k.Ctx(0)
+	fsys, err := fs.Mkfs(ctx, k, d, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 24*fs.BlockSize+100) // > one VectoredRun of pages
+	rand.New(rand.NewSource(77)).Read(want)
+	if err := fsys.WriteFile(ctx, "big.bin", want); err != nil {
+		t.Fatal(err)
+	}
+	st := netstack.NewStack(k, netstack.MTUSmall)
+	c := st.NewConn()
+	got := make([]byte, 0, len(want))
+	done := make(chan error, 1)
+	go func() {
+		n, err := SendFile(k.Ctx(1), k, fsys, c, "big.bin")
+		if err == nil && n != int64(len(want)) {
+			err = errors.New("short send")
+		}
+		done <- err
+	}()
+	buf := make([]byte, 8192)
+	for len(got) < len(want) {
+		n, err := c.Recv(ctx, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	c.Close(ctx)
+	if !bytes.Equal(got, want) {
+		t.Fatal("tiny-cache sendfile corrupted data")
+	}
+	if st := k.Map.Stats(); st.Allocs != st.Frees {
+		t.Fatalf("leaked mappings: allocs %d != frees %d", st.Allocs, st.Frees)
+	}
+}

@@ -99,6 +99,8 @@ const (
 type mapCore interface {
 	alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf, error)
 	free(ctx *smp.Context, b *Buf)
+	allocBatch(ctx *smp.Context, pages []*vm.Page, flags Flags) ([]*Buf, error)
+	freeBatch(ctx *smp.Context, bufs []*Buf)
 	interruptWakeup()
 	snapshotStats() Stats
 	resetStats()
@@ -109,8 +111,9 @@ type mapCore interface {
 }
 
 type cache struct {
-	m  *smp.Machine
-	pm *pmap.Pmap
+	m     *smp.Machine
+	pm    *pmap.Pmap
+	total int // buffer count, the ceiling on any one batch
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -122,9 +125,10 @@ type cache struct {
 
 func newCache(m *smp.Machine, pm *pmap.Pmap, vas []uint64) *cache {
 	c := &cache{
-		m:    m,
-		pm:   pm,
-		hash: make(map[uint64]*Buf, len(vas)),
+		m:     m,
+		pm:    pm,
+		total: len(vas),
+		hash:  make(map[uint64]*Buf, len(vas)),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	// "The inactive list is filled as follows: a range of kernel virtual
@@ -276,6 +280,52 @@ func (c *cache) free(ctx *smp.Context, b *Buf) {
 		c.inactive.pushTail(b)
 		c.cond.Signal()
 	}
+}
+
+// allocBatch is the global-lock cache's vectored fallback: exactly one
+// alloc per page, in order, so the engine's observable behaviour — and
+// every cycle the cost model charges — is byte-identical whether a
+// subsystem maps a run through this call or page by page.  The paper's
+// design has nothing to amortize here (its bottleneck IS the one lock),
+// which is why NativeBatch reports false for it and the converted
+// subsystems leave it on their historical per-page paths.
+func (c *cache) allocBatch(ctx *smp.Context, pages []*vm.Page, flags Flags) ([]*Buf, error) {
+	if len(pages) == 0 {
+		return nil, nil
+	}
+	if len(pages) > c.total {
+		return nil, ErrBatchTooLarge
+	}
+	bufs := make([]*Buf, 0, len(pages))
+	for _, pg := range pages {
+		b, err := c.alloc(ctx, pg, flags)
+		if err != nil {
+			for _, prev := range bufs {
+				c.free(ctx, prev)
+			}
+			return nil, err
+		}
+		bufs = append(bufs, b)
+	}
+	c.mu.Lock()
+	c.stats.BatchAllocs++
+	c.stats.BatchPages += uint64(len(pages))
+	c.mu.Unlock()
+	return bufs, nil
+}
+
+// freeBatch releases each buffer in order — the loop the per-page callers
+// would have run themselves.
+func (c *cache) freeBatch(ctx *smp.Context, bufs []*Buf) {
+	if len(bufs) == 0 {
+		return
+	}
+	for _, b := range bufs {
+		c.free(ctx, b)
+	}
+	c.mu.Lock()
+	c.stats.BatchFrees++
+	c.mu.Unlock()
 }
 
 // interruptWakeup wakes all sleepers so those with a pending signal can

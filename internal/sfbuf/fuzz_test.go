@@ -1,0 +1,231 @@
+package sfbuf
+
+// Native Go fuzz target for the vectored sharded engine.  A byte string
+// decodes into a trace of single and batched operations over a
+// deliberately tiny cache (constant reclaim pressure), and the
+// stale-mapping invariant is the oracle: every read through a live Buf's
+// kernel virtual address, performed through the honest TLB model, must
+// see the mapped frame's current bytes.  Allocation uses NoWait
+// throughout — the trace runs on one goroutine, so a sleeping alloc would
+// deadlock; a WouldBlock outcome is simply a no-op step.
+//
+// The seed corpus lives in testdata/fuzz/FuzzBatchOps; digits '0'-'5'
+// conveniently decode to opcodes 0-5, so the seeds are readable op lists.
+
+import (
+	"errors"
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/vm"
+)
+
+const (
+	fuzzEntries = 12
+	fuzzPages   = 36
+)
+
+func FuzzBatchOps(f *testing.F) {
+	// Each opcode consumes two bytes: op = b[i]%6, arg = b[i+1].
+	f.Add([]byte("0a0b1c4d5e2a3b"))                                // allocs, a batch, write, verify, frees
+	f.Add([]byte("1a1b1c1d3a3b3c"))                                // batch churn beyond the cache size
+	f.Add([]byte("0\x80" + "0\x81" + "4\xff" + "5\x00" + "2\x00")) // private flags, write/verify
+	f.Add([]byte("1\xf0" + "1\xf1" + "1\xf2" + "1\xf3" + "1\xf4")) // NoWait exhaustion + rollback
+	f.Add([]byte("0123456789abcdef0123456789abcdef"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runBatchOpsTrace(t, data)
+	})
+}
+
+// fuzzHandle mirrors diffHandle for the fuzz replay.
+type fuzzHandle struct {
+	b       *Buf
+	page    int
+	cpu     int
+	private bool
+}
+
+func runBatchOpsTrace(t *testing.T, data []byte) {
+	r := newShardedRig(t, arch.XeonMPHTT(), fuzzEntries,
+		ShardedConfig{ReclaimBatch: 3, PerCPUFree: 2})
+	var model [fuzzPages]byte
+	vmPages := make([]*vm.Page, fuzzPages)
+	for i := range vmPages {
+		pg, err := r.m.Phys.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Data()[0] = byte(i)
+		model[i] = byte(i)
+		vmPages[i] = pg
+	}
+	ncpu := r.m.NumCPUs()
+
+	var singles []fuzzHandle
+	var batches [][]fuzzHandle
+	// The single-page Alloc counts a failed NoWait attempt in
+	// Stats.Allocs (the paper's "calls to sf_buf_alloc"); a failed batch
+	// allocates nothing and counts nothing.  Track the two failure kinds
+	// so the drain ledger can be audited exactly.
+	failedSingles, failedBatches := uint64(0), uint64(0)
+	live := func() int {
+		n := len(singles)
+		for _, b := range batches {
+			n += len(b)
+		}
+		return n
+	}
+	liveAt := func(pick int) *fuzzHandle {
+		if pick < len(singles) {
+			return &singles[pick]
+		}
+		pick -= len(singles)
+		for bi := range batches {
+			if pick < len(batches[bi]) {
+				return &batches[bi][pick]
+			}
+			pick -= len(batches[bi])
+		}
+		return nil
+	}
+	verify := func(h *fuzzHandle, cpu int) {
+		if h.private {
+			cpu = h.cpu
+		}
+		ctx := r.m.Ctx(cpu)
+		got, err := r.pm.Translate(ctx, h.b.KVA(), false)
+		if err != nil {
+			t.Fatalf("translate page %d: %v", h.page, err)
+		}
+		if got.Data()[0] != model[h.page] {
+			t.Fatalf("page %d reads %#x, want %#x — stale mapping dereferenced",
+				h.page, got.Data()[0], model[h.page])
+		}
+	}
+
+	for i := 0; i+1 < len(data); i += 2 {
+		op, arg := int(data[i]%6), int(data[i+1])
+		cpu := (arg >> 2) % ncpu
+		switch op {
+		case 0: // single alloc, NoWait
+			flags := NoWait
+			if arg&0x80 != 0 {
+				flags |= Private
+			}
+			pi := arg % fuzzPages
+			b, err := r.sf.Alloc(r.m.Ctx(cpu), vmPages[pi], flags)
+			if errors.Is(err, ErrWouldBlock) {
+				failedSingles++
+				continue
+			}
+			if err != nil {
+				t.Fatalf("alloc: %v", err)
+			}
+			h := fuzzHandle{b: b, page: pi, cpu: cpu, private: arg&0x80 != 0}
+			singles = append(singles, h)
+			verify(&h, cpu)
+		case 1: // batch alloc, NoWait
+			n := 1 + (arg>>4)%8
+			start := arg % (fuzzPages - n)
+			flags := NoWait
+			if arg&0x01 != 0 {
+				flags |= Private
+			}
+			run := vmPages[start : start+n]
+			bufs, err := r.sf.AllocBatch(r.m.Ctx(cpu), run, flags)
+			if errors.Is(err, ErrWouldBlock) || errors.Is(err, ErrBatchTooLarge) {
+				failedBatches++
+				continue
+			}
+			if err != nil {
+				t.Fatalf("allocBatch: %v", err)
+			}
+			hs := make([]fuzzHandle, n)
+			for j, b := range bufs {
+				if b.Page() != run[j] {
+					t.Fatalf("batch buf %d maps wrong page", j)
+				}
+				hs[j] = fuzzHandle{b: b, page: start + j, cpu: cpu, private: arg&0x01 != 0}
+				verify(&hs[j], cpu)
+			}
+			batches = append(batches, hs)
+		case 2: // free one single
+			if len(singles) == 0 {
+				continue
+			}
+			pick := arg % len(singles)
+			h := singles[pick]
+			verify(&h, h.cpu)
+			r.sf.Free(r.m.Ctx(h.cpu), h.b)
+			singles = append(singles[:pick], singles[pick+1:]...)
+		case 3: // free one batch
+			if len(batches) == 0 {
+				continue
+			}
+			pick := arg % len(batches)
+			hs := batches[pick]
+			bufs := make([]*Buf, len(hs))
+			for j := range hs {
+				verify(&hs[j], hs[j].cpu)
+				bufs[j] = hs[j].b
+			}
+			r.sf.FreeBatch(r.m.Ctx(hs[0].cpu), bufs)
+			batches = append(batches[:pick], batches[pick+1:]...)
+		case 4: // write through a live mapping
+			if live() == 0 {
+				continue
+			}
+			h := liveAt(arg % live())
+			wcpu := cpu
+			if h.private {
+				wcpu = h.cpu
+			}
+			ctx := r.m.Ctx(wcpu)
+			got, err := r.pm.Translate(ctx, h.b.KVA(), true)
+			if err != nil {
+				t.Fatalf("write translate: %v", err)
+			}
+			v := byte(arg) | 1
+			got.Data()[0] = v
+			model[h.page] = v
+			verify(h, wcpu)
+		case 5: // verify a live mapping
+			if live() == 0 {
+				continue
+			}
+			verify(liveAt(arg%live()), cpu)
+		}
+	}
+
+	// Drain and audit the ledger.
+	for i := range singles {
+		verify(&singles[i], singles[i].cpu)
+		r.sf.Free(r.m.Ctx(singles[i].cpu), singles[i].b)
+	}
+	for _, hs := range batches {
+		bufs := make([]*Buf, len(hs))
+		for j := range hs {
+			verify(&hs[j], hs[j].cpu)
+			bufs[j] = hs[j].b
+		}
+		r.sf.FreeBatch(r.m.Ctx(hs[0].cpu), bufs)
+	}
+	st := r.sf.Stats()
+	if st.Allocs != st.Frees+failedSingles {
+		t.Fatalf("allocs %d != frees %d + failed singles %d after drain",
+			st.Allocs, st.Frees, failedSingles)
+	}
+	if st.WouldBlock != failedSingles+failedBatches {
+		t.Fatalf("WouldBlock %d != failed singles %d + failed batches %d",
+			st.WouldBlock, failedSingles, failedBatches)
+	}
+	if got := r.sf.InactiveLen(); got != fuzzEntries {
+		t.Fatalf("inactive = %d, want %d after drain", got, fuzzEntries)
+	}
+	for i, pg := range vmPages {
+		if pg.Data()[0] != model[i] {
+			t.Fatalf("page %d backing store %#x, model %#x — write hit the wrong frame",
+				i, pg.Data()[0], model[i])
+		}
+	}
+}

@@ -91,6 +91,24 @@ func (s *I386) Free(ctx *smp.Context, b *Buf) {
 	s.c.free(ctx, b)
 }
 
+// AllocBatch implements the vectored alloc: a native fast path on the
+// sharded engine, a semantics-preserving loop on the paper's cache.
+func (s *I386) AllocBatch(ctx *smp.Context, pages []*vm.Page, flags Flags) ([]*Buf, error) {
+	return s.c.allocBatch(ctx, pages, flags)
+}
+
+// FreeBatch implements the vectored free.
+func (s *I386) FreeBatch(ctx *smp.Context, bufs []*Buf) {
+	s.c.freeBatch(ctx, bufs)
+}
+
+// nativeBatch reports whether the underlying engine amortizes vectored
+// requests (the sharded engine does; the global-lock cache loops).
+func (s *I386) nativeBatch() bool {
+	_, ok := s.c.(*shardedCache)
+	return ok
+}
+
 // Name implements Mapper.
 func (s *I386) Name() string { return s.name }
 

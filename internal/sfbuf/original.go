@@ -110,6 +110,10 @@ func (o *Original) AllocBatch(ctx *smp.Context, pages []*vm.Page, flags Flags) (
 			}
 			bufs = append(bufs, b)
 		}
+		o.mu.Lock()
+		o.stats.BatchAllocs++
+		o.stats.BatchPages += uint64(len(pages))
+		o.mu.Unlock()
 		return bufs, nil
 	}
 	ctx.ChargeLock()
@@ -135,6 +139,8 @@ func (o *Original) AllocBatch(ctx *smp.Context, pages []*vm.Page, flags Flags) (
 	o.stats.Allocs += uint64(len(pages))
 	o.stats.Misses += uint64(len(pages))
 	o.stats.VAAllocs++
+	o.stats.BatchAllocs++
+	o.stats.BatchPages += uint64(len(pages))
 	o.mu.Unlock()
 	return bufs, nil
 }
@@ -150,6 +156,9 @@ func (o *Original) FreeBatch(ctx *smp.Context, bufs []*Buf) {
 		for _, b := range bufs {
 			o.Free(ctx, b)
 		}
+		o.mu.Lock()
+		o.stats.BatchFrees++
+		o.mu.Unlock()
 		return
 	}
 	ctx.ChargeLock()
@@ -165,10 +174,16 @@ func (o *Original) FreeBatch(ctx *smp.Context, bufs []*Buf) {
 	o.arena.Free(bufs[0].kva)
 	o.mu.Lock()
 	o.stats.Frees += uint64(len(bufs))
+	o.stats.BatchFrees++
 	o.mu.Unlock()
 }
 
-var _ BatchMapper = (*Original)(nil)
+// nativeBatch: pmap_qenter semantics — one virtual-address allocation and
+// one ranged shootdown per run — are the original kernel's whole batching
+// story (on 64-bit pmaps; the i386 pmap loops, see AllocBatch).
+func (o *Original) nativeBatch() bool { return true }
+
+var _ nativeBatcher = (*Original)(nil)
 
 // Name implements Mapper.
 func (o *Original) Name() string { return "original" }

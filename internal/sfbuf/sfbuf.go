@@ -52,6 +52,10 @@ var (
 	// ErrInterrupted reports that an interruptible sleep was broken by
 	// a signal (the paper's NULL return under "interruptible").
 	ErrInterrupted = errors.New("sfbuf: sleep interrupted by signal")
+	// ErrBatchTooLarge reports an AllocBatch request for more pages than
+	// the mapping cache holds buffers: such a batch could never be
+	// satisfied and sleeping for it would deadlock.
+	ErrBatchTooLarge = errors.New("sfbuf: batch exceeds mapping-cache capacity")
 )
 
 // Buf is an ephemeral mapping object — the sf_buf.  The paper keeps it
@@ -110,6 +114,14 @@ type Stats struct {
 	FreelistAllocs uint64
 	Reclaims       uint64
 	Reclaimed      uint64
+
+	// Vectored-path events: BatchAllocs and BatchFrees count AllocBatch
+	// and FreeBatch calls, BatchPages the pages those calls moved.  The
+	// per-page Allocs/Frees above include batched pages, so the batch
+	// fraction of a workload is BatchPages / Allocs.
+	BatchAllocs uint64
+	BatchFrees  uint64
+	BatchPages  uint64
 }
 
 // HitRate returns the mapping-cache hit rate in [0, 1], or 0 when no
@@ -122,26 +134,26 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// BatchMapper is implemented by mappers that can map and unmap a run of
-// pages as one request, the way the original kernel's pmap_qenter and
-// pmap_qremove handle a multi-page buffer: one virtual-address allocation
-// and one ranged TLB shootdown for the whole run.  Subsystems that operate
-// on multi-page extents (the pipe's direct windows, the memory disk's
-// block transfers) use the batch path when the kernel offers it.
-//
-// The sf_buf interface itself is deliberately per-page — its performance
-// comes from not needing invalidations at all, not from batching them.
-type BatchMapper interface {
-	Mapper
-	// AllocBatch maps the pages at consecutive kernel virtual addresses.
-	AllocBatch(ctx *smp.Context, pages []*vm.Page, flags Flags) ([]*Buf, error)
-	// FreeBatch releases a batch in one ranged operation.
-	FreeBatch(ctx *smp.Context, bufs []*Buf)
-}
+// BatchMapper is the historical name for a mapper with the vectored
+// calls.  The vectored API is now part of Mapper itself, so the alias is
+// kept only for source compatibility.
+type BatchMapper = Mapper
 
 // Mapper is the machine-independent ephemeral mapping interface of
-// Table 1.  Alloc is sf_buf_alloc, Free is sf_buf_free; the two remaining
-// functions of the table are methods on Buf.
+// Table 1, extended with the vectored calls AllocBatch and FreeBatch.
+// Alloc is sf_buf_alloc, Free is sf_buf_free; the two remaining functions
+// of the table are methods on Buf.
+//
+// The vectored calls map or unmap a run of pages as one request, the way
+// the original kernel's pmap_qenter and pmap_qremove handle a multi-page
+// buffer.  Their batching leverage is engine-specific: the original
+// kernel performs one virtual-address allocation and one ranged TLB
+// shootdown per run; the sharded cache takes one shard-lock round per
+// shard per batch, restocks clean buffers with bulk freelist pops, and
+// retires the whole batch's teardown debt in a single queued shootdown
+// flush; the paper's global-lock cache runs a semantics-preserving loop,
+// so figure reproduction on it stays byte-identical to the per-page path.
+// NativeBatch reports which of these a mapper provides.
 type Mapper interface {
 	// Alloc returns an sf_buf mapping the given physical page.  An
 	// implementation may return the same Buf to multiple callers mapping
@@ -150,10 +162,39 @@ type Mapper interface {
 	Alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf, error)
 	// Free releases one reference to the mapping.
 	Free(ctx *smp.Context, b *Buf)
+	// AllocBatch maps every page of the run, returning one Buf per page
+	// in order.  The returned addresses need not be contiguous (only the
+	// original kernel's 64-bit path guarantees a consecutive run), and
+	// duplicate pages in one batch may share a Buf on engines that share
+	// mappings.  On error no page of the batch remains mapped.
+	AllocBatch(ctx *smp.Context, pages []*vm.Page, flags Flags) ([]*Buf, error)
+	// FreeBatch releases one reference to every mapping of the batch.
+	// A batch obtained from AllocBatch must be released through
+	// FreeBatch as a unit: the original kernel recycles the run's
+	// address range whole.  Cache engines additionally accept any
+	// combination of single and batched bufs.
+	FreeBatch(ctx *smp.Context, bufs []*Buf)
 	// Name identifies the implementation for reports.
 	Name() string
 	// Stats returns cumulative mapper statistics.
 	Stats() Stats
 	// ResetStats zeroes the statistics.
 	ResetStats()
+}
+
+// nativeBatcher is implemented by mappers whose vectored path is a
+// genuine fast path rather than a semantics-preserving loop.
+type nativeBatcher interface {
+	nativeBatch() bool
+}
+
+// NativeBatch reports whether m's AllocBatch/FreeBatch amortize work
+// across the run — fewer lock round trips, bulk page-table passes, or
+// coalesced shootdowns — rather than looping over the single-page calls.
+// Subsystems use it to decide whether mapping a multi-page extent as a
+// batch buys anything; the paper's global-lock cache reports false so the
+// figure-reproduction experiments keep their exact per-page behaviour.
+func NativeBatch(m Mapper) bool {
+	nb, ok := m.(nativeBatcher)
+	return ok && nb.nativeBatch()
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sfbuf/internal/cycles"
 	"sfbuf/internal/pmap"
 	"sfbuf/internal/smp"
 	"sfbuf/internal/vm"
@@ -136,9 +137,10 @@ type cpuFree struct {
 }
 
 type shardedCache struct {
-	m   *smp.Machine
-	pm  *pmap.Pmap
-	cfg ShardedConfig
+	m     *smp.Machine
+	pm    *pmap.Pmap
+	cfg   ShardedConfig
+	total int // buffer count, the ceiling on any one batch
 
 	shards    []*cacheShard
 	shardMask uint64
@@ -164,6 +166,15 @@ type shardedCache struct {
 	// pressure spreads across stripes.
 	reclaimHand atomic.Uint64
 
+	// batchMu serializes batches that must sleep for buffers.  Two
+	// concurrent batches each under the capacity guard could otherwise
+	// deadlock holding partial runs (4+4 buffers of an 8-buffer cache,
+	// both asleep, nobody left to free).  A batch that cannot complete
+	// releases everything it holds, queues here, and only the single
+	// holder may accumulate a partial run across sleeps — every other
+	// starving batch waits empty-handed, so the holder always drains.
+	batchMu sync.Mutex
+
 	ablate Ablation
 
 	// Statistics are per-field atomics: the engine exists to kill the
@@ -171,6 +182,7 @@ type shardedCache struct {
 	allocs, frees, hits, misses         atomic.Uint64
 	sleeps, interrupted, wouldBlock     atomic.Uint64
 	freelistAllocs, reclaims, reclaimed atomic.Uint64
+	batchAllocs, batchFrees, batchPages atomic.Uint64
 }
 
 var (
@@ -188,6 +200,7 @@ func newShardedCache(m *smp.Machine, pm *pmap.Pmap, vas []uint64, cfg ShardedCon
 		m:         m,
 		pm:        pm,
 		cfg:       cfg,
+		total:     len(vas),
 		shards:    make([]*cacheShard, cfg.Shards),
 		shardMask: uint64(cfg.Shards - 1),
 		freelists: make([]*cpuFree, m.NumCPUs()),
@@ -211,26 +224,44 @@ func newShardedCache(m *smp.Machine, pm *pmap.Pmap, vas []uint64, cfg ShardedCon
 	return c
 }
 
-func (c *shardedCache) shardFor(frame uint64) *cacheShard {
+func (c *shardedCache) shardIdx(frame uint64) uint64 {
 	// Fibonacci hashing spreads dense frame numbers across stripes.
-	return c.shards[(frame*0x9E3779B97F4A7C15>>32)&c.shardMask]
+	return (frame * 0x9E3779B97F4A7C15 >> 32) & c.shardMask
 }
 
-// bumpFree publishes that a buffer became reusable and wakes one sleeper.
-// The generation increment must happen after the buffer is visible on its
-// list so a concurrent allocator that misses the buffer is guaranteed to
-// observe the new generation and rescan instead of sleeping.  A sleeper
-// that registers after the waiters check necessarily re-reads freeGen
-// after registering (both are sequentially consistent atomics), sees the
-// increment, and rescans — so skipping the lock here cannot strand it.
-func (c *shardedCache) bumpFree() {
+func (c *shardedCache) shardFor(frame uint64) *cacheShard {
+	return c.shards[c.shardIdx(frame)]
+}
+
+// bumpFreeN publishes that n buffers became reusable and wakes sleepers
+// accordingly: one for a single buffer, all of them for a batch (each
+// freed buffer may satisfy a different sleeper, and a woken allocator
+// that resolves without consuming clean stock — a hash hit — never
+// re-signals, so under-waking a batch would strand sleepers on buffers
+// that are sitting free).  The generation increment must happen after
+// the buffers are visible on their lists so a concurrent allocator that
+// misses them is guaranteed to observe the new generation and rescan
+// instead of sleeping.  A sleeper that registers after the waiters check
+// necessarily re-reads freeGen after registering (both are sequentially
+// consistent atomics), sees the increment, and rescans — so skipping the
+// lock here cannot strand it.
+func (c *shardedCache) bumpFreeN(n int) {
+	if n <= 0 {
+		return
+	}
 	c.freeGen.Add(1)
 	if c.waiters.Load() > 0 {
 		c.pool.mu.Lock()
-		c.pool.cond.Signal()
+		if n == 1 {
+			c.pool.cond.Signal()
+		} else {
+			c.pool.cond.Broadcast()
+		}
 		c.pool.mu.Unlock()
 	}
 }
+
+func (c *shardedCache) bumpFree() { c.bumpFreeN(1) }
 
 // taint records which CPUs may pull the mapping into their TLBs during
 // this use: the calling CPU for Private mappings, everyone for shared
@@ -409,6 +440,319 @@ func (c *shardedCache) putClean(ctx *smp.Context, b *Buf) {
 	c.bumpFree()
 }
 
+// takeCleanBulk pops up to n clean buffers with as few lock round trips
+// as possible: the calling CPU's freelist first (one round trip for the
+// whole take), then the overflow pool, then sibling freelists.  It takes
+// no shard locks, so callers may hold one.  It returns whatever stock it
+// could find appended to into; the shortfall is the caller's to reclaim.
+func (c *shardedCache) takeCleanBulk(ctx *smp.Context, n int, into []*Buf) []*Buf {
+	want := n
+	pop := func(bufs *[]*Buf) {
+		take := want
+		if m := len(*bufs); take > m {
+			take = m
+		}
+		if take > 0 {
+			cut := len(*bufs) - take
+			into = append(into, (*bufs)[cut:]...)
+			*bufs = (*bufs)[:cut]
+			want -= take
+		}
+	}
+	ctx.ChargeLock()
+	f := c.freelists[ctx.CPUID()]
+	f.mu.Lock()
+	pop(&f.bufs)
+	f.mu.Unlock()
+	if want > 0 {
+		ctx.ChargeLock()
+		c.pool.mu.Lock()
+		pop(&c.pool.bufs)
+		c.pool.mu.Unlock()
+	}
+	for i := 0; want > 0 && i < len(c.freelists); i++ {
+		if i == ctx.CPUID() {
+			continue
+		}
+		of := c.freelists[i]
+		ctx.ChargeLock()
+		of.mu.Lock()
+		pop(&of.bufs)
+		of.mu.Unlock()
+	}
+	c.freelistAllocs.Add(uint64(n - want))
+	return into
+}
+
+// putCleanBulk restocks clean buffers: the calling CPU's freelist up to
+// its bound in one round trip, the surplus to the overflow pool, and one
+// wakeup round for the lot.
+func (c *shardedCache) putCleanBulk(ctx *smp.Context, bufs []*Buf) {
+	n := len(bufs)
+	ctx.ChargeLock()
+	f := c.freelists[ctx.CPUID()]
+	f.mu.Lock()
+	if room := c.cfg.PerCPUFree - len(f.bufs); room > 0 {
+		take := min(room, len(bufs))
+		f.bufs = append(f.bufs, bufs[:take]...)
+		bufs = bufs[take:]
+	}
+	f.mu.Unlock()
+	if len(bufs) > 0 {
+		ctx.ChargeLock()
+		c.pool.mu.Lock()
+		c.pool.bufs = append(c.pool.bufs, bufs...)
+		c.pool.mu.Unlock()
+	}
+	c.bumpFreeN(n)
+}
+
+// batchGroup is one shard's share of a vectored request: the indices of
+// the batch's pages (or buffers) homed on that shard.
+type batchGroup struct {
+	shard *cacheShard
+	idxs  []int
+}
+
+// groupByShard splits batch indices by home shard in first-appearance
+// order, so a vectored operation takes each shard's lock exactly once.
+func (c *shardedCache) groupByShard(n int, frameOf func(int) uint64) []batchGroup {
+	groups := make([]batchGroup, 0, n)
+	pos := make(map[uint64]int, n)
+	for i := 0; i < n; i++ {
+		si := c.shardIdx(frameOf(i))
+		gi, ok := pos[si]
+		if !ok {
+			gi = len(groups)
+			pos[si] = gi
+			groups = append(groups, batchGroup{shard: c.shards[si]})
+		}
+		groups[gi].idxs = append(groups[gi].idxs, i)
+	}
+	return groups
+}
+
+// allocBatch is the sharded engine's native vectored sf_buf_alloc: the
+// whole run is resolved with one shard-lock round trip per shard touched,
+// clean buffers are restocked with one bulk freelist pop instead of one
+// pop per miss, and any reclaim a shortage forces retires its entire
+// teardown debt in a single ranged shootdown flush.  The per-page
+// bookkeeping cost (MapperOp) is unchanged — the vectored win is lock
+// round trips and IPI rounds, not hash lookups.
+func (c *shardedCache) allocBatch(ctx *smp.Context, pages []*vm.Page, flags Flags) ([]*Buf, error) {
+	if len(pages) == 0 {
+		return nil, nil
+	}
+	if len(pages) > c.total {
+		return nil, ErrBatchTooLarge
+	}
+	ctx.Charge(ctx.Cost().MapperOp * cycles.Cycles(len(pages)))
+
+	groups := c.groupByShard(len(pages), func(i int) uint64 { return pages[i].Frame() })
+	out := make([]*Buf, len(pages))
+	pending := len(pages) // pages not yet resolved, the restock target
+	var stash []*Buf      // clean buffers carried across shard groups
+	starving := false     // holding batchMu: sole batch allowed to sleep with a partial run
+	defer func() {
+		if starving {
+			c.batchMu.Unlock()
+		}
+		if len(stash) > 0 {
+			c.putCleanBulk(ctx, stash)
+		}
+	}()
+
+restart:
+	for gi := 0; gi < len(groups); gi++ {
+		g := &groups[gi]
+		s := g.shard
+	retry:
+		for {
+			gen := c.freeGen.Load()
+			ctx.ChargeLock()
+			s.mu.Lock()
+			for _, idx := range g.idxs {
+				if out[idx] != nil {
+					continue // resolved before a shortage retry
+				}
+				pg := pages[idx]
+				frame := pg.Frame()
+				if b, ok := s.hash[frame]; ok && c.ablate&AblateSharing == 0 {
+					if b.ref == 0 {
+						s.inactive.remove(b)
+					}
+					b.ref++
+					c.taint(ctx, b, flags)
+					out[idx] = b
+					pending--
+					c.hits.Add(1)
+					continue
+				}
+				if len(stash) == 0 {
+					// Bulk restock for every page the batch still has
+					// outstanding, not just this group's.  Clean-stock
+					// locks never nest around shard locks anywhere, so
+					// holding s.mu is safe — the same argument as the
+					// single-page miss path.
+					stash = c.takeCleanBulk(ctx, pending, stash)
+				}
+				if len(stash) == 0 {
+					// Shortage: give the shard up and run one reclaim
+					// round (its whole teardown debt lands in one
+					// flush), keeping the batch's shortfall for
+					// ourselves instead of round-tripping it through
+					// the freelists.
+					s.mu.Unlock()
+					if stash = c.reclaimBulk(ctx, pending, stash); len(stash) > 0 {
+						continue retry
+					}
+					// Exhausted: every buffer is referenced.
+					if flags&NoWait != 0 {
+						c.wouldBlock.Add(1)
+						c.rollbackBatch(ctx, out)
+						return nil, ErrWouldBlock
+					}
+					if !starving {
+						// Sleeping while holding a partial run is only
+						// deadlock-free for one batch at a time: drop
+						// everything, take the starvation token, and
+						// rebuild from scratch as its sole holder.
+						c.rollbackBatch(ctx, out)
+						pending = len(pages)
+						ctx.ChargeLock()
+						c.batchMu.Lock()
+						starving = true
+						gi = -1 // restart every group
+						continue restart
+					}
+					c.pool.mu.Lock()
+					c.waiters.Add(1)
+					if c.freeGen.Load() != gen {
+						// A buffer was freed after our scan began.
+						c.waiters.Add(-1)
+						c.pool.mu.Unlock()
+						continue retry
+					}
+					c.sleeps.Add(1)
+					c.pool.cond.Wait()
+					c.waiters.Add(-1)
+					if flags&Catch != 0 && ctx.Interrupted() {
+						// Pass the wakeup on, as the single-page path
+						// does, then unwind the partial batch.
+						if c.waiters.Load() > 0 {
+							c.pool.cond.Signal()
+						}
+						c.pool.mu.Unlock()
+						c.interrupted.Add(1)
+						c.rollbackBatch(ctx, out)
+						return nil, ErrInterrupted
+					}
+					c.pool.mu.Unlock()
+					continue retry
+				}
+				b := stash[len(stash)-1]
+				stash = stash[:len(stash)-1]
+				b.page = pg
+				b.ref = 1
+				// Clean buffer: invalid, unaccessed old PTE — no
+				// invalidation owed, exactly as in the single-page miss.
+				c.pm.KEnter(ctx, b.kva, pg)
+				if c.ablate&AblateSharing == 0 {
+					s.hash[frame] = b
+				}
+				c.taint(ctx, b, flags)
+				out[idx] = b
+				pending--
+				c.misses.Add(1)
+			}
+			s.mu.Unlock()
+			break
+		}
+	}
+	c.allocs.Add(uint64(len(pages)))
+	c.batchAllocs.Add(1)
+	c.batchPages.Add(uint64(len(pages)))
+	return out, nil
+}
+
+// rollbackBatch releases the references a partial batch holds and clears
+// the slots it released.  The batch's pages were never counted as
+// allocated, so the unwind bypasses the statistics too.
+func (c *shardedCache) rollbackBatch(ctx *smp.Context, out []*Buf) {
+	freed := 0
+	for i, b := range out {
+		if b == nil {
+			continue
+		}
+		ctx.ChargeLock()
+		s := c.shardFor(b.page.Frame())
+		s.mu.Lock()
+		b.ref--
+		if b.ref == 0 {
+			s.inactive.pushTail(b)
+			freed++
+		}
+		s.mu.Unlock()
+		out[i] = nil
+	}
+	c.bumpFreeN(freed)
+}
+
+// freeBatch is the sharded engine's native vectored sf_buf_free: one
+// shard-lock round trip per shard per batch and one wakeup for the lot.
+// Under eager teardown (AblateLazyTeardown) the whole batch's
+// invalidation debt is retired in one page-table pass and one queued
+// shootdown flush, instead of one flush per buffer.
+func (c *shardedCache) freeBatch(ctx *smp.Context, bufs []*Buf) {
+	if len(bufs) == 0 {
+		return
+	}
+	ctx.Charge(ctx.Cost().MapperOp * cycles.Cycles(len(bufs)))
+	for _, b := range bufs {
+		if b.page == nil {
+			panic("sfbuf: free of unreferenced sf_buf")
+		}
+	}
+	groups := c.groupByShard(len(bufs), func(i int) uint64 { return bufs[i].page.Frame() })
+
+	var eager []*Buf
+	freed := 0
+	for gi := range groups {
+		g := &groups[gi]
+		s := g.shard
+		ctx.ChargeLock()
+		s.mu.Lock()
+		for _, idx := range g.idxs {
+			b := bufs[idx]
+			if b.ref <= 0 {
+				s.mu.Unlock()
+				panic("sfbuf: free of unreferenced sf_buf")
+			}
+			b.ref--
+			if b.ref > 0 {
+				continue
+			}
+			if c.ablate&AblateLazyTeardown != 0 {
+				if cur, ok := s.hash[b.page.Frame()]; ok && cur == b {
+					delete(s.hash, b.page.Frame())
+				}
+				eager = append(eager, b)
+			} else {
+				s.inactive.pushTail(b)
+				freed++
+			}
+		}
+		s.mu.Unlock()
+	}
+	c.frees.Add(uint64(len(bufs)))
+	c.batchFrees.Add(1)
+	if len(eager) > 0 {
+		c.teardownBatch(ctx, eager)
+		c.putCleanBulk(ctx, eager) // wakes one sleeper per buffer restocked
+	}
+	c.bumpFreeN(freed)
+}
+
 // reclaimScratch holds one reclaim round's working slices; pooling them
 // keeps the steady-state churn path allocation-free.
 type reclaimScratch struct {
@@ -422,15 +766,29 @@ type reclaimScratch struct {
 
 var scratchPool = sync.Pool{New: func() any { return new(reclaimScratch) }}
 
-// reclaim harvests up to ReclaimBatch least-recently-used inactive
-// buffers, tears their mappings down, and retires every invalidation the
-// teardown owes through the per-CPU shootdown queue — ONE ranged IPI
-// round for the whole batch instead of one round per mapping.  Mappings
-// whose accessed bit is clear owe nothing (no TLB can cache an unaccessed
-// translation), and accessed mappings owe only their tlbmask, so a
-// CPU-private workload reclaims without interrupting anyone.  Returns one
-// clean buffer for the caller, restocking the rest.
+// reclaim runs one reclaim round and returns one clean buffer for the
+// caller, restocking the rest — the single-page miss path.
 func (c *shardedCache) reclaim(ctx *smp.Context) *Buf {
+	var one [1]*Buf
+	got := c.reclaimBulk(ctx, 1, one[:0])
+	if len(got) == 0 {
+		return nil
+	}
+	return got[0]
+}
+
+// reclaimBulk harvests least-recently-used inactive buffers, tears their
+// mappings down, and retires every invalidation the teardown owes through
+// the per-CPU shootdown queue — ONE ranged IPI round for the whole round
+// instead of one round per mapping.  Mappings whose accessed bit is clear
+// owe nothing (no TLB can cache an unaccessed translation), and accessed
+// mappings owe only their tlbmask, so a CPU-private workload reclaims
+// without interrupting anyone.  Up to want clean buffers are appended to
+// into for the caller (the vectored path hands a whole batch's shortfall
+// straight to the allocator instead of bouncing it through freelists);
+// the surplus restocks the freelists.  The round harvests at least the
+// configured ReclaimBatch so large wants keep the one-round amortization.
+func (c *shardedCache) reclaimBulk(ctx *smp.Context, want int, into []*Buf) []*Buf {
 	scratch := scratchPool.Get().(*reclaimScratch)
 	defer func() {
 		scratch.victims = scratch.victims[:0]
@@ -441,13 +799,17 @@ func (c *shardedCache) reclaim(ctx *smp.Context) *Buf {
 		scratch.queueMasks = scratch.queueMasks[:0]
 		scratchPool.Put(scratch)
 	}()
+	goal := c.cfg.ReclaimBatch
+	if want > goal {
+		goal = want
+	}
 	victims := scratch.victims
 	start := c.reclaimHand.Add(1)
-	for i := 0; i < len(c.shards) && len(victims) < c.cfg.ReclaimBatch; i++ {
+	for i := 0; i < len(c.shards) && len(victims) < goal; i++ {
 		t := c.shards[(start+uint64(i))%uint64(len(c.shards))]
 		ctx.ChargeLock()
 		t.mu.Lock()
-		for len(victims) < c.cfg.ReclaimBatch {
+		for len(victims) < goal {
 			b := t.inactive.popHead()
 			if b == nil {
 				break
@@ -463,17 +825,72 @@ func (c *shardedCache) reclaim(ctx *smp.Context) *Buf {
 	}
 	scratch.victims = victims
 	if len(victims) == 0 {
-		return nil
+		return into
 	}
 
 	c.reclaims.Add(1)
 	c.reclaimed.Add(uint64(len(victims)))
+	c.teardownBatch(ctx, victims)
+
+	keep := want
+	if keep > len(victims) {
+		keep = len(victims)
+	}
+	into = append(into, victims[:keep]...)
+	surplus := len(victims) - keep
+	if rest := victims[keep:]; len(rest) > 0 {
+		// Spread the surplus across every CPU's freelist, starting with
+		// our own: each CPU's next misses then restock locally instead
+		// of stealing through the sibling freelists lock by lock.
+		ncpu := len(c.freelists)
+		share := (len(rest) + ncpu - 1) / ncpu
+		for i := 0; i < ncpu && len(rest) > 0; i++ {
+			f := c.freelists[(ctx.CPUID()+i)%ncpu]
+			n := share
+			if n > len(rest) {
+				n = len(rest)
+			}
+			ctx.ChargeLock()
+			f.mu.Lock()
+			if room := c.cfg.PerCPUFree - len(f.bufs); n > room {
+				n = room
+			}
+			if n > 0 {
+				f.bufs = append(f.bufs, rest[:n]...)
+				rest = rest[n:]
+			}
+			f.mu.Unlock()
+		}
+		if len(rest) > 0 {
+			c.pool.mu.Lock()
+			c.pool.bufs = append(c.pool.bufs, rest...)
+			c.pool.mu.Unlock()
+		}
+		c.bumpFreeN(surplus)
+	}
+	return into
+}
+
+// teardownBatch removes every victim's mapping in one page-table pass and
+// retires the whole batch's invalidation debt at once: one batched local
+// purge for the initiating CPU, the remote share queued per victim's
+// tlbmask, and ONE forced flush — a single ranged IPI round for the whole
+// batch.  The caller owns the victims exclusively (popped from their
+// shards under their locks); on return each victim is clean, its cpumask
+// truthfully "all processors", ready to restock.
+func (c *shardedCache) teardownBatch(ctx *smp.Context, victims []*Buf) {
+	scratch := scratchPool.Get().(*reclaimScratch)
+	defer func() {
+		scratch.vpns = scratch.vpns[:0]
+		scratch.accessed = scratch.accessed[:0]
+		scratch.selfVpns = scratch.selfVpns[:0]
+		scratch.queueVpns = scratch.queueVpns[:0]
+		scratch.queueMasks = scratch.queueMasks[:0]
+		scratchPool.Put(scratch)
+	}()
 	all := c.m.AllCPUs()
 	self := ctx.CPUID()
 
-	// Tear every victim's mapping down in one page-table pass, then
-	// retire the invalidation debt: one batched local purge for the
-	// initiating CPU, and the remote share queued per victim's tlbmask.
 	vpns := scratch.vpns
 	for _, b := range victims {
 		vpns = append(vpns, pmap.VPN(b.kva))
@@ -502,39 +919,6 @@ func (c *shardedCache) reclaim(ctx *smp.Context) *Buf {
 	// The forced flush: the virtual addresses are about to be reused, so
 	// the queued invalidations must land now — in one IPI round.
 	ctx.FlushShootdowns()
-
-	b := victims[0]
-	if rest := victims[1:]; len(rest) > 0 {
-		// Spread the surplus across every CPU's freelist, starting with
-		// our own: each CPU's next misses then restock locally instead
-		// of stealing through the sibling freelists lock by lock.
-		ncpu := len(c.freelists)
-		share := (len(rest) + ncpu - 1) / ncpu
-		for i := 0; i < ncpu && len(rest) > 0; i++ {
-			f := c.freelists[(ctx.CPUID()+i)%ncpu]
-			n := share
-			if n > len(rest) {
-				n = len(rest)
-			}
-			ctx.ChargeLock()
-			f.mu.Lock()
-			if room := c.cfg.PerCPUFree - len(f.bufs); n > room {
-				n = room
-			}
-			if n > 0 {
-				f.bufs = append(f.bufs, rest[:n]...)
-				rest = rest[n:]
-			}
-			f.mu.Unlock()
-		}
-		if len(rest) > 0 {
-			c.pool.mu.Lock()
-			c.pool.bufs = append(c.pool.bufs, rest...)
-			c.pool.mu.Unlock()
-		}
-		c.bumpFree()
-	}
-	return b
 }
 
 // teardown removes b's mapping and queues whatever invalidations the
@@ -621,6 +1005,9 @@ func (c *shardedCache) snapshotStats() Stats {
 		FreelistAllocs: c.freelistAllocs.Load(),
 		Reclaims:       c.reclaims.Load(),
 		Reclaimed:      c.reclaimed.Load(),
+		BatchAllocs:    c.batchAllocs.Load(),
+		BatchFrees:     c.batchFrees.Load(),
+		BatchPages:     c.batchPages.Load(),
 	}
 }
 
@@ -635,6 +1022,9 @@ func (c *shardedCache) resetStats() {
 	c.freelistAllocs.Store(0)
 	c.reclaims.Store(0)
 	c.reclaimed.Store(0)
+	c.batchAllocs.Store(0)
+	c.batchFrees.Store(0)
+	c.batchPages.Store(0)
 }
 
 // inactiveLen counts every unreferenced buffer: latently-valid buffers on

@@ -2,6 +2,7 @@ package sfbuf
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"sfbuf/internal/arch"
@@ -89,6 +90,154 @@ func TestShardedConcurrentChurn(t *testing.T) {
 	}
 	if s.Reclaims == 0 {
 		t.Fatal("stress must have exercised batched reclaim")
+	}
+}
+
+// TestShardedBatchChurnConcurrent is the vectored path's -race workout:
+// workers mix AllocBatch/FreeBatch runs with single-page Alloc/Free over
+// a working set larger than the cache, so batched hits, bulk freelist
+// pops, shortage reclaims inside a batch, and single-page ops interleave
+// on the same shards.  Every buffer of every batch is read through the
+// honest MMU before release — a batched teardown that leaves any stale
+// mapping dereferenceable returns wrong bytes, not just a bad counter.
+func TestShardedBatchChurnConcurrent(t *testing.T) {
+	const entries = 32
+	r := newShardedRig(t, arch.XeonMPHTT(), entries,
+		ShardedConfig{ReclaimBatch: 6, PerCPUFree: 3})
+	pages := make([]*vm.Page, 4*entries)
+	for i := range pages {
+		pages[i] = r.page(t)
+		pages[i].Data()[0] = byte(i)
+	}
+
+	const workers = 6
+	const iters = 250
+	var wg sync.WaitGroup
+	var allocated atomic.Uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := r.m.Ctx(w % r.m.NumCPUs())
+			check := func(b *Buf, idx int) bool {
+				got, err := r.pm.Translate(ctx, b.KVA(), false)
+				if err != nil {
+					t.Error(err)
+					return false
+				}
+				if got.Data()[0] != byte(idx) {
+					t.Errorf("worker %d: read %#x, want %#x — stale mapping dereferenced",
+						w, got.Data()[0], byte(idx))
+					return false
+				}
+				return true
+			}
+			for i := 0; i < iters; i++ {
+				var flags Flags
+				if (i+w)%3 == 0 {
+					flags = Private
+				}
+				if i%2 == 0 {
+					// Vectored run of 3-6 distinct pages.
+					n := 3 + (i+w)%4
+					start := (i*(2*w+3) + w*13) % (len(pages) - n)
+					bufs, err := r.sf.AllocBatch(ctx, pages[start:start+n], flags)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					allocated.Add(uint64(n))
+					for j, b := range bufs {
+						if !check(b, start+j) {
+							return
+						}
+					}
+					r.sf.FreeBatch(ctx, bufs)
+				} else {
+					idx := (i*(2*w+5) + w*7) % len(pages)
+					b, err := r.sf.Alloc(ctx, pages[idx], flags)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					allocated.Add(1)
+					if !check(b, idx) {
+						return
+					}
+					r.sf.Free(ctx, b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := r.sf.Stats()
+	if s.Allocs != s.Frees || s.Allocs != allocated.Load() {
+		t.Fatalf("allocs/frees = %d/%d, want %d", s.Allocs, s.Frees, allocated.Load())
+	}
+	if s.BatchAllocs == 0 || s.BatchFrees == 0 {
+		t.Fatal("stress must have exercised the vectored path")
+	}
+	if s.Reclaims == 0 {
+		t.Fatal("stress must have exercised batched reclaim")
+	}
+	if got := r.sf.InactiveLen(); got != entries {
+		t.Fatalf("inactive = %d, want %d after drain", got, entries)
+	}
+	for _, pg := range pages {
+		if ref, _, ok := r.sf.LookupRef(pg); ok && ref != 0 {
+			t.Fatalf("page %d: ref = %d after drain", pg.Frame(), ref)
+		}
+	}
+}
+
+// TestShardedBatchNoWaitStress pins the batch rollback under concurrency:
+// with the whole cache held, NoWait batches on every CPU fail fast,
+// never sleep, and leak no references.
+func TestShardedBatchNoWaitStress(t *testing.T) {
+	r := newShardedRig(t, arch.XeonMPHTT(), 4, ShardedConfig{})
+	ctx := r.m.Ctx(0)
+	heldPages := make([]*vm.Page, 4)
+	for i := range heldPages {
+		heldPages[i] = r.page(t)
+	}
+	held, err := r.sf.AllocBatch(ctx, heldPages, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sctx := r.m.Ctx(w % r.m.NumCPUs())
+			fresh := make([]*vm.Page, 3)
+			for i := range fresh {
+				pg, err := r.m.Phys.Alloc()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				fresh[i] = pg
+			}
+			for i := 0; i < 40; i++ {
+				if _, err := r.sf.AllocBatch(sctx, fresh, NoWait); err != ErrWouldBlock {
+					t.Errorf("want ErrWouldBlock, got %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.sf.Stats().Sleeps; got != 0 {
+		t.Fatalf("NoWait batch slept %d times", got)
+	}
+	r.sf.FreeBatch(ctx, held)
+	if r.sf.InactiveLen() != 4 {
+		t.Fatal("cache did not drain after batch rollback stress")
+	}
+	if s := r.sf.Stats(); s.Allocs != s.Frees {
+		t.Fatalf("allocs %d != frees %d", s.Allocs, s.Frees)
 	}
 }
 

@@ -31,6 +31,14 @@ type Sparc64 struct {
 
 	directAllocs atomic.Uint64
 	directFrees  atomic.Uint64
+
+	// Batch statistics live at the hybrid level: one AllocBatch call is
+	// one batch regardless of how many per-color sub-batches (or
+	// direct-map casts) serve it, so the per-color engines' own batch
+	// counters are ignored by Stats.
+	batchAllocs atomic.Uint64
+	batchFrees  atomic.Uint64
+	batchPages  atomic.Uint64
 }
 
 var _ Mapper = (*Sparc64)(nil)
@@ -116,6 +124,94 @@ func (s *Sparc64) Free(ctx *smp.Context, b *Buf) {
 	b.home.free(ctx, b)
 }
 
+// AllocBatch implements the vectored alloc for the hybrid: direct-map
+// pages resolve inline (casts, as on amd64), and the cache-bound pages
+// are split into one sub-batch per required color, each handed to that
+// color's engine — so per-color striping multiplies with the sharded
+// engine's per-shard batching when the sharded cores are configured.
+func (s *Sparc64) AllocBatch(ctx *smp.Context, pages []*vm.Page, flags Flags) ([]*Buf, error) {
+	if len(pages) == 0 {
+		return nil, nil
+	}
+	s.batchAllocs.Add(1)
+	s.batchPages.Add(uint64(len(pages)))
+	bufs := make([]*Buf, len(pages))
+	byColor := make([][]int, s.numColors)
+	for i, pg := range pages {
+		want := pg.UserColor
+		if want < 0 || want == s.pageColor(pg) {
+			s.directAllocs.Add(1)
+			bufs[i] = &Buf{kva: s.pm.DirectVA(pg), page: pg}
+			continue
+		}
+		c := want % s.numColors
+		byColor[c] = append(byColor[c], i)
+	}
+	for color, idxs := range byColor {
+		if len(idxs) == 0 {
+			continue
+		}
+		sub := make([]*vm.Page, len(idxs))
+		for j, idx := range idxs {
+			sub[j] = pages[idx]
+		}
+		got, err := s.colors[color].allocBatch(ctx, sub, flags)
+		if err != nil {
+			// Unwind the colors (and direct casts) already resolved.
+			var undo []*Buf
+			for _, b := range bufs {
+				if b != nil {
+					undo = append(undo, b)
+				}
+			}
+			s.FreeBatch(ctx, undo)
+			return nil, err
+		}
+		for j, idx := range idxs {
+			bufs[idx] = got[j]
+		}
+	}
+	return bufs, nil
+}
+
+// FreeBatch releases a vectored batch, grouping the buffers by owning
+// color engine so each engine sees its share as one batch.
+func (s *Sparc64) FreeBatch(ctx *smp.Context, bufs []*Buf) {
+	if len(bufs) == 0 {
+		return
+	}
+	s.batchFrees.Add(1)
+	type group struct {
+		home mapCore
+		bufs []*Buf
+	}
+	var groups []group
+	pos := make(map[mapCore]int)
+	for _, b := range bufs {
+		if b.home == nil {
+			s.directFrees.Add(1)
+			continue
+		}
+		gi, ok := pos[b.home]
+		if !ok {
+			gi = len(groups)
+			pos[b.home] = gi
+			groups = append(groups, group{home: b.home})
+		}
+		groups[gi].bufs = append(groups[gi].bufs, b)
+	}
+	for _, g := range groups {
+		g.home.freeBatch(ctx, g.bufs)
+	}
+}
+
+// nativeBatch reports whether the color engines amortize vectored
+// requests; the direct-map share always does.
+func (s *Sparc64) nativeBatch() bool {
+	_, ok := s.colors[0].(*shardedCache)
+	return ok
+}
+
 // Name implements Mapper.
 func (s *Sparc64) Name() string { return "sf_buf/sparc64" }
 
@@ -136,6 +232,9 @@ func (s *Sparc64) Stats() Stats {
 		t.Reclaims += cs.Reclaims
 		t.Reclaimed += cs.Reclaimed
 	}
+	t.BatchAllocs = s.batchAllocs.Load()
+	t.BatchFrees = s.batchFrees.Load()
+	t.BatchPages = s.batchPages.Load()
 	d := s.directAllocs.Load()
 	t.Allocs += d
 	t.Hits += d
@@ -150,6 +249,9 @@ func (s *Sparc64) ResetStats() {
 	}
 	s.directAllocs.Store(0)
 	s.directFrees.Store(0)
+	s.batchAllocs.Store(0)
+	s.batchFrees.Store(0)
+	s.batchPages.Store(0)
 }
 
 // NumColors returns the configured color count.

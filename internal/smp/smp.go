@@ -91,6 +91,11 @@ type Counters struct {
 	// BatchedInv/BatchedFlushes is the coalescing factor batching earns.
 	BatchedFlushes atomic.Uint64
 	BatchedInv     atomic.Uint64
+	// LockAcq counts kernel lock round trips charged through ChargeLock.
+	// It is the denominator-free form of the vectored-path economy claim:
+	// a batched mapper operation must take fewer lock round trips per
+	// page than the equivalent run of single-page operations.
+	LockAcq atomic.Uint64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -102,6 +107,7 @@ type Snapshot struct {
 	HandlerCycles   int64
 	BatchedFlushes  uint64
 	BatchedInv      uint64
+	LockAcq         uint64
 }
 
 // Sub returns the event deltas since an earlier snapshot.
@@ -114,6 +120,7 @@ func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 		HandlerCycles:   s.HandlerCycles - earlier.HandlerCycles,
 		BatchedFlushes:  s.BatchedFlushes - earlier.BatchedFlushes,
 		BatchedInv:      s.BatchedInv - earlier.BatchedInv,
+		LockAcq:         s.LockAcq - earlier.LockAcq,
 	}
 }
 
@@ -184,6 +191,7 @@ func (m *Machine) SnapshotCounters() Snapshot {
 		HandlerCycles:   m.counters.HandlerCycles.Load(),
 		BatchedFlushes:  m.counters.BatchedFlushes.Load(),
 		BatchedInv:      m.counters.BatchedInv.Load(),
+		LockAcq:         m.counters.LockAcq.Load(),
 	}
 }
 
@@ -197,6 +205,7 @@ func (m *Machine) ResetCounters() {
 	m.counters.HandlerCycles.Store(0)
 	m.counters.BatchedFlushes.Store(0)
 	m.counters.BatchedInv.Store(0)
+	m.counters.LockAcq.Store(0)
 	for _, c := range m.cpus {
 		c.cycles.Store(0)
 	}
@@ -283,6 +292,7 @@ func (c *Context) ChargeBytes(perByte float64, n int) {
 func (c *Context) ChargeLock() {
 	if c.m.Plat.MPKernel {
 		c.Charge(c.m.Plat.Cost.LockUncontended)
+		c.m.counters.LockAcq.Add(1)
 	}
 }
 

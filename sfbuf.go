@@ -45,10 +45,11 @@ type (
 	Buf = sfbuf.Buf
 	// Flags modify Alloc behaviour: Private, NoWait, Catch.
 	Flags = sfbuf.Flags
-	// Mapper is the four-function ephemeral mapping interface.
+	// Mapper is the ephemeral mapping interface: the four Table-1
+	// functions plus the vectored AllocBatch/FreeBatch calls.
 	Mapper = sfbuf.Mapper
-	// BatchMapper additionally maps page runs with single ranged
-	// operations (the original kernel's pmap_qenter path).
+	// BatchMapper is the historical name for a mapper with the vectored
+	// calls, now an alias of Mapper.
 	BatchMapper = sfbuf.BatchMapper
 	// MapperStats reports mapping-cache behaviour.
 	MapperStats = sfbuf.Stats
@@ -71,7 +72,15 @@ var (
 	ErrWouldBlock = sfbuf.ErrWouldBlock
 	// ErrInterrupted is Alloc's interrupted-sleep failure.
 	ErrInterrupted = sfbuf.ErrInterrupted
+	// ErrBatchTooLarge is AllocBatch's over-capacity failure.
+	ErrBatchTooLarge = sfbuf.ErrBatchTooLarge
 )
+
+// NativeBatch reports whether a mapper's vectored calls amortize work
+// across the run (sharded cache, amd64 direct map, original kernel)
+// rather than looping over the single-page calls (the paper's
+// global-lock cache).
+func NativeBatch(m Mapper) bool { return sfbuf.NativeBatch(m) }
 
 // Kernel assembly.
 type (
@@ -86,6 +95,9 @@ type (
 	// design with batched shootdowns (default) or the paper's
 	// global-lock cache.
 	CachePolicy = kernel.CachePolicy
+	// VectoredPolicy decides whether the converted subsystems map
+	// multi-page extents through the vectored calls.
+	VectoredPolicy = kernel.VectoredPolicy
 	// ShardedConfig tunes the sharded engine's stripe count, per-CPU
 	// freelist depth and reclaim batch.
 	ShardedConfig = sfbuf.ShardedConfig
@@ -117,6 +129,18 @@ const (
 	// CacheGlobal is the paper's Section 4.2 single-lock cache, used by
 	// the figure-reproduction experiments.
 	CacheGlobal = kernel.CacheGlobal
+)
+
+// Vectored-I/O policies (Config.Vectored).
+const (
+	// VectoredAuto batches multi-page I/O exactly where the booted
+	// engine makes batching a genuine fast path (the default).
+	VectoredAuto = kernel.VectoredAuto
+	// VectoredOn forces every converted subsystem onto the vectored
+	// path.
+	VectoredOn = kernel.VectoredOn
+	// VectoredOff forces per-page mapping everywhere (ablation knob).
+	VectoredOff = kernel.VectoredOff
 )
 
 // Boot constructs a simulated kernel per the configuration.
