@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke fuzz bench lint vet fmt ci clean
+.PHONY: all build test race fuzz-smoke fuzz bench bench-contended bench-batch bench-run lint vet fmt ci clean
 
 all: build test
 
@@ -37,6 +37,11 @@ bench-contended:
 # against the single-page baseline.
 bench-batch:
 	$(GO) test -run '^$$' -bench BenchmarkAllocBatch -benchtime 200000x .
+
+# Contiguous-run economy: walks/page and shootdown rounds/page, run=16
+# against the scattered batch + per-page translation baseline.
+bench-run:
+	$(GO) test -run '^$$' -bench BenchmarkAllocRun -benchtime 200000x .
 
 lint: vet
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

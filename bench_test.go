@@ -338,6 +338,77 @@ func BenchmarkAllocBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocRun is the contiguous-run acceptance benchmark: contended
+// churn in windows of 16 pages, comparing the sharded engine's native
+// AllocRun + ranged translation against the scattered AllocBatch +
+// per-page translation path (the CopyOutVec cost shape), the global-lock
+// cache's loop-identical run fallback, and the original kernel.
+// Reported per page moved: page-table walks (the ranged-translate
+// economy — the run row must show >= 4x fewer than the batch row, pinned
+// by TestRunTranslateEconomy), TLB entries filled, shootdown rounds
+// (which must stay equal or better: window teardown debt launders in
+// batches), and simulated cycles.
+func BenchmarkAllocRun(b *testing.B) {
+	const run = 16 // == experiments.ScaleBatch
+	cases := []struct {
+		name  string
+		mk    kernel.MapperKind
+		cache kernel.CachePolicy
+		mode  string
+	}{
+		{"sharded-run16", kernel.SFBuf, kernel.CacheSharded, "run"},
+		{"sharded-batch16", kernel.SFBuf, kernel.CacheSharded, "batch"},
+		{"global-run16", kernel.SFBuf, kernel.CacheGlobal, "run"},
+		{"original-run16", kernel.OriginalKernel, kernel.CacheSharded, "run"},
+	}
+	const entries = 512
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			k := kernel.MustBoot(kernel.Config{
+				Platform:     arch.XeonMPHTT(),
+				Mapper:       c.mk,
+				Cache:        c.cache,
+				PhysPages:    8*entries + 128,
+				CacheEntries: entries,
+			})
+			pages, err := k.M.Phys.AllocN(4 * entries)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var done int
+			if c.mode == "run" {
+				done, err = experiments.ChurnRun(k, pages, b.N, run)
+			} else {
+				done, err = experiments.ChurnBatch(k, pages, b.N, run)
+			}
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if done == 0 {
+				return
+			}
+			perPage := float64(done)
+			cnt := k.M.SnapshotCounters()
+			st := k.Map.Stats()
+			var tlbTouched uint64
+			for cpu := 0; cpu < k.M.NumCPUs(); cpu++ {
+				ts := k.M.CPU(cpu).TLBStats()
+				tlbTouched += ts.Inserts + ts.LargeInserts
+			}
+			b.ReportMetric(float64(cnt.PTWalks)/perPage, "walks/page")
+			b.ReportMetric(float64(tlbTouched)/perPage, "tlb/page")
+			b.ReportMetric(float64(cnt.LockAcq)/perPage, "locks/page")
+			b.ReportMetric(float64(cnt.RemoteInvIssued)/perPage, "sdrounds/page")
+			b.ReportMetric(float64(k.M.TotalCycles())/perPage, "simcycles/page")
+			if st.RunAllocs > 0 {
+				b.ReportMetric(float64(st.RunPages)/float64(st.RunAllocs), "pages/run")
+			}
+		})
+	}
+}
+
 // BenchmarkMapperMicro compares the four mapper implementations on the
 // same single-page map/touch/unmap loop (Go-time measured; simulated
 // cycles reported as a metric).

@@ -24,20 +24,26 @@ func init() {
 //
 // Reported per variant: hit rate, local invalidations, remote IPI rounds
 // and IPIs delivered per 1000 operations, lock round trips per operation,
-// and the shootdown-queue coalescing factor (invalidations retired per
-// flush).  Each engine appears twice: churning one page at a time, and
-// churning the same pages through the vectored AllocBatch/FreeBatch calls
-// in runs of ScaleBatch — the lock column is where the vectored fast path
-// shows up.
+// page-table walks and TLB entries filled per operation (the touch is
+// through the honest MMU, so walk economy shows up here), and the
+// shootdown-queue coalescing factor (invalidations retired per flush).
+// Each engine appears three times: churning one page at a time, churning
+// the same pages through the vectored AllocBatch/FreeBatch calls in runs
+// of ScaleBatch — the lock column is where the vectored fast path shows
+// up — and churning them as contiguous AllocRun windows read under
+// ranged translation, where the walks column collapses.
 func RunScale(o Options) (*Result, error) {
 	res := &Result{
 		ID:    "scale",
 		Title: "Contended Alloc/Free: sharded vs. global-lock vs. original (Xeon 4-way)",
 		Columns: []string{"variant", "ops", "hit rate", "local/1k ops",
-			"remote rounds/1k ops", "IPIs/1k ops", "locks/op", "coalesce"},
+			"remote rounds/1k ops", "IPIs/1k ops", "locks/op", "walks/op",
+			"tlb/op", "coalesce"},
 		Notes: []string{
 			"working set is 4x the cache so every shared reuse of the global cache pays a shootdown round",
 			"coalesce = invalidations retired per batched flush (sharded engine only)",
+			"walks/op = page-table walks per page touched; run rows pay one walk per contiguous run",
+			"tlb/op = TLB entries filled per page touched (base + superpage entries)",
 		},
 	}
 
@@ -55,7 +61,8 @@ func RunScale(o Options) (*Result, error) {
 		batch = 1
 	}
 	res.Notes = append(res.Notes,
-		fmt.Sprintf("batch rows churn the same pages through AllocBatch/FreeBatch in runs of %d", batch))
+		fmt.Sprintf("batch rows churn the same pages through AllocBatch/FreeBatch in runs of %d", batch),
+		fmt.Sprintf("run rows churn them as contiguous AllocRun windows of %d under ranged translation", batch))
 
 	type variant struct {
 		name string
@@ -87,11 +94,11 @@ func RunScale(o Options) (*Result, error) {
 		}()},
 	}
 
-	for _, batched := range []bool{false, true} {
+	for _, mode := range []string{"single", "batch", "run"} {
 		for _, v := range variants {
 			name := v.name
-			if batched {
-				name = v.name + " batch"
+			if mode != "single" {
+				name = v.name + " " + mode
 			}
 			k, err := kernel.Boot(v.cfg)
 			if err != nil {
@@ -102,9 +109,12 @@ func RunScale(o Options) (*Result, error) {
 				return nil, err
 			}
 			var done int
-			if batched {
+			switch mode {
+			case "batch":
 				done, err = ChurnBatch(k, pages, ops, batch)
-			} else {
+			case "run":
+				done, err = ChurnRun(k, pages, ops, batch)
+			default:
 				done, err = Churn(k, pages, ops)
 			}
 			if err != nil {
@@ -119,10 +129,18 @@ func RunScale(o Options) (*Result, error) {
 				coalesce = float64(s.BatchedInv) / float64(s.BatchedFlushes)
 			}
 			locksPerOp := float64(s.LockAcq) / float64(done)
+			walksPerOp := float64(s.PTWalks) / float64(done)
+			var tlbTouched uint64
+			for cpu := 0; cpu < k.M.NumCPUs(); cpu++ {
+				ts := k.M.CPU(cpu).TLBStats()
+				tlbTouched += ts.Inserts + ts.LargeInserts
+			}
+			tlbPerOp := float64(tlbTouched) / float64(done)
 			res.Rows = append(res.Rows, []string{
 				name, fmt.Sprintf("%d", done), fmt.Sprintf("%.2f", st.HitRate()),
 				fmtF(perK(s.LocalInv)), fmtF(perK(s.RemoteInvIssued)),
 				fmtF(perK(s.IPIsDelivered)), fmt.Sprintf("%.2f", locksPerOp),
+				fmt.Sprintf("%.3f", walksPerOp), fmt.Sprintf("%.3f", tlbPerOp),
 				fmtF(coalesce),
 			})
 			res.SetMetric("remote_per_kop/"+name, perK(s.RemoteInvIssued))
@@ -131,6 +149,8 @@ func RunScale(o Options) (*Result, error) {
 			res.SetMetric("hitrate/"+name, st.HitRate())
 			res.SetMetric("coalesce/"+name, coalesce)
 			res.SetMetric("locks_per_op/"+name, locksPerOp)
+			res.SetMetric("walks_per_op/"+name, walksPerOp)
+			res.SetMetric("tlb_per_op/"+name, tlbPerOp)
 		}
 	}
 	return res, nil
@@ -234,4 +254,64 @@ func ChurnBatch(k *kernel.Kernel, pages []*vm.Page, ops, batch int) (int, error)
 		return 0, fmt.Errorf("leaked references: allocs %d != frees %d", st.Allocs, st.Frees)
 	}
 	return rounds * ncpu * batch, nil
+}
+
+// ChurnRun is the contiguous-run counterpart of ChurnBatch: every CPU
+// maps runLen pages per AllocRun, sweeps the whole window through the
+// honest MMU with ONE ranged translation (kcopy-style: one page-table
+// walk per contiguous PTE run, versus one per page on the scattered
+// paths), and releases it with one FreeRun.  Fallback engines return
+// scattered runs, which are swept page by page — exactly what their
+// mappings cost.  The returned count is in pages, comparable with Churn
+// and ChurnBatch.  BenchmarkAllocRun drives this loop, keeping the
+// benchmark and the experiment in lockstep.
+func ChurnRun(k *kernel.Kernel, pages []*vm.Page, ops, runLen int) (int, error) {
+	ncpu := k.M.NumCPUs()
+	rounds := ops / ncpu / runLen
+	var wg sync.WaitGroup
+	errs := make([]error, ncpu)
+	for cpu := 0; cpu < ncpu; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			ctx := k.Ctx(cpu)
+			scratch := make([]*vm.Page, runLen)
+			var got []*vm.Page
+			for i := 0; i < rounds; i++ {
+				for j := 0; j < runLen; j++ {
+					scratch[j] = pages[(i*runLen*(2*cpu+1)+j*7+cpu*11)%len(pages)]
+				}
+				r, err := k.Map.AllocRun(ctx, scratch, 0)
+				if err != nil {
+					errs[cpu] = err
+					return
+				}
+				if r.Contiguous() {
+					got, err = k.Pmap.TranslateRun(ctx, r.Base(), r.Len(), false, got[:0])
+					if err != nil {
+						errs[cpu] = err
+						return
+					}
+				} else {
+					for j := 0; j < r.Len(); j++ {
+						if _, err := k.Pmap.Translate(ctx, r.KVA(j), false); err != nil {
+							errs[cpu] = err
+							return
+						}
+					}
+				}
+				k.Map.FreeRun(ctx, r)
+			}
+		}(cpu)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	if st := k.Map.Stats(); st.Allocs != st.Frees {
+		return 0, fmt.Errorf("leaked references: allocs %d != frees %d", st.Allocs, st.Frees)
+	}
+	return rounds * ncpu * runLen, nil
 }

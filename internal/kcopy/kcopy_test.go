@@ -7,7 +7,9 @@ import (
 
 	"sfbuf/internal/arch"
 	"sfbuf/internal/cycles"
+	"sfbuf/internal/kva"
 	"sfbuf/internal/pmap"
+	"sfbuf/internal/sfbuf"
 	"sfbuf/internal/smp"
 	"sfbuf/internal/vm"
 )
@@ -158,5 +160,113 @@ func TestCopyReadsThroughStaleTLB(t *testing.T) {
 	CopyOut(ctx, pm, one, base)
 	if one[0] != 0x22 {
 		t.Fatal("after invalidation the copy must see p2")
+	}
+}
+
+// runRig boots a sharded-cache kernel piecewise so kcopy's run calls can
+// be exercised against a real contiguous window and its fallback.
+func runRig(t *testing.T) (*smp.Machine, *pmap.Pmap, *smp.Context, sfbuf.Mapper, []*vm.Page) {
+	t.Helper()
+	m := smp.NewMachine(arch.XeonMPHTT(), 256, true)
+	pm := pmap.New(m)
+	arena := kva.NewArena(pmap.KVABaseI386, pmap.KVASizeI386)
+	sf, err := sfbuf.NewI386Sharded(m, pm, arena, 64, sfbuf.ShardedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, err := m.Phys.AllocN(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, pm, m.Ctx(0), sf, pages
+}
+
+func TestCopyRunRoundTrip(t *testing.T) {
+	m, pm, ctx, sf, pages := runRig(t)
+	run, err := sf.AllocRun(ctx, pages, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.FreeRun(ctx, run)
+
+	src := make([]byte, 3*vm.PageSize+123)
+	rnd := rand.New(rand.NewSource(7))
+	rnd.Read(src)
+	const off = vm.PageSize/2 + 9
+	if err := CopyInRun(ctx, pm, run, off, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(src))
+	if err := CopyOutRun(ctx, pm, dst, run, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, dst) {
+		t.Fatal("run round trip corrupted data")
+	}
+
+	// The whole multi-page copy crossed on ONE walk per call (plus the
+	// window being cold exactly once): re-copy warm and count.
+	before := m.SnapshotCounters()
+	if err := CopyOutRun(ctx, pm, dst, run, off); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.SnapshotCounters().Sub(before); d.PTWalks != 0 {
+		t.Fatalf("warm run copy walked %d times, want 0", d.PTWalks)
+	}
+}
+
+// TestCopyRunFallbackMatchesVec pins the degraded path: on a
+// non-contiguous run the run copies are exactly the vectored per-page
+// copies, bytes and cycles alike.
+func TestCopyRunFallbackMatchesVec(t *testing.T) {
+	drive := func(useRun bool) (int64, []byte) {
+		m := smp.NewMachine(arch.XeonMPHTT(), 256, true)
+		pm := pmap.New(m)
+		arena := kva.NewArena(pmap.KVABaseI386, pmap.KVASizeI386)
+		sf, err := sfbuf.NewI386(m, pm, arena, 64) // global cache: scattered runs
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages, err := m.Phys.AllocN(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := m.Ctx(0)
+		run, err := sf.AllocRun(ctx, pages, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Contiguous() {
+			t.Fatal("global cache must yield a scattered run")
+		}
+		src := make([]byte, 2*vm.PageSize+77)
+		rand.New(rand.NewSource(3)).Read(src)
+		dst := make([]byte, len(src))
+		if useRun {
+			if err := CopyInRun(ctx, pm, run, 100, src); err != nil {
+				t.Fatal(err)
+			}
+			if err := CopyOutRun(ctx, pm, dst, run, 100); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			bufs := run.Bufs()
+			if err := CopyInVec(ctx, pm, bufs, 100, src); err != nil {
+				t.Fatal(err)
+			}
+			if err := CopyOutVec(ctx, pm, dst, bufs, 100); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sf.FreeRun(ctx, run)
+		if !bytes.Equal(src, dst) {
+			t.Fatal("round trip corrupted data")
+		}
+		return int64(m.TotalCycles()), dst
+	}
+	rc, _ := drive(true)
+	vc, _ := drive(false)
+	if rc != vc {
+		t.Errorf("fallback run copy cycles %d != vectored copy cycles %d", rc, vc)
 	}
 }

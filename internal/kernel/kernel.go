@@ -100,6 +100,41 @@ func (v VectoredPolicy) String() string {
 	return "auto"
 }
 
+// ContigPolicy decides whether the converted I/O subsystems map
+// multi-page extents as contiguous runs (AllocRun/FreeRun) — one VA
+// window, ranged translation, simulated superpage promotion — rather
+// than as scattered batches or pages.
+type ContigPolicy int
+
+const (
+	// ContigAuto is the default: runs exactly where the engine provides
+	// native contiguity (NativeRun — the sharded cache's reserved
+	// windows, the amd64 direct map) on the sf_buf kernel.  The paper's
+	// global-lock cache and the original kernel keep their historical
+	// paths, so every figure-reproduction experiment is untouched: the
+	// original kernel is the baseline in each figure and must keep
+	// paying per-page translation even though its 64-bit pmap_qenter
+	// range is technically contiguous.
+	ContigAuto ContigPolicy = iota
+	// ContigOn forces every converted subsystem onto the run path,
+	// including the fallback engines (which degrade to scattered runs).
+	ContigOn
+	// ContigOff forces batches/pages everywhere — the ablation knob for
+	// measuring what contiguity is worth.
+	ContigOff
+)
+
+// String names the policy for reports.
+func (c ContigPolicy) String() string {
+	switch c {
+	case ContigOn:
+		return "on"
+	case ContigOff:
+		return "off"
+	}
+	return "auto"
+}
+
 // Config describes the kernel to boot.
 type Config struct {
 	// Platform is one of the Section 6.1 machines.
@@ -135,6 +170,11 @@ type Config struct {
 	// vectored AllocBatch/FreeBatch calls; the zero value (Auto) batches
 	// exactly where the booted engine makes batching a genuine fast path.
 	Vectored VectoredPolicy
+	// Contig selects whether multi-page I/O maps extents as contiguous
+	// runs (AllocRun/FreeRun); the zero value (Auto) uses runs exactly
+	// where the engine provides native contiguity, and takes precedence
+	// over Vectored where both would apply.
+	Contig ContigPolicy
 }
 
 // Kernel is one booted simulated kernel instance.
@@ -245,6 +285,32 @@ func (k *Kernel) UseVectoredSend() bool {
 	}
 	return k.Cfg.Mapper != OriginalKernel && sfbuf.NativeBatch(k.Map)
 }
+
+// UseRuns reports whether multi-page extents (pipe direct windows,
+// memory-disk transfers) should be mapped as contiguous runs.  Auto
+// requires native contiguity AND the sf_buf kernel: the original kernel
+// is every figure's baseline and must keep its historical per-page
+// translation costs even though its 64-bit batch range is contiguous,
+// and the global-lock cache has no contiguous path at all.  Where
+// UseRuns is false, UseVectored still decides batches vs pages.
+func (k *Kernel) UseRuns() bool {
+	switch k.Cfg.Contig {
+	case ContigOn:
+		return true
+	case ContigOff:
+		return false
+	}
+	return k.Cfg.Mapper != OriginalKernel && sfbuf.NativeRun(k.Map)
+}
+
+// UseRunsSend is UseRuns for the send-side subsystems (sendfile,
+// zero-copy socket send).  Unlike the UseVectored/UseVectoredSend pair —
+// whose Auto rules genuinely differ because the original kernel batches
+// windows but never batched sends — the run rule is identical on both
+// sides (Auto already excludes the original kernel everywhere), so this
+// simply delegates; the separate name keeps the send-path call sites
+// symmetric with the vectored policy.
+func (k *Kernel) UseRunsSend() bool { return k.UseRuns() }
 
 // Reset zeroes all machine counters and mapper statistics, preparing for a
 // measured run.

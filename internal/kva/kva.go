@@ -37,6 +37,8 @@ type Arena struct {
 	inUse     int            // pages currently allocated
 	peak      int            // high-water mark
 	allocs    uint64         // cumulative allocations
+	splits    uint64         // allocations that split a free span in two
+	coalesces uint64         // frees merged with a neighboring span
 }
 
 // NewArena creates an arena over [base, base+size).  Both must be
@@ -62,21 +64,46 @@ func (a *Arena) Size() uint64 { return a.size }
 // Alloc carves out pages contiguous virtual pages, returning the base
 // address of the range.
 func (a *Arena) Alloc(pages int) (uint64, error) {
+	return a.AllocAligned(pages, 1)
+}
+
+// AllocAligned carves out pages contiguous virtual pages whose base
+// address is aligned to alignPages pages (first fit).  Alignment is what
+// lets a run window line up with a simulated superpage boundary so the
+// promotion path can collapse it to one TLB entry.  alignPages must be a
+// power of two; 1 means no constraint.
+func (a *Arena) AllocAligned(pages, alignPages int) (uint64, error) {
 	if pages <= 0 {
 		return 0, fmt.Errorf("kva: invalid allocation of %d pages", pages)
 	}
+	if alignPages <= 0 || alignPages&(alignPages-1) != 0 {
+		return 0, fmt.Errorf("kva: alignment %d pages is not a power of two", alignPages)
+	}
+	alignBytes := uint64(alignPages) * vm.PageSize
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	for i := range a.free {
 		s := &a.free[i]
-		if s.pages < pages {
+		va := (s.start + alignBytes - 1) &^ (alignBytes - 1)
+		lead := int((va - s.start) / vm.PageSize)
+		if s.pages < lead+pages {
 			continue
 		}
-		va := s.start
-		s.start += uint64(pages) * vm.PageSize
-		s.pages -= pages
-		if s.pages == 0 {
+		switch trail := s.pages - lead - pages; {
+		case lead == 0 && trail == 0:
 			a.free = append(a.free[:i], a.free[i+1:]...)
+		case lead == 0:
+			s.start = va + uint64(pages)*vm.PageSize
+			s.pages = trail
+		case trail == 0:
+			s.pages = lead
+		default:
+			// The allocation lands mid-span: the span splits in two.
+			s.pages = lead
+			a.free = append(a.free, span{})
+			copy(a.free[i+2:], a.free[i+1:])
+			a.free[i+1] = span{start: va + uint64(pages)*vm.PageSize, pages: trail}
+			a.splits++
 		}
 		a.allocated[va] = pages
 		a.inUse += pages
@@ -87,6 +114,20 @@ func (a *Arena) Alloc(pages int) (uint64, error) {
 		return va, nil
 	}
 	return 0, ErrExhausted
+}
+
+// AllocWindow reserves a VA window of pages usable pages followed by
+// guardPages of reserved-but-never-mapped address space, with the usable
+// base aligned to alignPages pages.  Nothing is ever mapped at the guard
+// pages, so a copy or translation running off the end of the window
+// faults (pmap.ErrFault) instead of silently landing in a neighboring
+// mapping.  The returned address frees the whole reservation, guard
+// included, through Free.
+func (a *Arena) AllocWindow(pages, guardPages, alignPages int) (uint64, error) {
+	if guardPages < 0 {
+		return 0, fmt.Errorf("kva: invalid guard of %d pages", guardPages)
+	}
+	return a.AllocAligned(pages+guardPages, alignPages)
 }
 
 // Free returns the range starting at va to the arena.  The range must be
@@ -115,10 +156,12 @@ func (a *Arena) Free(va uint64) {
 	if i+1 < len(a.free) && a.free[i].end() == a.free[i+1].start {
 		a.free[i].pages += a.free[i+1].pages
 		a.free = append(a.free[:i+1], a.free[i+2:]...)
+		a.coalesces++
 	}
 	if i > 0 && a.free[i-1].end() == a.free[i].start {
 		a.free[i-1].pages += a.free[i].pages
 		a.free = append(a.free[:i], a.free[i+1:]...)
+		a.coalesces++
 	}
 }
 
@@ -162,4 +205,34 @@ func (a *Arena) FreePages() int {
 		n += s.pages
 	}
 	return n
+}
+
+// Splits returns how many allocations landed mid-span, splitting one free
+// range into two — the fragmentation-producing event.
+func (a *Arena) Splits() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.splits
+}
+
+// Coalesces returns how many frees merged with a neighboring free range —
+// the fragmentation-repairing event.
+func (a *Arena) Coalesces() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.coalesces
+}
+
+// LargestFreeRun returns the longest free span in pages: the biggest
+// contiguous window reservation the arena could currently satisfy.
+func (a *Arena) LargestFreeRun() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	max := 0
+	for _, s := range a.free {
+		if s.pages > max {
+			max = s.pages
+		}
+	}
+	return max
 }

@@ -167,3 +167,59 @@ func TestQuickAlignmentAndBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAllocAligned(t *testing.T) {
+	a := NewArena(testBase, 128*vm.PageSize)
+	// Disturb the arena so the aligned request lands mid-span.
+	pad, err := a.Alloc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := a.AllocAligned(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va%(8*vm.PageSize) != 0 {
+		t.Fatalf("va %#x not aligned to 8 pages", va)
+	}
+	if a.Splits() == 0 {
+		t.Error("mid-span aligned allocation should have split a free range")
+	}
+	coalesces := a.Coalesces()
+	a.Free(va)
+	a.Free(pad)
+	if a.Coalesces() <= coalesces {
+		t.Error("frees should have coalesced neighbors")
+	}
+	if a.FreeRanges() != 1 || a.FreePages() != 128 {
+		t.Fatalf("final state ranges=%d pages=%d", a.FreeRanges(), a.FreePages())
+	}
+	if a.LargestFreeRun() != 128 {
+		t.Fatalf("largest free run = %d, want 128", a.LargestFreeRun())
+	}
+	if _, err := a.AllocAligned(4, 3); err == nil {
+		t.Fatal("non-power-of-two alignment must be rejected")
+	}
+}
+
+func TestAllocWindowGuard(t *testing.T) {
+	a := NewArena(testBase, 64*vm.PageSize)
+	w1, err := a.AllocWindow(4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := a.AllocWindow(4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The guard page is part of the reservation: the second window must
+	// start beyond usable+guard of the first.
+	if w2 < w1+5*vm.PageSize {
+		t.Fatalf("guard not reserved: w1=%#x w2=%#x", w1, w2)
+	}
+	a.Free(w1)
+	a.Free(w2)
+	if a.FreeRanges() != 1 || a.FreePages() != 64 {
+		t.Fatalf("windows did not free whole: ranges=%d pages=%d", a.FreeRanges(), a.FreePages())
+	}
+}

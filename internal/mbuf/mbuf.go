@@ -74,6 +74,7 @@ func (e *Ext) Unref(ctx *smp.Context) {
 type RunRelease struct {
 	m     sfbuf.Mapper
 	bufs  []*sfbuf.Buf
+	run   *sfbuf.Run
 	pages []*vm.Page
 	left  atomic.Int32
 }
@@ -83,6 +84,17 @@ type RunRelease struct {
 func NewRunRelease(m sfbuf.Mapper, bufs []*sfbuf.Buf, pages []*vm.Page) *RunRelease {
 	r := &RunRelease{m: m, bufs: bufs, pages: pages}
 	r.left.Store(int32(len(bufs)))
+	return r
+}
+
+// NewRunReleaseMapped builds the release state for a contiguous-run
+// mapping (sfbuf.AllocRun): one reference per page, and the last drop
+// releases the whole window with one FreeRun — one bulk page-table pass
+// and at most one shootdown flush, instead of a FreeBatch over scattered
+// buffers.
+func NewRunReleaseMapped(m sfbuf.Mapper, run *sfbuf.Run, pages []*vm.Page) *RunRelease {
+	r := &RunRelease{m: m, run: run, pages: pages}
+	r.left.Store(int32(run.Len()))
 	return r
 }
 
@@ -97,7 +109,11 @@ func (r *RunRelease) Unref(ctx *smp.Context) {
 	if n > 0 {
 		return
 	}
-	r.m.FreeBatch(ctx, r.bufs)
+	if r.run != nil {
+		r.m.FreeRun(ctx, r.run)
+	} else {
+		r.m.FreeBatch(ctx, r.bufs)
+	}
 	for _, pg := range r.pages {
 		pg.Unwire()
 	}

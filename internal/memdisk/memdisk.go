@@ -122,6 +122,29 @@ func (d *Disk) transfer(ctx *smp.Context, buf []byte, off int64, write bool) err
 
 	first := int(off / vm.PageSize)
 	last := int((off + int64(len(buf)) - 1) / vm.PageSize)
+	if last > first && d.k.UseRuns() {
+		// Contiguous-run path: one VA window over the request's pages,
+		// one ranged translation per transfer — and, for requests
+		// covering an aligned 2 MB-equivalent span of this disk's
+		// physically contiguous pool, simulated superpage promotion
+		// collapses the window to one TLB entry.
+		run, err := d.k.Map.AllocRun(ctx, d.pages[first:last+1], d.flags())
+		switch {
+		case errors.Is(err, sfbuf.ErrBatchTooLarge):
+			// Wider than the mapping cache; the paths below still serve.
+		case err != nil:
+			return fmt.Errorf("memdisk: run mapping: %w", err)
+		default:
+			defer d.k.Map.FreeRun(ctx, run)
+			runOff := int(off - int64(first)*vm.PageSize)
+			if write {
+				err = kcopy.CopyInRun(ctx, d.k.Pmap, run, runOff, buf)
+			} else {
+				err = kcopy.CopyOutRun(ctx, d.k.Pmap, buf, run, runOff)
+			}
+			return err
+		}
+	}
 	if last > first && d.k.UseVectored() {
 		bufs, err := d.k.Map.AllocBatch(ctx, d.pages[first:last+1], d.flags())
 		switch {

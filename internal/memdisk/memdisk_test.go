@@ -104,6 +104,11 @@ func TestPrivateMappingsAvoidShootdowns(t *testing.T) {
 func TestDiskFitsInCacheNoInvalidations(t *testing.T) {
 	// The Figure 4/5 configuration: disk fully mapped by the cache.
 	k := bootDiskKernel(t, kernel.SFBuf, arch.XeonMPHTT(), 64)
+	// This test pins the mapping CACHE's reuse property — repeat reads
+	// are pure hash hits with zero invalidations.  Contiguous runs trade
+	// exactly that reuse for ranged translation (every run installs and
+	// tears down fresh PTEs), so hold the subsystem on the cached path.
+	k.Cfg.Contig = kernel.ContigOff
 	d, err := New(k, 32*vm.PageSize)
 	if err != nil {
 		t.Fatal(err)

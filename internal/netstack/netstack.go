@@ -193,6 +193,9 @@ func (c *Conn) SendZeroCopy(ctx *smp.Context, um *vm.UserMem, off, n int) error 
 		return vm.ErrBounds
 	}
 	ctx.Charge(ctx.Cost().Syscall)
+	if c.st.K.UseRunsSend() {
+		return c.sendZeroCopyRun(ctx, um, off, n)
+	}
 	if c.st.K.UseVectoredSend() {
 		return c.sendZeroCopyVectored(ctx, um, off, n)
 	}
@@ -253,6 +256,13 @@ func (c *Conn) SendZeroCopy(ctx *smp.Context, um *vm.UserMem, off, n int) error 
 	return flush()
 }
 
+// packetMapper maps one packet's wired page run, returning the per-page
+// buffers to attach and the shared release state (one reference per
+// page; the last acknowledgment unmaps the whole run).  It returns
+// sfbuf.ErrBatchTooLarge unwrapped when the run exceeds the mapping
+// cache, which routes the packet through the per-page fallback.
+type packetMapper func(ctx *smp.Context, pages []*vm.Page) ([]*sfbuf.Buf, *mbuf.RunRelease, error)
+
 // sendZeroCopyVectored is the batched mapping variant of SendZeroCopy:
 // each packet's page run is wired and mapped with one vectored AllocBatch
 // and released — when the covering acknowledgment arrives — with one
@@ -261,6 +271,40 @@ func (c *Conn) SendZeroCopy(ctx *smp.Context, um *vm.UserMem, off, n int) error 
 // page straddling two packets is still wired and mapped once per packet);
 // only the mapping-side lock economy changes.
 func (c *Conn) sendZeroCopyVectored(ctx *smp.Context, um *vm.UserMem, off, n int) error {
+	k := c.st.K
+	return c.sendZeroCopyWindowed(ctx, um, off, n,
+		func(ctx *smp.Context, pages []*vm.Page) ([]*sfbuf.Buf, *mbuf.RunRelease, error) {
+			bufs, err := k.Map.AllocBatch(ctx, pages, 0) // shared: no Private flag
+			if err != nil {
+				return nil, nil, err
+			}
+			return bufs, mbuf.NewRunRelease(k.Map, bufs, pages), nil
+		})
+}
+
+// sendZeroCopyRun is the contiguous-run variant of SendZeroCopy: each
+// packet's page run is wired and mapped as ONE VA window with AllocRun
+// and released — when the covering acknowledgment arrives — with one
+// FreeRun through a run-release refcount.  The run buys one page-table
+// pass per packet at map time and a laundered (batched) teardown at ACK
+// time.
+func (c *Conn) sendZeroCopyRun(ctx *smp.Context, um *vm.UserMem, off, n int) error {
+	k := c.st.K
+	return c.sendZeroCopyWindowed(ctx, um, off, n,
+		func(ctx *smp.Context, pages []*vm.Page) ([]*sfbuf.Buf, *mbuf.RunRelease, error) {
+			run, err := k.Map.AllocRun(ctx, pages, 0) // shared: no Private flag
+			if err != nil {
+				return nil, nil, err
+			}
+			return run.Bufs(), mbuf.NewRunReleaseMapped(k.Map, run, pages), nil
+		})
+}
+
+// sendZeroCopyWindowed is the shared packetize/wire/map/transmit loop
+// behind the vectored and contiguous-run send paths.  Packet boundaries,
+// wire counts and checksum behaviour are identical across all send
+// variants; only the mapping step (mapRun) differs.
+func (c *Conn) sendZeroCopyWindowed(ctx *smp.Context, um *vm.UserMem, off, n int, mapRun packetMapper) error {
 	k := c.st.K
 	mss := c.st.MSS()
 	cur, remaining := off, n
@@ -289,7 +333,7 @@ func (c *Conn) sendZeroCopyVectored(ctx *smp.Context, um *vm.UserMem, off, n int
 			b += take
 		}
 		pkt := &mbuf.Chain{}
-		bufs, err := k.Map.AllocBatch(ctx, pages, 0) // shared: no Private flag
+		bufs, rel, err := mapRun(ctx, pages)
 		if errors.Is(err, sfbuf.ErrBatchTooLarge) {
 			// Packet run exceeds the whole mapping cache (pathologically
 			// tiny cache): map its pages one at a time instead.
@@ -313,9 +357,8 @@ func (c *Conn) sendZeroCopyVectored(ctx *smp.Context, um *vm.UserMem, off, n int
 			for _, p := range pages {
 				p.Unwire()
 			}
-			return fmt.Errorf("netstack: batch-mapping send run: %w", err)
+			return fmt.Errorf("netstack: window-mapping send run: %w", err)
 		} else {
-			rel := mbuf.NewRunRelease(k.Map, bufs, pages)
 			for j := range bufs {
 				pkt.Append(mbuf.NewExtMbuf(mbuf.NewExt(bufs[j], pages[j], rel.Unref), pos[j], lens[j]))
 			}

@@ -53,6 +53,11 @@ type directWindow struct {
 	// ranged invalidation.
 	bufs    []*sfbuf.Buf
 	pageIdx int
+
+	// Contiguous-run state: the whole window mapped as one VA run, so
+	// the reader's copies cross page boundaries under ranged translation
+	// instead of re-translating per page.
+	run *sfbuf.Run
 }
 
 // Pipe is one unidirectional pipe.
@@ -109,6 +114,10 @@ func (p *Pipe) Close() {
 		if p.direct.bufs != nil {
 			p.k.Map.FreeBatch(p.k.Ctx(0), p.direct.bufs)
 			p.direct.bufs = nil
+		}
+		if p.direct.run != nil {
+			p.k.Map.FreeRun(p.k.Ctx(0), p.direct.run)
+			p.direct.run = nil
 		}
 		for _, pg := range p.direct.pages {
 			pg.Unwire()
@@ -267,14 +276,23 @@ func (p *Pipe) Read(ctx *smp.Context, dst []byte) (int, error) {
 }
 
 func (p *Pipe) readDirect(ctx *smp.Context, w *directWindow, dst []byte) (int, error) {
-	// Kernels whose mapper makes batching a genuine fast path map the
-	// whole loaned window as one vectored request: the original kernel's
+	// Kernels whose mapper provides contiguous runs map the whole loaned
+	// window as ONE run: a single VA window, installed in one page-table
+	// pass, read under ranged translation so copies cross page
+	// boundaries without re-translating.  Kernels whose mapper merely
+	// batches map it as one vectored request: the original kernel's
 	// per-pipe KVA window + pmap_qenter, the sharded cache's per-shard
 	// batching, the amd64 direct map's free casts.  The paper's
 	// global-lock kernel maps page by page through the ephemeral mapping
 	// interface, exactly as Section 2.1 describes.  A window larger than
 	// the whole mapping cache (ErrBatchTooLarge) falls back to the
 	// per-page path rather than failing the read.
+	if p.k.UseRuns() {
+		n, err := p.readDirectRun(ctx, w, dst)
+		if !errors.Is(err, sfbuf.ErrBatchTooLarge) {
+			return n, err
+		}
+	}
 	if p.k.UseVectored() {
 		n, err := p.readDirectBatch(ctx, w, dst)
 		if !errors.Is(err, sfbuf.ErrBatchTooLarge) {
@@ -326,10 +344,12 @@ func (p *Pipe) readDirect(ctx *smp.Context, w *directWindow, dst []byte) (int, e
 // one AllocBatch, copy out of the buffer vector as the reader drains, and
 // unmap everything with one FreeBatch (one ranged invalidation on the
 // original kernel, one batched teardown on the sharded cache) when the
-// window is consumed.
+// window is consumed.  Shared, not Private, for the same reason as
+// readDirectRun: the batch outlives one Read call, so a reader migrating
+// CPUs between reads must stay inside the teardown's shootdown mask.
 func (p *Pipe) readDirectBatch(ctx *smp.Context, w *directWindow, dst []byte) (int, error) {
 	if w.bufs == nil {
-		bufs, err := p.k.Map.AllocBatch(ctx, w.pages, sfbuf.Private)
+		bufs, err := p.k.Map.AllocBatch(ctx, w.pages, 0)
 		if err != nil {
 			return 0, fmt.Errorf("pipe: batch-mapping loaned window: %w", err)
 		}
@@ -349,6 +369,50 @@ func (p *Pipe) readDirectBatch(ctx *smp.Context, w *directWindow, dst []byte) (i
 	if w.n == 0 {
 		p.k.Map.FreeBatch(ctx, w.bufs)
 		w.bufs = nil
+		for _, pg := range w.pages {
+			pg.Unwire()
+			ctx.Charge(ctx.Cost().PageWire)
+		}
+		w.pages = nil
+		p.finishWindow(w)
+	}
+	return read, nil
+}
+
+// readDirectRun is the contiguous-run window path: map the whole window
+// with one AllocRun, drain it with ranged-translate copies, and tear
+// everything down with one FreeRun — one bulk page-table pass whose
+// shootdown debt launders with other runs' — when the window is
+// consumed.  The mapping is SHARED, not Private: unlike the per-page
+// path, whose private mapping lives and dies inside one Read call on one
+// CPU, this window persists across Read calls, and a reader that
+// migrates CPUs between reads would otherwise fill a TLB the private
+// teardown mask never shoots down.
+func (p *Pipe) readDirectRun(ctx *smp.Context, w *directWindow, dst []byte) (int, error) {
+	if w.run == nil {
+		run, err := p.k.Map.AllocRun(ctx, w.pages, 0)
+		if err != nil {
+			if errors.Is(err, sfbuf.ErrBatchTooLarge) {
+				return 0, err
+			}
+			return 0, fmt.Errorf("pipe: run-mapping loaned window: %w", err)
+		}
+		w.run = run
+	}
+	read := 0
+	if len(dst) > 0 && w.n > 0 {
+		read = min(len(dst), w.n)
+		off := w.pageIdx*vm.PageSize + w.off
+		if err := kcopy.CopyOutRun(ctx, p.k.Pmap, dst[:read], w.run, off); err != nil {
+			return 0, err
+		}
+		off += read
+		w.pageIdx, w.off = off/vm.PageSize, off%vm.PageSize
+		w.n -= read
+	}
+	if w.n == 0 {
+		p.k.Map.FreeRun(ctx, w.run)
+		w.run = nil
 		for _, pg := range w.pages {
 			pg.Unwire()
 			ctx.Charge(ctx.Cost().PageWire)

@@ -159,6 +159,10 @@ func TestOriginalKernelInvalidatesPerPage(t *testing.T) {
 
 func TestSFBufEliminatesInvalidationsOnReuse(t *testing.T) {
 	k := bootPipeKernel(t, kernel.SFBuf, arch.XeonMP())
+	// Pins the mapping CACHE's reuse property (pure hits, zero
+	// invalidations on repeat passes); contiguous runs trade that reuse
+	// for ranged translation, so hold the pipe on the cached path.
+	k.Cfg.Contig = kernel.ContigOff
 	p := New(k)
 	defer p.Close()
 	wctx, rctx := k.Ctx(0), k.Ctx(1)

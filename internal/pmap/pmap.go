@@ -21,6 +21,7 @@ import (
 	"sfbuf/internal/arch"
 	"sfbuf/internal/cycles"
 	"sfbuf/internal/smp"
+	"sfbuf/internal/tlb"
 	"sfbuf/internal/vm"
 )
 
@@ -59,17 +60,49 @@ type PTE struct {
 // ErrFault is returned when a translation fails (invalid mapping).
 var ErrFault = errors.New("pmap: page fault on kernel address")
 
+// SuperpagePages is the simulated superpage span in base pages: the
+// 2 MB-equivalent window a contiguous run must cover, aligned, for the
+// promotion path to collapse it into one TLB entry.
+const SuperpagePages = tlb.SuperSpan
+
+// superWindow is one promoted superpage: an aligned SuperpagePages-page
+// virtual window whose PTEs map physically contiguous frames, so a single
+// large TLB entry (base vpn, base frame) covers all of it by arithmetic.
+// accessed records whether any CPU pulled the large translation into its
+// TLB during the window's life — the superpage form of the accessed bit,
+// deciding what the demoting teardown owes.
+type superWindow struct {
+	baseVPN  uint64
+	frame    uint64
+	accessed bool
+}
+
+// SuperStats counts simulated superpage events.
+type SuperStats struct {
+	// Promotions counts KEnterRun calls that collapsed an aligned,
+	// physically contiguous 2 MB-equivalent window into a superpage.
+	Promotions uint64
+	// Demotions counts promoted windows torn back down by KRemoveRun.
+	Demotions uint64
+}
+
 // Pmap is the kernel address space of one machine.
 type Pmap struct {
 	m *smp.Machine
 
-	mu sync.Mutex
-	pt map[uint64]*PTE // vpn -> entry
+	mu    sync.Mutex
+	pt    map[uint64]*PTE         // vpn -> entry
+	super map[uint64]*superWindow // vpn >> SuperSpanShift -> promoted window
+	sstat SuperStats
 }
 
 // New creates the kernel pmap for machine m.
 func New(m *smp.Machine) *Pmap {
-	return &Pmap{m: m, pt: make(map[uint64]*PTE)}
+	return &Pmap{
+		m:     m,
+		pt:    make(map[uint64]*PTE),
+		super: make(map[uint64]*superWindow),
+	}
 }
 
 // Machine returns the owning machine.
@@ -183,6 +216,122 @@ func (p *Pmap) KRemoveBatch(ctx *smp.Context, vpns []uint64, accessed []bool) []
 	return accessed
 }
 
+// KEnterRun installs translations for a contiguous run: pages[i] becomes
+// addressable at base + i*PageSize, in ONE page-table pass — the bulk
+// pmap_qenter the contiguous-run engines use to populate a reserved VA
+// window.  Like KEnter, it performs no TLB invalidation; run windows are
+// only ever reused after their previous teardown's invalidations landed,
+// which is the caller's (the run pool's) obligation.
+//
+// Superpage promotion: every SuperpagePages-aligned chunk of the run that
+// is fully covered and physically contiguous is promoted — recorded so
+// that a later translation of any of its pages fills ONE large TLB entry
+// covering the whole chunk instead of one base entry per page.  (Real
+// hardware would additionally demand physical alignment; the model's
+// large entries translate by arithmetic from the window base, so
+// contiguity alone suffices, and we take the paper's side of modeling the
+// TLB-entry economy rather than the frame allocator.)
+func (p *Pmap) KEnterRun(ctx *smp.Context, base uint64, pages []*vm.Page) {
+	if p.IsDirectMapped(base) {
+		panic(fmt.Sprintf("pmap: KEnterRun into direct map va %#x", base))
+	}
+	if PageOffset(base) != 0 {
+		panic(fmt.Sprintf("pmap: KEnterRun at unaligned va %#x", base))
+	}
+	vpn0 := VPN(base)
+	n := len(pages)
+	p.mu.Lock()
+	for i, pg := range pages {
+		vpn := vpn0 + uint64(i)
+		pte, ok := p.pt[vpn]
+		if !ok {
+			pte = &PTE{}
+			p.pt[vpn] = pte
+		}
+		pte.Frame = pg.Frame()
+		pte.Valid = true
+		pte.Accessed = false
+		pte.Modified = false
+	}
+	const span = uint64(SuperpagePages)
+	for c := (vpn0 + span - 1) &^ (span - 1); c+span <= vpn0+uint64(n); c += span {
+		idx := int(c - vpn0)
+		contig := true
+		for j := 1; j < SuperpagePages; j++ {
+			if pages[idx+j].Frame() != pages[idx].Frame()+uint64(j) {
+				contig = false
+				break
+			}
+		}
+		if contig {
+			p.super[c>>tlb.SuperSpanShift] = &superWindow{baseVPN: c, frame: pages[idx].Frame()}
+			p.sstat.Promotions++
+		}
+	}
+	p.mu.Unlock()
+	ctx.TouchPTESpan(vpn0, n)
+	ctx.Charge(ctx.Cost().PTEWrite * cycles.Cycles(n))
+}
+
+// KRemoveRun invalidates the n translations starting at base in one
+// page-table pass, reporting per page whether the entry was valid with
+// the accessed bit set — the pages whose teardown owes TLB invalidations.
+// Promoted superpage chunks are demoted: if the window's large entry was
+// ever pulled into a TLB, EVERY page of the chunk is reported accessed
+// (the large entry has no per-page accessed bits to consult).  The result
+// is appended to accessed for scratch reuse, as with KRemoveBatch.
+func (p *Pmap) KRemoveRun(ctx *smp.Context, base uint64, n int, accessed []bool) []bool {
+	vpn0 := VPN(base)
+	start := len(accessed)
+	p.mu.Lock()
+	for i := 0; i < n; i++ {
+		a := false
+		if pte, ok := p.pt[vpn0+uint64(i)]; ok {
+			a = pte.Valid && pte.Accessed
+			pte.Valid = false
+			pte.Accessed = false
+			pte.Modified = false
+			pte.Frame = 0
+		}
+		accessed = append(accessed, a)
+	}
+	const span = uint64(SuperpagePages)
+	for c := (vpn0 + span - 1) &^ (span - 1); c+span <= vpn0+uint64(n); c += span {
+		w, ok := p.super[c>>tlb.SuperSpanShift]
+		if !ok || w.baseVPN != c {
+			continue
+		}
+		if w.accessed {
+			idx := start + int(c-vpn0)
+			for j := 0; j < SuperpagePages; j++ {
+				accessed[idx+j] = true
+			}
+		}
+		delete(p.super, c>>tlb.SuperSpanShift)
+		p.sstat.Demotions++
+	}
+	p.mu.Unlock()
+	ctx.TouchPTESpan(vpn0, n)
+	ctx.Charge(ctx.Cost().PTEWrite * cycles.Cycles(n))
+	return accessed
+}
+
+// SuperStats returns the cumulative superpage promotion/demotion counts.
+func (p *Pmap) SuperStats() SuperStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sstat
+}
+
+// Promoted reports whether va currently lies in a promoted superpage
+// window (invariant-check helper).
+func (p *Pmap) Promoted(va uint64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w, ok := p.super[VPN(va)>>tlb.SuperSpanShift]
+	return ok && VPN(va) >= w.baseVPN && VPN(va) < w.baseVPN+uint64(SuperpagePages)
+}
+
 // Probe returns a copy of the PTE for va, for assertions and the
 // accessed-bit-dependent paths (checksum offload experiments).
 func (p *Pmap) Probe(va uint64) (PTE, bool) {
@@ -219,7 +368,7 @@ func (p *Pmap) Translate(ctx *smp.Context, va uint64, write bool) (*vm.Page, err
 		}
 		return pg, nil
 	}
-	ctx.Charge(ctx.Cost().TLBMissWalk)
+	ctx.ChargeWalk()
 	ctx.TouchPTE(vpn)
 
 	p.mu.Lock()
@@ -233,14 +382,130 @@ func (p *Pmap) Translate(ctx *smp.Context, va uint64, write bool) (*vm.Page, err
 		pte.Modified = true
 	}
 	frame := pte.Frame
+	// A walk that lands in a promoted superpage window fills one large
+	// entry covering the whole window instead of a base entry for this
+	// page alone, and marks the window accessed for its future teardown.
+	var largeBase, largeFrame uint64
+	haveLarge := false
+	if w, ok := p.super[vpn>>tlb.SuperSpanShift]; ok && vpn >= w.baseVPN && vpn < w.baseVPN+uint64(SuperpagePages) {
+		w.accessed = true
+		largeBase, largeFrame, haveLarge = w.baseVPN, w.frame, true
+	}
 	p.mu.Unlock()
 
-	ctx.TLBInsert(vpn, frame)
+	if haveLarge {
+		ctx.TLBInsertLarge(largeBase, largeFrame)
+	} else {
+		ctx.TLBInsert(vpn, frame)
+	}
 	pg := p.m.Phys.PageByFrame(frame)
 	if pg == nil {
 		return nil, fmt.Errorf("%w: pte frame %d for va %#x", ErrFault, frame, va)
 	}
 	return pg, nil
+}
+
+// TranslateRun resolves npages consecutive kernel virtual pages starting
+// at the page-aligned va, as the executing CPU's MMU behaves during a
+// copy that sweeps a contiguous mapping: each page consults the TLB first
+// and BELIEVES it (stale entries are honored, exactly as in Translate),
+// and the first miss triggers ONE page-table walk that resolves every
+// remaining page of the range.  Consecutive virtual pages are one
+// contiguous PTE run — the walker reads the covering page-table lines
+// once — so the cycle model charges one TLBMissWalk per run, not per
+// page.  That ranged charge is the kcopy cost model the direct map gets
+// for free on amd64 and that scattered per-page mappings can never have.
+//
+// TLB fill: pages inside a promoted superpage window fill one large entry
+// for the whole window; the rest fill one base entry each.  Direct-map
+// ranges translate by arithmetic with no TLB involvement at all.
+//
+// The resolved pages are appended to out (pass a reused slice on hot
+// paths to stay allocation-free).
+func (p *Pmap) TranslateRun(ctx *smp.Context, va uint64, npages int, write bool, out []*vm.Page) ([]*vm.Page, error) {
+	if PageOffset(va) != 0 {
+		return nil, fmt.Errorf("pmap: TranslateRun at unaligned va %#x", va)
+	}
+	if p.IsDirectMapped(va) {
+		for i := 0; i < npages; i++ {
+			pg, err := p.directTranslate(va + uint64(i)*vm.PageSize)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pg)
+		}
+		return out, nil
+	}
+	vpn0 := VPN(va)
+	i := 0
+	for i < npages {
+		frame, ok := ctx.TLBLookup(vpn0 + uint64(i))
+		if !ok {
+			break
+		}
+		pg := p.m.Phys.PageByFrame(frame)
+		if pg == nil {
+			return nil, fmt.Errorf("%w: stale TLB frame %d for va %#x", ErrFault, frame, va+uint64(i)*vm.PageSize)
+		}
+		out = append(out, pg)
+		i++
+	}
+	if i == npages {
+		return out, nil
+	}
+
+	// One walk for the whole remaining run.
+	ctx.ChargeWalk()
+	ctx.TouchPTESpan(vpn0+uint64(i), npages-i)
+	resolvedAt := len(out)
+	type largeFill struct{ baseVPN, frame uint64 }
+	var larges []largeFill
+	p.mu.Lock()
+	for j := i; j < npages; j++ {
+		vpn := vpn0 + uint64(j)
+		pte, ok := p.pt[vpn]
+		if !ok || !pte.Valid {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("%w: va %#x", ErrFault, va+uint64(j)*vm.PageSize)
+		}
+		pte.Accessed = true
+		if write {
+			pte.Modified = true
+		}
+		pg := p.m.Phys.PageByFrame(pte.Frame)
+		if pg == nil {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("%w: pte frame %d for va %#x", ErrFault, pte.Frame, va+uint64(j)*vm.PageSize)
+		}
+		out = append(out, pg)
+	}
+	const span = uint64(SuperpagePages)
+	for key := (vpn0 + uint64(i)) >> tlb.SuperSpanShift; key<<tlb.SuperSpanShift < vpn0+uint64(npages); key++ {
+		if w, ok := p.super[key]; ok {
+			w.accessed = true
+			larges = append(larges, largeFill{baseVPN: w.baseVPN, frame: w.frame})
+		}
+	}
+	p.mu.Unlock()
+
+	for j := i; j < npages; {
+		vpn := vpn0 + uint64(j)
+		filledLarge := false
+		for _, lf := range larges {
+			if vpn >= lf.baseVPN && vpn < lf.baseVPN+span {
+				ctx.TLBInsertLarge(lf.baseVPN, lf.frame)
+				// The large entry covers the window's remainder.
+				j += int(lf.baseVPN + span - vpn)
+				filledLarge = true
+				break
+			}
+		}
+		if !filledLarge {
+			ctx.TLBInsert(vpn, out[resolvedAt+j-i].Frame())
+			j++
+		}
+	}
+	return out, nil
 }
 
 // Mappings returns the number of valid kernel translations; test helper.

@@ -1,0 +1,176 @@
+package pmap
+
+// Tests for the contiguous-run page-table operations: bulk install and
+// teardown (KEnterRun/KRemoveRun), ranged translation (one walk per
+// contiguous PTE run), and simulated superpage promotion/demotion.
+
+import (
+	"errors"
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+func allocRunPages(t *testing.T, m *smp.Machine, n int) []*vm.Page {
+	t.Helper()
+	pages, err := m.Phys.AllocN(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pages
+}
+
+func TestKEnterRunAndRangedTranslate(t *testing.T) {
+	m, pm := newTestPmap(t, arch.XeonMPHTT())
+	ctx := m.Ctx(0)
+	pages := allocRunPages(t, m, 8)
+	base := uint64(KVABaseI386)
+	pm.KEnterRun(ctx, base, pages)
+
+	// One ranged translate of the cold run: exactly ONE page-table walk,
+	// one TLB entry per page.
+	before := m.SnapshotCounters()
+	got, err := pm.TranslateRun(ctx, base, 8, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pg := range got {
+		if pg != pages[i] {
+			t.Fatalf("page %d resolves wrong", i)
+		}
+	}
+	if d := m.SnapshotCounters().Sub(before); d.PTWalks != 1 {
+		t.Fatalf("walks for a cold 8-page run = %d, want 1", d.PTWalks)
+	}
+	// Warm: all TLB hits, no walks at all.
+	before = m.SnapshotCounters()
+	if _, err := pm.TranslateRun(ctx, base, 8, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.SnapshotCounters().Sub(before); d.PTWalks != 0 {
+		t.Fatalf("walks on a warm run = %d, want 0", d.PTWalks)
+	}
+	// The per-page path pays one walk per cold page; same PTEs, another
+	// CPU so its TLB is cold.
+	ctx1 := m.Ctx(1)
+	before = m.SnapshotCounters()
+	for i := 0; i < 8; i++ {
+		if _, err := pm.Translate(ctx1, base+uint64(i)*vm.PageSize, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := m.SnapshotCounters().Sub(before); d.PTWalks != 8 {
+		t.Fatalf("per-page walks = %d, want 8", d.PTWalks)
+	}
+}
+
+func TestKRemoveRunAccessedReporting(t *testing.T) {
+	m, pm := newTestPmap(t, arch.XeonMP())
+	ctx := m.Ctx(0)
+	pages := allocRunPages(t, m, 6)
+	base := uint64(KVABaseI386)
+	pm.KEnterRun(ctx, base, pages)
+	// Touch pages 1 and 4 only.
+	for _, i := range []int{1, 4} {
+		if _, err := pm.Translate(ctx, base+uint64(i)*vm.PageSize, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc := pm.KRemoveRun(ctx, base, 6, nil)
+	want := []bool{false, true, false, false, true, false}
+	for i := range want {
+		if acc[i] != want[i] {
+			t.Fatalf("accessed[%d] = %v, want %v", i, acc[i], want[i])
+		}
+	}
+	// The run is gone: translation faults.
+	if _, err := pm.Translate(m.Ctx(1), base, false); !errors.Is(err, ErrFault) {
+		t.Fatalf("translate after KRemoveRun = %v, want ErrFault", err)
+	}
+	if _, err := pm.TranslateRun(ctx, base+vm.PageSize, 2, false, nil); !errors.Is(err, ErrFault) {
+		t.Fatalf("ranged translate after KRemoveRun = %v, want ErrFault", err)
+	}
+}
+
+func TestTranslateRunDirectMap(t *testing.T) {
+	m, pm := newTestPmap(t, arch.OpteronMP())
+	ctx := m.Ctx(0)
+	pages := allocRunPages(t, m, 4) // fresh machine: contiguous frames
+	base := pm.DirectVA(pages[0])
+	before := m.SnapshotCounters()
+	got, err := pm.TranslateRun(ctx, base, 4, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pg := range got {
+		if pg != pages[i] {
+			t.Fatalf("direct page %d resolves wrong", i)
+		}
+	}
+	if d := m.SnapshotCounters().Sub(before); d.PTWalks != 0 {
+		t.Fatal("direct-map ranged translate must not walk")
+	}
+}
+
+func TestSuperpagePromotionLifecycle(t *testing.T) {
+	m := smp.NewMachine(arch.XeonMPHTT(), SuperpagePages+32, false)
+	pm := New(m)
+	ctx := m.Ctx(0)
+	pages := allocRunPages(t, m, SuperpagePages)
+	for i := 1; i < SuperpagePages; i++ {
+		if pages[i].Frame() != pages[0].Frame()+uint64(i) {
+			t.Skip("physical allocator did not hand out contiguous frames")
+		}
+	}
+	// An aligned window over contiguous frames promotes...
+	base := uint64(KVABaseI386) // base is superpage-aligned
+	pm.KEnterRun(ctx, base, pages)
+	if ss := pm.SuperStats(); ss.Promotions != 1 {
+		t.Fatalf("promotions = %d, want 1", ss.Promotions)
+	}
+	if !pm.Promoted(base) || !pm.Promoted(base+uint64(SuperpagePages-1)*vm.PageSize) {
+		t.Fatal("window not promoted")
+	}
+	// ...an unaligned or torn window does not.
+	misaligned := base + uint64(SuperpagePages+1)*vm.PageSize
+	pm.KEnterRun(ctx, misaligned, pages[:4])
+	if ss := pm.SuperStats(); ss.Promotions != 1 {
+		t.Fatalf("short window promoted: %+v", ss)
+	}
+
+	// One walk anywhere in the window fills a large entry covering all
+	// of it on the walking CPU.
+	if _, err := pm.Translate(ctx, base+7*vm.PageSize, false); err != nil {
+		t.Fatal(err)
+	}
+	before := m.SnapshotCounters()
+	for i := 0; i < SuperpagePages; i++ {
+		pg, err := pm.Translate(ctx, base+uint64(i)*vm.PageSize, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg != pages[i] {
+			t.Fatalf("page %d resolves wrong through the superpage", i)
+		}
+	}
+	if d := m.SnapshotCounters().Sub(before); d.PTWalks != 0 {
+		t.Fatalf("walks through a resident large entry = %d, want 0", d.PTWalks)
+	}
+
+	// Demotion: the teardown reports EVERY page accessed (the large
+	// entry has no per-page accessed bits) and drops the window.
+	acc := pm.KRemoveRun(ctx, base, SuperpagePages, nil)
+	for i, a := range acc {
+		if !a {
+			t.Fatalf("accessed[%d] = false; a promoted, accessed window owes all pages", i)
+		}
+	}
+	if ss := pm.SuperStats(); ss.Demotions != 1 {
+		t.Fatalf("demotions = %d, want 1", ss.Demotions)
+	}
+	if pm.Promoted(base) {
+		t.Fatal("window still promoted after KRemoveRun")
+	}
+}

@@ -42,6 +42,9 @@ func SendFile(ctx *smp.Context, k *kernel.Kernel, fsys *fs.FS, conn *netstack.Co
 		return 0, err
 	}
 	ctx.Charge(ctx.Cost().Syscall)
+	if k.UseRunsSend() {
+		return sendFileRun(ctx, k, fsys, conn, name, size)
+	}
 	if k.UseVectoredSend() {
 		return sendFileVectored(ctx, k, fsys, conn, name, size)
 	}
@@ -77,12 +80,51 @@ func SendFile(ctx *smp.Context, k *kernel.Kernel, fsys *fs.FS, conn *netstack.Co
 	return sent, nil
 }
 
-// sendFileVectored is the batched mapping path: resolve and wire a run of
-// file pages, map the run with one vectored call, then hand the pages to
-// the socket one chain per page exactly as the per-page path does.  Each
-// page's release on acknowledgment drops one run reference; the last drop
-// unmaps the whole run with one FreeBatch.
+// windowMapper maps one wired page run for a windowed send, returning
+// the per-page buffers to attach and the shared release state (one
+// reference per page, the last drop unmapping the whole window).  It
+// returns sfbuf.ErrBatchTooLarge unwrapped when the run exceeds the
+// mapping cache, which sends the window through the per-page fallback.
+type windowMapper func(ctx *smp.Context, pages []*vm.Page) ([]*sfbuf.Buf, *mbuf.RunRelease, error)
+
+// sendFileVectored is the batched mapping path: each window is mapped
+// with one vectored AllocBatch and released — when the last covering
+// acknowledgment lands — with one FreeBatch.
 func sendFileVectored(ctx *smp.Context, k *kernel.Kernel, fsys *fs.FS, conn *netstack.Conn, name string, size int64) (int64, error) {
+	return sendFileWindowed(ctx, k, fsys, conn, name, size,
+		func(ctx *smp.Context, pages []*vm.Page) ([]*sfbuf.Buf, *mbuf.RunRelease, error) {
+			bufs, err := k.Map.AllocBatch(ctx, pages, 0) // shared mappings
+			if err != nil {
+				return nil, nil, err
+			}
+			return bufs, mbuf.NewRunRelease(k.Map, bufs, pages), nil
+		})
+}
+
+// sendFileRun is the contiguous-run mapping path: each window is mapped
+// as ONE VA window with AllocRun — each page's mbuf external carries its
+// window address, so checksum and retransmission reads stay inside one
+// translation reach — and the last acknowledgment unmaps it with one
+// FreeRun.
+func sendFileRun(ctx *smp.Context, k *kernel.Kernel, fsys *fs.FS, conn *netstack.Conn, name string, size int64) (int64, error) {
+	return sendFileWindowed(ctx, k, fsys, conn, name, size,
+		func(ctx *smp.Context, pages []*vm.Page) ([]*sfbuf.Buf, *mbuf.RunRelease, error) {
+			run, err := k.Map.AllocRun(ctx, pages, 0) // shared mappings
+			if err != nil {
+				return nil, nil, err
+			}
+			return run.Bufs(), mbuf.NewRunReleaseMapped(k.Map, run, pages), nil
+		})
+}
+
+// sendFileWindowed is the shared windowed-send loop behind the vectored
+// and contiguous-run paths: resolve and wire a run of file pages, map
+// the run with mapRun, then hand the pages to the socket one chain per
+// page exactly as the per-page path does.  Each page's release on
+// acknowledgment drops one run reference; the last drop unmaps the whole
+// window.  A window wider than the whole mapping cache falls back to
+// per-page mappings rather than failing the send.
+func sendFileWindowed(ctx *smp.Context, k *kernel.Kernel, fsys *fs.FS, conn *netstack.Conn, name string, size int64, mapRun windowMapper) (int64, error) {
 	var sent int64
 	for off := int64(0); off < size; {
 		pi := int(off / vm.PageSize)
@@ -106,7 +148,7 @@ func sendFileVectored(ctx *smp.Context, k *kernel.Kernel, fsys *fs.FS, conn *net
 			ctx.Charge(ctx.Cost().PageWire)
 			pages = append(pages, pg)
 		}
-		bufs, err := k.Map.AllocBatch(ctx, pages, 0) // shared mappings
+		bufs, rel, err := mapRun(ctx, pages)
 		if errors.Is(err, sfbuf.ErrBatchTooLarge) {
 			// The run exceeds the whole mapping cache: send these pages
 			// one mapping at a time, exactly as the per-page path does.
@@ -140,9 +182,8 @@ func sendFileVectored(ctx *smp.Context, k *kernel.Kernel, fsys *fs.FS, conn *net
 		}
 		if err != nil {
 			unwire()
-			return sent, fmt.Errorf("sendfile: batch-mapping run: %w", err)
+			return sent, fmt.Errorf("sendfile: window-mapping run: %w", err)
 		}
-		rel := mbuf.NewRunRelease(k.Map, bufs, pages)
 		for j := range bufs {
 			po := int(off % vm.PageSize)
 			take := int(min64(vm.PageSize-int64(po), size-off))

@@ -116,6 +116,10 @@ func TestRepeatSendFileHitsMappingCache(t *testing.T) {
 	// must be pure hits with zero invalidations (the Figure 17/18
 	// sf_buf behaviour).
 	r := newRig(t, kernel.SFBuf, arch.XeonMP())
+	// Pins the mapping CACHE's reuse property; contiguous runs trade
+	// that reuse for ranged translation, so hold sendfile on the cached
+	// path.
+	r.k.Cfg.Contig = kernel.ContigOff
 	data := make([]byte, 8*fs.BlockSize)
 	if err := r.fsys.WriteFile(r.ctx, "hot.html", data); err != nil {
 		t.Fatal(err)

@@ -33,6 +33,10 @@ type AMD64 struct {
 	batchAllocs atomic.Uint64
 	batchFrees  atomic.Uint64
 	batchPages  atomic.Uint64
+
+	runAllocs atomic.Uint64
+	runFrees  atomic.Uint64
+	runPages  atomic.Uint64
 }
 
 var _ Mapper = (*AMD64)(nil)
@@ -87,8 +91,58 @@ func (s *AMD64) FreeBatch(ctx *smp.Context, bufs []*Buf) {
 	s.batchFrees.Add(1)
 }
 
+// AllocRun on the direct map is free when the frames are physically
+// contiguous: the direct map is linear, so contiguous frames ARE a
+// contiguous virtual window — already covered by the direct map's
+// permanent 2 MB superpages, with nothing to install and nothing to ever
+// invalidate.  Scattered frames cannot be made virtually contiguous by a
+// map that is pure arithmetic, so they degrade to the per-page casts
+// (Run.Contiguous reports false) rather than paying for a mapped window
+// this architecture exists to avoid.
+func (s *AMD64) AllocRun(ctx *smp.Context, pages []*vm.Page, _ Flags) (*Run, error) {
+	if len(pages) == 0 {
+		return nil, nil
+	}
+	s.allocs.Add(uint64(len(pages)))
+	s.runAllocs.Add(1)
+	s.runPages.Add(uint64(len(pages)))
+	run := &Run{pages: append([]*vm.Page(nil), pages...)}
+	contig := true
+	for i := 1; i < len(pages); i++ {
+		if pages[i].Frame() != pages[0].Frame()+uint64(i) {
+			contig = false
+			break
+		}
+	}
+	if contig {
+		run.contig = true
+		run.base = s.pm.DirectVA(pages[0])
+		return run, nil
+	}
+	bufs := make([]*Buf, len(pages))
+	for i, pg := range pages {
+		f := pg.Frame()
+		s.once[f].Do(func() {
+			s.bufs[f] = Buf{kva: s.pm.DirectVA(pg), page: pg}
+		})
+		bufs[i] = &s.bufs[f]
+	}
+	run.bufs = bufs
+	return run, nil
+}
+
+// FreeRun implements the run free: the empty function, as always here.
+func (s *AMD64) FreeRun(ctx *smp.Context, r *Run) {
+	s.frees.Add(uint64(len(r.pages)))
+	s.runFrees.Add(1)
+	r.pages, r.bufs = nil, nil
+}
+
 // nativeBatch: the direct map is the degenerate best case of batching.
 func (s *AMD64) nativeBatch() bool { return true }
+
+// nativeRun: physically contiguous extents get their window for free.
+func (s *AMD64) nativeRun() bool { return true }
 
 // Name implements Mapper.
 func (s *AMD64) Name() string { return "sf_buf/amd64" }
@@ -102,6 +156,9 @@ func (s *AMD64) Stats() Stats {
 		BatchAllocs: s.batchAllocs.Load(),
 		BatchFrees:  s.batchFrees.Load(),
 		BatchPages:  s.batchPages.Load(),
+		RunAllocs:   s.runAllocs.Load(),
+		RunFrees:    s.runFrees.Load(),
+		RunPages:    s.runPages.Load(),
 	}
 }
 
@@ -112,4 +169,7 @@ func (s *AMD64) ResetStats() {
 	s.batchAllocs.Store(0)
 	s.batchFrees.Store(0)
 	s.batchPages.Store(0)
+	s.runAllocs.Store(0)
+	s.runFrees.Store(0)
+	s.runPages.Store(0)
 }

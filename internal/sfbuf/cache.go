@@ -101,6 +101,8 @@ type mapCore interface {
 	free(ctx *smp.Context, b *Buf)
 	allocBatch(ctx *smp.Context, pages []*vm.Page, flags Flags) ([]*Buf, error)
 	freeBatch(ctx *smp.Context, bufs []*Buf)
+	allocRun(ctx *smp.Context, pages []*vm.Page, flags Flags) (*Run, error)
+	freeRun(ctx *smp.Context, r *Run)
 	interruptWakeup()
 	snapshotStats() Stats
 	resetStats()
@@ -163,12 +165,12 @@ func (c *cache) alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf, error
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.stats.Allocs++
 
 	for {
 		if b, ok := c.hash[page.Frame()]; ok && c.ablate&AblateSharing == 0 {
 			// Cache hit: revive from the inactive list if unused,
 			// then make the mapping valid for this caller.
+			c.stats.Allocs++
 			c.stats.Hits++
 			if b.ref == 0 {
 				c.inactive.remove(b)
@@ -179,6 +181,7 @@ func (c *cache) alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf, error
 		}
 
 		if b := c.inactive.popHead(); b != nil {
+			c.stats.Allocs++
 			c.stats.Misses++
 			// "First, if the inactive sf_buf represents a valid
 			// mapping ... it must be removed from the hash table."
@@ -326,6 +329,55 @@ func (c *cache) freeBatch(ctx *smp.Context, bufs []*Buf) {
 	c.mu.Lock()
 	c.stats.BatchFrees++
 	c.mu.Unlock()
+}
+
+// allocRun is the global-lock cache's run fallback: the paper's design
+// has no contiguous window to offer (its buffers' addresses are fixed at
+// boot and scattered by reuse), so a run request degrades to exactly one
+// alloc per page, in order — the same loop allocBatch runs, charged and
+// counted identically, so figure reproduction on this engine is
+// indifferent to whether a subsystem asked for a run, a batch, or pages.
+// The returned run reports Contiguous() == false and consumers fall back
+// to per-page translation, which is precisely what this engine's
+// scattered mappings cost.
+func (c *cache) allocRun(ctx *smp.Context, pages []*vm.Page, flags Flags) (*Run, error) {
+	if len(pages) == 0 {
+		return nil, nil
+	}
+	if len(pages) > c.total {
+		return nil, ErrBatchTooLarge
+	}
+	bufs := make([]*Buf, 0, len(pages))
+	for _, pg := range pages {
+		b, err := c.alloc(ctx, pg, flags)
+		if err != nil {
+			for _, prev := range bufs {
+				c.free(ctx, prev)
+			}
+			return nil, err
+		}
+		bufs = append(bufs, b)
+	}
+	c.mu.Lock()
+	c.stats.RunAllocs++
+	c.stats.RunPages += uint64(len(pages))
+	c.mu.Unlock()
+	return &Run{pages: append([]*vm.Page(nil), pages...), bufs: bufs, home: c}, nil
+}
+
+// freeRun releases a fallback run: one free per page, as the per-page
+// callers would have run themselves.
+func (c *cache) freeRun(ctx *smp.Context, r *Run) {
+	if r.home != c || r.bufs == nil {
+		panic("sfbuf: freeRun of a foreign or already-freed run")
+	}
+	for _, b := range r.bufs {
+		c.free(ctx, b)
+	}
+	c.mu.Lock()
+	c.stats.RunFrees++
+	c.mu.Unlock()
+	r.pages, r.bufs, r.home = nil, nil, nil
 }
 
 // interruptWakeup wakes all sleepers so those with a pending signal can

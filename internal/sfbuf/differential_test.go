@@ -27,12 +27,12 @@ import (
 // diffOp is one step of a trace.  Traces are generated once per seed and
 // replayed verbatim against every engine.
 type diffOp struct {
-	kind    int // 0 alloc, 1 allocBatch, 2 free, 3 freeBatch, 4 write, 5 verify
+	kind    int // 0 alloc, 1 allocBatch, 2 free, 3 freeBatch, 4 write, 5 verify, 6 allocRun, 7 freeRun
 	page    int // first page index (alloc kinds)
-	count   int // batch length
+	count   int // batch/run length
 	cpu     int
 	private bool
-	pick    int  // which live handle/batch (free/write/verify kinds)
+	pick    int  // which live handle/batch/run (free/write/verify kinds)
 	val     byte // written value
 }
 
@@ -49,34 +49,45 @@ const (
 func genTrace(seed int64, ncpu int) []diffOp {
 	rng := rand.New(rand.NewSource(seed))
 	var ops []diffOp
-	liveSingles, liveBatchUnits := 0, 0 // batches tracked as units
-	var batchSizes []int
+	liveSingles := 0
+	var batchSizes, runSizes []int // batches and runs tracked as units
 	for len(ops) < diffOps {
 		r := rng.Intn(100)
 		live := liveSingles
 		for _, n := range batchSizes {
 			live += n
 		}
+		for _, n := range runSizes {
+			live += n
+		}
 		switch {
-		case r < 30 && live < diffMaxLive:
+		case r < 25 && live < diffMaxLive:
 			ops = append(ops, diffOp{kind: 0, page: rng.Intn(diffPages),
 				cpu: rng.Intn(ncpu), private: rng.Intn(3) == 0})
 			liveSingles++
-		case r < 50 && live+8 < diffMaxLive:
+		case r < 42 && live+8 < diffMaxLive:
 			n := 1 + rng.Intn(8)
 			start := rng.Intn(diffPages - n) // no wraparound: distinct pages
 			ops = append(ops, diffOp{kind: 1, page: start, count: n,
 				cpu: rng.Intn(ncpu), private: rng.Intn(3) == 0})
 			batchSizes = append(batchSizes, n)
-			liveBatchUnits++
-		case r < 70 && liveSingles > 0:
+		case r < 55 && live+8 < diffMaxLive:
+			n := 1 + rng.Intn(8)
+			start := rng.Intn(diffPages - n)
+			ops = append(ops, diffOp{kind: 6, page: start, count: n,
+				cpu: rng.Intn(ncpu), private: rng.Intn(3) == 0})
+			runSizes = append(runSizes, n)
+		case r < 68 && liveSingles > 0:
 			ops = append(ops, diffOp{kind: 2, pick: rng.Intn(liveSingles)})
 			liveSingles--
-		case r < 85 && liveBatchUnits > 0:
-			pick := rng.Intn(liveBatchUnits)
+		case r < 78 && len(batchSizes) > 0:
+			pick := rng.Intn(len(batchSizes))
 			ops = append(ops, diffOp{kind: 3, pick: pick})
 			batchSizes = append(batchSizes[:pick], batchSizes[pick+1:]...)
-			liveBatchUnits--
+		case r < 86 && len(runSizes) > 0:
+			pick := rng.Intn(len(runSizes))
+			ops = append(ops, diffOp{kind: 7, pick: pick})
+			runSizes = append(runSizes[:pick], runSizes[pick+1:]...)
 		case r < 93 && live > 0:
 			ops = append(ops, diffOp{kind: 4, pick: rng.Intn(live),
 				val: byte(rng.Intn(256)), cpu: rng.Intn(ncpu)})
@@ -98,12 +109,21 @@ type diffEngine struct {
 	pages []*vm.Page
 }
 
-// diffHandle is one live mapping during replay.
+// diffHandle is one live mapping during replay.  Run members have no Buf
+// of their own — only their address within the run, which differs between
+// a window-backed run and a scattered fallback, but resolves per engine.
 type diffHandle struct {
 	b       *Buf
+	kva     uint64
 	page    int
 	cpu     int
 	private bool
+}
+
+// diffRun is one live run and its member handles.
+type diffRun struct {
+	r  *Run
+	hs []diffHandle
 }
 
 func newDiffEngines(t *testing.T, plat arch.Platform) []*diffEngine {
@@ -174,9 +194,10 @@ func replayTrace(t *testing.T, e *diffEngine, ops []diffOp) [diffPages]byte {
 	}
 	var singles []diffHandle
 	var batches [][]diffHandle
+	var runs []diffRun
 
-	// liveAt resolves a flat pick over singles then batch members, in
-	// the same order the generator counted them.
+	// liveAt resolves a flat pick over singles, then batch members, then
+	// run members, in the same order the generator counted them.
 	liveAt := func(pick int) *diffHandle {
 		if pick < len(singles) {
 			return &singles[pick]
@@ -187,6 +208,12 @@ func replayTrace(t *testing.T, e *diffEngine, ops []diffOp) [diffPages]byte {
 				return &batches[bi][pick]
 			}
 			pick -= len(batches[bi])
+		}
+		for ri := range runs {
+			if pick < len(runs[ri].hs) {
+				return &runs[ri].hs[pick]
+			}
+			pick -= len(runs[ri].hs)
 		}
 		return nil
 	}
@@ -201,7 +228,7 @@ func replayTrace(t *testing.T, e *diffEngine, ops []diffOp) [diffPages]byte {
 
 	verify := func(step int, h *diffHandle, cpu int) {
 		ctx := e.m.Ctx(cpu)
-		got, err := e.pm.Translate(ctx, h.b.KVA(), false)
+		got, err := e.pm.Translate(ctx, h.kva, false)
 		if err != nil {
 			t.Fatalf("%s step %d: translate page %d: %v", e.name, step, h.page, err)
 		}
@@ -225,7 +252,7 @@ func replayTrace(t *testing.T, e *diffEngine, ops []diffOp) [diffPages]byte {
 			if b.Page() != e.pages[op.page] {
 				t.Fatalf("%s step %d: alloc returned wrong page", e.name, step)
 			}
-			h := diffHandle{b: b, page: op.page, cpu: op.cpu, private: op.private}
+			h := diffHandle{b: b, kva: b.KVA(), page: op.page, cpu: op.cpu, private: op.private}
 			singles = append(singles, h)
 			verify(step, &h, op.cpu)
 		case 1:
@@ -244,7 +271,7 @@ func replayTrace(t *testing.T, e *diffEngine, ops []diffOp) [diffPages]byte {
 				if b.Page() != run[j] {
 					t.Fatalf("%s step %d: batch buf %d maps wrong page", e.name, step, j)
 				}
-				hs[j] = diffHandle{b: b, page: op.page + j, cpu: op.cpu, private: op.private}
+				hs[j] = diffHandle{b: b, kva: b.KVA(), page: op.page + j, cpu: op.cpu, private: op.private}
 				verify(step, &hs[j], op.cpu)
 			}
 			batches = append(batches, hs)
@@ -269,7 +296,7 @@ func replayTrace(t *testing.T, e *diffEngine, ops []diffOp) [diffPages]byte {
 			}
 			cpu := readCPU(h, op.cpu)
 			ctx := e.m.Ctx(cpu)
-			got, err := e.pm.Translate(ctx, h.b.KVA(), true)
+			got, err := e.pm.Translate(ctx, h.kva, true)
 			if err != nil {
 				t.Fatalf("%s step %d: write translate: %v", e.name, step, err)
 			}
@@ -282,6 +309,33 @@ func replayTrace(t *testing.T, e *diffEngine, ops []diffOp) [diffPages]byte {
 				continue
 			}
 			verify(step, h, readCPU(h, op.cpu))
+		case 6:
+			flags := Flags(0)
+			if op.private {
+				flags = Private
+			}
+			pageRun := e.pages[op.page : op.page+op.count]
+			r, err := e.sf.AllocRun(e.m.Ctx(op.cpu), pageRun, flags)
+			if err != nil {
+				t.Fatalf("%s step %d: allocRun [%d,%d): %v",
+					e.name, step, op.page, op.page+op.count, err)
+			}
+			if r.Len() != op.count {
+				t.Fatalf("%s step %d: run length %d, want %d", e.name, step, r.Len(), op.count)
+			}
+			hs := make([]diffHandle, op.count)
+			for j := 0; j < op.count; j++ {
+				hs[j] = diffHandle{kva: r.KVA(j), page: op.page + j, cpu: op.cpu, private: op.private}
+				verify(step, &hs[j], op.cpu)
+			}
+			runs = append(runs, diffRun{r: r, hs: hs})
+		case 7:
+			dr := runs[op.pick]
+			for j := range dr.hs {
+				verify(step, &dr.hs[j], dr.hs[j].cpu)
+			}
+			e.sf.FreeRun(e.m.Ctx(dr.hs[0].cpu), dr.r)
+			runs = append(runs[:op.pick], runs[op.pick+1:]...)
 		}
 	}
 
@@ -298,6 +352,12 @@ func replayTrace(t *testing.T, e *diffEngine, ops []diffOp) [diffPages]byte {
 			bufs[j] = hs[j].b
 		}
 		e.sf.FreeBatch(e.m.Ctx(hs[0].cpu), bufs)
+	}
+	for _, dr := range runs {
+		for j := range dr.hs {
+			verify(len(ops), &dr.hs[j], dr.hs[j].cpu)
+		}
+		e.sf.FreeRun(e.m.Ctx(dr.hs[0].cpu), dr.r)
 	}
 	if st := e.sf.Stats(); st.Allocs != st.Frees {
 		t.Fatalf("%s: allocs %d != frees %d after drain", e.name, st.Allocs, st.Frees)

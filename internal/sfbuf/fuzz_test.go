@@ -1,16 +1,17 @@
 package sfbuf
 
-// Native Go fuzz target for the vectored sharded engine.  A byte string
-// decodes into a trace of single and batched operations over a
-// deliberately tiny cache (constant reclaim pressure), and the
-// stale-mapping invariant is the oracle: every read through a live Buf's
-// kernel virtual address, performed through the honest TLB model, must
-// see the mapped frame's current bytes.  Allocation uses NoWait
-// throughout — the trace runs on one goroutine, so a sleeping alloc would
-// deadlock; a WouldBlock outcome is simply a no-op step.
+// Native Go fuzz target for the vectored and contiguous-run paths of the
+// sharded engine.  A byte string decodes into a trace of single, batched,
+// and run operations over a deliberately tiny cache (constant reclaim and
+// window-launder pressure), and the stale-mapping invariant is the
+// oracle: every read through a live mapping's kernel virtual address,
+// performed through the honest TLB model, must see the mapped frame's
+// current bytes.  Allocation uses NoWait throughout — the trace runs on
+// one goroutine, so a sleeping alloc would deadlock; a WouldBlock outcome
+// is simply a no-op step.
 //
-// The seed corpus lives in testdata/fuzz/FuzzBatchOps; digits '0'-'5'
-// conveniently decode to opcodes 0-5, so the seeds are readable op lists.
+// The seed corpus lives in testdata/fuzz/FuzzBatchOps; digits '0'-'7'
+// conveniently decode to opcodes 0-7, so the seeds are readable op lists.
 
 import (
 	"errors"
@@ -26,23 +27,34 @@ const (
 )
 
 func FuzzBatchOps(f *testing.F) {
-	// Each opcode consumes two bytes: op = b[i]%6, arg = b[i+1].
+	// Each opcode consumes two bytes: op = b[i]%8, arg = b[i+1].
 	f.Add([]byte("0a0b1c4d5e2a3b"))                                // allocs, a batch, write, verify, frees
 	f.Add([]byte("1a1b1c1d3a3b3c"))                                // batch churn beyond the cache size
 	f.Add([]byte("0\x80" + "0\x81" + "4\xff" + "5\x00" + "2\x00")) // private flags, write/verify
 	f.Add([]byte("1\xf0" + "1\xf1" + "1\xf2" + "1\xf3" + "1\xf4")) // NoWait exhaustion + rollback
 	f.Add([]byte("0123456789abcdef0123456789abcdef"))
+	f.Add([]byte("6a6b4c5d7a7b"))                        // runs, write/verify through windows, frees
+	f.Add([]byte("6\xf06\xf16\xf27\x007\x016\x337\x00")) // run churn: window recycling + NoWait exhaustion
+	f.Add([]byte("6a1b0c7a3a2a6d5e7b"))                  // runs, batches and singles interleaved
 	f.Fuzz(func(t *testing.T, data []byte) {
 		runBatchOpsTrace(t, data)
 	})
 }
 
-// fuzzHandle mirrors diffHandle for the fuzz replay.
+// fuzzHandle mirrors diffHandle for the fuzz replay; run members carry no
+// Buf, only their window address.
 type fuzzHandle struct {
 	b       *Buf
+	kva     uint64
 	page    int
 	cpu     int
 	private bool
+}
+
+// fuzzRun is one live contiguous run and its per-page handles.
+type fuzzRun struct {
+	r  *Run
+	hs []fuzzHandle
 }
 
 func runBatchOpsTrace(t *testing.T, data []byte) {
@@ -63,15 +75,20 @@ func runBatchOpsTrace(t *testing.T, data []byte) {
 
 	var singles []fuzzHandle
 	var batches [][]fuzzHandle
-	// The single-page Alloc counts a failed NoWait attempt in
-	// Stats.Allocs (the paper's "calls to sf_buf_alloc"); a failed batch
-	// allocates nothing and counts nothing.  Track the two failure kinds
-	// so the drain ledger can be audited exactly.
-	failedSingles, failedBatches := uint64(0), uint64(0)
+	var runs []fuzzRun
+	// Allocs counts only pages successfully mapped — the unified ledger
+	// rule this fuzz target originally forced by catching the asymmetry
+	// between singles (which used to count failed NoWait attempts) and
+	// batches (which never did).  Failed attempts of every kind count
+	// only in WouldBlock; track them so that can be audited exactly.
+	failedAllocs := uint64(0)
 	live := func() int {
 		n := len(singles)
 		for _, b := range batches {
 			n += len(b)
+		}
+		for _, fr := range runs {
+			n += len(fr.hs)
 		}
 		return n
 	}
@@ -86,6 +103,12 @@ func runBatchOpsTrace(t *testing.T, data []byte) {
 			}
 			pick -= len(batches[bi])
 		}
+		for ri := range runs {
+			if pick < len(runs[ri].hs) {
+				return &runs[ri].hs[pick]
+			}
+			pick -= len(runs[ri].hs)
+		}
 		return nil
 	}
 	verify := func(h *fuzzHandle, cpu int) {
@@ -93,7 +116,7 @@ func runBatchOpsTrace(t *testing.T, data []byte) {
 			cpu = h.cpu
 		}
 		ctx := r.m.Ctx(cpu)
-		got, err := r.pm.Translate(ctx, h.b.KVA(), false)
+		got, err := r.pm.Translate(ctx, h.kva, false)
 		if err != nil {
 			t.Fatalf("translate page %d: %v", h.page, err)
 		}
@@ -104,7 +127,7 @@ func runBatchOpsTrace(t *testing.T, data []byte) {
 	}
 
 	for i := 0; i+1 < len(data); i += 2 {
-		op, arg := int(data[i]%6), int(data[i+1])
+		op, arg := int(data[i]%8), int(data[i+1])
 		cpu := (arg >> 2) % ncpu
 		switch op {
 		case 0: // single alloc, NoWait
@@ -115,13 +138,13 @@ func runBatchOpsTrace(t *testing.T, data []byte) {
 			pi := arg % fuzzPages
 			b, err := r.sf.Alloc(r.m.Ctx(cpu), vmPages[pi], flags)
 			if errors.Is(err, ErrWouldBlock) {
-				failedSingles++
+				failedAllocs++
 				continue
 			}
 			if err != nil {
 				t.Fatalf("alloc: %v", err)
 			}
-			h := fuzzHandle{b: b, page: pi, cpu: cpu, private: arg&0x80 != 0}
+			h := fuzzHandle{b: b, kva: b.KVA(), page: pi, cpu: cpu, private: arg&0x80 != 0}
 			singles = append(singles, h)
 			verify(&h, cpu)
 		case 1: // batch alloc, NoWait
@@ -134,7 +157,7 @@ func runBatchOpsTrace(t *testing.T, data []byte) {
 			run := vmPages[start : start+n]
 			bufs, err := r.sf.AllocBatch(r.m.Ctx(cpu), run, flags)
 			if errors.Is(err, ErrWouldBlock) || errors.Is(err, ErrBatchTooLarge) {
-				failedBatches++
+				failedAllocs++
 				continue
 			}
 			if err != nil {
@@ -145,7 +168,7 @@ func runBatchOpsTrace(t *testing.T, data []byte) {
 				if b.Page() != run[j] {
 					t.Fatalf("batch buf %d maps wrong page", j)
 				}
-				hs[j] = fuzzHandle{b: b, page: start + j, cpu: cpu, private: arg&0x01 != 0}
+				hs[j] = fuzzHandle{b: b, kva: b.KVA(), page: start + j, cpu: cpu, private: arg&0x01 != 0}
 				verify(&hs[j], cpu)
 			}
 			batches = append(batches, hs)
@@ -181,7 +204,7 @@ func runBatchOpsTrace(t *testing.T, data []byte) {
 				wcpu = h.cpu
 			}
 			ctx := r.m.Ctx(wcpu)
-			got, err := r.pm.Translate(ctx, h.b.KVA(), true)
+			got, err := r.pm.Translate(ctx, h.kva, true)
 			if err != nil {
 				t.Fatalf("write translate: %v", err)
 			}
@@ -194,10 +217,48 @@ func runBatchOpsTrace(t *testing.T, data []byte) {
 				continue
 			}
 			verify(liveAt(arg%live()), cpu)
+		case 6: // contiguous run alloc, NoWait
+			n := 1 + (arg>>4)%8
+			start := arg % (fuzzPages - n)
+			flags := NoWait
+			if arg&0x01 != 0 {
+				flags |= Private
+			}
+			rn, err := r.sf.AllocRun(r.m.Ctx(cpu), vmPages[start:start+n], flags)
+			if errors.Is(err, ErrWouldBlock) || errors.Is(err, ErrBatchTooLarge) {
+				failedAllocs++
+				continue
+			}
+			if err != nil {
+				t.Fatalf("allocRun: %v", err)
+			}
+			if !rn.Contiguous() {
+				t.Fatal("sharded engine returned a non-contiguous run")
+			}
+			hs := make([]fuzzHandle, n)
+			for j := 0; j < n; j++ {
+				hs[j] = fuzzHandle{kva: rn.KVA(j), page: start + j, cpu: cpu, private: arg&0x01 != 0}
+				verify(&hs[j], cpu)
+			}
+			runs = append(runs, fuzzRun{r: rn, hs: hs})
+		case 7: // free one run
+			if len(runs) == 0 {
+				continue
+			}
+			pick := arg % len(runs)
+			fr := runs[pick]
+			for j := range fr.hs {
+				verify(&fr.hs[j], fr.hs[j].cpu)
+			}
+			r.sf.FreeRun(r.m.Ctx(fr.hs[0].cpu), fr.r)
+			runs = append(runs[:pick], runs[pick+1:]...)
 		}
 	}
 
-	// Drain and audit the ledger.
+	// Drain and audit the ledger: Allocs counts exactly the successfully
+	// mapped pages, so after the drain it balances Frees with no
+	// failed-attempt skew, and every failed attempt — single, batch, or
+	// run — appears in WouldBlock and nowhere else.
 	for i := range singles {
 		verify(&singles[i], singles[i].cpu)
 		r.sf.Free(r.m.Ctx(singles[i].cpu), singles[i].b)
@@ -210,14 +271,19 @@ func runBatchOpsTrace(t *testing.T, data []byte) {
 		}
 		r.sf.FreeBatch(r.m.Ctx(hs[0].cpu), bufs)
 	}
-	st := r.sf.Stats()
-	if st.Allocs != st.Frees+failedSingles {
-		t.Fatalf("allocs %d != frees %d + failed singles %d after drain",
-			st.Allocs, st.Frees, failedSingles)
+	for _, fr := range runs {
+		for j := range fr.hs {
+			verify(&fr.hs[j], fr.hs[j].cpu)
+		}
+		r.sf.FreeRun(r.m.Ctx(fr.hs[0].cpu), fr.r)
 	}
-	if st.WouldBlock != failedSingles+failedBatches {
-		t.Fatalf("WouldBlock %d != failed singles %d + failed batches %d",
-			st.WouldBlock, failedSingles, failedBatches)
+	st := r.sf.Stats()
+	if st.Allocs != st.Frees {
+		t.Fatalf("allocs %d != frees %d after drain", st.Allocs, st.Frees)
+	}
+	if st.WouldBlock != failedAllocs {
+		t.Fatalf("WouldBlock %d != failed allocation attempts %d",
+			st.WouldBlock, failedAllocs)
 	}
 	if got := r.sf.InactiveLen(); got != fuzzEntries {
 		t.Fatalf("inactive = %d, want %d after drain", got, fuzzEntries)
@@ -227,5 +293,49 @@ func runBatchOpsTrace(t *testing.T, data []byte) {
 			t.Fatalf("page %d backing store %#x, model %#x — write hit the wrong frame",
 				i, pg.Data()[0], model[i])
 		}
+	}
+}
+
+// TestAllocLedgerRegression replays the exact input with which
+// FuzzBatchOps caught the PR-2 ledger asymmetry: a large batch fills the
+// cache, a single NoWait Alloc fails, and under the old rule the failed
+// single skewed Stats.Allocs while a failed batch would not have.  Under
+// the unified rule (Allocs counts only successfully mapped pages) the
+// trace's ledger balances, which runBatchOpsTrace now asserts directly.
+func TestAllocLedgerRegression(t *testing.T) {
+	runBatchOpsTrace(t, []byte("1a1C0700000000"))
+}
+
+// TestAllocLedgerSymmetry pins the rule on every failure shape against
+// the sharded engine: failed NoWait singles, batches, and runs count in
+// WouldBlock only.
+func TestAllocLedgerSymmetry(t *testing.T) {
+	r := newShardedRig(t, arch.XeonMP(), 4, ShardedConfig{})
+	ctx := r.m.Ctx(0)
+	pages := allocPages(t, r.m, 4)
+	held, err := r.sf.AllocBatch(ctx, pages, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := allocPages(t, r.m, 2)
+	if _, err := r.sf.Alloc(ctx, fresh[0], NoWait); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("single = %v, want ErrWouldBlock", err)
+	}
+	if _, err := r.sf.AllocBatch(ctx, fresh, NoWait); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("batch = %v, want ErrWouldBlock", err)
+	}
+	if _, err := r.sf.AllocRun(ctx, fresh, NoWait); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("run = %v, want ErrWouldBlock", err)
+	}
+	st := r.sf.Stats()
+	if st.Allocs != 4 {
+		t.Errorf("Allocs = %d, want 4: failed attempts must not count", st.Allocs)
+	}
+	if st.WouldBlock != 3 {
+		t.Errorf("WouldBlock = %d, want 3", st.WouldBlock)
+	}
+	r.sf.FreeBatch(ctx, held)
+	if st := r.sf.Stats(); st.Allocs != st.Frees {
+		t.Errorf("allocs %d != frees %d after drain", st.Allocs, st.Frees)
 	}
 }

@@ -74,7 +74,7 @@ func NewI386Sharded(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena, entries int
 		return nil, err
 	}
 	return &I386{
-		c:       newShardedCache(m, pm, vas, cfg),
+		c:       newShardedCache(m, pm, arena, vas, cfg),
 		name:    "sf_buf/i386-sharded",
 		entries: entries,
 		base:    base,
@@ -102,11 +102,39 @@ func (s *I386) FreeBatch(ctx *smp.Context, bufs []*Buf) {
 	s.c.freeBatch(ctx, bufs)
 }
 
+// AllocRun implements the contiguous-run alloc: a reserved VA window
+// populated in one page-table pass on the sharded engine, a scattered
+// loop-identical fallback on the paper's cache.
+func (s *I386) AllocRun(ctx *smp.Context, pages []*vm.Page, flags Flags) (*Run, error) {
+	return s.c.allocRun(ctx, pages, flags)
+}
+
+// FreeRun releases a contiguous run as a unit.
+func (s *I386) FreeRun(ctx *smp.Context, r *Run) {
+	s.c.freeRun(ctx, r)
+}
+
 // nativeBatch reports whether the underlying engine amortizes vectored
 // requests (the sharded engine does; the global-lock cache loops).
 func (s *I386) nativeBatch() bool {
 	_, ok := s.c.(*shardedCache)
 	return ok
+}
+
+// nativeRun reports whether AllocRun returns genuinely contiguous
+// windows (the sharded engine's reserved-window path).
+func (s *I386) nativeRun() bool {
+	_, ok := s.c.(*shardedCache)
+	return ok
+}
+
+// RunWindowStats reports the sharded engine's run-window pool counters;
+// zero for the global-lock engine, which has no window pool.
+func (s *I386) RunWindowStats() RunWindowStats {
+	if sc, ok := s.c.(*shardedCache); ok {
+		return sc.runs.snapshot()
+	}
+	return RunWindowStats{}
 }
 
 // Name implements Mapper.

@@ -178,10 +178,55 @@ func (o *Original) FreeBatch(ctx *smp.Context, bufs []*Buf) {
 	o.mu.Unlock()
 }
 
+// AllocRun rides the batch machinery: on 64-bit pmaps AllocBatch already
+// allocates one consecutive virtual range and maps it with pmap_qenter,
+// which IS a contiguous run, so the result is promoted to one; the i386
+// baseline's per-page loop yields a scattered run.  Batch counters
+// increment alongside the run counters, because here a run literally is
+// a batch.
+func (o *Original) AllocRun(ctx *smp.Context, pages []*vm.Page, flags Flags) (*Run, error) {
+	if len(pages) == 0 {
+		return nil, nil
+	}
+	bufs, err := o.AllocBatch(ctx, pages, flags)
+	if err != nil {
+		return nil, err
+	}
+	o.mu.Lock()
+	o.stats.RunAllocs++
+	o.stats.RunPages += uint64(len(pages))
+	o.mu.Unlock()
+	run := &Run{pages: append([]*vm.Page(nil), pages...), bufs: bufs}
+	if o.m.Plat.Arch != arch.I386 {
+		run.contig = true
+		run.base = bufs[0].KVA()
+	}
+	return run, nil
+}
+
+// FreeRun unmaps the run through FreeBatch: per-page global invalidations
+// on i386, one ranged shootdown for the whole range on 64-bit pmaps.
+func (o *Original) FreeRun(ctx *smp.Context, r *Run) {
+	if r.bufs == nil {
+		panic("sfbuf: freeRun of a foreign or already-freed run")
+	}
+	o.FreeBatch(ctx, r.bufs)
+	o.mu.Lock()
+	o.stats.RunFrees++
+	o.mu.Unlock()
+	r.pages, r.bufs = nil, nil
+}
+
 // nativeBatch: pmap_qenter semantics — one virtual-address allocation and
 // one ranged shootdown per run — are the original kernel's whole batching
 // story (on 64-bit pmaps; the i386 pmap loops, see AllocBatch).
 func (o *Original) nativeBatch() bool { return true }
+
+// nativeRun: the 64-bit pmap_qenter range is contiguous by construction.
+// The predicate is engine-static like nativeBatch; kernels gate their
+// run usage additionally by policy (the evaluation baselines never take
+// the run path on Auto — see Kernel.UseRuns).
+func (o *Original) nativeRun() bool { return o.m.Plat.Arch != arch.I386 }
 
 var _ nativeBatcher = (*Original)(nil)
 

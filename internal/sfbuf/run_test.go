@@ -1,0 +1,746 @@
+package sfbuf
+
+// Unit and economy tests for the contiguous-run API: AllocRun/FreeRun on
+// every engine, the run-window pool (recycling, laundering, guard), the
+// ranged-translate economy the PR's acceptance criterion demands, the
+// loop-identical fallback on the paper's cache, simulated superpage
+// promotion, and the batch-fair exhaustion wakeups.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/kva"
+	"sfbuf/internal/pmap"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+)
+
+// kvaArenaFor builds a fresh arena over the platform's dynamic region.
+func kvaArenaFor(p arch.Platform) *kva.Arena {
+	if p.Arch == arch.I386 {
+		return kva.NewArena(pmap.KVABaseI386, pmap.KVASizeI386)
+	}
+	return kva.NewArena(pmap.KVABaseAMD64, pmap.KVASizeAMD64)
+}
+
+func TestShardedAllocRunBasic(t *testing.T) {
+	r := newShardedRig(t, arch.XeonMPHTT(), 32, ShardedConfig{})
+	ctx := r.m.Ctx(0)
+	pages := allocPages(t, r.m, 8)
+
+	run, err := r.sf.AllocRun(ctx, pages, Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Contiguous() {
+		t.Fatal("sharded engine must return a contiguous run")
+	}
+	if run.Len() != 8 {
+		t.Fatalf("run length %d, want 8", run.Len())
+	}
+	for i := 0; i < run.Len(); i++ {
+		if run.KVA(i) != run.Base()+uint64(i)*vm.PageSize {
+			t.Fatalf("page %d KVA not consecutive", i)
+		}
+		got, err := r.pm.Translate(ctx, run.KVA(i), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Data()[0] != byte(i) {
+			t.Fatalf("page %d reads %#x, want %#x", i, got.Data()[0], byte(i))
+		}
+	}
+	s := r.sf.Stats()
+	if s.RunAllocs != 1 || s.RunPages != 8 || s.Allocs != 8 {
+		t.Fatalf("stats after run = %+v", s)
+	}
+	// Runs consume the cache's buffer inventory as capacity tokens.
+	if got := r.sf.InactiveLen(); got != 32-8 {
+		t.Fatalf("inactive = %d, want 24 while the run is live", got)
+	}
+	r.sf.FreeRun(ctx, run)
+	s = r.sf.Stats()
+	if s.Allocs != s.Frees || s.RunFrees != 1 {
+		t.Fatalf("drain stats = %+v", s)
+	}
+	if got := r.sf.InactiveLen(); got != 32 {
+		t.Fatalf("inactive = %d, want 32 after FreeRun", got)
+	}
+}
+
+func TestShardedAllocRunEmptyAndOversized(t *testing.T) {
+	r := newShardedRig(t, arch.XeonMP(), 8, ShardedConfig{})
+	ctx := r.m.Ctx(0)
+	if run, err := r.sf.AllocRun(ctx, nil, 0); err != nil || run != nil {
+		t.Fatalf("empty run = %v, %v", run, err)
+	}
+	pages := allocPages(t, r.m, 9)
+	if _, err := r.sf.AllocRun(ctx, pages, 0); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("oversized run error = %v, want ErrBatchTooLarge", err)
+	}
+	if s := r.sf.Stats(); s.Allocs != 0 {
+		t.Fatalf("failed run counted allocs: %+v", s)
+	}
+}
+
+// TestRunWindowRecyclingAndLaunder drives enough run churn that windows
+// recycle through the laundering path, and proves — through the honest
+// TLB — that a recycled window never serves a stale translation: every
+// round maps a different page set and every read must see that round's
+// bytes.
+func TestRunWindowRecyclingAndLaunder(t *testing.T) {
+	r := newShardedRig(t, arch.XeonMPHTT(), 64, ShardedConfig{})
+	ctx := r.m.Ctx(0)
+	setA := allocPages(t, r.m, 8)
+	setB := allocPages(t, r.m, 8)
+	for i := range setA {
+		setA[i].Data()[0] = 0xA0 + byte(i)
+		setB[i].Data()[0] = 0xB0 + byte(i)
+	}
+	const rounds = 40
+	for i := 0; i < rounds; i++ {
+		set, tag := setA, byte(0xA0)
+		if i%2 == 1 {
+			set, tag = setB, byte(0xB0)
+		}
+		run, err := r.sf.AllocRun(ctx, set, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < run.Len(); j++ {
+			got, err := r.pm.Translate(ctx, run.KVA(j), false)
+			if err != nil {
+				t.Fatalf("round %d page %d: %v", i, j, err)
+			}
+			if got.Data()[0] != tag+byte(j) {
+				t.Fatalf("round %d page %d reads %#x, want %#x — stale window translation",
+					i, j, got.Data()[0], tag+byte(j))
+			}
+		}
+		r.sf.FreeRun(ctx, run)
+	}
+	ws := r.sf.RunWindowStats()
+	if ws.Reuses == 0 {
+		t.Error("no window was ever recycled")
+	}
+	if ws.Launders == 0 || ws.Laundered == 0 {
+		t.Errorf("laundering never ran: %+v", ws)
+	}
+	if ws.Reserved > runLaunderBatch+1 {
+		t.Errorf("reserved %d fresh windows for %d same-size runs; recycling is broken", ws.Reserved, rounds)
+	}
+	if got, want := float64(ws.Laundered)/float64(ws.Launders), float64(runLaunderBatch); got < want {
+		t.Errorf("launder coalescing = %.1f windows/flush, want >= %.1f", got, want)
+	}
+}
+
+// TestRunGuardPageFaults proves the window guard: translating one page
+// past the end of a run's window faults instead of landing in a
+// neighboring mapping.
+func TestRunGuardPageFaults(t *testing.T) {
+	r := newShardedRig(t, arch.XeonMP(), 16, ShardedConfig{})
+	ctx := r.m.Ctx(0)
+	pages := allocPages(t, r.m, 4)
+	run, err := r.sf.AllocRun(ctx, pages, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.pm.Translate(ctx, run.Base()+4*vm.PageSize, false); !errors.Is(err, pmap.ErrFault) {
+		t.Fatalf("access past the window = %v, want ErrFault", err)
+	}
+	if _, err := r.pm.TranslateRun(ctx, run.Base(), 5, false, nil); !errors.Is(err, pmap.ErrFault) {
+		t.Fatalf("ranged access past the window = %v, want ErrFault", err)
+	}
+	r.sf.FreeRun(ctx, run)
+}
+
+// TestGlobalCacheRunIsLoopIdentical proves the figure-reproduction
+// property for runs: on the paper's global-lock cache, a run request
+// charges exactly the cycles, locks, walks and invalidations of the
+// equivalent single-page sequence and leaves identical cache state, so
+// every deterministic experiment is indifferent to the new API.
+func TestGlobalCacheRunIsLoopIdentical(t *testing.T) {
+	run := func(runs bool) (cyc int64, snap smp.Snapshot, st Stats) {
+		r := newI386Rig(t, arch.XeonMPHTT(), 16)
+		ctx := r.m.Ctx(0)
+		pages := allocPages(t, r.m, 8)
+		for round := 0; round < 6; round++ {
+			if runs {
+				rn, err := r.sf.AllocRun(ctx, pages, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rn.Contiguous() {
+					t.Fatal("global cache must not claim contiguity")
+				}
+				for j := 0; j < rn.Len(); j++ {
+					if _, err := r.pm.Translate(ctx, rn.KVA(j), false); err != nil {
+						t.Fatal(err)
+					}
+				}
+				r.sf.FreeRun(ctx, rn)
+			} else {
+				bufs := make([]*Buf, 0, len(pages))
+				for _, pg := range pages {
+					b, err := r.sf.Alloc(ctx, pg, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := r.pm.Translate(ctx, b.KVA(), false); err != nil {
+						t.Fatal(err)
+					}
+					bufs = append(bufs, b)
+				}
+				for _, b := range bufs {
+					r.sf.Free(ctx, b)
+				}
+			}
+		}
+		return int64(r.m.TotalCycles()), r.m.SnapshotCounters(), r.sf.Stats()
+	}
+	rc, rs, rst := run(true)
+	lc, ls, lst := run(false)
+	if rc != lc {
+		t.Errorf("cycles: run %d != loop %d", rc, lc)
+	}
+	if rs != ls {
+		t.Errorf("counters: run %+v != loop %+v", rs, ls)
+	}
+	rst.RunAllocs, rst.RunFrees, rst.RunPages = 0, 0, 0
+	if rst != lst {
+		t.Errorf("mapper stats: run %+v != loop %+v", rst, lst)
+	}
+}
+
+// TestRunTranslateEconomy enforces the PR's acceptance criterion: on
+// contended multi-page churn with run=16, the contiguous-run path pays
+// at least 4x fewer page-table walks per page than the scattered
+// AllocBatch + per-page translation path (the CopyOutVec cost shape), at
+// equal or better shootdown rounds per page.
+func TestRunTranslateEconomy(t *testing.T) {
+	const (
+		entries = 128
+		runLen  = 16
+		rounds  = 250
+	)
+	drive := func(runs bool) (walksPerPage, sdRoundsPerPage float64) {
+		r := newShardedRig(t, arch.XeonMPHTT(), entries, ShardedConfig{})
+		pages := allocPages(t, r.m, 4*entries)
+		ncpu := r.m.NumCPUs()
+		scratch := make([]*vm.Page, runLen)
+		var got []*vm.Page
+		for i := 0; i < rounds; i++ {
+			ctx := r.m.Ctx(i % ncpu)
+			for j := 0; j < runLen; j++ {
+				scratch[j] = pages[(i*runLen*3+j*7)%len(pages)]
+			}
+			if runs {
+				rn, err := r.sf.AllocRun(ctx, scratch, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var terr error
+				got, terr = r.pm.TranslateRun(ctx, rn.Base(), rn.Len(), false, got[:0])
+				if terr != nil {
+					t.Fatal(terr)
+				}
+				r.sf.FreeRun(ctx, rn)
+			} else {
+				bufs, err := r.sf.AllocBatch(ctx, scratch, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, b := range bufs {
+					if _, err := r.pm.Translate(ctx, b.KVA(), false); err != nil {
+						t.Fatal(err)
+					}
+				}
+				r.sf.FreeBatch(ctx, bufs)
+			}
+		}
+		snap := r.m.SnapshotCounters()
+		pagesMoved := float64(rounds * runLen)
+		return float64(snap.PTWalks) / pagesMoved, float64(snap.RemoteInvIssued) / pagesMoved
+	}
+	rWalks, rRounds := drive(true)
+	bWalks, bRounds := drive(false)
+	t.Logf("walks/page: run %.4f vs batch %.4f; shootdown rounds/page: run %.4f vs batch %.4f",
+		rWalks, bWalks, rRounds, bRounds)
+	if rWalks*4 > bWalks {
+		t.Errorf("run path walks/page = %.4f, want <= 1/4 of batch path %.4f", rWalks, bWalks)
+	}
+	if rRounds > bRounds {
+		t.Errorf("run path shootdown rounds/page = %.4f, want <= batch path %.4f", rRounds, bRounds)
+	}
+}
+
+// TestSuperpagePromotion drives a run covering an aligned 2 MB-equivalent
+// window of physically contiguous pages: the window must promote, a
+// single walk must fill ONE large TLB entry covering all of it, and the
+// teardown must demote it — with a recycled window never serving stale
+// superpage translations.
+func TestSuperpagePromotion(t *testing.T) {
+	span := pmap.SuperpagePages
+	r := newShardedRig(t, arch.XeonMPHTT(), span+64, ShardedConfig{})
+	ctx := r.m.Ctx(0)
+	pages := allocPages(t, r.m, span) // fresh machine: frames are contiguous
+	for i := 1; i < span; i++ {
+		if pages[i].Frame() != pages[0].Frame()+uint64(i) {
+			t.Skip("physical allocator did not hand out contiguous frames")
+		}
+	}
+
+	run, err := r.sf.AllocRun(ctx, pages, Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.pm.Promoted(run.Base()) {
+		t.Fatal("aligned contiguous window did not promote")
+	}
+	if ss := r.pm.SuperStats(); ss.Promotions != 1 {
+		t.Fatalf("promotions = %d, want 1", ss.Promotions)
+	}
+
+	// One ranged translate of the whole window: one walk, ONE large TLB
+	// entry — not span base entries.
+	before := r.m.SnapshotCounters()
+	tlbBefore := r.m.CPU(0).TLBStats()
+	if _, err := r.pm.TranslateRun(ctx, run.Base(), span, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	d := r.m.SnapshotCounters().Sub(before)
+	ts := r.m.CPU(0).TLBStats()
+	if d.PTWalks != 1 {
+		t.Errorf("walks for the window = %d, want 1", d.PTWalks)
+	}
+	if li := ts.LargeInserts - tlbBefore.LargeInserts; li != 1 {
+		t.Errorf("large inserts = %d, want 1", li)
+	}
+	if bi := ts.Inserts - tlbBefore.Inserts; bi != 0 {
+		t.Errorf("base inserts = %d, want 0: the large entry must cover the window", bi)
+	}
+	// Every page of the window now hits through the one large entry.
+	before = r.m.SnapshotCounters()
+	for i := 0; i < span; i++ {
+		got, err := r.pm.Translate(ctx, run.KVA(i), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != pages[i] {
+			t.Fatalf("page %d resolves to wrong frame through the superpage", i)
+		}
+	}
+	if d := r.m.SnapshotCounters().Sub(before); d.PTWalks != 0 {
+		t.Errorf("walks on large-entry hits = %d, want 0", d.PTWalks)
+	}
+
+	r.sf.FreeRun(ctx, run)
+	if ss := r.pm.SuperStats(); ss.Demotions != 1 {
+		t.Fatalf("demotions = %d, want 1", ss.Demotions)
+	}
+
+	// Recycle the window (laundering included) with DIFFERENT, reversed
+	// pages: reads through the recycled window must see the new frames,
+	// proving the demotion invalidated the large entry everywhere.
+	reversed := make([]*vm.Page, span)
+	for i := range pages {
+		reversed[i] = pages[span-1-i]
+	}
+	for round := 0; round < runLaunderBatch+1; round++ {
+		again, err := r.sf.AllocRun(ctx, reversed, Private)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.pm.Translate(ctx, again.KVA(0), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != reversed[0] {
+			t.Fatal("recycled window served a stale superpage translation")
+		}
+		r.sf.FreeRun(ctx, again)
+	}
+}
+
+// TestRunClaimWakeupFairness pins the batch-fair exhaustion wakeup: a
+// run sleeping for 4 buffers under exhaustion registers a claim and is
+// woken ONCE, after the 4th single free credits it — not per freed
+// buffer.  Sleeps counts sleep entries, so a re-waking rescanner would
+// show Sleeps > 1.
+func TestRunClaimWakeupFairness(t *testing.T) {
+	r := newShardedRig(t, arch.XeonMP(), 4, ShardedConfig{})
+	ctx := r.m.Ctx(0)
+	heldPages := allocPages(t, r.m, 4)
+	var held []*Buf
+	for _, pg := range heldPages {
+		b, err := r.sf.Alloc(ctx, pg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, b)
+	}
+	fresh := allocPages(t, r.m, 4)
+	done := make(chan error, 1)
+	go func() {
+		sctx := r.m.Ctx(1 % r.m.NumCPUs())
+		run, err := r.sf.AllocRun(sctx, fresh, 0) // blocks: cache exhausted
+		if err == nil {
+			r.sf.FreeRun(sctx, run)
+		}
+		done <- err
+	}()
+	for r.sf.Stats().Sleeps == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Free the held buffers one at a time: the claim absorbs the first
+	// three credits without waking anyone.
+	for _, b := range held {
+		r.sf.Free(ctx, b)
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("claimer never woke after its shortfall was covered")
+	}
+	if s := r.sf.Stats(); s.Sleeps != 1 {
+		t.Errorf("sleeps = %d, want 1: the claimer must wake once, not per free", s.Sleeps)
+	}
+	if s := r.sf.Stats(); s.Allocs != s.Frees {
+		t.Errorf("allocs %d != frees %d", s.Allocs, s.Frees)
+	}
+}
+
+// TestClaimWakesOnHashCoverage pins the liveness hole the claim could
+// otherwise open: a batch's registered shortfall is exact when it goes
+// to sleep, but it becomes an overestimate if another CPU then maps one
+// of the batch's pages — that page now resolves by hash hit, needing no
+// freed buffer — so waiting for the FULL shortfall in freed-buffer
+// credits would sleep forever.  The sequence: a 2-page batch [A, X]
+// registers need=2; one buffer is freed (credit 1, correctly no wake);
+// another CPU consumes that buffer to map X and HOLDS it.  No further
+// free can ever cover the stale need=2, but the hash-coverage wake lets
+// the batch rescan, hit X, re-register need=1, and finish on the last
+// free.
+func TestClaimWakesOnHashCoverage(t *testing.T) {
+	r := newShardedRig(t, arch.XeonMP(), 2, ShardedConfig{})
+	ctx := r.m.Ctx(0)
+	held := allocPages(t, r.m, 2) // W1, W2 fill the cache
+	bw1, err := r.sf.Alloc(ctx, held[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw2, err := r.sf.Alloc(ctx, held[1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax := allocPages(t, r.m, 2) // A, X — neither mapped yet
+	done := make(chan error, 1)
+	go func() {
+		sctx := r.m.Ctx(1 % r.m.NumCPUs())
+		bufs, err := r.sf.AllocBatch(sctx, ax, 0)
+		if err == nil {
+			r.sf.FreeBatch(sctx, bufs)
+		}
+		done <- err
+	}()
+	for r.sf.Stats().Sleeps == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Credit 1 of 2: must NOT wake the claimer.
+	r.sf.Free(ctx, bw1)
+	time.Sleep(2 * time.Millisecond)
+	// Consume the freed buffer to map the batch's page X, and hold it:
+	// the claim's registered need is now stale by one.
+	bx, err := r.sf.Alloc(ctx, ax[1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hash-coverage wake must get the batch moving again; the final
+	// free covers its re-registered shortfall for A.
+	time.Sleep(2 * time.Millisecond)
+	r.sf.Free(ctx, bw2)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("batch slept forever on a shortfall that hash coverage had already shrunk")
+	}
+	r.sf.Free(ctx, bx)
+	if s := r.sf.Stats(); s.Allocs != s.Frees {
+		t.Fatalf("allocs %d != frees %d", s.Allocs, s.Frees)
+	}
+}
+
+// TestMixedSingleBatchRunExhaustionStress mixes single, batch, and run
+// allocators over a cache far too small for all of them, under -race:
+// the exhaustion machinery (claims, starvation token, per-free wakeups)
+// must neither deadlock nor corrupt the ledger.
+func TestMixedSingleBatchRunExhaustionStress(t *testing.T) {
+	r := newShardedRig(t, arch.XeonMP(), 8, ShardedConfig{})
+	pages := allocPages(t, r.m, 24)
+	finished := make(chan struct{})
+	go func() {
+		var wg sync.WaitGroup
+		for w := 0; w < 6; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ctx := r.m.Ctx(w % r.m.NumCPUs())
+				for i := 0; i < 60; i++ {
+					switch w % 3 {
+					case 0: // singles
+						pg := pages[(w*31+i)%len(pages)]
+						b, err := r.sf.Alloc(ctx, pg, 0)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if _, err := r.pm.Translate(ctx, b.KVA(), false); err != nil {
+							t.Error(err)
+							return
+						}
+						r.sf.Free(ctx, b)
+					case 1: // batches
+						start := (w*5 + i) % (len(pages) - 3)
+						bufs, err := r.sf.AllocBatch(ctx, pages[start:start+3], 0)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						r.sf.FreeBatch(ctx, bufs)
+					default: // runs
+						start := (w*7 + i) % (len(pages) - 3)
+						run, err := r.sf.AllocRun(ctx, pages[start:start+3], 0)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if _, err := r.pm.TranslateRun(ctx, run.Base(), run.Len(), false, nil); err != nil {
+							t.Error(err)
+							return
+						}
+						r.sf.FreeRun(ctx, run)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(60 * time.Second):
+		t.Fatal("mixed single/batch/run exhaustion stress deadlocked")
+	}
+	if s := r.sf.Stats(); s.Allocs != s.Frees {
+		t.Fatalf("allocs %d != frees %d", s.Allocs, s.Frees)
+	}
+	if got := r.sf.InactiveLen(); got != 8 {
+		t.Fatalf("inactive = %d, want 8 after drain", got)
+	}
+}
+
+// TestShardedRunChurnConcurrent is the -race churn stress for the run
+// path: one goroutine per CPU allocating, sweeping (ranged translation
+// through the honest MMU), and freeing overlapping runs, with byte
+// verification so a stale window translation fails loudly.
+func TestShardedRunChurnConcurrent(t *testing.T) {
+	r := newShardedRig(t, arch.XeonMPHTT(), 64, ShardedConfig{ReclaimBatch: 8, PerCPUFree: 4})
+	pages := allocPages(t, r.m, 128)
+	for i, pg := range pages {
+		pg.Data()[0] = byte(i)
+	}
+	ncpu := r.m.NumCPUs()
+	const rounds = 200
+	var wg sync.WaitGroup
+	for cpu := 0; cpu < ncpu; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			ctx := r.m.Ctx(cpu)
+			var got []*vm.Page
+			for i := 0; i < rounds; i++ {
+				n := 2 + (i+cpu)%7
+				start := (i*(2*cpu+1)*5 + cpu*13) % (len(pages) - n)
+				run, err := r.sf.AllocRun(ctx, pages[start:start+n], 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var terr error
+				got, terr = r.pm.TranslateRun(ctx, run.Base(), run.Len(), false, got[:0])
+				if terr != nil {
+					t.Error(terr)
+					return
+				}
+				for j, pg := range got {
+					if pg.Data()[0] != byte(start+j) {
+						t.Errorf("cpu %d round %d: page %d reads %#x, want %#x — stale run window",
+							cpu, i, j, pg.Data()[0], byte(start+j))
+						return
+					}
+				}
+				r.sf.FreeRun(ctx, run)
+			}
+		}(cpu)
+	}
+	wg.Wait()
+	if s := r.sf.Stats(); s.Allocs != s.Frees {
+		t.Fatalf("allocs %d != frees %d", s.Allocs, s.Frees)
+	}
+}
+
+// TestNativeRunPredicate pins which engines claim contiguity.
+func TestNativeRunPredicate(t *testing.T) {
+	r := newShardedRig(t, arch.XeonMPHTT(), 32, ShardedConfig{})
+	if !NativeRun(r.sf) {
+		t.Error("sharded i386 must provide native runs")
+	}
+	g := newI386Rig(t, arch.XeonMPHTT(), 32)
+	if NativeRun(g.sf) {
+		t.Error("global-lock i386 must not claim native runs")
+	}
+	m, _, amd := newAMD64Rig(t)
+	_ = m
+	if !NativeRun(amd) {
+		t.Error("amd64 direct map must provide native runs")
+	}
+}
+
+// TestAMD64RunContiguity: physically contiguous frames get a free
+// contiguous window (the direct map's arithmetic); scattered frames
+// degrade to per-page casts, and neither ever invalidates.
+func TestAMD64RunContiguity(t *testing.T) {
+	m, pm, sf := newAMD64Rig(t)
+	ctx := m.Ctx(0)
+	pages := allocPages(t, m, 6) // fresh machine: contiguous frames
+	run, err := sf.AllocRun(ctx, pages, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Contiguous() {
+		t.Fatal("contiguous frames must yield a contiguous direct-map run")
+	}
+	if run.Base() != pm.DirectVA(pages[0]) {
+		t.Fatal("run base is not the direct-map address")
+	}
+	sf.FreeRun(ctx, run)
+
+	scattered := []*vm.Page{pages[4], pages[1], pages[3]}
+	run2, err := sf.AllocRun(ctx, scattered, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run2.Contiguous() {
+		t.Fatal("scattered frames cannot be contiguous on a pure-arithmetic map")
+	}
+	for i, pg := range scattered {
+		if run2.KVA(i) != pm.DirectVA(pg) {
+			t.Fatalf("page %d of the fallback run is not its direct-map view", i)
+		}
+	}
+	sf.FreeRun(ctx, run2)
+	if c := m.Counters(); c.LocalInv.Load() != 0 || c.RemoteInvIssued.Load() != 0 {
+		t.Fatal("amd64 runs must never invalidate")
+	}
+	st := sf.Stats()
+	if st.Allocs != st.Frees || st.RunAllocs != 2 || st.RunFrees != 2 || st.RunPages != 9 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSparc64RunColorSplit: a color-compatible physically contiguous run
+// rides the direct map; a color-bound mix splits per color into a
+// scattered run, byte-correct either way.
+func TestSparc64RunColorSplit(t *testing.T) {
+	m := smp.NewMachine(arch.Sparc64MP(), 4096, true)
+	pm := pmap.New(m)
+	arena := kvaArenaFor(arch.Sparc64MP())
+	sf, err := NewSparc64Sharded(m, pm, arena, 2, 64, ShardedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := m.Ctx(0)
+	pages := allocPages(t, m, 8)
+	for _, pg := range pages {
+		pg.UserColor = -1 // direct-map eligible
+	}
+	run, err := sf.AllocRun(ctx, pages, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Contiguous() {
+		t.Fatal("color-compatible contiguous frames must ride the direct map")
+	}
+	sf.FreeRun(ctx, run)
+
+	mixed := allocPages(t, m, 8)
+	for i, pg := range mixed {
+		pg.UserColor = i % 4
+	}
+	run2, err := sf.AllocRun(ctx, mixed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run2.Contiguous() {
+		t.Fatal("a color-bound mix cannot be one contiguous window")
+	}
+	for i := 0; i < run2.Len(); i++ {
+		got, err := pm.Translate(ctx, run2.KVA(i), false)
+		if err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+		if got.Data()[0] != byte(i) {
+			t.Fatalf("page %d reads %#x, want %#x", i, got.Data()[0], byte(i))
+		}
+	}
+	sf.FreeRun(ctx, run2)
+	if st := sf.Stats(); st.Allocs != st.Frees || st.RunAllocs != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestOriginalRunIsContiguousOn64Bit: the original kernel's 64-bit
+// pmap_qenter range is a contiguous run; its i386 loop is not.
+func TestOriginalRunBehavior(t *testing.T) {
+	m := smp.NewMachine(arch.OpteronMP(), 128, true)
+	pm := pmap.New(m)
+	sf := NewOriginal(m, pm, kvaArenaFor(arch.OpteronMP()))
+	ctx := m.Ctx(0)
+	pages := allocPages(t, m, 4)
+	run, err := sf.AllocRun(ctx, pages, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Contiguous() {
+		t.Fatal("64-bit original run must be contiguous (pmap_qenter range)")
+	}
+	for i := 1; i < run.Len(); i++ {
+		if run.KVA(i) != run.KVA(0)+uint64(i)*vm.PageSize {
+			t.Fatal("pmap_qenter range not consecutive")
+		}
+	}
+	sf.FreeRun(ctx, run)
+
+	m32 := smp.NewMachine(arch.XeonMP(), 128, true)
+	pm32 := pmap.New(m32)
+	sf32 := NewOriginal(m32, pm32, kvaArenaFor(arch.XeonMP()))
+	run32, err := sf32.AllocRun(m32.Ctx(0), allocPages(t, m32, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run32.Contiguous() {
+		t.Fatal("i386 original loops per page; its run must be scattered")
+	}
+	sf32.FreeRun(m32.Ctx(0), run32)
+}

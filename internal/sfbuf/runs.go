@@ -1,0 +1,203 @@
+package sfbuf
+
+import (
+	"sync"
+
+	"sfbuf/internal/kva"
+	"sfbuf/internal/pmap"
+	"sfbuf/internal/smp"
+)
+
+// This file implements the run window pool: the VA-window side of the
+// contiguous-run fast path.  A window is a multi-page reservation from
+// the kernel virtual-address arena into which pmap.KEnterRun installs a
+// whole run's translations in one pass.  The pool exists to amortize two
+// costs across many runs:
+//
+//   - Reservation.  A fresh window pays the general-purpose KVA
+//     allocator (the cost the original kernel pays per mapping); a
+//     recycled window pays one pool lock.  Windows are cached per size
+//     class, with one trailing guard page each, so an off-the-end access
+//     faults instead of landing in a neighbor.  Windows of
+//     superpage-covering sizes are reserved aligned so promotion can
+//     fire.
+//
+//   - Teardown invalidation.  Freeing a run removes its PTEs
+//     (pmap.KRemoveRun, one pass) but does NOT flush: the window's
+//     invalidation debt — which pages were accessed, and by which CPUs'
+//     TLBs (the run's cpumask) — is recorded on the window, and the
+//     window parks on a dirty list.  Debt is retired by LAUNDERING: when
+//     enough dirty windows accumulate (runLaunderBatch), one queued
+//     shootdown flush retires every parked window's debt in a single
+//     ranged IPI round, and all of them become reusable.  This is the
+//     sharded cache's clean-buffer batching applied at window
+//     granularity: one IPI round per runLaunderBatch runs instead of one
+//     per run.
+//
+// Soundness is the same argument as for clean buffers: a freed window's
+// stale TLB entries are unreachable (its PTEs are invalid and nothing
+// hands out its addresses) until the window is reused, and reuse only
+// happens from the clean list, which a window reaches strictly after the
+// flush that retired its debt.
+
+const (
+	// runGuardPages is the reserved-but-never-mapped tail of each window.
+	runGuardPages = 1
+	// runLaunderBatch is how many dirty windows one laundering round
+	// flushes — and thus how many runs share one teardown IPI round.
+	runLaunderBatch = 8
+)
+
+// runWindow is one reserved VA window and, between a FreeRun and the next
+// laundering round, its recorded invalidation debt.
+type runWindow struct {
+	base  uint64
+	pages int
+
+	debtVpns  []uint64
+	debtMasks []smp.CPUSet
+	accScr    []bool // KRemoveRun scratch, reused across lives
+}
+
+// RunWindowStats counts run-window pool events.
+type RunWindowStats struct {
+	// Reserved counts fresh window reservations from the KVA arena.
+	Reserved uint64
+	// Reuses counts runs served by a recycled window.
+	Reuses uint64
+	// Launders counts laundering rounds and Laundered the dirty windows
+	// those rounds made reusable; Laundered/Launders is the teardown
+	// coalescing factor the pool earns.
+	Launders  uint64
+	Laundered uint64
+}
+
+// runPool caches reserved VA windows per size class.
+type runPool struct {
+	pm    *pmap.Pmap
+	arena *kva.Arena
+
+	mu    sync.Mutex
+	clean map[int][]*runWindow
+	dirty []*runWindow
+	stats RunWindowStats
+}
+
+func newRunPool(pm *pmap.Pmap, arena *kva.Arena) *runPool {
+	return &runPool{pm: pm, arena: arena, clean: make(map[int][]*runWindow)}
+}
+
+// get returns a window of exactly pages usable pages: recycled when the
+// size class has clean stock, laundered out of the dirty list when enough
+// debt has parked to amortize the flush, reserved fresh otherwise.
+func (p *runPool) get(ctx *smp.Context, pages int) (*runWindow, error) {
+	ctx.ChargeLock()
+	p.mu.Lock()
+	if w := p.popCleanLocked(pages); w != nil {
+		p.mu.Unlock()
+		return w, nil
+	}
+	if len(p.dirty) >= runLaunderBatch {
+		p.launderLocked(ctx)
+		if w := p.popCleanLocked(pages); w != nil {
+			p.mu.Unlock()
+			return w, nil
+		}
+	}
+	p.mu.Unlock()
+
+	w, err := p.reserve(ctx, pages)
+	if err == nil {
+		return w, nil
+	}
+	// Arena exhausted: launder everything (freeing debt is prerequisite
+	// to returning address space) and give back every cached window, then
+	// retry once.
+	p.mu.Lock()
+	p.launderLocked(ctx)
+	for size, ws := range p.clean {
+		if size == pages && len(ws) > 0 {
+			w := p.popCleanLocked(pages)
+			p.mu.Unlock()
+			return w, nil
+		}
+		for _, w := range ws {
+			p.arena.Free(w.base)
+		}
+		delete(p.clean, size)
+	}
+	p.mu.Unlock()
+	return p.reserve(ctx, pages)
+}
+
+func (p *runPool) popCleanLocked(pages int) *runWindow {
+	ws := p.clean[pages]
+	if len(ws) == 0 {
+		return nil
+	}
+	w := ws[len(ws)-1]
+	p.clean[pages] = ws[:len(ws)-1]
+	p.stats.Reuses++
+	return w
+}
+
+// reserve takes a fresh window from the arena, superpage-aligned when the
+// size can cover an aligned superpage chunk, with the trailing guard.
+func (p *runPool) reserve(ctx *smp.Context, pages int) (*runWindow, error) {
+	ctx.Charge(ctx.Cost().KVAAlloc)
+	align := 1
+	if pages >= pmap.SuperpagePages {
+		align = pmap.SuperpagePages
+	}
+	base, err := p.arena.AllocWindow(pages, runGuardPages, align)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.stats.Reserved++
+	p.mu.Unlock()
+	return &runWindow{base: base, pages: pages}, nil
+}
+
+// put parks a torn-down window: straight back to clean stock when its
+// teardown owed nothing (no page of the run was ever accessed — the
+// accessed-bit optimization at window granularity), onto the dirty list
+// otherwise.
+func (p *runPool) put(ctx *smp.Context, w *runWindow) {
+	ctx.ChargeLock()
+	p.mu.Lock()
+	if len(w.debtVpns) == 0 {
+		p.clean[w.pages] = append(p.clean[w.pages], w)
+	} else {
+		p.dirty = append(p.dirty, w)
+	}
+	p.mu.Unlock()
+}
+
+// launderLocked retires every dirty window's invalidation debt through
+// the per-CPU shootdown queue in ONE forced flush and moves the windows
+// to their clean lists.  Caller holds p.mu.
+func (p *runPool) launderLocked(ctx *smp.Context) {
+	if len(p.dirty) == 0 {
+		return
+	}
+	for _, w := range p.dirty {
+		ctx.QueueShootdownBatch(w.debtMasks, w.debtVpns)
+		w.debtVpns = w.debtVpns[:0]
+		w.debtMasks = w.debtMasks[:0]
+	}
+	ctx.FlushShootdowns()
+	p.stats.Launders++
+	p.stats.Laundered += uint64(len(p.dirty))
+	for _, w := range p.dirty {
+		p.clean[w.pages] = append(p.clean[w.pages], w)
+	}
+	p.dirty = p.dirty[:0]
+}
+
+// snapshot copies the pool statistics.
+func (p *runPool) snapshot() RunWindowStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

@@ -92,10 +92,95 @@ func (b *Buf) KVA() uint64 { return b.kva }
 // Page returns the physical page mapped by the buffer — sf_buf_page().
 func (b *Buf) Page() *vm.Page { return b.page }
 
+// Run is a contiguous multi-page ephemeral mapping: one request whose
+// pages are addressable through a single virtual window, so a copy can
+// sweep across page boundaries and the ranged-translate cost model
+// (pmap.TranslateRun) charges one page-table walk per contiguous PTE run
+// instead of one per page.  Engines that cannot provide contiguity (the
+// paper's global-lock cache, per-color splits on sparc64) return a
+// degraded run over scattered per-page mappings; Contiguous reports
+// which, and KVA(i) addresses page i correctly either way.
+//
+// A Run must be released as a unit through FreeRun on the mapper that
+// allocated it.
+type Run struct {
+	pages  []*vm.Page
+	base   uint64 // KVA of page 0 when contiguous
+	contig bool
+	bufs   []*Buf // per-page mappings, for engines that build runs from them
+	views  []Buf  // lazily built per-page views of a window-backed run
+
+	// Engine-private state.
+	mask   smp.CPUSet // CPUs that may cache the window's translations
+	tokens []*Buf     // sharded engine: clean buffers claimed as capacity
+	win    *runWindow // window-backed runs: the reserved VA window
+	home   mapCore    // owning cache core, when window-backed
+}
+
+// Len returns the run's length in pages.
+func (r *Run) Len() int { return len(r.pages) }
+
+// Pages returns the mapped pages in order.  Callers must not modify the
+// slice.
+func (r *Run) Pages() []*vm.Page { return r.pages }
+
+// Contiguous reports whether the run occupies one consecutive virtual
+// window (Base is then valid and ranged translation applies).
+func (r *Run) Contiguous() bool { return r.contig }
+
+// Base returns the kernel virtual address of the run's first page.  It
+// panics on a non-contiguous run, where no single window exists; use
+// KVA(i) or Bufs there.
+func (r *Run) Base() uint64 {
+	if !r.contig {
+		panic("sfbuf: Base of a non-contiguous run")
+	}
+	return r.base
+}
+
+// KVA returns the kernel virtual address of the run's i'th page:
+// base + i*PageSize on a contiguous run, the page's own mapping otherwise.
+func (r *Run) KVA(i int) uint64 {
+	if r.contig {
+		return r.base + uint64(i)*vm.PageSize
+	}
+	return r.bufs[i].KVA()
+}
+
+// Bufs returns per-page Buf views of the run, for consumers that attach
+// individual pages to longer-lived structures (mbuf externals).  On
+// engines that build runs from per-page mappings they are the real Bufs;
+// on window-backed runs they are synthetic views carrying each page's
+// window address.  Either way they must NOT be passed to Free/FreeBatch —
+// a run is released only through FreeRun.
+func (r *Run) Bufs() []*Buf {
+	if r.bufs != nil {
+		return r.bufs
+	}
+	if r.views == nil {
+		r.views = make([]Buf, len(r.pages))
+		for i, pg := range r.pages {
+			r.views[i] = Buf{kva: r.base + uint64(i)*vm.PageSize, page: pg}
+		}
+	}
+	out := make([]*Buf, len(r.views))
+	for i := range r.views {
+		out[i] = &r.views[i]
+	}
+	return out
+}
+
 // Stats counts mapper events.  Hits and Misses describe the mapping cache
 // (Section 6.5.2 reports cache hit rates); Sleeps counts blocked
 // allocations; VAAllocs counts trips to the general-purpose kernel virtual
 // address allocator, which only the original kernel takes per-mapping.
+//
+// Ledger semantics: Allocs counts pages successfully mapped — by Alloc,
+// AllocBatch, or AllocRun — and Frees pages released, so Allocs == Frees
+// after a drain.  A failed NoWait attempt counts only in WouldBlock,
+// whether it was a single page, a batch, or a run.  (The seed counted
+// failed single-page NoWait attempts in Allocs but failed batches not at
+// all; FuzzBatchOps caught the asymmetry and this is the unified rule.)
 type Stats struct {
 	Allocs      uint64
 	Frees       uint64
@@ -122,6 +207,14 @@ type Stats struct {
 	BatchAllocs uint64
 	BatchFrees  uint64
 	BatchPages  uint64
+
+	// Contiguous-run events: RunAllocs/RunFrees count AllocRun/FreeRun
+	// calls and RunPages the pages they moved.  Run pages are included in
+	// Allocs/Frees like batch pages.  On the original kernel a run IS a
+	// pmap_qenter batch, so its batch counters increment alongside.
+	RunAllocs uint64
+	RunFrees  uint64
+	RunPages  uint64
 }
 
 // HitRate returns the mapping-cache hit rate in [0, 1], or 0 when no
@@ -174,6 +267,20 @@ type Mapper interface {
 	// address range whole.  Cache engines additionally accept any
 	// combination of single and batched bufs.
 	FreeBatch(ctx *smp.Context, bufs []*Buf)
+	// AllocRun maps the pages at consecutive virtual addresses when the
+	// engine can provide contiguity: the sharded cache installs the whole
+	// run into a reserved VA window in one page-table pass, the amd64
+	// direct map hands out the window physical contiguity already gives
+	// it, the original kernel's 64-bit pmap_qenter path is contiguous by
+	// construction.  Engines without a contiguous path (the paper's
+	// global-lock cache; sparc64 color splits) return a degraded run over
+	// scattered mappings — Run.Contiguous reports which.  Window-backed
+	// runs give duplicate pages independent translations; fallback runs
+	// may share mappings, as AllocBatch does.
+	AllocRun(ctx *smp.Context, pages []*vm.Page, flags Flags) (*Run, error)
+	// FreeRun releases a run as a unit: one bulk page-table teardown and
+	// at most one queued shootdown flush for the whole window.
+	FreeRun(ctx *smp.Context, r *Run)
 	// Name identifies the implementation for reports.
 	Name() string
 	// Stats returns cumulative mapper statistics.
@@ -197,4 +304,21 @@ type nativeBatcher interface {
 func NativeBatch(m Mapper) bool {
 	nb, ok := m.(nativeBatcher)
 	return ok && nb.nativeBatch()
+}
+
+// nativeRunner is implemented by mappers whose AllocRun returns a
+// genuinely contiguous window rather than a scattered fallback.
+type nativeRunner interface {
+	nativeRun() bool
+}
+
+// NativeRun reports whether m's AllocRun provides contiguous windows —
+// the sharded cache's reserved-window path, the amd64 direct map, the
+// original kernel's 64-bit pmap_qenter range.  Subsystems use it (through
+// the kernel's Contig policy) to decide whether mapping a multi-page
+// extent as a run buys ranged translation; the paper's global-lock cache
+// reports false, so figure reproduction keeps its exact historical paths.
+func NativeRun(m Mapper) bool {
+	nr, ok := m.(nativeRunner)
+	return ok && nr.nativeRun()
 }

@@ -1,10 +1,12 @@
 package sfbuf
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"sfbuf/internal/cycles"
+	"sfbuf/internal/kva"
 	"sfbuf/internal/pmap"
 	"sfbuf/internal/smp"
 	"sfbuf/internal/vm"
@@ -162,6 +164,35 @@ type shardedCache struct {
 	// lost-wakeup window without holding a global lock on the fast path.
 	freeGen atomic.Uint64
 
+	// Batch-fair exhaustion wakeups.  A starving batch or run (the sole
+	// batchMu holder) registers its shortfall here instead of waking per
+	// freed buffer: frees credit the claim, and the sleeper is signalled
+	// once, when enough buffers have been freed to cover the shortfall.
+	// Without the claim, a 16-page batch sleeping under exhaustion wakes
+	// and rescans every shard group 16 times while singles race it for
+	// each freed buffer.  Credits are counts, not reservations — a
+	// non-sleeping allocator can still win the race to the freed buffers,
+	// in which case the claimer re-registers the remainder — so fairness
+	// is probabilistic but the per-free thundering rescans are gone.
+	// claimNeed/claimGot are guarded by pool.mu; batchMu guarantees at
+	// most one claim is registered at a time.
+	//
+	// The registered shortfall is exact at registration time (the
+	// claimer just rescanned), but it can become an OVERestimate while
+	// the claimer sleeps: if another CPU maps one of the batch's pages,
+	// that page now resolves by hash hit, needing no freed buffer at
+	// all.  Waiting for the full shortfall in credits could then sleep
+	// forever even though a rescan would succeed.  hitGen counts hash
+	// coverage growth (new entries installed); a claimer also wakes when
+	// it advances, rescans, and re-registers the (smaller) remainder.
+	claimNeed int
+	claimGot  int
+	claimCond *sync.Cond
+	hitGen    atomic.Uint64
+
+	// runs manages the reserved VA windows behind AllocRun.
+	runs *runPool
+
 	// reclaimHand rotates the shard a reclaim round harvests first, so
 	// pressure spreads across stripes.
 	reclaimHand atomic.Uint64
@@ -183,6 +214,7 @@ type shardedCache struct {
 	sleeps, interrupted, wouldBlock     atomic.Uint64
 	freelistAllocs, reclaims, reclaimed atomic.Uint64
 	batchAllocs, batchFrees, batchPages atomic.Uint64
+	runAllocs, runFrees, runPages       atomic.Uint64
 }
 
 var (
@@ -190,11 +222,12 @@ var (
 	_ mapCore = (*shardedCache)(nil)
 )
 
-// newShardedCache builds the engine over the given virtual addresses.
-// Every buffer starts clean — never mapped, absent from all TLBs — with
-// its cpumask truthfully "all processors", distributed round-robin across
-// the per-CPU freelists with the remainder in the overflow pool.
-func newShardedCache(m *smp.Machine, pm *pmap.Pmap, vas []uint64, cfg ShardedConfig) *shardedCache {
+// newShardedCache builds the engine over the given virtual addresses,
+// drawing contiguous run windows from arena.  Every buffer starts clean —
+// never mapped, absent from all TLBs — with its cpumask truthfully "all
+// processors", distributed round-robin across the per-CPU freelists with
+// the remainder in the overflow pool.
+func newShardedCache(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena, vas []uint64, cfg ShardedConfig) *shardedCache {
 	cfg = cfg.withDefaults(m.NumCPUs(), len(vas))
 	c := &shardedCache{
 		m:         m,
@@ -204,8 +237,10 @@ func newShardedCache(m *smp.Machine, pm *pmap.Pmap, vas []uint64, cfg ShardedCon
 		shards:    make([]*cacheShard, cfg.Shards),
 		shardMask: uint64(cfg.Shards - 1),
 		freelists: make([]*cpuFree, m.NumCPUs()),
+		runs:      newRunPool(pm, arena),
 	}
 	c.pool.cond = sync.NewCond(&c.pool.mu)
+	c.claimCond = sync.NewCond(&c.pool.mu)
 	for i := range c.shards {
 		c.shards[i] = &cacheShard{hash: make(map[uint64]*Buf, len(vas)/cfg.Shards+1)}
 	}
@@ -234,10 +269,14 @@ func (c *shardedCache) shardFor(frame uint64) *cacheShard {
 }
 
 // bumpFreeN publishes that n buffers became reusable and wakes sleepers
-// accordingly: one for a single buffer, all of them for a batch (each
-// freed buffer may satisfy a different sleeper, and a woken allocator
-// that resolves without consuming clean stock — a hash hit — never
-// re-signals, so under-waking a batch would strand sleepers on buffers
+// accordingly.  A registered batch claim is credited first: the starving
+// batch (or run) absorbs freed buffers toward its shortfall and is
+// signalled exactly once, when the shortfall is covered, instead of
+// waking to rescan per freed buffer; only the surplus beyond the claim
+// wakes single-page sleepers (one for a single buffer, all for more —
+// each freed buffer may satisfy a different sleeper, and a woken
+// allocator that resolves without consuming clean stock — a hash hit —
+// never re-signals, so under-waking would strand sleepers on buffers
 // that are sitting free).  The generation increment must happen after
 // the buffers are visible on their lists so a concurrent allocator that
 // misses them is guaranteed to observe the new generation and rescan
@@ -252,9 +291,23 @@ func (c *shardedCache) bumpFreeN(n int) {
 	c.freeGen.Add(1)
 	if c.waiters.Load() > 0 {
 		c.pool.mu.Lock()
+		if short := c.claimNeed - c.claimGot; short > 0 {
+			// An already-satisfied claim (claimGot >= claimNeed, its
+			// holder not yet deregistered) absorbs nothing more: later
+			// frees belong to the single-page sleepers in full.
+			c.claimGot += n
+			if c.claimGot >= c.claimNeed {
+				c.claimCond.Signal()
+			}
+			if n > short {
+				n -= short
+			} else {
+				n = 0
+			}
+		}
 		if n == 1 {
 			c.pool.cond.Signal()
-		} else {
+		} else if n > 1 {
 			c.pool.cond.Broadcast()
 		}
 		c.pool.mu.Unlock()
@@ -262,6 +315,75 @@ func (c *shardedCache) bumpFreeN(n int) {
 }
 
 func (c *shardedCache) bumpFree() { c.bumpFreeN(1) }
+
+// noteHashInsert records that the hash gained coverage (a new mapping
+// was installed): the only event that can shrink a registered claim's
+// true shortfall without a free.  A registered claimer is woken so it
+// can rescan against the grown hash instead of waiting for credits that
+// may never come.
+func (c *shardedCache) noteHashInsert() {
+	c.hitGen.Add(1)
+	if c.waiters.Load() > 0 {
+		c.pool.mu.Lock()
+		if c.claimNeed > 0 {
+			c.claimCond.Signal()
+		}
+		c.pool.mu.Unlock()
+	}
+}
+
+// claimWait is the starving batch/run sleep: register a claim for need
+// buffers and block until frees have credited that many, hash coverage
+// grows (a page the batch needs may now be a hit — rescan with a smaller
+// shortfall), a newer free generation makes an immediate rescan
+// worthwhile, or — under Catch — a signal arrives (reported as
+// interrupted; the interruption is counted).  rescanAll reports that the
+// wake was a hash-coverage one: the registered need counted pages in
+// shard groups the claimer has not reached yet, so only a rescan of
+// EVERY group can shrink the shortfall the new coverage made stale —
+// retrying the current group alone would re-register the same stale
+// need and sleep again.  On every deregistration the single-page
+// sleepers are woken if the claim absorbed credits: the claimer's rescan
+// may consume fewer buffers than were credited (hash hits), and the
+// leftovers must not strand singles whose wakeups the claim suppressed.
+// The caller must hold batchMu, which makes it the sole claimer.
+func (c *shardedCache) claimWait(ctx *smp.Context, need int, gen, hgen uint64, flags Flags) (rescanAll, interrupted bool) {
+	c.pool.mu.Lock()
+	c.waiters.Add(1)
+	if c.freeGen.Load() != gen || c.hitGen.Load() != hgen {
+		// A buffer was freed — or a mapping installed — after our scan
+		// began; rescan instead.
+		c.waiters.Add(-1)
+		rescanAll = c.hitGen.Load() != hgen
+		c.pool.mu.Unlock()
+		return rescanAll, false
+	}
+	c.claimNeed, c.claimGot = need, 0
+	c.sleeps.Add(1)
+	for c.claimGot < c.claimNeed && c.hitGen.Load() == hgen {
+		c.claimCond.Wait()
+		if flags&Catch != 0 && ctx.Interrupted() {
+			c.deregisterClaimLocked()
+			c.pool.mu.Unlock()
+			c.interrupted.Add(1)
+			return false, true
+		}
+	}
+	rescanAll = c.hitGen.Load() != hgen
+	c.deregisterClaimLocked()
+	c.pool.mu.Unlock()
+	return rescanAll, false
+}
+
+// deregisterClaimLocked clears the claim and passes any absorbed credits
+// on to the single-page sleepers.  Caller holds pool.mu.
+func (c *shardedCache) deregisterClaimLocked() {
+	if c.claimGot > 0 {
+		c.pool.cond.Broadcast()
+	}
+	c.claimNeed, c.claimGot = 0, 0
+	c.waiters.Add(-1)
+}
 
 // taint records which CPUs may pull the mapping into their TLBs during
 // this use: the calling CPU for Private mappings, everyone for shared
@@ -282,7 +404,6 @@ func (c *shardedCache) taint(ctx *smp.Context, b *Buf, flags Flags) {
 func (c *shardedCache) alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf, error) {
 	ctx.Charge(ctx.Cost().MapperOp)
 	ctx.ChargeLock()
-	c.allocs.Add(1)
 	frame := page.Frame()
 
 	for {
@@ -297,6 +418,7 @@ func (c *shardedCache) alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf
 			b.ref++
 			c.taint(ctx, b, flags)
 			s.mu.Unlock()
+			c.allocs.Add(1)
 			c.hits.Add(1)
 			return b, nil
 		}
@@ -321,6 +443,7 @@ func (c *shardedCache) alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf
 					c.taint(ctx, cur, flags)
 					s.mu.Unlock()
 					c.putClean(ctx, b)
+					c.allocs.Add(1)
 					c.hits.Add(1)
 					return cur, nil
 				}
@@ -335,11 +458,17 @@ func (c *shardedCache) alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf
 			// truthful — the accessed-bit optimization, guaranteed
 			// rather than opportunistic.
 			c.pm.KEnter(ctx, b.kva, page)
+			installed := false
 			if c.ablate&AblateSharing == 0 {
 				s.hash[frame] = b
+				installed = true
 			}
 			c.taint(ctx, b, flags)
 			s.mu.Unlock()
+			if installed {
+				c.noteHashInsert()
+			}
+			c.allocs.Add(1)
 			c.misses.Add(1)
 			return b, nil
 		}
@@ -569,6 +698,8 @@ restart:
 	retry:
 		for {
 			gen := c.freeGen.Load()
+			hgen := c.hitGen.Load()
+			installed := 0
 			ctx.ChargeLock()
 			s.mu.Lock()
 			for _, idx := range g.idxs {
@@ -625,29 +756,35 @@ restart:
 						gi = -1 // restart every group
 						continue restart
 					}
-					c.pool.mu.Lock()
-					c.waiters.Add(1)
-					if c.freeGen.Load() != gen {
-						// A buffer was freed after our scan began.
-						c.waiters.Add(-1)
-						c.pool.mu.Unlock()
+					// About to sleep holding pending as the claim's
+					// shortfall — but pending still counts pages in
+					// groups this scan has not reached, and any of
+					// those may be hash-resident (needing no clean
+					// buffer at all).  Sweep every group for hits
+					// first, so the claim registers the true
+					// clean-buffer shortfall; if the sweep resolved
+					// anything, rescan instead of sleeping.
+					if swept := c.sweepHits(ctx, groups, pages, out, flags); swept > 0 {
+						pending -= swept
 						continue retry
 					}
-					c.sleeps.Add(1)
-					c.pool.cond.Wait()
-					c.waiters.Add(-1)
-					if flags&Catch != 0 && ctx.Interrupted() {
-						// Pass the wakeup on, as the single-page path
-						// does, then unwind the partial batch.
-						if c.waiters.Load() > 0 {
-							c.pool.cond.Signal()
-						}
-						c.pool.mu.Unlock()
-						c.interrupted.Add(1)
+					// Claim-based sleep: register the batch's shortfall
+					// and wake when frees have covered it — or when hash
+					// coverage grows, shrinking the true shortfall —
+					// instead of waking to rescan per freed buffer.
+					// batchMu (held: starving == true) guarantees we are
+					// the only claimer.
+					rescanAll, interrupted := c.claimWait(ctx, pending, gen, hgen, flags)
+					if interrupted {
 						c.rollbackBatch(ctx, out)
 						return nil, ErrInterrupted
 					}
-					c.pool.mu.Unlock()
+					if rescanAll {
+						// New coverage may live in any group; rescan
+						// them all so pending reflects it.
+						gi = -1
+						continue restart
+					}
 					continue retry
 				}
 				b := stash[len(stash)-1]
@@ -659,6 +796,7 @@ restart:
 				c.pm.KEnter(ctx, b.kva, pg)
 				if c.ablate&AblateSharing == 0 {
 					s.hash[frame] = b
+					installed++
 				}
 				c.taint(ctx, b, flags)
 				out[idx] = b
@@ -666,6 +804,9 @@ restart:
 				c.misses.Add(1)
 			}
 			s.mu.Unlock()
+			if installed > 0 {
+				c.noteHashInsert()
+			}
 			break
 		}
 	}
@@ -673,6 +814,48 @@ restart:
 	c.batchAllocs.Add(1)
 	c.batchPages.Add(uint64(len(pages)))
 	return out, nil
+}
+
+// sweepHits resolves, across EVERY shard group, the batch pages that are
+// already hash-resident — revivals and shares that need no clean buffer.
+// The group-by-group scan normally discovers these in order, but the
+// shortage path must know the whole batch's true clean-buffer shortfall
+// before registering it as a claim, and a page in a not-yet-scanned
+// group may already be covered.  One shard-lock round per group that
+// still has unresolved pages.
+func (c *shardedCache) sweepHits(ctx *smp.Context, groups []batchGroup, pages []*vm.Page, out []*Buf, flags Flags) int {
+	if c.ablate&AblateSharing != 0 {
+		return 0
+	}
+	resolved := 0
+	for gi := range groups {
+		g := &groups[gi]
+		locked := false
+		for _, idx := range g.idxs {
+			if out[idx] != nil {
+				continue
+			}
+			if !locked {
+				ctx.ChargeLock()
+				g.shard.mu.Lock()
+				locked = true
+			}
+			if b, ok := g.shard.hash[pages[idx].Frame()]; ok {
+				if b.ref == 0 {
+					g.shard.inactive.remove(b)
+				}
+				b.ref++
+				c.taint(ctx, b, flags)
+				out[idx] = b
+				c.hits.Add(1)
+				resolved++
+			}
+		}
+		if locked {
+			g.shard.mu.Unlock()
+		}
+	}
+	return resolved
 }
 
 // rollbackBatch releases the references a partial batch holds and clears
@@ -751,6 +934,137 @@ func (c *shardedCache) freeBatch(ctx *smp.Context, bufs []*Buf) {
 		c.putCleanBulk(ctx, eager) // wakes one sleeper per buffer restocked
 	}
 	c.bumpFreeN(freed)
+}
+
+// claimTokens claims n clean buffers as run capacity: contiguous runs
+// consume the cache's buffer inventory exactly as scattered mappings do
+// (so capacity guards, exhaustion sleeping, and the batch-fair wakeup all
+// apply), but their kernel virtual addresses go unused — the run's
+// translations live in a reserved window instead.  The claim path is the
+// batch shortage path: bulk freelist pops, then reclaim rounds handing
+// the whole shortfall over under one flush, then — if the cache is truly
+// exhausted — the starvation token and a claim-based sleep.
+func (c *shardedCache) claimTokens(ctx *smp.Context, n int, flags Flags) ([]*Buf, error) {
+	got := c.takeCleanBulk(ctx, n, nil)
+	if len(got) < n {
+		got = c.reclaimBulk(ctx, n-len(got), got)
+	}
+	if len(got) >= n {
+		return got, nil
+	}
+	if flags&NoWait != 0 {
+		if len(got) > 0 {
+			c.putCleanBulk(ctx, got)
+		}
+		c.wouldBlock.Add(1)
+		return nil, ErrWouldBlock
+	}
+	// Exhausted: sleeping while holding part of the inventory is only
+	// deadlock-free for one claimer at a time — drop everything, take the
+	// starvation token, and accumulate as its sole holder.
+	if len(got) > 0 {
+		c.putCleanBulk(ctx, got)
+		got = got[:0]
+	}
+	ctx.ChargeLock()
+	c.batchMu.Lock()
+	defer c.batchMu.Unlock()
+	for {
+		gen := c.freeGen.Load()
+		hgen := c.hitGen.Load()
+		if len(got) < n {
+			got = c.takeCleanBulk(ctx, n-len(got), got)
+		}
+		if len(got) < n {
+			got = c.reclaimBulk(ctx, n-len(got), got)
+		}
+		if len(got) >= n {
+			return got, nil
+		}
+		// Runs never hash-hit, so a hash-coverage wake just loops for
+		// another (rare, spurious) reclaim scan.
+		if _, interrupted := c.claimWait(ctx, n-len(got), gen, hgen, flags); interrupted {
+			if len(got) > 0 {
+				c.putCleanBulk(ctx, got)
+			}
+			return nil, ErrInterrupted
+		}
+	}
+}
+
+// allocRun is the sharded engine's native contiguous-run path: claim the
+// run's capacity from the clean-buffer inventory in bulk, take a reserved
+// VA window from the run pool (recycled far more often than reserved),
+// and install every translation with ONE page-table pass.  No
+// invalidation is owed at map time — a window is only ever handed out
+// after the laundering flush that retired its previous life's debt, the
+// clean-buffer argument at window granularity.
+func (c *shardedCache) allocRun(ctx *smp.Context, pages []*vm.Page, flags Flags) (*Run, error) {
+	n := len(pages)
+	if n == 0 {
+		return nil, nil
+	}
+	if n > c.total {
+		return nil, ErrBatchTooLarge
+	}
+	ctx.Charge(ctx.Cost().MapperOp * cycles.Cycles(n))
+	tokens, err := c.claimTokens(ctx, n, flags)
+	if err != nil {
+		return nil, err
+	}
+	win, err := c.runs.get(ctx, n)
+	if err != nil {
+		c.putCleanBulk(ctx, tokens)
+		return nil, fmt.Errorf("sfbuf: reserving a %d-page run window: %w", n, err)
+	}
+	c.pm.KEnterRun(ctx, win.base, pages)
+	mask := c.m.AllCPUs()
+	if flags&Private != 0 {
+		mask = smp.CPUSet(0).Set(ctx.CPUID())
+	}
+	c.allocs.Add(uint64(n))
+	c.misses.Add(uint64(n))
+	c.runAllocs.Add(1)
+	c.runPages.Add(uint64(n))
+	return &Run{
+		pages:  append([]*vm.Page(nil), pages...),
+		base:   win.base,
+		contig: true,
+		mask:   mask,
+		tokens: tokens,
+		win:    win,
+		home:   c,
+	}, nil
+}
+
+// freeRun tears a run down: one bulk page-table pass records which pages
+// were accessed (and which CPUs — the run's mask — may cache them), the
+// window parks with that debt for a later laundering round, and the
+// claimed capacity restocks the freelists with one wakeup for the lot.
+// The run's whole invalidation debt thus retires in (at most) one queued
+// shootdown flush, shared with runLaunderBatch-1 other runs.
+func (c *shardedCache) freeRun(ctx *smp.Context, r *Run) {
+	if r.home != c || r.win == nil {
+		panic("sfbuf: freeRun of a foreign or already-freed run")
+	}
+	n := len(r.pages)
+	ctx.Charge(ctx.Cost().MapperOp * cycles.Cycles(n))
+	w := r.win
+	w.accScr = c.pm.KRemoveRun(ctx, w.base, n, w.accScr[:0])
+	vpn0 := pmap.VPN(w.base)
+	w.debtVpns, w.debtMasks = w.debtVpns[:0], w.debtMasks[:0]
+	for i, a := range w.accScr {
+		if a || (c.ablate&AblateAccessedBit != 0) {
+			w.debtVpns = append(w.debtVpns, vpn0+uint64(i))
+			w.debtMasks = append(w.debtMasks, r.mask)
+		}
+	}
+	c.runs.put(ctx, w)
+	tokens := r.tokens
+	r.pages, r.tokens, r.win, r.home = nil, nil, nil, nil
+	c.frees.Add(uint64(n))
+	c.runFrees.Add(1)
+	c.putCleanBulk(ctx, tokens)
 }
 
 // reclaimScratch holds one reclaim round's working slices; pooling them
@@ -986,10 +1300,12 @@ func (c *shardedCache) free(ctx *smp.Context, b *Buf) {
 	c.bumpFree()
 }
 
-// interruptWakeup wakes every sleeper so pending signals can be observed.
+// interruptWakeup wakes every sleeper — single-page sleepers and a
+// registered batch claimer alike — so pending signals can be observed.
 func (c *shardedCache) interruptWakeup() {
 	c.pool.mu.Lock()
 	c.pool.cond.Broadcast()
+	c.claimCond.Broadcast()
 	c.pool.mu.Unlock()
 }
 
@@ -1008,6 +1324,9 @@ func (c *shardedCache) snapshotStats() Stats {
 		BatchAllocs:    c.batchAllocs.Load(),
 		BatchFrees:     c.batchFrees.Load(),
 		BatchPages:     c.batchPages.Load(),
+		RunAllocs:      c.runAllocs.Load(),
+		RunFrees:       c.runFrees.Load(),
+		RunPages:       c.runPages.Load(),
 	}
 }
 
@@ -1025,6 +1344,9 @@ func (c *shardedCache) resetStats() {
 	c.batchAllocs.Store(0)
 	c.batchFrees.Store(0)
 	c.batchPages.Store(0)
+	c.runAllocs.Store(0)
+	c.runFrees.Store(0)
+	c.runPages.Store(0)
 }
 
 // inactiveLen counts every unreferenced buffer: latently-valid buffers on

@@ -39,6 +39,10 @@ type Sparc64 struct {
 	batchAllocs atomic.Uint64
 	batchFrees  atomic.Uint64
 	batchPages  atomic.Uint64
+
+	runAllocs atomic.Uint64
+	runFrees  atomic.Uint64
+	runPages  atomic.Uint64
 }
 
 var _ Mapper = (*Sparc64)(nil)
@@ -58,7 +62,7 @@ func NewSparc64(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena, numColors, entr
 // the lock striping and batched shootdowns of the sharded engine.
 func NewSparc64Sharded(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena, numColors, entriesPerColor int, cfg ShardedConfig) (*Sparc64, error) {
 	return newSparc64(m, pm, arena, numColors, entriesPerColor, func(vas []uint64) mapCore {
-		return newShardedCache(m, pm, vas, cfg)
+		return newShardedCache(m, pm, arena, vas, cfg)
 	})
 }
 
@@ -205,9 +209,73 @@ func (s *Sparc64) FreeBatch(ctx *smp.Context, bufs []*Buf) {
 	}
 }
 
+// AllocRun implements the contiguous-run alloc for the hybrid.  A run is
+// color-compatible when every page may use the direct map (no user
+// mapping, or a user color matching the direct map's) AND the frames are
+// physically contiguous: the direct map then provides the window for
+// free, exactly as on amd64.  Any other run must split per required
+// color, and per-color addresses are scattered by construction (the
+// reserved region stripes colors across consecutive virtual pages), so
+// the split degrades to a scattered run over the per-color batch
+// machinery — the honest cost of a virtually-indexed cache.
+func (s *Sparc64) AllocRun(ctx *smp.Context, pages []*vm.Page, flags Flags) (*Run, error) {
+	if len(pages) == 0 {
+		return nil, nil
+	}
+	direct := true
+	for i, pg := range pages {
+		if want := pg.UserColor; want >= 0 && want != s.pageColor(pg) {
+			direct = false
+			break
+		}
+		if i > 0 && pg.Frame() != pages[0].Frame()+uint64(i) {
+			direct = false
+			break
+		}
+	}
+	if direct {
+		s.directAllocs.Add(uint64(len(pages)))
+		s.runAllocs.Add(1)
+		s.runPages.Add(uint64(len(pages)))
+		return &Run{
+			pages:  append([]*vm.Page(nil), pages...),
+			base:   s.pm.DirectVA(pages[0]),
+			contig: true,
+		}, nil
+	}
+	bufs, err := s.AllocBatch(ctx, pages, flags)
+	if err != nil {
+		return nil, err
+	}
+	s.runAllocs.Add(1)
+	s.runPages.Add(uint64(len(pages)))
+	return &Run{pages: append([]*vm.Page(nil), pages...), bufs: bufs}, nil
+}
+
+// FreeRun releases a hybrid run: nothing for a direct window, one
+// grouped FreeBatch for a color split.
+func (s *Sparc64) FreeRun(ctx *smp.Context, r *Run) {
+	s.runFrees.Add(1)
+	if r.bufs != nil {
+		s.FreeBatch(ctx, r.bufs)
+	} else {
+		s.directFrees.Add(uint64(len(r.pages)))
+	}
+	r.pages, r.bufs = nil, nil
+}
+
 // nativeBatch reports whether the color engines amortize vectored
 // requests; the direct-map share always does.
 func (s *Sparc64) nativeBatch() bool {
+	_, ok := s.colors[0].(*shardedCache)
+	return ok
+}
+
+// nativeRun mirrors nativeBatch: with sharded cores the hybrid's
+// color-compatible runs ride the direct map and its splits batch
+// natively; with the paper's global cores runs must stay off the figure
+// engines entirely.
+func (s *Sparc64) nativeRun() bool {
 	_, ok := s.colors[0].(*shardedCache)
 	return ok
 }
@@ -235,6 +303,9 @@ func (s *Sparc64) Stats() Stats {
 	t.BatchAllocs = s.batchAllocs.Load()
 	t.BatchFrees = s.batchFrees.Load()
 	t.BatchPages = s.batchPages.Load()
+	t.RunAllocs = s.runAllocs.Load()
+	t.RunFrees = s.runFrees.Load()
+	t.RunPages = s.runPages.Load()
 	d := s.directAllocs.Load()
 	t.Allocs += d
 	t.Hits += d
@@ -252,6 +323,9 @@ func (s *Sparc64) ResetStats() {
 	s.batchAllocs.Store(0)
 	s.batchFrees.Store(0)
 	s.batchPages.Store(0)
+	s.runAllocs.Store(0)
+	s.runFrees.Store(0)
+	s.runPages.Store(0)
 }
 
 // NumColors returns the configured color count.

@@ -60,6 +60,17 @@ func (c *Context) TouchPTERange(vpns []uint64) {
 	c.cpu.mu.Unlock()
 }
 
+// TouchPTESpan records PTE-cache touches for n consecutive vpns starting
+// at start — the contiguous-run form of TouchPTERange, taken by the
+// KEnterRun/KRemoveRun bulk page-table passes.
+func (c *Context) TouchPTESpan(start uint64, n int) {
+	c.cpu.mu.Lock()
+	for i := 0; i < n; i++ {
+		c.cpu.pteCache.touch(start + uint64(i))
+	}
+	c.cpu.mu.Unlock()
+}
+
 // Shootdown sends TLB-shootdown IPIs for vpn to every CPU in targets other
 // than the initiator.  The initiator is charged the platform's measured
 // shootdown wait (it spins until all targets acknowledge); each target is
@@ -142,6 +153,16 @@ func (c *Context) TLBInsert(vpn, frame uint64) {
 	c.cpu.mu.Lock()
 	defer c.cpu.mu.Unlock()
 	c.cpu.tlb.Insert(vpn, frame)
+}
+
+// TLBInsertLarge fills one superpage entry in the context CPU's TLB: the
+// aligned window starting at baseVPN maps from frame by arithmetic.  The
+// walk that discovered the promoted window pays for one entry, not one
+// per page — the simulated superpage promotion's whole benefit.
+func (c *Context) TLBInsertLarge(baseVPN, frame uint64) {
+	c.cpu.mu.Lock()
+	defer c.cpu.mu.Unlock()
+	c.cpu.tlb.InsertLarge(baseVPN, frame)
 }
 
 // TouchPTE records that the context's CPU accessed vpn's page-table entry,

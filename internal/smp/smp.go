@@ -96,6 +96,11 @@ type Counters struct {
 	// a batched mapper operation must take fewer lock round trips per
 	// page than the equivalent run of single-page operations.
 	LockAcq atomic.Uint64
+	// PTWalks counts page-table walks charged through ChargeWalk: one per
+	// single-page TLB miss, and one per contiguous PTE run on the ranged
+	// translate path.  Walks per page is the economy metric the
+	// contiguous-run work targets.
+	PTWalks atomic.Uint64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -108,6 +113,7 @@ type Snapshot struct {
 	BatchedFlushes  uint64
 	BatchedInv      uint64
 	LockAcq         uint64
+	PTWalks         uint64
 }
 
 // Sub returns the event deltas since an earlier snapshot.
@@ -121,6 +127,7 @@ func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 		BatchedFlushes:  s.BatchedFlushes - earlier.BatchedFlushes,
 		BatchedInv:      s.BatchedInv - earlier.BatchedInv,
 		LockAcq:         s.LockAcq - earlier.LockAcq,
+		PTWalks:         s.PTWalks - earlier.PTWalks,
 	}
 }
 
@@ -192,6 +199,7 @@ func (m *Machine) SnapshotCounters() Snapshot {
 		BatchedFlushes:  m.counters.BatchedFlushes.Load(),
 		BatchedInv:      m.counters.BatchedInv.Load(),
 		LockAcq:         m.counters.LockAcq.Load(),
+		PTWalks:         m.counters.PTWalks.Load(),
 	}
 }
 
@@ -206,6 +214,7 @@ func (m *Machine) ResetCounters() {
 	m.counters.BatchedFlushes.Store(0)
 	m.counters.BatchedInv.Store(0)
 	m.counters.LockAcq.Store(0)
+	m.counters.PTWalks.Store(0)
 	for _, c := range m.cpus {
 		c.cycles.Store(0)
 	}
@@ -294,6 +303,15 @@ func (c *Context) ChargeLock() {
 		c.Charge(c.m.Plat.Cost.LockUncontended)
 		c.m.counters.LockAcq.Add(1)
 	}
+}
+
+// ChargeWalk charges one page-table walk and counts it in PTWalks.  The
+// single-page Translate path pays one walk per TLB miss; TranslateRun
+// pays one walk per contiguous PTE run, which is the whole point of the
+// ranged translate.
+func (c *Context) ChargeWalk() {
+	c.Charge(c.m.Plat.Cost.TLBMissWalk)
+	c.m.counters.PTWalks.Add(1)
 }
 
 // Interrupt marks the context as having a pending signal; an interruptible

@@ -10,6 +10,21 @@
 // the sf_buf protocol's coherence logic rather than assume it.
 package tlb
 
+// Superpage geometry: a large TLB entry spans SuperSpan base pages (2 MB
+// of 4 KB pages), the unit the amd64 direct map uses and the unit the
+// simulated superpage promotion path collapses a contiguous run into.
+const (
+	// SuperSpanShift is log2 of the large-entry span in pages.
+	SuperSpanShift = 9
+	// SuperSpan is the large-entry span in base pages.
+	SuperSpan = 1 << SuperSpanShift
+)
+
+// LargeCap bounds the separate large-entry array.  Real TLBs provide a
+// handful of superpage entries beside the base-page array; eight is the
+// Xeon-era data-TLB figure.
+const LargeCap = 8
+
 // Stats counts TLB events.
 type Stats struct {
 	Lookups       uint64
@@ -19,6 +34,14 @@ type Stats struct {
 	Invalidations uint64 // explicit single-entry invalidations that hit
 	Flushes       uint64
 	Evictions     uint64 // capacity evictions
+
+	// Large-entry (superpage) events.  A large hit also counts in Hits;
+	// a large insert does not count in Inserts, so Inserts remains "base
+	// TLB entries touched" — the per-page cost the promotion path avoids.
+	LargeHits          uint64
+	LargeInserts       uint64
+	LargeInvalidations uint64
+	LargeEvictions     uint64
 }
 
 type node struct {
@@ -38,7 +61,20 @@ type TLB struct {
 	// freeNodes recycles evicted/invalidated nodes (chained via next) so
 	// a warm TLB inserts without allocating.
 	freeNodes *node
-	stats     Stats
+	// large is the separate superpage array: at most LargeCap entries,
+	// each mapping an aligned SuperSpan-page window by arithmetic from
+	// its base frame.  Keyed by vpn >> SuperSpanShift; FIFO replacement.
+	large      map[uint64]largeEntry
+	largeOrder []uint64
+	stats      Stats
+}
+
+// largeEntry is one superpage translation: the window's first vpn and the
+// frame mapped there; frames within the window follow by arithmetic,
+// which is what makes one entry cover the whole span.
+type largeEntry struct {
+	baseVPN uint64
+	frame   uint64
 }
 
 // New creates a TLB with the given entry capacity.
@@ -88,20 +124,26 @@ func (t *TLB) pushFront(n *node) {
 	t.head.next = n
 }
 
-// Lookup returns the cached frame for vpn.  A hit refreshes the entry's
-// recency.  The returned frame may be stale with respect to the page
-// tables; that is the point.
+// Lookup returns the cached frame for vpn, consulting the base-page array
+// first and the superpage array second.  A base-page hit refreshes the
+// entry's recency.  The returned frame may be stale with respect to the
+// page tables; that is the point.
 func (t *TLB) Lookup(vpn uint64) (frame uint64, ok bool) {
 	t.stats.Lookups++
 	n, ok := t.entries[vpn]
-	if !ok {
-		t.stats.Misses++
-		return 0, false
+	if ok {
+		t.stats.Hits++
+		t.unlink(n)
+		t.pushFront(n)
+		return n.frame, true
 	}
-	t.stats.Hits++
-	t.unlink(n)
-	t.pushFront(n)
-	return n.frame, true
+	if le, ok := t.large[vpn>>SuperSpanShift]; ok && vpn >= le.baseVPN && vpn < le.baseVPN+SuperSpan {
+		t.stats.Hits++
+		t.stats.LargeHits++
+		return le.frame + (vpn - le.baseVPN), true
+	}
+	t.stats.Misses++
+	return 0, false
 }
 
 // Insert caches vpn -> frame, evicting the least recently used entry when
@@ -126,18 +168,57 @@ func (t *TLB) Insert(vpn, frame uint64) {
 	t.pushFront(n)
 }
 
-// Invalidate drops the entry for vpn, reporting whether one was resident
-// (the model's invlpg).
-func (t *TLB) Invalidate(vpn uint64) bool {
-	n, ok := t.entries[vpn]
-	if !ok {
-		return false
+// InsertLarge caches one superpage translation: baseVPN (which must be
+// SuperSpan-aligned) maps to frame, and every vpn in the window follows by
+// arithmetic.  At capacity the oldest large entry is replaced (FIFO), as
+// on hardware with a fixed superpage array.
+func (t *TLB) InsertLarge(baseVPN, frame uint64) {
+	if baseVPN&(SuperSpan-1) != 0 {
+		panic("tlb: InsertLarge with unaligned base vpn")
 	}
-	t.stats.Invalidations++
-	t.unlink(n)
-	delete(t.entries, vpn)
-	t.recycle(n)
-	return true
+	key := baseVPN >> SuperSpanShift
+	if t.large == nil {
+		t.large = make(map[uint64]largeEntry, LargeCap)
+	}
+	if _, ok := t.large[key]; !ok {
+		if len(t.large) >= LargeCap {
+			victim := t.largeOrder[0]
+			t.largeOrder = t.largeOrder[1:]
+			delete(t.large, victim)
+			t.stats.LargeEvictions++
+		}
+		t.largeOrder = append(t.largeOrder, key)
+	}
+	t.large[key] = largeEntry{baseVPN: baseVPN, frame: frame}
+	t.stats.LargeInserts++
+}
+
+// Invalidate drops the entry for vpn, reporting whether one was resident
+// (the model's invlpg).  An invlpg for any page of a superpage window
+// drops the whole large entry, exactly as hardware specifies.
+func (t *TLB) Invalidate(vpn uint64) bool {
+	hit := false
+	if n, ok := t.entries[vpn]; ok {
+		t.stats.Invalidations++
+		t.unlink(n)
+		delete(t.entries, vpn)
+		t.recycle(n)
+		hit = true
+	}
+	if key := vpn >> SuperSpanShift; t.large != nil {
+		if _, ok := t.large[key]; ok {
+			delete(t.large, key)
+			for i, k := range t.largeOrder {
+				if k == key {
+					t.largeOrder = append(t.largeOrder[:i], t.largeOrder[i+1:]...)
+					break
+				}
+			}
+			t.stats.LargeInvalidations++
+			hit = true
+		}
+	}
+	return hit
 }
 
 // InvalidateRange drops the entries for every vpn in vpns, returning how
@@ -164,23 +245,33 @@ func (t *TLB) FlushAll() {
 	clear(t.entries)
 	t.head.next = &t.tail
 	t.tail.prev = &t.head
+	clear(t.large)
+	t.largeOrder = t.largeOrder[:0]
 }
 
-// Resident reports whether vpn is cached, without touching recency or
-// statistics.  Test helper.
+// LargeLen returns the number of resident superpage entries.
+func (t *TLB) LargeLen() int { return len(t.large) }
+
+// Resident reports whether vpn is cached — by a base entry or a covering
+// superpage entry — without touching recency or statistics.  Test helper.
 func (t *TLB) Resident(vpn uint64) bool {
-	_, ok := t.entries[vpn]
+	if _, ok := t.entries[vpn]; ok {
+		return true
+	}
+	_, ok := t.large[vpn>>SuperSpanShift]
 	return ok
 }
 
 // FrameOf returns the cached frame for vpn without touching recency or
 // statistics, for invariant checks.
 func (t *TLB) FrameOf(vpn uint64) (uint64, bool) {
-	n, ok := t.entries[vpn]
-	if !ok {
-		return 0, false
+	if n, ok := t.entries[vpn]; ok {
+		return n.frame, true
 	}
-	return n.frame, true
+	if le, ok := t.large[vpn>>SuperSpanShift]; ok {
+		return le.frame + (vpn - le.baseVPN), true
+	}
+	return 0, false
 }
 
 // Stats returns a copy of the event counters.

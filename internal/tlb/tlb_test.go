@@ -152,3 +152,69 @@ func TestQuickAgainstReferenceModel(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLargeEntryLookup(t *testing.T) {
+	tl := New(4)
+	base := uint64(10 * SuperSpan) // aligned window
+	tl.InsertLarge(base, 1000)
+	for _, off := range []uint64{0, 1, SuperSpan - 1} {
+		frame, ok := tl.Lookup(base + off)
+		if !ok || frame != 1000+off {
+			t.Fatalf("lookup(base+%d) = %d,%v, want %d", off, frame, ok, 1000+off)
+		}
+	}
+	if _, ok := tl.Lookup(base + SuperSpan); ok {
+		t.Fatal("lookup past the window must miss")
+	}
+	s := tl.Stats()
+	if s.LargeHits != 3 || s.LargeInserts != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Inserts != 0 {
+		t.Fatalf("large entries must not count as base inserts: %+v", s)
+	}
+	// An invlpg for ANY page of the window drops the whole large entry.
+	if !tl.Invalidate(base + 5) {
+		t.Fatal("invalidate within the window must hit")
+	}
+	if _, ok := tl.Lookup(base); ok {
+		t.Fatal("large entry survived invalidation")
+	}
+	if tl.Stats().LargeInvalidations != 1 {
+		t.Fatalf("stats = %+v", tl.Stats())
+	}
+}
+
+func TestLargeEntryEvictionAndFlush(t *testing.T) {
+	tl := New(4)
+	for i := 0; i < LargeCap+2; i++ {
+		tl.InsertLarge(uint64(i*SuperSpan), uint64(1000*i))
+	}
+	if tl.LargeLen() != LargeCap {
+		t.Fatalf("large len = %d, want cap %d", tl.LargeLen(), LargeCap)
+	}
+	if tl.Stats().LargeEvictions != 2 {
+		t.Fatalf("evictions = %d, want 2 (FIFO)", tl.Stats().LargeEvictions)
+	}
+	// FIFO: the two oldest windows are gone.
+	if tl.Resident(0) || tl.Resident(SuperSpan) {
+		t.Fatal("oldest large entries must have been evicted")
+	}
+	if !tl.Resident(2 * SuperSpan) {
+		t.Fatal("younger large entry evicted out of order")
+	}
+	tl.FlushAll()
+	if tl.LargeLen() != 0 {
+		t.Fatal("flush must drop large entries")
+	}
+}
+
+func TestInsertLargeRejectsUnalignedBase(t *testing.T) {
+	tl := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InsertLarge with an unaligned base must panic")
+		}
+	}()
+	tl.InsertLarge(3, 1)
+}

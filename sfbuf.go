@@ -53,6 +53,13 @@ type (
 	BatchMapper = sfbuf.BatchMapper
 	// MapperStats reports mapping-cache behaviour.
 	MapperStats = sfbuf.Stats
+	// Run is a contiguous multi-page ephemeral mapping: one VA window
+	// (when the engine provides contiguity) released as a unit through
+	// FreeRun, readable under ranged translation.
+	Run = sfbuf.Run
+	// RunWindowStats counts the sharded engine's run-window pool events
+	// (reservations, reuses, laundering rounds).
+	RunWindowStats = sfbuf.RunWindowStats
 )
 
 // Alloc flags (Section 4.1).
@@ -82,6 +89,11 @@ var (
 // global-lock cache).
 func NativeBatch(m Mapper) bool { return sfbuf.NativeBatch(m) }
 
+// NativeRun reports whether a mapper's AllocRun provides genuinely
+// contiguous windows (sharded cache, amd64 direct map, the original
+// kernel's 64-bit pmap_qenter range) rather than a scattered fallback.
+func NativeRun(m Mapper) bool { return sfbuf.NativeRun(m) }
+
 // Kernel assembly.
 type (
 	// Config describes the kernel to boot: platform, mapper kind,
@@ -98,6 +110,9 @@ type (
 	// VectoredPolicy decides whether the converted subsystems map
 	// multi-page extents through the vectored calls.
 	VectoredPolicy = kernel.VectoredPolicy
+	// ContigPolicy decides whether the converted subsystems map
+	// multi-page extents as contiguous runs.
+	ContigPolicy = kernel.ContigPolicy
 	// ShardedConfig tunes the sharded engine's stripe count, per-CPU
 	// freelist depth and reclaim batch.
 	ShardedConfig = sfbuf.ShardedConfig
@@ -142,6 +157,21 @@ const (
 	// VectoredOff forces per-page mapping everywhere (ablation knob).
 	VectoredOff = kernel.VectoredOff
 )
+
+// Contiguous-run policies (Config.Contig).
+const (
+	// ContigAuto maps multi-page I/O as contiguous runs exactly where
+	// the booted engine provides native contiguity (the default); the
+	// figure-reproduction engines keep their historical paths.
+	ContigAuto = kernel.ContigAuto
+	// ContigOn forces every converted subsystem onto the run path.
+	ContigOn = kernel.ContigOn
+	// ContigOff forces batches/pages everywhere (ablation knob).
+	ContigOff = kernel.ContigOff
+)
+
+// PageSize is the simulated machine's page size in bytes.
+const PageSize = vm.PageSize
 
 // Boot constructs a simulated kernel per the configuration.
 func Boot(cfg Config) (*Kernel, error) { return kernel.Boot(cfg) }
