@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke fuzz bench bench-contended bench-batch bench-run lint vet fmt ci clean
+.PHONY: all build test race fuzz-smoke fuzz bench bench-contended bench-batch bench-run bench-adaptive docs lint vet fmt ci clean
 
 all: build test
 
@@ -43,6 +43,16 @@ bench-batch:
 bench-run:
 	$(GO) test -run '^$$' -bench BenchmarkAllocRun -benchtime 200000x .
 
+# Adaptive-contiguity economy: the per-consumer policy vs the static
+# run/batch pins on the streaming and reuse-churn workloads.
+bench-adaptive:
+	$(GO) test -run '^$$' -bench BenchmarkAllocAdaptive -benchtime 100000x .
+
+# Documentation gate: package comments on every package, docs links
+# resolve.  Mirrors the CI docs step.
+docs:
+	sh ./scripts/checkdocs.sh
+
 lint: vet
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -53,7 +63,7 @@ vet:
 fmt:
 	gofmt -w .
 
-ci: build lint test race fuzz-smoke bench
+ci: build lint docs test race fuzz-smoke bench
 
 clean:
 	$(GO) clean ./...

@@ -409,6 +409,52 @@ func BenchmarkAllocRun(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocAdaptive is the adaptive-contiguity acceptance
+// benchmark: the two canonical workloads (cyclic re-streaming of large
+// extents wider than the cache, and reuse-heavy churn over a
+// hash-resident page set with sliding extent boundaries), each driven
+// under the adaptive per-consumer policy and under both static pins.
+// The criterion — adaptive within 10% of the best static choice on both
+// workloads and >= 2x better than the worst on each, in simulated
+// cycles per page — is enforced by TestAdaptivePolicyEconomy; this
+// benchmark is where the numbers surface.  On the streaming rows the
+// revives/run metric shows the page-set window cache doing the work.
+func BenchmarkAllocAdaptive(b *testing.B) {
+	for _, workload := range []string{"stream", "churn"} {
+		for _, policy := range []string{"adaptive", "run", "batch"} {
+			b.Run(workload+"-"+policy, func(b *testing.B) {
+				k, err := experiments.BootAdaptive()
+				if err != nil {
+					b.Fatal(err)
+				}
+				runLen := experiments.AdaptiveStreamLen
+				if workload == "churn" {
+					runLen = experiments.AdaptiveChurnLen
+				}
+				rounds := b.N / (k.M.NumCPUs() * runLen)
+				if rounds < 1 {
+					rounds = 1
+				}
+				b.ResetTimer()
+				done, err := experiments.ChurnAdaptiveWorkload(k, workload, policy, rounds)
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				perPage := float64(done)
+				cnt := k.M.SnapshotCounters()
+				st := k.Map.Stats()
+				b.ReportMetric(float64(k.M.TotalCycles())/perPage, "simcycles/page")
+				b.ReportMetric(float64(cnt.PTWalks)/perPage, "walks/page")
+				b.ReportMetric(float64(cnt.RemoteInvIssued)/perPage, "sdrounds/page")
+				if st.RunAllocs > 0 {
+					b.ReportMetric(float64(st.RunRevives)/float64(st.RunAllocs), "revives/run")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkMapperMicro compares the four mapper implementations on the
 // same single-page map/touch/unmap loop (Go-time measured; simulated
 // cycles reported as a metric).

@@ -27,11 +27,13 @@ func init() {
 // page-table walks and TLB entries filled per operation (the touch is
 // through the honest MMU, so walk economy shows up here), and the
 // shootdown-queue coalescing factor (invalidations retired per flush).
-// Each engine appears three times: churning one page at a time, churning
+// Each engine appears four times: churning one page at a time, churning
 // the same pages through the vectored AllocBatch/FreeBatch calls in runs
 // of ScaleBatch — the lock column is where the vectored fast path shows
-// up — and churning them as contiguous AllocRun windows read under
-// ranged translation, where the walks column collapses.
+// up — churning them as contiguous AllocRun windows read under ranged
+// translation, where the walks column collapses, and churning them
+// through a per-consumer policy handle (the adaptive rows), which routes
+// each extent the way the converted subsystems would.
 func RunScale(o Options) (*Result, error) {
 	res := &Result{
 		ID:    "scale",
@@ -62,7 +64,8 @@ func RunScale(o Options) (*Result, error) {
 	}
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("batch rows churn the same pages through AllocBatch/FreeBatch in runs of %d", batch),
-		fmt.Sprintf("run rows churn them as contiguous AllocRun windows of %d under ranged translation", batch))
+		fmt.Sprintf("run rows churn them as contiguous AllocRun windows of %d under ranged translation", batch),
+		"adaptive rows route each extent through a consumer handle (the per-consumer contiguity policy), as the converted subsystems do")
 
 	type variant struct {
 		name string
@@ -94,7 +97,7 @@ func RunScale(o Options) (*Result, error) {
 		}()},
 	}
 
-	for _, mode := range []string{"single", "batch", "run"} {
+	for _, mode := range []string{"single", "batch", "run", "adaptive"} {
 		for _, v := range variants {
 			name := v.name
 			if mode != "single" {
@@ -114,6 +117,8 @@ func RunScale(o Options) (*Result, error) {
 				done, err = ChurnBatch(k, pages, ops, batch)
 			case "run":
 				done, err = ChurnRun(k, pages, ops, batch)
+			case "adaptive":
+				done, err = ChurnAuto(k, pages, ops, batch)
 			default:
 				done, err = Churn(k, pages, ops)
 			}

@@ -7,6 +7,7 @@ package kernel
 
 import (
 	"fmt"
+	"sync"
 
 	"sfbuf/internal/arch"
 	"sfbuf/internal/kva"
@@ -107,14 +108,18 @@ func (v VectoredPolicy) String() string {
 type ContigPolicy int
 
 const (
-	// ContigAuto is the default: runs exactly where the engine provides
+	// ContigAuto is the default, and on the sf_buf kernel it now
+	// resolves to the ADAPTIVE policy wherever the engine provides
 	// native contiguity (NativeRun — the sharded cache's reserved
-	// windows, the amd64 direct map) on the sf_buf kernel.  The paper's
-	// global-lock cache and the original kernel keep their historical
-	// paths, so every figure-reproduction experiment is untouched: the
-	// original kernel is the baseline in each figure and must keep
-	// paying per-page translation even though its 64-bit pmap_qenter
-	// range is technically contiguous.
+	// windows, the amd64 direct map): each consumer handle starts on
+	// the run path (the historical Auto behaviour) and flips itself
+	// between runs and batches per window-size epoch from its observed
+	// reuse (see MapConsumer).  The paper's global-lock cache and the
+	// original kernel keep their historical paths, so every
+	// figure-reproduction experiment is untouched: the original kernel
+	// is the baseline in each figure and must keep paying per-page
+	// translation even though its 64-bit pmap_qenter range is
+	// technically contiguous.
 	ContigAuto ContigPolicy = iota
 	// ContigOn forces every converted subsystem onto the run path,
 	// including the fallback engines (which degrade to scattered runs).
@@ -122,6 +127,12 @@ const (
 	// ContigOff forces batches/pages everywhere — the ablation knob for
 	// measuring what contiguity is worth.
 	ContigOff
+	// ContigAdaptive names the adaptive per-consumer policy explicitly.
+	// It resolves identically to Auto today (Auto's sf_buf resolution IS
+	// adaptive); the distinct value exists so configurations can pin the
+	// adaptive policy against future changes to Auto's meaning, and so
+	// reports can label it.
+	ContigAdaptive
 )
 
 // String names the policy for reports.
@@ -131,6 +142,8 @@ func (c ContigPolicy) String() string {
 		return "on"
 	case ContigOff:
 		return "off"
+	case ContigAdaptive:
+		return "adaptive"
 	}
 	return "auto"
 }
@@ -171,9 +184,14 @@ type Config struct {
 	// exactly where the booted engine makes batching a genuine fast path.
 	Vectored VectoredPolicy
 	// Contig selects whether multi-page I/O maps extents as contiguous
-	// runs (AllocRun/FreeRun); the zero value (Auto) uses runs exactly
-	// where the engine provides native contiguity, and takes precedence
-	// over Vectored where both would apply.
+	// runs (AllocRun/FreeRun).  The zero value (Auto) resolves, on
+	// engines with native contiguity, to the ADAPTIVE per-consumer
+	// policy — each subsystem's MapConsumer handle flips between runs
+	// and batches from its observed reuse, starting on the run path —
+	// and to the historical static paths everywhere else.  On/Off force
+	// one path for every consumer; Adaptive names Auto's sf_buf
+	// resolution explicitly.  Contig takes precedence over Vectored
+	// where both would apply.
 	Contig ContigPolicy
 }
 
@@ -184,6 +202,11 @@ type Kernel struct {
 	Pmap  *pmap.Pmap
 	Arena *kva.Arena
 	Map   sfbuf.Mapper
+
+	// consumers is the registry of per-subsystem contiguity-policy
+	// handles (see Consumer).
+	consumersMu sync.Mutex
+	consumers   map[string]*MapConsumer
 }
 
 // Boot constructs the machine and the configured mapping implementation.
@@ -286,13 +309,17 @@ func (k *Kernel) UseVectoredSend() bool {
 	return k.Cfg.Mapper != OriginalKernel && sfbuf.NativeBatch(k.Map)
 }
 
-// UseRuns reports whether multi-page extents (pipe direct windows,
-// memory-disk transfers) should be mapped as contiguous runs.  Auto
-// requires native contiguity AND the sf_buf kernel: the original kernel
-// is every figure's baseline and must keep its historical per-page
-// translation costs even though its 64-bit batch range is contiguous,
-// and the global-lock cache has no contiguous path at all.  Where
-// UseRuns is false, UseVectored still decides batches vs pages.
+// UseRuns reports the STATIC contiguity resolution: whether multi-page
+// extents should be mapped as contiguous runs when no adaptive state
+// applies.  Auto and Adaptive both require native contiguity AND the
+// sf_buf kernel: the original kernel is every figure's baseline and
+// must keep its historical per-page translation costs even though its
+// 64-bit batch range is contiguous, and the global-lock cache has no
+// contiguous path at all.  Subsystems no longer call this directly —
+// they route decisions through a Consumer handle, which under the
+// adaptive policy starts from this resolution and then flips itself per
+// observed reuse.  Where the decision is false, UseVectored still
+// decides batches vs pages.
 func (k *Kernel) UseRuns() bool {
 	switch k.Cfg.Contig {
 	case ContigOn:
@@ -311,6 +338,35 @@ func (k *Kernel) UseRuns() bool {
 // simply delegates; the separate name keeps the send-path call sites
 // symmetric with the vectored policy.
 func (k *Kernel) UseRunsSend() bool { return k.UseRuns() }
+
+// mapCapacityPages reports how many mappings the booted engine can hold
+// at once: the i386 cache's entry count, the sparc64 hybrid's summed
+// per-color entries, or 0 (unbounded) for the amd64 direct map, which
+// never evicts.  The adaptive contiguity policy bounds its page-reuse
+// recency window by this — a frame last mapped more than a cache-ful of
+// observations ago has likely been evicted, so its repeat would miss
+// the hash cache anyway.
+func (k *Kernel) mapCapacityPages() int {
+	switch k.Cfg.Platform.Arch {
+	case arch.AMD64:
+		return 0
+	case arch.SPARC64:
+		nc := k.Cfg.NumColors
+		if nc == 0 {
+			nc = 2
+		}
+		epc := k.Cfg.EntriesPerColor
+		if epc == 0 {
+			epc = 1024
+		}
+		return nc * epc
+	default:
+		if k.Cfg.CacheEntries > 0 {
+			return k.Cfg.CacheEntries
+		}
+		return sfbuf.DefaultI386Entries
+	}
+}
 
 // Reset zeroes all machine counters and mapper statistics, preparing for a
 // measured run.

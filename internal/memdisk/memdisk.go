@@ -33,6 +33,10 @@ type Disk struct {
 	k     *kernel.Kernel
 	pages []*vm.Page
 	size  int64
+	// contig is the memdisk subsystem's contiguity-policy handle: under
+	// the adaptive policy it learns from the transfer extents' observed
+	// reuse whether to map them as runs or batches.
+	contig *kernel.MapConsumer
 
 	// usePrivate selects the CPU-private mapping option; the evaluation
 	// turns it off to quantify its benefit (Section 6.4.1).
@@ -53,7 +57,7 @@ func New(k *kernel.Kernel, size int64) (*Disk, error) {
 	if err != nil {
 		return nil, fmt.Errorf("memdisk: allocating %d pages: %w", npages, err)
 	}
-	d := &Disk{k: k, pages: pages, size: size}
+	d := &Disk{k: k, pages: pages, size: size, contig: k.Consumer("memdisk")}
 	d.usePrivate.Store(true)
 	return d, nil
 }
@@ -122,7 +126,7 @@ func (d *Disk) transfer(ctx *smp.Context, buf []byte, off int64, write bool) err
 
 	first := int(off / vm.PageSize)
 	last := int((off + int64(len(buf)) - 1) / vm.PageSize)
-	if last > first && d.k.UseRuns() {
+	if last > first && d.contig.UseRuns(ctx, d.pages[first:last+1]) {
 		// Contiguous-run path: one VA window over the request's pages,
 		// one ranged translation per transfer — and, for requests
 		// covering an aligned 2 MB-equivalent span of this disk's

@@ -52,6 +52,10 @@ type Stack struct {
 	// CPU computes checksums in software, touching every payload byte
 	// through its ephemeral mapping (this is the knob of Figures 19-20).
 	ChecksumOffload bool
+	// contig is the zero-copy send path's contiguity-policy handle,
+	// resolved once at stack creation so the per-syscall send path pays
+	// no registry lookup.
+	contig *kernel.MapConsumer
 }
 
 // NewStack returns a stack with the given MTU on kernel k.
@@ -59,7 +63,7 @@ func NewStack(k *kernel.Kernel, mtu int) *Stack {
 	if mtu <= HeaderSize {
 		panic(fmt.Sprintf("netstack: mtu %d too small", mtu))
 	}
-	return &Stack{K: k, MTU: mtu}
+	return &Stack{K: k, MTU: mtu, contig: k.Consumer("netstack")}
 }
 
 // MSS returns the payload bytes per packet.
@@ -193,11 +197,8 @@ func (c *Conn) SendZeroCopy(ctx *smp.Context, um *vm.UserMem, off, n int) error 
 		return vm.ErrBounds
 	}
 	ctx.Charge(ctx.Cost().Syscall)
-	if c.st.K.UseRunsSend() {
-		return c.sendZeroCopyRun(ctx, um, off, n)
-	}
-	if c.st.K.UseVectoredSend() {
-		return c.sendZeroCopyVectored(ctx, um, off, n)
+	if c.st.K.UseRunsSend() || c.st.K.UseVectoredSend() {
+		return c.sendZeroCopyWindowed(ctx, um, off, n, c.st.contig.MapSendExtent)
 	}
 	k := c.st.K
 	mss := c.st.MSS()
@@ -262,43 +263,6 @@ func (c *Conn) SendZeroCopy(ctx *smp.Context, um *vm.UserMem, off, n int) error 
 // sfbuf.ErrBatchTooLarge unwrapped when the run exceeds the mapping
 // cache, which routes the packet through the per-page fallback.
 type packetMapper func(ctx *smp.Context, pages []*vm.Page) ([]*sfbuf.Buf, *mbuf.RunRelease, error)
-
-// sendZeroCopyVectored is the batched mapping variant of SendZeroCopy:
-// each packet's page run is wired and mapped with one vectored AllocBatch
-// and released — when the covering acknowledgment arrives — with one
-// FreeBatch through a run-release refcount.  Packet boundaries, wire
-// counts and checksum behaviour are identical to the per-page path (a
-// page straddling two packets is still wired and mapped once per packet);
-// only the mapping-side lock economy changes.
-func (c *Conn) sendZeroCopyVectored(ctx *smp.Context, um *vm.UserMem, off, n int) error {
-	k := c.st.K
-	return c.sendZeroCopyWindowed(ctx, um, off, n,
-		func(ctx *smp.Context, pages []*vm.Page) ([]*sfbuf.Buf, *mbuf.RunRelease, error) {
-			bufs, err := k.Map.AllocBatch(ctx, pages, 0) // shared: no Private flag
-			if err != nil {
-				return nil, nil, err
-			}
-			return bufs, mbuf.NewRunRelease(k.Map, bufs, pages), nil
-		})
-}
-
-// sendZeroCopyRun is the contiguous-run variant of SendZeroCopy: each
-// packet's page run is wired and mapped as ONE VA window with AllocRun
-// and released — when the covering acknowledgment arrives — with one
-// FreeRun through a run-release refcount.  The run buys one page-table
-// pass per packet at map time and a laundered (batched) teardown at ACK
-// time.
-func (c *Conn) sendZeroCopyRun(ctx *smp.Context, um *vm.UserMem, off, n int) error {
-	k := c.st.K
-	return c.sendZeroCopyWindowed(ctx, um, off, n,
-		func(ctx *smp.Context, pages []*vm.Page) ([]*sfbuf.Buf, *mbuf.RunRelease, error) {
-			run, err := k.Map.AllocRun(ctx, pages, 0) // shared: no Private flag
-			if err != nil {
-				return nil, nil, err
-			}
-			return run.Bufs(), mbuf.NewRunReleaseMapped(k.Map, run, pages), nil
-		})
-}
 
 // sendZeroCopyWindowed is the shared packetize/wire/map/transmit loop
 // behind the vectored and contiguous-run send paths.  Packet boundaries,

@@ -58,11 +58,20 @@ type directWindow struct {
 	// the reader's copies cross page boundaries under ranged translation
 	// instead of re-translating per page.
 	run *sfbuf.Run
+
+	// Contiguity decision for this window, made (and observed by the
+	// pipe's policy consumer) once, on the first read.
+	useRun  bool
+	decided bool
 }
 
 // Pipe is one unidirectional pipe.
 type Pipe struct {
 	k *kernel.Kernel
+	// contig is the pipe subsystem's contiguity-policy handle: under the
+	// adaptive policy it learns from the loaned windows' observed reuse
+	// whether to map them as runs or batches.
+	contig *kernel.MapConsumer
 
 	mu       sync.Mutex
 	notEmpty *sync.Cond
@@ -92,7 +101,7 @@ type Stats struct {
 
 // New creates a pipe on kernel k.
 func New(k *kernel.Kernel) *Pipe {
-	p := &Pipe{k: k, ring: make([]byte, BufferSize)}
+	p := &Pipe{k: k, contig: k.Consumer("pipe"), ring: make([]byte, BufferSize)}
 	p.notEmpty = sync.NewCond(&p.mu)
 	p.notFull = sync.NewCond(&p.mu)
 	return p
@@ -286,8 +295,15 @@ func (p *Pipe) readDirect(ctx *smp.Context, w *directWindow, dst []byte) (int, e
 	// global-lock kernel maps page by page through the ephemeral mapping
 	// interface, exactly as Section 2.1 describes.  A window larger than
 	// the whole mapping cache (ErrBatchTooLarge) falls back to the
-	// per-page path rather than failing the read.
-	if p.k.UseRuns() {
+	// per-page path rather than failing the read.  Which multi-page path
+	// serves the window is the pipe consumer's contiguity decision —
+	// static under a pinned Contig policy, learned from observed window
+	// reuse under the adaptive one.
+	if !w.decided {
+		w.decided = true
+		w.useRun = p.contig.UseRuns(ctx, w.pages)
+	}
+	if w.useRun {
 		n, err := p.readDirectRun(ctx, w, dst)
 		if !errors.Is(err, sfbuf.ErrBatchTooLarge) {
 			return n, err

@@ -31,22 +31,24 @@ const VectoredRun = 16
 // acknowledgment inside the connection.
 //
 // On kernels whose mapper batches natively the pages are mapped in
-// vectored runs (one AllocBatch per run, one FreeBatch when the run's
-// last byte is acknowledged); packetization is unchanged either way, so
-// the network-side costs are identical and only the mapping-side lock
-// and shootdown economy differs.  The original kernel keeps the
-// historical per-page allocation its evaluation baselines measured.
+// windows (one AllocRun or AllocBatch per window, released when the
+// window's last byte is acknowledged); which of the two each window
+// takes is the sendfile consumer's contiguity decision — static under a
+// pinned Contig policy, learned per window from the file extents'
+// observed reuse under the adaptive one.  Packetization is unchanged
+// either way, so the network-side costs are identical and only the
+// mapping-side lock, walk and shootdown economy differs.  The original
+// kernel keeps the historical per-page allocation its evaluation
+// baselines measured.
 func SendFile(ctx *smp.Context, k *kernel.Kernel, fsys *fs.FS, conn *netstack.Conn, name string) (int64, error) {
 	size, err := fsys.Size(ctx, name)
 	if err != nil {
 		return 0, err
 	}
 	ctx.Charge(ctx.Cost().Syscall)
-	if k.UseRunsSend() {
-		return sendFileRun(ctx, k, fsys, conn, name, size)
-	}
-	if k.UseVectoredSend() {
-		return sendFileVectored(ctx, k, fsys, conn, name, size)
+	if k.UseRunsSend() || k.UseVectoredSend() {
+		return sendFileWindowed(ctx, k, fsys, conn, name, size,
+			k.Consumer("sendfile").MapSendExtent)
 	}
 	var sent int64
 	for off := int64(0); off < size; {
@@ -86,36 +88,6 @@ func SendFile(ctx *smp.Context, k *kernel.Kernel, fsys *fs.FS, conn *netstack.Co
 // returns sfbuf.ErrBatchTooLarge unwrapped when the run exceeds the
 // mapping cache, which sends the window through the per-page fallback.
 type windowMapper func(ctx *smp.Context, pages []*vm.Page) ([]*sfbuf.Buf, *mbuf.RunRelease, error)
-
-// sendFileVectored is the batched mapping path: each window is mapped
-// with one vectored AllocBatch and released — when the last covering
-// acknowledgment lands — with one FreeBatch.
-func sendFileVectored(ctx *smp.Context, k *kernel.Kernel, fsys *fs.FS, conn *netstack.Conn, name string, size int64) (int64, error) {
-	return sendFileWindowed(ctx, k, fsys, conn, name, size,
-		func(ctx *smp.Context, pages []*vm.Page) ([]*sfbuf.Buf, *mbuf.RunRelease, error) {
-			bufs, err := k.Map.AllocBatch(ctx, pages, 0) // shared mappings
-			if err != nil {
-				return nil, nil, err
-			}
-			return bufs, mbuf.NewRunRelease(k.Map, bufs, pages), nil
-		})
-}
-
-// sendFileRun is the contiguous-run mapping path: each window is mapped
-// as ONE VA window with AllocRun — each page's mbuf external carries its
-// window address, so checksum and retransmission reads stay inside one
-// translation reach — and the last acknowledgment unmaps it with one
-// FreeRun.
-func sendFileRun(ctx *smp.Context, k *kernel.Kernel, fsys *fs.FS, conn *netstack.Conn, name string, size int64) (int64, error) {
-	return sendFileWindowed(ctx, k, fsys, conn, name, size,
-		func(ctx *smp.Context, pages []*vm.Page) ([]*sfbuf.Buf, *mbuf.RunRelease, error) {
-			run, err := k.Map.AllocRun(ctx, pages, 0) // shared mappings
-			if err != nil {
-				return nil, nil, err
-			}
-			return run.Bufs(), mbuf.NewRunReleaseMapped(k.Map, run, pages), nil
-		})
-}
 
 // sendFileWindowed is the shared windowed-send loop behind the vectored
 // and contiguous-run paths: resolve and wire a run of file pages, map

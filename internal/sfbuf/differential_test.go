@@ -47,19 +47,42 @@ const (
 // bookkeeping here mirrors the replay exactly, so free/write picks always
 // resolve to the same logical handle on every engine.
 func genTrace(seed int64, ncpu int) []diffOp {
+	return genTraceBias(seed, ncpu, 12)
+}
+
+// genTraceBias is genTrace with a tunable revive bias: the percentage of
+// steps that re-allocate a RECENTLY FREED run extent verbatim — the
+// page-set window cache's hit pattern (alloc-run / free-run / re-alloc
+// same extent), which on the sharded engine resurrects parked windows
+// while the other engines must observe identical mapping semantics
+// through their cold paths.
+func genTraceBias(seed int64, ncpu, reviveBias int) []diffOp {
 	rng := rand.New(rand.NewSource(seed))
 	var ops []diffOp
 	liveSingles := 0
-	var batchSizes, runSizes []int // batches and runs tracked as units
+	type extent struct{ start, count int }
+	var batchSizes []int    // batches tracked as units
+	var runExtents []extent // live runs with their extents
+	var freed []extent      // recently freed run extents, oldest first
 	for len(ops) < diffOps {
-		r := rng.Intn(100)
 		live := liveSingles
 		for _, n := range batchSizes {
 			live += n
 		}
-		for _, n := range runSizes {
-			live += n
+		for _, e := range runExtents {
+			live += e.count
 		}
+		if len(freed) > 0 && rng.Intn(100) < reviveBias {
+			// Re-allocate a recently freed extent verbatim.
+			e := freed[rng.Intn(len(freed))]
+			if live+e.count < diffMaxLive {
+				ops = append(ops, diffOp{kind: 6, page: e.start, count: e.count,
+					cpu: rng.Intn(ncpu), private: rng.Intn(3) == 0})
+				runExtents = append(runExtents, e)
+				continue
+			}
+		}
+		r := rng.Intn(100)
 		switch {
 		case r < 25 && live < diffMaxLive:
 			ops = append(ops, diffOp{kind: 0, page: rng.Intn(diffPages),
@@ -76,7 +99,7 @@ func genTrace(seed int64, ncpu int) []diffOp {
 			start := rng.Intn(diffPages - n)
 			ops = append(ops, diffOp{kind: 6, page: start, count: n,
 				cpu: rng.Intn(ncpu), private: rng.Intn(3) == 0})
-			runSizes = append(runSizes, n)
+			runExtents = append(runExtents, extent{start: start, count: n})
 		case r < 68 && liveSingles > 0:
 			ops = append(ops, diffOp{kind: 2, pick: rng.Intn(liveSingles)})
 			liveSingles--
@@ -84,10 +107,16 @@ func genTrace(seed int64, ncpu int) []diffOp {
 			pick := rng.Intn(len(batchSizes))
 			ops = append(ops, diffOp{kind: 3, pick: pick})
 			batchSizes = append(batchSizes[:pick], batchSizes[pick+1:]...)
-		case r < 86 && len(runSizes) > 0:
-			pick := rng.Intn(len(runSizes))
+		case r < 86 && len(runExtents) > 0:
+			pick := rng.Intn(len(runExtents))
 			ops = append(ops, diffOp{kind: 7, pick: pick})
-			runSizes = append(runSizes[:pick], runSizes[pick+1:]...)
+			// Remember the freed extent for the revive mix, bounded to
+			// the depth a parked window could plausibly survive.
+			freed = append(freed, runExtents[pick])
+			if len(freed) > 8 {
+				freed = freed[1:]
+			}
+			runExtents = append(runExtents[:pick], runExtents[pick+1:]...)
 		case r < 93 && live > 0:
 			ops = append(ops, diffOp{kind: 4, pick: rng.Intn(live),
 				val: byte(rng.Intn(256)), cpu: rng.Intn(ncpu)})
@@ -400,6 +429,36 @@ func TestDifferentialEngines(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestDifferentialReviveHeavy replays traces biased hard toward the
+// alloc-run / free-run / re-alloc-same-extent pattern: the sharded
+// engine serves the repeats from its page-set window cache (the test
+// asserts revives actually fired) while the global-lock cache and the
+// original kernel take their cold paths — and all three must agree on
+// every observable byte, proving a revived window is semantically
+// indistinguishable from a fresh install.
+func TestDifferentialReviveHeavy(t *testing.T) {
+	plat := arch.XeonMPHTT()
+	for seed := int64(21); seed <= 23; seed++ {
+		ops := genTraceBias(seed, plat.NumCPUs, 35)
+		engines := newDiffEngines(t, plat)
+		var ref [diffPages]byte
+		for i, e := range engines {
+			got := replayTrace(t, e, ops)
+			if i == 0 {
+				ref = got
+				if st := e.sf.Stats(); st.RunRevives == 0 {
+					t.Errorf("seed %d: the revive-heavy trace never revived a window on %s", seed, e.name)
+				}
+				continue
+			}
+			if got != ref {
+				t.Fatalf("seed %d: engine %s final bytes diverge from %s",
+					seed, e.name, engines[0].name)
+			}
+		}
 	}
 }
 

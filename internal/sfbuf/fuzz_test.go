@@ -36,6 +36,7 @@ func FuzzBatchOps(f *testing.F) {
 	f.Add([]byte("6a6b4c5d7a7b"))                        // runs, write/verify through windows, frees
 	f.Add([]byte("6\xf06\xf16\xf27\x007\x016\x337\x00")) // run churn: window recycling + NoWait exhaustion
 	f.Add([]byte("6a1b0c7a3a2a6d5e7b"))                  // runs, batches and singles interleaved
+	f.Add([]byte("6a707a6a4a5a7a6a7a6b6a7a7a6a2a7a"))    // revive-heavy: free/re-alloc the same extent, with writes between lives
 	f.Fuzz(func(t *testing.T, data []byte) {
 		runBatchOpsTrace(t, data)
 	})

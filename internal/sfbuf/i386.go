@@ -137,6 +137,17 @@ func (s *I386) RunWindowStats() RunWindowStats {
 	return RunWindowStats{}
 }
 
+// LaunderRunWindows forces a run-window laundering round on the sharded
+// engine: every parked (revivable) window's deferred teardown is retired
+// in one shootdown flush and the windows become clean stock.  A no-op on
+// the global-lock engine.  Tests and benchmarks use it to drain the
+// page-set window cache deterministically between phases.
+func (s *I386) LaunderRunWindows(ctx *smp.Context) {
+	if sc, ok := s.c.(*shardedCache); ok {
+		sc.launderRunWindows(ctx)
+	}
+}
+
 // Name implements Mapper.
 func (s *I386) Name() string { return s.name }
 

@@ -87,11 +87,14 @@ func TestShardedAllocRunEmptyAndOversized(t *testing.T) {
 	}
 }
 
-// TestRunWindowRecyclingAndLaunder drives enough run churn that windows
-// recycle through the laundering path, and proves — through the honest
-// TLB — that a recycled window never serves a stale translation: every
-// round maps a different page set and every read must see that round's
-// bytes.
+// TestRunWindowRecyclingAndLaunder drives run churn in two phases.  The
+// first alternates two extents: both must be served by the page-set
+// window cache (revives — parked windows resurrected with their
+// translations intact) after their first installs.  The second churns a
+// sliding sequence of DISTINCT extents, which can never revive, so
+// windows must recycle through the laundering path — and the honest TLB
+// proves a recycled window never serves a stale translation: every round
+// maps a different page set and every read must see that round's bytes.
 func TestRunWindowRecyclingAndLaunder(t *testing.T) {
 	r := newShardedRig(t, arch.XeonMPHTT(), 64, ShardedConfig{})
 	ctx := r.m.Ctx(0)
@@ -124,17 +127,206 @@ func TestRunWindowRecyclingAndLaunder(t *testing.T) {
 		r.sf.FreeRun(ctx, run)
 	}
 	ws := r.sf.RunWindowStats()
+	if ws.Reserved != 2 {
+		t.Errorf("reserved %d fresh windows for 2 alternating extents, want 2", ws.Reserved)
+	}
+	if ws.Revives != rounds-2 {
+		t.Errorf("revives = %d, want %d: every repeat of a parked extent must revive", ws.Revives, rounds-2)
+	}
+
+	// Phase 2: a sliding sequence of distinct extents defeats the
+	// page-set cache, so windows must launder and recycle.
+	pool := allocPages(t, r.m, 48)
+	for i, pg := range pool {
+		pg.Data()[0] = 0x40 + byte(i)
+	}
+	for i := 0; i+8 <= len(pool); i++ {
+		run, err := r.sf.AllocRun(ctx, pool[i:i+8], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < run.Len(); j++ {
+			got, err := r.pm.Translate(ctx, run.KVA(j), false)
+			if err != nil {
+				t.Fatalf("slide %d page %d: %v", i, j, err)
+			}
+			if got.Data()[0] != 0x40+byte(i+j) {
+				t.Fatalf("slide %d page %d reads %#x, want %#x — stale window translation",
+					i, j, got.Data()[0], 0x40+byte(i+j))
+			}
+		}
+		r.sf.FreeRun(ctx, run)
+	}
+	ws = r.sf.RunWindowStats()
 	if ws.Reuses == 0 {
-		t.Error("no window was ever recycled")
+		t.Error("no window was ever recycled from clean stock")
 	}
 	if ws.Launders == 0 || ws.Laundered == 0 {
 		t.Errorf("laundering never ran: %+v", ws)
 	}
-	if ws.Reserved > runLaunderBatch+1 {
-		t.Errorf("reserved %d fresh windows for %d same-size runs; recycling is broken", ws.Reserved, rounds)
+	if ws.Reserved > runLaunderBatch+2 {
+		t.Errorf("reserved %d fresh windows; recycling is broken", ws.Reserved)
 	}
 	if got, want := float64(ws.Laundered)/float64(ws.Launders), float64(runLaunderBatch); got < want {
 		t.Errorf("launder coalescing = %.1f windows/flush, want >= %.1f", got, want)
+	}
+}
+
+// TestRunReviveSameExtent pins the page-set window cache's core claim: a
+// repeat AllocRun over a just-freed extent revives the parked window —
+// same VA window, zero PTE writes, zero page-table walks (the TLB still
+// holds the translations), zero invalidations — and its pages count as
+// cache Hits, exactly like a hash hit.
+func TestRunReviveSameExtent(t *testing.T) {
+	r := newShardedRig(t, arch.XeonMPHTT(), 32, ShardedConfig{})
+	ctx := r.m.Ctx(0)
+	pages := allocPages(t, r.m, 8)
+
+	run, err := r.sf.AllocRun(ctx, pages, Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := run.Base()
+	if _, err := r.pm.TranslateRun(ctx, run.Base(), run.Len(), false, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.sf.FreeRun(ctx, run)
+
+	before := r.m.SnapshotCounters()
+	again, err := r.sf.AllocRun(ctx, pages, Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Base() != base {
+		t.Fatalf("revived run base %#x, want the parked window %#x", again.Base(), base)
+	}
+	got, err := r.pm.TranslateRun(ctx, again.Base(), again.Len(), false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pg := range got {
+		if pg != pages[i] {
+			t.Fatalf("revived window page %d resolves to the wrong frame", i)
+		}
+	}
+	d := r.m.SnapshotCounters().Sub(before)
+	if d.PTWalks != 0 {
+		t.Errorf("walks across revive+translate = %d, want 0: the TLB entries were never invalidated", d.PTWalks)
+	}
+	if d.LocalInv != 0 || d.RemoteInvIssued != 0 {
+		t.Errorf("invalidations across revive = %d local, %d remote rounds, want 0/0", d.LocalInv, d.RemoteInvIssued)
+	}
+	st := r.sf.Stats()
+	if st.RunRevives != 1 || st.RunReviveMisses != 1 {
+		t.Errorf("RunRevives = %d, RunReviveMisses = %d, want 1/1", st.RunRevives, st.RunReviveMisses)
+	}
+	if st.Hits != 8 || st.Misses != 8 {
+		t.Errorf("Hits = %d, Misses = %d, want 8/8: revived pages count as hits", st.Hits, st.Misses)
+	}
+	r.sf.FreeRun(ctx, again)
+	if st := r.sf.Stats(); st.Allocs != st.Frees {
+		t.Fatalf("allocs %d != frees %d after drain", st.Allocs, st.Frees)
+	}
+}
+
+// TestRunReviveRequiresExactExtent pins the cache key: a different page
+// set, a permuted order of the same pages, or a different length must
+// all miss — their installed translations would be wrong — while the
+// exact sequence still revives afterwards.
+func TestRunReviveRequiresExactExtent(t *testing.T) {
+	r := newShardedRig(t, arch.XeonMPHTT(), 32, ShardedConfig{})
+	ctx := r.m.Ctx(0)
+	pages := allocPages(t, r.m, 4)
+	run, err := r.sf.AllocRun(ctx, pages, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sf.FreeRun(ctx, run)
+
+	// Permuted order: same frames, different sequence — must not revive.
+	perm := []*vm.Page{pages[1], pages[0], pages[3], pages[2]}
+	pr, err := r.sf.AllocRun(ctx, perm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pg := range perm {
+		got, err := r.pm.Translate(ctx, pr.KVA(i), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != pg {
+			t.Fatalf("permuted run page %d resolves to the wrong frame — a stale revive", i)
+		}
+	}
+	r.sf.FreeRun(ctx, pr)
+
+	// Shorter prefix: same leading frames, different length — must not
+	// revive either parked window.
+	short, err := r.sf.AllocRun(ctx, pages[:2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sf.FreeRun(ctx, short)
+
+	// The exact original sequence still revives its parked window.
+	st0 := r.sf.Stats()
+	again, err := r.sf.AllocRun(ctx, pages, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sf.FreeRun(ctx, again)
+	st := r.sf.Stats()
+	if st.RunRevives != st0.RunRevives+1 {
+		t.Errorf("exact repeat did not revive: revives %d -> %d", st0.RunRevives, st.RunRevives)
+	}
+	if got := st.RunReviveMisses; got != 3 {
+		t.Errorf("revive misses = %d, want 3 (cold, permuted, shortened)", got)
+	}
+}
+
+// TestRunWindowCapacityGauges pins the fragmentation-counter fix: the
+// pool's capacity gauges are recomputed from live state at snapshot
+// time, a parked (revivable) window counts as dirty — never as free
+// capacity — and moves to the clean gauge only after laundering, without
+// its address space ever returning to the arena's free ranges.
+func TestRunWindowCapacityGauges(t *testing.T) {
+	r := newShardedRig(t, arch.XeonMPHTT(), 32, ShardedConfig{})
+	ctx := r.m.Ctx(0)
+	idle := r.sf.RunWindowStats().LargestFreeRun
+	if idle <= 0 {
+		t.Fatalf("idle largest free run = %d, want > 0", idle)
+	}
+
+	pages := allocPages(t, r.m, 8)
+	run, err := r.sf.AllocRun(ctx, pages, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := r.sf.RunWindowStats()
+	if ws.LargestFreeRun >= idle {
+		t.Errorf("largest free run %d did not shrink below %d after reserving a window", ws.LargestFreeRun, idle)
+	}
+	reserved := ws.LargestFreeRun
+	if ws.CleanPages != 0 || ws.DirtyPages != 0 {
+		t.Errorf("gauges with a live run = clean %d / dirty %d, want 0/0", ws.CleanPages, ws.DirtyPages)
+	}
+
+	r.sf.FreeRun(ctx, run)
+	ws = r.sf.RunWindowStats()
+	if ws.DirtyPages != 8 || ws.CleanPages != 0 {
+		t.Errorf("gauges after free = clean %d / dirty %d, want 0/8: a parked window is revivable, not free", ws.CleanPages, ws.DirtyPages)
+	}
+	if ws.LargestFreeRun != reserved {
+		t.Errorf("largest free run %d changed at free, want %d: the parked window must not be double-counted as arena capacity", ws.LargestFreeRun, reserved)
+	}
+
+	r.sf.LaunderRunWindows(ctx)
+	ws = r.sf.RunWindowStats()
+	if ws.CleanPages != 8 || ws.DirtyPages != 0 {
+		t.Errorf("gauges after laundering = clean %d / dirty %d, want 8/0", ws.CleanPages, ws.DirtyPages)
+	}
+	if ws.LargestFreeRun != reserved {
+		t.Errorf("largest free run %d changed at laundering, want %d: clean stock stays cached, not returned to the arena", ws.LargestFreeRun, reserved)
 	}
 }
 
@@ -339,8 +531,15 @@ func TestSuperpagePromotion(t *testing.T) {
 	}
 
 	r.sf.FreeRun(ctx, run)
+	// Teardown is lazy: the freed window parks with its promoted mapping
+	// intact (revivable), so demotion happens at the laundering round,
+	// not at FreeRun.
+	if ss := r.pm.SuperStats(); ss.Demotions != 0 {
+		t.Fatalf("demotions = %d, want 0 while the window is parked", ss.Demotions)
+	}
+	r.sf.LaunderRunWindows(ctx)
 	if ss := r.pm.SuperStats(); ss.Demotions != 1 {
-		t.Fatalf("demotions = %d, want 1", ss.Demotions)
+		t.Fatalf("demotions = %d after laundering, want 1", ss.Demotions)
 	}
 
 	// Recycle the window (laundering included) with DIFFERENT, reversed

@@ -6,13 +6,14 @@ import (
 	"sfbuf/internal/kva"
 	"sfbuf/internal/pmap"
 	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
 )
 
 // This file implements the run window pool: the VA-window side of the
 // contiguous-run fast path.  A window is a multi-page reservation from
 // the kernel virtual-address arena into which pmap.KEnterRun installs a
-// whole run's translations in one pass.  The pool exists to amortize two
-// costs across many runs:
+// whole run's translations in one pass.  The pool exists to amortize
+// three costs across many runs:
 //
 //   - Reservation.  A fresh window pays the general-purpose KVA
 //     allocator (the cost the original kernel pays per mapping); a
@@ -22,93 +23,172 @@ import (
 //     superpage-covering sizes are reserved aligned so promotion can
 //     fire.
 //
-//   - Teardown invalidation.  Freeing a run removes its PTEs
-//     (pmap.KRemoveRun, one pass) but does NOT flush: the window's
-//     invalidation debt — which pages were accessed, and by which CPUs'
-//     TLBs (the run's cpumask) — is recorded on the window, and the
-//     window parks on a dirty list.  Debt is retired by LAUNDERING: when
-//     enough dirty windows accumulate (runLaunderBatch), one queued
-//     shootdown flush retires every parked window's debt in a single
-//     ranged IPI round, and all of them become reusable.  This is the
-//     sharded cache's clean-buffer batching applied at window
-//     granularity: one IPI round per runLaunderBatch runs instead of one
-//     per run.
+//   - Reinstallation.  A freed window is NOT torn down immediately: it
+//     parks on the dirty list with its translations still installed,
+//     indexed by the frame extent it maps (the page set).  An AllocRun
+//     over the same extent REVIVES the parked window exactly as the
+//     mapping cache revives an inactive buffer: no PTE writes, no
+//     page-table pass, no invalidation debt — the window's translations
+//     (and any TLB entries caching them) are still current because
+//     nothing changed them.  Repeated extents thus get cache-style
+//     reuse while cold extents keep the one-pass install.
 //
-// Soundness is the same argument as for clean buffers: a freed window's
-// stale TLB entries are unreachable (its PTEs are invalid and nothing
-// hands out its addresses) until the window is reused, and reuse only
-// happens from the clean list, which a window reaches strictly after the
-// flush that retired its debt.
+//   - Teardown invalidation.  A parked window's eventual teardown —
+//     which pages were accessed over its parked lives, and which CPUs'
+//     TLBs (the accumulated cpumask) may cache them — is deferred until
+//     the pool needs clean stock.  Debt is retired by LAUNDERING: when
+//     enough dirty windows accumulate (runLaunderBatch), one pass
+//     removes every parked window's translations and one queued
+//     shootdown flush retires all their invalidations in a single
+//     ranged IPI round, after which all of them are reusable for any
+//     extent.  This is the sharded cache's clean-buffer batching applied
+//     at window granularity: one IPI round per runLaunderBatch windows
+//     instead of one per run.
+//
+// Soundness is the lazy-teardown argument of Section 4.2 lifted to
+// window granularity.  While a window is parked its PTEs are unchanged,
+// so any TLB entry for it is CURRENT, not stale — and nothing hands out
+// its addresses, so nothing reads through it.  A revive resurrects the
+// identical translations, which are still correct for the identical
+// page set.  Staleness can only arise when a window is reused for a
+// DIFFERENT extent, and that only happens from the clean list, which a
+// window reaches strictly after the laundering pass that removed its
+// translations and flushed every TLB that could cache them.
 
 const (
 	// runGuardPages is the reserved-but-never-mapped tail of each window.
 	runGuardPages = 1
 	// runLaunderBatch is how many dirty windows one laundering round
-	// flushes — and thus how many runs share one teardown IPI round.
+	// flushes — and thus how many runs share one teardown IPI round.  It
+	// is also the depth of the page-set window cache: a parked window can
+	// only be revived until a laundering round recycles it.
 	runLaunderBatch = 8
 )
 
-// runWindow is one reserved VA window and, between a FreeRun and the next
-// laundering round, its recorded invalidation debt.
+// runWindow is one reserved VA window.  Between a FreeRun and the next
+// laundering round the window is PARKED: frames records the extent whose
+// translations are still installed (the revive key) and mask accumulates
+// the CPUs that may cache those translations across the window's parked
+// lives.
 type runWindow struct {
 	base  uint64
 	pages int
 
-	debtVpns  []uint64
-	debtMasks []smp.CPUSet
-	accScr    []bool // KRemoveRun scratch, reused across lives
+	frames []uint64   // parked: the installed frame extent, revive key
+	mask   smp.CPUSet // parked: union of the lives' TLB masks
+	accScr []bool     // KRemoveRun scratch, reused across lives
 }
 
-// RunWindowStats counts run-window pool events.
+// RunWindowStats counts run-window pool events and reports the pool's
+// current capacity split.  The counters are cumulative; the *Pages and
+// LargestFreeRun fields are gauges recomputed at snapshot time, so they
+// reflect frees and coalesces, not just the last allocation.
 type RunWindowStats struct {
 	// Reserved counts fresh window reservations from the KVA arena.
 	Reserved uint64
-	// Reuses counts runs served by a recycled window.
+	// Reuses counts runs served by a recycled (laundered, clean) window.
 	Reuses uint64
+	// Revives counts runs served by a parked dirty window whose installed
+	// extent matched the request — the page-set cache hit: no PTE writes,
+	// no shootdown debt.
+	Revives uint64
 	// Launders counts laundering rounds and Laundered the dirty windows
 	// those rounds made reusable; Laundered/Launders is the teardown
 	// coalescing factor the pool earns.
 	Launders  uint64
 	Laundered uint64
+
+	// CleanPages is the usable-page total of windows on the clean lists:
+	// torn down, flushed, reusable for any extent.
+	CleanPages int
+	// DirtyPages is the usable-page total of parked windows: still
+	// mapped, revivable for their exact extent only.  Parked windows are
+	// NOT free capacity — they hold both address space and installed
+	// translations until a laundering round — so they are deliberately
+	// excluded from CleanPages and from the arena's free ranges.
+	DirtyPages int
+	// LargestFreeRun is the arena's longest free span in pages — the
+	// biggest fresh window reservation that could currently succeed.  It
+	// is recomputed from the arena's live free list at snapshot time, so
+	// it tracks frees and coalesces as well as allocations.
+	LargestFreeRun int
 }
 
-// runPool caches reserved VA windows per size class.
+// runPool caches reserved VA windows: clean stock per size class, parked
+// dirty windows indexed by frame extent for revival.
 type runPool struct {
 	pm    *pmap.Pmap
 	arena *kva.Arena
+	// forceDebt reports whether the accessed-bit optimization is ablated:
+	// laundering then owes an invalidation for every page, accessed or
+	// not.
+	forceDebt func() bool
 
-	mu    sync.Mutex
-	clean map[int][]*runWindow
-	dirty []*runWindow
-	stats RunWindowStats
+	mu       sync.Mutex
+	clean    map[int][]*runWindow
+	dirty    []*runWindow            // parked windows in free order
+	dirtyIdx map[uint64][]*runWindow // frame-extent hash -> parked windows
+	stats    RunWindowStats
+	scrVpns  []uint64 // laundering scratch
+	scrMasks []smp.CPUSet
 }
 
 func newRunPool(pm *pmap.Pmap, arena *kva.Arena) *runPool {
-	return &runPool{pm: pm, arena: arena, clean: make(map[int][]*runWindow)}
+	return &runPool{
+		pm:        pm,
+		arena:     arena,
+		forceDebt: func() bool { return false },
+		clean:     make(map[int][]*runWindow),
+		dirtyIdx:  make(map[uint64][]*runWindow),
+	}
 }
 
-// get returns a window of exactly pages usable pages: recycled when the
-// size class has clean stock, laundered out of the dirty list when enough
-// debt has parked to amortize the flush, reserved fresh otherwise.
-func (p *runPool) get(ctx *smp.Context, pages int) (*runWindow, error) {
+// ExtentHash keys the page-set window cache: an order-sensitive hash of
+// the extent's frame sequence, so [A,B] and [B,A] revive different
+// windows (their installed translations differ).  It is exported for
+// the kernel's adaptive contiguity policy, whose extent-reuse tracking
+// must use the SAME keying — "this extent was seen recently" is only a
+// valid revive predictor if it means "this revive key was seen
+// recently".
+func ExtentHash(pages []*vm.Page) uint64 {
+	h := uint64(1469598103934665603)
+	for _, pg := range pages {
+		h ^= pg.Frame()
+		h *= 1099511628211
+	}
+	return h
+}
+
+// get returns a window for the requested extent.  revived reports that
+// the window's translations are ALREADY the extent's — the caller must
+// skip the install pass.  Preference order: revive a parked window for
+// this exact extent (the page-set cache hit), recycle clean stock,
+// launder when enough debt has parked to amortize the flush, reserve
+// fresh address space otherwise.
+func (p *runPool) get(ctx *smp.Context, pages []*vm.Page) (w *runWindow, revived bool, err error) {
+	n := len(pages)
 	ctx.ChargeLock()
 	p.mu.Lock()
-	if w := p.popCleanLocked(pages); w != nil {
+	if w := p.reviveLocked(pages); w != nil {
 		p.mu.Unlock()
-		return w, nil
+		return w, true, nil
+	}
+	if w := p.popCleanLocked(n); w != nil {
+		p.mu.Unlock()
+		return w, false, nil
 	}
 	if len(p.dirty) >= runLaunderBatch {
 		p.launderLocked(ctx)
-		if w := p.popCleanLocked(pages); w != nil {
+		if w := p.popCleanLocked(n); w != nil {
 			p.mu.Unlock()
-			return w, nil
+			return w, false, nil
 		}
 	}
 	p.mu.Unlock()
 
-	w, err := p.reserve(ctx, pages)
+	w, err = p.reserve(ctx, n)
 	if err == nil {
-		return w, nil
+		return w, false, nil
 	}
 	// Arena exhausted: launder everything (freeing debt is prerequisite
 	// to returning address space) and give back every cached window, then
@@ -116,10 +196,10 @@ func (p *runPool) get(ctx *smp.Context, pages int) (*runWindow, error) {
 	p.mu.Lock()
 	p.launderLocked(ctx)
 	for size, ws := range p.clean {
-		if size == pages && len(ws) > 0 {
-			w := p.popCleanLocked(pages)
+		if size == n && len(ws) > 0 {
+			w := p.popCleanLocked(n)
 			p.mu.Unlock()
-			return w, nil
+			return w, false, nil
 		}
 		for _, w := range ws {
 			p.arena.Free(w.base)
@@ -127,7 +207,50 @@ func (p *runPool) get(ctx *smp.Context, pages int) (*runWindow, error) {
 		delete(p.clean, size)
 	}
 	p.mu.Unlock()
-	return p.reserve(ctx, pages)
+	w, err = p.reserve(ctx, n)
+	return w, false, err
+}
+
+// reviveLocked looks the requested extent up in the parked-window index
+// and, on an exact frame-sequence match, removes the window from the
+// dirty list and returns it still mapped.  Caller holds p.mu.
+func (p *runPool) reviveLocked(pages []*vm.Page) *runWindow {
+	if len(p.dirty) == 0 {
+		return nil
+	}
+	h := ExtentHash(pages)
+	ws := p.dirtyIdx[h]
+	for wi, w := range ws {
+		if w.pages != len(pages) || !framesMatch(w.frames, pages) {
+			continue
+		}
+		if len(ws) == 1 {
+			delete(p.dirtyIdx, h)
+		} else {
+			p.dirtyIdx[h] = append(ws[:wi], ws[wi+1:]...)
+		}
+		for di, dw := range p.dirty {
+			if dw == w {
+				p.dirty = append(p.dirty[:di], p.dirty[di+1:]...)
+				break
+			}
+		}
+		p.stats.Revives++
+		return w
+	}
+	return nil
+}
+
+func framesMatch(frames []uint64, pages []*vm.Page) bool {
+	if len(frames) != len(pages) {
+		return false
+	}
+	for i, f := range frames {
+		if pages[i].Frame() != f {
+			return false
+		}
+	}
+	return true
 }
 
 func (p *runPool) popCleanLocked(pages int) *runWindow {
@@ -159,32 +282,48 @@ func (p *runPool) reserve(ctx *smp.Context, pages int) (*runWindow, error) {
 	return &runWindow{base: base, pages: pages}, nil
 }
 
-// put parks a torn-down window: straight back to clean stock when its
-// teardown owed nothing (no page of the run was ever accessed — the
-// accessed-bit optimization at window granularity), onto the dirty list
-// otherwise.
-func (p *runPool) put(ctx *smp.Context, w *runWindow) {
+// put parks a freed window on the dirty list WITH its translations still
+// installed, indexed by the extent it maps, so a repeat AllocRun over the
+// same page set can revive it.  mask is the freeing run's TLB mask; it
+// accumulates into the window's parked mask so the eventual laundering
+// shoots down every CPU that any parked life could have tainted.
+func (p *runPool) put(ctx *smp.Context, w *runWindow, pages []*vm.Page, mask smp.CPUSet) {
 	ctx.ChargeLock()
 	p.mu.Lock()
-	if len(w.debtVpns) == 0 {
-		p.clean[w.pages] = append(p.clean[w.pages], w)
-	} else {
-		p.dirty = append(p.dirty, w)
+	w.frames = w.frames[:0]
+	for _, pg := range pages {
+		w.frames = append(w.frames, pg.Frame())
 	}
+	w.mask |= mask
+	h := ExtentHash(pages)
+	p.dirtyIdx[h] = append(p.dirtyIdx[h], w)
+	p.dirty = append(p.dirty, w)
 	p.mu.Unlock()
 }
 
-// launderLocked retires every dirty window's invalidation debt through
-// the per-CPU shootdown queue in ONE forced flush and moves the windows
-// to their clean lists.  Caller holds p.mu.
+// launderLocked tears down every parked window — one page-table pass per
+// window reporting which pages were accessed — and retires the whole
+// batch's invalidation debt through the per-CPU shootdown queue in ONE
+// forced flush, then moves the windows to their clean lists, reusable
+// for any extent.  Caller holds p.mu.
 func (p *runPool) launderLocked(ctx *smp.Context) {
 	if len(p.dirty) == 0 {
 		return
 	}
+	force := p.forceDebt()
 	for _, w := range p.dirty {
-		ctx.QueueShootdownBatch(w.debtMasks, w.debtVpns)
-		w.debtVpns = w.debtVpns[:0]
-		w.debtMasks = w.debtMasks[:0]
+		w.accScr = p.pm.KRemoveRun(ctx, w.base, w.pages, w.accScr[:0])
+		vpn0 := pmap.VPN(w.base)
+		p.scrVpns, p.scrMasks = p.scrVpns[:0], p.scrMasks[:0]
+		for i, a := range w.accScr {
+			if a || force {
+				p.scrVpns = append(p.scrVpns, vpn0+uint64(i))
+				p.scrMasks = append(p.scrMasks, w.mask)
+			}
+		}
+		ctx.QueueShootdownBatch(p.scrMasks, p.scrVpns)
+		w.frames = w.frames[:0]
+		w.mask = 0
 	}
 	ctx.FlushShootdowns()
 	p.stats.Launders++
@@ -193,11 +332,38 @@ func (p *runPool) launderLocked(ctx *smp.Context) {
 		p.clean[w.pages] = append(p.clean[w.pages], w)
 	}
 	p.dirty = p.dirty[:0]
+	for h := range p.dirtyIdx {
+		delete(p.dirtyIdx, h)
+	}
 }
 
-// snapshot copies the pool statistics.
+// launder forces a laundering round outside the allocation path — a test
+// and benchmark hook for draining parked windows deterministically.
+func (p *runPool) launder(ctx *smp.Context) {
+	ctx.ChargeLock()
+	p.mu.Lock()
+	p.launderLocked(ctx)
+	p.mu.Unlock()
+}
+
+// snapshot copies the pool statistics and recomputes the capacity gauges
+// from live state: clean vs parked window pages from the pool's own
+// lists, the largest free run from the arena's current free list — so
+// the fragmentation picture reflects frees and coalesces, not just the
+// state at the last allocation, and a parked (revivable) window is never
+// double-counted as free capacity.
 func (p *runPool) snapshot() RunWindowStats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	s := p.stats
+	for _, ws := range p.clean {
+		for _, w := range ws {
+			s.CleanPages += w.pages
+		}
+	}
+	for _, w := range p.dirty {
+		s.DirtyPages += w.pages
+	}
+	p.mu.Unlock()
+	s.LargestFreeRun = p.arena.LargestFreeRun()
+	return s
 }

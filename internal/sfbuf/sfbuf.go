@@ -215,6 +215,15 @@ type Stats struct {
 	RunAllocs uint64
 	RunFrees  uint64
 	RunPages  uint64
+
+	// Page-set window cache events (sharded engine only): RunRevives
+	// counts AllocRun calls served by reviving a parked dirty window
+	// whose installed frame extent matched the request — no PTE writes,
+	// no shootdown debt, the run-path analogue of a hash hit (revived
+	// pages count in Hits); RunReviveMisses counts AllocRun calls that
+	// installed a window cold (their pages count in Misses).
+	RunRevives      uint64
+	RunReviveMisses uint64
 }
 
 // HitRate returns the mapping-cache hit rate in [0, 1], or 0 when no

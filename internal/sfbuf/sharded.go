@@ -215,6 +215,7 @@ type shardedCache struct {
 	freelistAllocs, reclaims, reclaimed atomic.Uint64
 	batchAllocs, batchFrees, batchPages atomic.Uint64
 	runAllocs, runFrees, runPages       atomic.Uint64
+	runRevives, runReviveMisses         atomic.Uint64
 }
 
 var (
@@ -241,6 +242,7 @@ func newShardedCache(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena, vas []uint
 	}
 	c.pool.cond = sync.NewCond(&c.pool.mu)
 	c.claimCond = sync.NewCond(&c.pool.mu)
+	c.runs.forceDebt = func() bool { return c.ablate&AblateAccessedBit != 0 }
 	for i := range c.shards {
 		c.shards[i] = &cacheShard{hash: make(map[uint64]*Buf, len(vas)/cfg.Shards+1)}
 	}
@@ -993,12 +995,16 @@ func (c *shardedCache) claimTokens(ctx *smp.Context, n int, flags Flags) ([]*Buf
 }
 
 // allocRun is the sharded engine's native contiguous-run path: claim the
-// run's capacity from the clean-buffer inventory in bulk, take a reserved
-// VA window from the run pool (recycled far more often than reserved),
-// and install every translation with ONE page-table pass.  No
-// invalidation is owed at map time — a window is only ever handed out
-// after the laundering flush that retired its previous life's debt, the
-// clean-buffer argument at window granularity.
+// run's capacity from the clean-buffer inventory in bulk, take a window
+// from the run pool, and install every translation with ONE page-table
+// pass.  When the pool revives a parked window whose installed extent
+// matches the request — the page-set cache hit — even that pass is
+// skipped: the run reuses the parked translations with zero PTE writes
+// and zero shootdown debt, exactly as a hash hit reuses an inactive
+// buffer, and the pages count as cache Hits.  No invalidation is ever
+// owed at map time — a cold window is only handed out after the
+// laundering flush that retired its previous life's debt, and a revived
+// window's translations are current by construction.
 func (c *shardedCache) allocRun(ctx *smp.Context, pages []*vm.Page, flags Flags) (*Run, error) {
 	n := len(pages)
 	if n == 0 {
@@ -1012,18 +1018,26 @@ func (c *shardedCache) allocRun(ctx *smp.Context, pages []*vm.Page, flags Flags)
 	if err != nil {
 		return nil, err
 	}
-	win, err := c.runs.get(ctx, n)
+	win, revived, err := c.runs.get(ctx, pages)
 	if err != nil {
 		c.putCleanBulk(ctx, tokens)
 		return nil, fmt.Errorf("sfbuf: reserving a %d-page run window: %w", n, err)
 	}
-	c.pm.KEnterRun(ctx, win.base, pages)
+	if !revived {
+		c.pm.KEnterRun(ctx, win.base, pages)
+	}
 	mask := c.m.AllCPUs()
 	if flags&Private != 0 {
 		mask = smp.CPUSet(0).Set(ctx.CPUID())
 	}
 	c.allocs.Add(uint64(n))
-	c.misses.Add(uint64(n))
+	if revived {
+		c.hits.Add(uint64(n))
+		c.runRevives.Add(1)
+	} else {
+		c.misses.Add(uint64(n))
+		c.runReviveMisses.Add(1)
+	}
 	c.runAllocs.Add(1)
 	c.runPages.Add(uint64(n))
 	return &Run{
@@ -1037,34 +1051,34 @@ func (c *shardedCache) allocRun(ctx *smp.Context, pages []*vm.Page, flags Flags)
 	}, nil
 }
 
-// freeRun tears a run down: one bulk page-table pass records which pages
-// were accessed (and which CPUs — the run's mask — may cache them), the
-// window parks with that debt for a later laundering round, and the
-// claimed capacity restocks the freelists with one wakeup for the lot.
-// The run's whole invalidation debt thus retires in (at most) one queued
-// shootdown flush, shared with runLaunderBatch-1 other runs.
+// freeRun releases a run LAZILY: the window parks on the run pool's
+// dirty list with its translations still installed, indexed by the frame
+// extent it maps, so a repeat AllocRun over the same extent revives it
+// with no PTE writes and no shootdown debt.  The page-table teardown and
+// the run's whole invalidation debt are deferred to a laundering round —
+// one bulk removal pass and one queued shootdown flush shared with up to
+// runLaunderBatch-1 other windows — which only happens when the pool
+// needs clean stock.  The claimed capacity restocks the freelists now,
+// with one wakeup for the lot.
 func (c *shardedCache) freeRun(ctx *smp.Context, r *Run) {
 	if r.home != c || r.win == nil {
 		panic("sfbuf: freeRun of a foreign or already-freed run")
 	}
 	n := len(r.pages)
 	ctx.Charge(ctx.Cost().MapperOp * cycles.Cycles(n))
-	w := r.win
-	w.accScr = c.pm.KRemoveRun(ctx, w.base, n, w.accScr[:0])
-	vpn0 := pmap.VPN(w.base)
-	w.debtVpns, w.debtMasks = w.debtVpns[:0], w.debtMasks[:0]
-	for i, a := range w.accScr {
-		if a || (c.ablate&AblateAccessedBit != 0) {
-			w.debtVpns = append(w.debtVpns, vpn0+uint64(i))
-			w.debtMasks = append(w.debtMasks, r.mask)
-		}
-	}
-	c.runs.put(ctx, w)
+	c.runs.put(ctx, r.win, r.pages, r.mask)
 	tokens := r.tokens
 	r.pages, r.tokens, r.win, r.home = nil, nil, nil, nil
 	c.frees.Add(uint64(n))
 	c.runFrees.Add(1)
 	c.putCleanBulk(ctx, tokens)
+}
+
+// launderRunWindows forces a laundering round, draining every parked
+// window's deferred teardown in one flush — the deterministic drain hook
+// tests and benchmarks use between phases.
+func (c *shardedCache) launderRunWindows(ctx *smp.Context) {
+	c.runs.launder(ctx)
 }
 
 // reclaimScratch holds one reclaim round's working slices; pooling them
@@ -1311,22 +1325,24 @@ func (c *shardedCache) interruptWakeup() {
 
 func (c *shardedCache) snapshotStats() Stats {
 	return Stats{
-		Allocs:         c.allocs.Load(),
-		Frees:          c.frees.Load(),
-		Hits:           c.hits.Load(),
-		Misses:         c.misses.Load(),
-		Sleeps:         c.sleeps.Load(),
-		Interrupted:    c.interrupted.Load(),
-		WouldBlock:     c.wouldBlock.Load(),
-		FreelistAllocs: c.freelistAllocs.Load(),
-		Reclaims:       c.reclaims.Load(),
-		Reclaimed:      c.reclaimed.Load(),
-		BatchAllocs:    c.batchAllocs.Load(),
-		BatchFrees:     c.batchFrees.Load(),
-		BatchPages:     c.batchPages.Load(),
-		RunAllocs:      c.runAllocs.Load(),
-		RunFrees:       c.runFrees.Load(),
-		RunPages:       c.runPages.Load(),
+		Allocs:          c.allocs.Load(),
+		Frees:           c.frees.Load(),
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		Sleeps:          c.sleeps.Load(),
+		Interrupted:     c.interrupted.Load(),
+		WouldBlock:      c.wouldBlock.Load(),
+		FreelistAllocs:  c.freelistAllocs.Load(),
+		Reclaims:        c.reclaims.Load(),
+		Reclaimed:       c.reclaimed.Load(),
+		BatchAllocs:     c.batchAllocs.Load(),
+		BatchFrees:      c.batchFrees.Load(),
+		BatchPages:      c.batchPages.Load(),
+		RunAllocs:       c.runAllocs.Load(),
+		RunFrees:        c.runFrees.Load(),
+		RunPages:        c.runPages.Load(),
+		RunRevives:      c.runRevives.Load(),
+		RunReviveMisses: c.runReviveMisses.Load(),
 	}
 }
 
@@ -1347,6 +1363,8 @@ func (c *shardedCache) resetStats() {
 	c.runAllocs.Store(0)
 	c.runFrees.Store(0)
 	c.runPages.Store(0)
+	c.runRevives.Store(0)
+	c.runReviveMisses.Store(0)
 }
 
 // inactiveLen counts every unreferenced buffer: latently-valid buffers on

@@ -58,7 +58,9 @@ type (
 	// FreeRun, readable under ranged translation.
 	Run = sfbuf.Run
 	// RunWindowStats counts the sharded engine's run-window pool events
-	// (reservations, reuses, laundering rounds).
+	// (reservations, reuses, page-set revives, laundering rounds) and
+	// reports its live capacity gauges (clean vs parked pages, largest
+	// free arena run).
 	RunWindowStats = sfbuf.RunWindowStats
 )
 
@@ -113,6 +115,15 @@ type (
 	// ContigPolicy decides whether the converted subsystems map
 	// multi-page extents as contiguous runs.
 	ContigPolicy = kernel.ContigPolicy
+	// MapConsumer is a subsystem's contiguity-policy handle: static under
+	// pinned policies, self-tuning per window-size epoch under the
+	// adaptive one.
+	MapConsumer = kernel.MapConsumer
+	// PolicyStats snapshots one consumer's adaptive-policy state
+	// (mode, reuse EWMAs, flips) as reported by Kernel.PolicyStats.
+	PolicyStats = kernel.PolicyStats
+	// PolicyClassStats is one window-size class within PolicyStats.
+	PolicyClassStats = kernel.PolicyClassStats
 	// ShardedConfig tunes the sharded engine's stripe count, per-CPU
 	// freelist depth and reclaim batch.
 	ShardedConfig = sfbuf.ShardedConfig
@@ -160,14 +171,19 @@ const (
 
 // Contiguous-run policies (Config.Contig).
 const (
-	// ContigAuto maps multi-page I/O as contiguous runs exactly where
-	// the booted engine provides native contiguity (the default); the
-	// figure-reproduction engines keep their historical paths.
+	// ContigAuto is the default: on engines with native contiguity the
+	// per-consumer ADAPTIVE policy (each subsystem starts on the run
+	// path and flips itself between runs and batches from its observed
+	// reuse); the figure-reproduction engines keep their historical
+	// paths.
 	ContigAuto = kernel.ContigAuto
 	// ContigOn forces every converted subsystem onto the run path.
 	ContigOn = kernel.ContigOn
 	// ContigOff forces batches/pages everywhere (ablation knob).
 	ContigOff = kernel.ContigOff
+	// ContigAdaptive pins the adaptive per-consumer policy by name
+	// (today identical to Auto's sf_buf resolution).
+	ContigAdaptive = kernel.ContigAdaptive
 )
 
 // PageSize is the simulated machine's page size in bytes.
