@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke fuzz bench bench-contended bench-batch bench-run bench-adaptive docs lint vet fmt ci clean
+.PHONY: all build test race fuzz-smoke fuzz bench bench-contended bench-batch bench-run bench-adaptive bench-contig docs lint vet fmt ci clean
 
 all: build test
 
@@ -47,6 +47,11 @@ bench-run:
 # run/batch pins on the streaming and reuse-churn workloads.
 bench-adaptive:
 	$(GO) test -run '^$$' -bench BenchmarkAllocAdaptive -benchtime 100000x .
+
+# Buddy-allocator promotion recovery: contiguous extents and superpage
+# promotions after a fragmentation-churn warmup, vs the LIFO pool.
+bench-contig:
+	$(GO) test -run '^$$' -bench BenchmarkAllocContig -benchtime 100000x .
 
 # Documentation gate: package comments on every package, docs links
 # resolve.  Mirrors the CI docs step.

@@ -409,6 +409,64 @@ func BenchmarkAllocRun(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocContig is the buddy frame allocator's acceptance
+// benchmark: after a fragmentation-churn warmup, every round allocates a
+// FRESH superpage-spanning physical extent, maps it as an aligned run,
+// sweeps it, and releases everything.  On the buddy allocator the freed
+// frames coalesce, so AllocContig keeps serving aligned contiguous
+// extents (contig% ~1.0) and the run windows promote — after the first
+// cold install the page-set cache revives the promoted window round
+// after round.  On the seed's LIFO stack (the -lifo rows) contiguity
+// never comes back: runs install scattered frames (no promotion), and
+// the scattered-batch row pays the full per-page translation bill.  The
+// promotion-recovery criterion (Promotions > 0, walks/page <= 1/4 of
+// the scattered path) is enforced by TestContigPromotionRecovery; this
+// benchmark is where the numbers surface.
+func BenchmarkAllocContig(b *testing.B) {
+	cases := []struct {
+		name    string
+		phys    kernel.PhysPolicy
+		useRuns bool
+	}{
+		{"buddy-contig", kernel.PhysBuddyAuto, true},
+		{"lifo-run", kernel.PhysBuddyOff, true},
+		{"lifo-scattered-batch", kernel.PhysBuddyOff, false},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			k, err := experiments.BootContigRecovery(c.phys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := experiments.FragmentPhys(k); err != nil {
+				b.Fatal(err)
+			}
+			k.Reset()
+			superBefore := k.Pmap.SuperStats()
+			b.ResetTimer()
+			done, frac, err := experiments.ChurnFrag(k, b.N, experiments.ContigRecoveryPages, c.useRuns)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			perPage := float64(done)
+			cnt := k.M.SnapshotCounters()
+			st := k.Map.Stats()
+			super := k.Pmap.SuperStats()
+			phys := k.PhysStats()
+			b.ReportMetric(float64(cnt.PTWalks)/perPage, "walks/page")
+			b.ReportMetric(float64(cnt.RemoteInvIssued)/perPage, "sdrounds/page")
+			b.ReportMetric(float64(k.M.TotalCycles())/perPage, "simcycles/page")
+			b.ReportMetric(frac, "contig/extent")
+			b.ReportMetric(float64(super.Promotions-superBefore.Promotions), "promotions")
+			b.ReportMetric(float64(phys.LargestFreeExtent), "largestfree_pages")
+			if st.RunAllocs > 0 {
+				b.ReportMetric(float64(st.RunRevives)/float64(st.RunAllocs), "revives/run")
+			}
+		})
+	}
+}
+
 // BenchmarkAllocAdaptive is the adaptive-contiguity acceptance
 // benchmark: the two canonical workloads (cyclic re-streaming of large
 // extents wider than the cache, and reuse-heavy churn over a

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/kernel"
+	"sfbuf/internal/pmap"
+	"sfbuf/internal/vm"
+)
+
+// This file drives the physical-contiguity experiments: a deterministic
+// fragmentation-churn warmup that destroys a LIFO allocator's frame
+// ordering forever (while the buddy allocator coalesces back), and a
+// churn loop that allocates fresh physical extents per round — contiguous
+// when the allocator can provide them — maps them as runs, and sweeps
+// them through the honest MMU.  It is the proof harness for the buddy
+// refactor's acceptance criterion: after churn, aligned AllocRun windows
+// over AllocContig extents regain superpage promotion on the sharded
+// engine, while a LIFO-backed kernel is stuck with scattered frames.
+
+// FragmentPhys is the fragmentation-churn warmup: it allocates the
+// machine's entire free physical memory in pseudorandom group sizes, then
+// frees every group in shuffled order.  After the warmup a LIFO free
+// stack is a random permutation — AllocN returns scattered frames until
+// reboot — while the buddy allocator has coalesced back to maximal
+// blocks; the two allocators' contrasting futures from an identical
+// churn history are exactly what the recovery harness measures.  The
+// churn is deterministic for a given pool.
+func FragmentPhys(k *kernel.Kernel) error {
+	phys := k.M.Phys
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	var groups [][]*vm.Page
+	for {
+		n := 1 + next(13)
+		if free := phys.FreeFrames(); n > free {
+			if free == 0 {
+				break
+			}
+			n = free
+		}
+		pages, err := phys.AllocN(n)
+		if err != nil {
+			if errors.Is(err, vm.ErrNoMemory) {
+				break
+			}
+			return err
+		}
+		groups = append(groups, pages)
+	}
+	for i := len(groups) - 1; i > 0; i-- {
+		j := next(i + 1)
+		groups[i], groups[j] = groups[j], groups[i]
+	}
+	for _, g := range groups {
+		for _, pg := range g {
+			phys.Free(pg)
+		}
+	}
+	return nil
+}
+
+// ChurnFrag is the post-fragmentation extent churn: every CPU repeatedly
+// allocates a FRESH runLen-page physical extent — AllocContig with the
+// kernel's alignment hint where the allocator can, scattered AllocN
+// where it cannot — maps it (AllocRun + ranged sweep when useRuns,
+// AllocBatch + per-page translation otherwise, the CopyOutVec cost
+// shape), and releases both the mapping and the frames.  It returns the
+// pages churned and the fraction of extents served physically
+// contiguous; on a buddy machine the fraction stays ~1.0 because freed
+// extents coalesce, on a LIFO machine it is 0 forever.  With runLen =
+// pmap.SuperpagePages every contiguous extent's aligned window promotes,
+// which is the recovery BenchmarkAllocContig and the promotion-recovery
+// test measure.
+func ChurnFrag(k *kernel.Kernel, ops, runLen int, useRuns bool) (done int, contigFrac float64, err error) {
+	ncpu := k.M.NumCPUs()
+	rounds := ops / ncpu / runLen
+	if rounds < 1 {
+		rounds = 1
+	}
+	var contig, total atomic.Uint64
+	var wg sync.WaitGroup
+	errs := make([]error, ncpu)
+	for cpu := 0; cpu < ncpu; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			ctx := k.Ctx(cpu)
+			var got []*vm.Page
+			for i := 0; i < rounds; i++ {
+				pages, aerr := k.AllocPhysContig(runLen)
+				if errors.Is(aerr, vm.ErrNoContig) {
+					pages, aerr = k.M.Phys.AllocN(runLen)
+				} else if aerr == nil {
+					contig.Add(1)
+				}
+				if aerr != nil {
+					errs[cpu] = aerr
+					return
+				}
+				total.Add(1)
+				if uerr := func() error {
+					if useRuns {
+						r, err := k.Map.AllocRun(ctx, pages, 0)
+						if err != nil {
+							return err
+						}
+						defer k.Map.FreeRun(ctx, r)
+						if r.Contiguous() {
+							got, err = k.Pmap.TranslateRun(ctx, r.Base(), r.Len(), false, got[:0])
+							return err
+						}
+						for j := 0; j < r.Len(); j++ {
+							if _, err := k.Pmap.Translate(ctx, r.KVA(j), false); err != nil {
+								return err
+							}
+						}
+						return nil
+					}
+					bufs, err := k.Map.AllocBatch(ctx, pages, 0)
+					if err != nil {
+						return err
+					}
+					defer k.Map.FreeBatch(ctx, bufs)
+					for _, b := range bufs {
+						if _, err := k.Pmap.Translate(ctx, b.KVA(), false); err != nil {
+							return err
+						}
+					}
+					return nil
+				}(); uerr != nil {
+					errs[cpu] = uerr
+					return
+				}
+				for _, pg := range pages {
+					k.M.Phys.Free(pg)
+				}
+			}
+		}(cpu)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return 0, 0, e
+		}
+	}
+	if st := k.Map.Stats(); st.Allocs != st.Frees {
+		return 0, 0, fmt.Errorf("leaked references: allocs %d != frees %d", st.Allocs, st.Frees)
+	}
+	if t := total.Load(); t > 0 {
+		contigFrac = float64(contig.Load()) / float64(t)
+	}
+	return rounds * ncpu * runLen, contigFrac, nil
+}
+
+// ContigRecoveryPages is the extent width the promotion-recovery harness
+// churns: exactly one superpage span, so every contiguous extent's
+// aligned run window can promote.
+const ContigRecoveryPages = pmap.SuperpagePages
+
+// BootContigRecovery boots the promotion-recovery rig: a 4-way Xeon
+// running the sharded sf_buf engine with a mapping cache wide enough to
+// hold two superpage-spanning runs, over enough physical memory that the
+// fragmentation warmup leaves intact buddy blocks.  physBuddy selects the
+// frame allocator under test.
+func BootContigRecovery(physBuddy kernel.PhysPolicy) (*kernel.Kernel, error) {
+	return kernel.Boot(kernel.Config{
+		Platform:     arch.XeonMPHTT(),
+		Mapper:       kernel.SFBuf,
+		Cache:        kernel.CacheSharded,
+		PhysPages:    32 * ContigRecoveryPages,
+		CacheEntries: 2*ContigRecoveryPages + 64,
+		PhysBuddy:    physBuddy,
+	})
+}

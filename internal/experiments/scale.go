@@ -40,12 +40,13 @@ func RunScale(o Options) (*Result, error) {
 		Title: "Contended Alloc/Free: sharded vs. global-lock vs. original (Xeon 4-way)",
 		Columns: []string{"variant", "ops", "hit rate", "local/1k ops",
 			"remote rounds/1k ops", "IPIs/1k ops", "locks/op", "walks/op",
-			"tlb/op", "coalesce"},
+			"tlb/op", "coalesce", "contig%"},
 		Notes: []string{
 			"working set is 4x the cache so every shared reuse of the global cache pays a shootdown round",
 			"coalesce = invalidations retired per batched flush (sharded engine only)",
 			"walks/op = page-table walks per page touched; run rows pay one walk per contiguous run",
 			"tlb/op = TLB entries filled per page touched (base + superpage entries)",
+			"frag rows churn FRESH physical extents after a fragmentation-churn warmup; contig% is the fraction served physically contiguous (buddy allocator coalesces, LIFO never recovers)",
 		},
 	}
 
@@ -97,7 +98,7 @@ func RunScale(o Options) (*Result, error) {
 		}()},
 	}
 
-	for _, mode := range []string{"single", "batch", "run", "adaptive"} {
+	for _, mode := range []string{"single", "batch", "run", "adaptive", "frag"} {
 		for _, v := range variants {
 			name := v.name
 			if mode != "single" {
@@ -107,20 +108,37 @@ func RunScale(o Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			pages, err := k.M.Phys.AllocN(4 * entries)
-			if err != nil {
-				return nil, err
-			}
 			var done int
-			switch mode {
-			case "batch":
-				done, err = ChurnBatch(k, pages, ops, batch)
-			case "run":
-				done, err = ChurnRun(k, pages, ops, batch)
-			case "adaptive":
-				done, err = ChurnAuto(k, pages, ops, batch)
-			default:
-				done, err = Churn(k, pages, ops)
+			contigCol := "-"
+			if mode == "frag" {
+				// The frag rows allocate their extents fresh from the
+				// churned physical allocator instead of a boot-time pool.
+				if err := FragmentPhys(k); err != nil {
+					return nil, fmt.Errorf("scale %s warmup: %w", name, err)
+				}
+				k.Reset()
+				var frac float64
+				done, frac, err = ChurnFrag(k, ops, batch, true)
+				if err == nil {
+					contigCol = fmt.Sprintf("%.2f", frac)
+					res.SetMetric("contig_frac/"+name, frac)
+				}
+			} else {
+				var pages []*vm.Page
+				pages, err = k.M.Phys.AllocN(4 * entries)
+				if err != nil {
+					return nil, err
+				}
+				switch mode {
+				case "batch":
+					done, err = ChurnBatch(k, pages, ops, batch)
+				case "run":
+					done, err = ChurnRun(k, pages, ops, batch)
+				case "adaptive":
+					done, err = ChurnAuto(k, pages, ops, batch)
+				default:
+					done, err = Churn(k, pages, ops)
+				}
 			}
 			if err != nil {
 				return nil, fmt.Errorf("scale %s: %w", name, err)
@@ -146,7 +164,7 @@ func RunScale(o Options) (*Result, error) {
 				fmtF(perK(s.LocalInv)), fmtF(perK(s.RemoteInvIssued)),
 				fmtF(perK(s.IPIsDelivered)), fmt.Sprintf("%.2f", locksPerOp),
 				fmt.Sprintf("%.3f", walksPerOp), fmt.Sprintf("%.3f", tlbPerOp),
-				fmtF(coalesce),
+				fmtF(coalesce), contigCol,
 			})
 			res.SetMetric("remote_per_kop/"+name, perK(s.RemoteInvIssued))
 			res.SetMetric("ipis_per_kop/"+name, perK(s.IPIsDelivered))

@@ -213,3 +213,46 @@ func Checksum(ctx *smp.Context, pm *pmap.Pmap, kva uint64, n int) (uint32, error
 	}
 	return sum, nil
 }
+
+// ChecksumRun is Checksum over a span of a contiguous run window: where
+// Checksum charges one translation per page crossed, ChecksumRun resolves
+// the covering pages with ONE ranged translate (pmap.TranslateRun — one
+// page-table walk per contiguous PTE run, one TLB entry for a promoted
+// superpage window), the same economy CopyInRun/CopyOutRun already give
+// the data movement.  It is what the netstack software-checksum path
+// (checksum offload disabled) uses over run-mapped packets, shaving the
+// last per-page walks off zero-copy send.  kva need not be page-aligned,
+// but every page the span [kva, kva+n) touches must be mapped — true by
+// construction inside a run window.
+func ChecksumRun(ctx *smp.Context, pm *pmap.Pmap, kva uint64, n int) (uint32, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	base := kva - uint64(pmap.PageOffset(kva))
+	npages := int((kva+uint64(n)-1-base)/vm.PageSize) + 1
+	scratch := runScratch.Get().(*[]*vm.Page)
+	defer func() {
+		clear(*scratch)
+		*scratch = (*scratch)[:0]
+		runScratch.Put(scratch)
+	}()
+	pages, err := pm.TranslateRun(ctx, base, npages, false, (*scratch)[:0])
+	if err != nil {
+		return 0, err
+	}
+	*scratch = pages
+	var sum uint32
+	off := pmap.PageOffset(kva)
+	for _, pg := range pages {
+		c := min(vm.PageSize-off, n)
+		if d := pg.Data(); d != nil {
+			for i := off; i < off+c; i++ {
+				sum += uint32(d[i])
+			}
+		}
+		ctx.ChargeBytes(ctx.Cost().ChecksumPerByte, c)
+		n -= c
+		off = 0
+	}
+	return sum, nil
+}

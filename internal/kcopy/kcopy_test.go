@@ -270,3 +270,62 @@ func TestCopyRunFallbackMatchesVec(t *testing.T) {
 		t.Errorf("fallback run copy cycles %d != vectored copy cycles %d", rc, vc)
 	}
 }
+
+// TestChecksumRunMatchesChecksum pins ChecksumRun's result against the
+// per-page Checksum on the same data, including unaligned spans, and
+// verifies the ranged-translate economy: one walk for the whole span
+// instead of one per page crossed.
+func TestChecksumRunMatchesChecksum(t *testing.T) {
+	m, pm, ctx := rig(t)
+	mapPages(t, m, pm, ctx, 8)
+	data := make([]byte, 6*vm.PageSize)
+	rand.New(rand.NewSource(5)).Read(data)
+	if err := CopyIn(ctx, pm, base, data); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ off, n int }{
+		{0, 6 * vm.PageSize},
+		{100, 3*vm.PageSize + 7},
+		{vm.PageSize - 1, 2},
+		{17, 300},
+	} {
+		want, err := Checksum(ctx, pm, base+uint64(tc.off), tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ChecksumRun(ctx, pm, base+uint64(tc.off), tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("ChecksumRun(off=%d, n=%d) = %d, want %d", tc.off, tc.n, got, want)
+		}
+	}
+
+	// Economy: flush the TLB, then one multi-page ChecksumRun must charge
+	// exactly one walk where the per-page loop charges one per page.
+	const span = 6
+	ctx.FlushLocalTLB()
+	before := m.SnapshotCounters()
+	if _, err := ChecksumRun(ctx, pm, base, span*vm.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.SnapshotCounters().Sub(before); d.PTWalks != 1 {
+		t.Errorf("ChecksumRun walks = %d, want 1", d.PTWalks)
+	}
+	ctx.FlushLocalTLB()
+	before = m.SnapshotCounters()
+	if _, err := Checksum(ctx, pm, base, span*vm.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.SnapshotCounters().Sub(before); d.PTWalks != uint64(span) {
+		t.Errorf("Checksum walks = %d, want %d", d.PTWalks, span)
+	}
+}
+
+func TestChecksumRunFaultsOnUnmapped(t *testing.T) {
+	_, pm, ctx := rig(t)
+	if _, err := ChecksumRun(ctx, pm, base, 3*vm.PageSize); err == nil {
+		t.Fatal("ChecksumRun over unmapped VA must fault")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sfbuf/internal/pmap"
 	"sfbuf/internal/sfbuf"
 	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
 )
 
 // MapperKind selects which ephemeral mapping management the kernel boots
@@ -148,6 +149,40 @@ func (c ContigPolicy) String() string {
 	return "auto"
 }
 
+// PhysPolicy selects the physical-frame allocator behind vm.PhysMem: the
+// buddy allocator, whose order-indexed free lists keep physically
+// contiguous, aligned extents allocatable after churn (AllocContig,
+// promotion-aware AllocN), or the seed's LIFO free stack, on which
+// contiguity exists only at boot.
+type PhysPolicy int
+
+const (
+	// PhysBuddyAuto is the default: the buddy allocator on sf_buf kernels
+	// running a native engine (the sharded cache, the amd64 direct map,
+	// the sharded sparc64 hybrid), where recovered contiguity feeds
+	// superpage promotion and free direct-map windows; the LIFO stack on
+	// the original kernel and the paper's global-lock cache, so every
+	// deterministic figure-reproduction experiment keeps the seed's
+	// bit-exact frame allocation order.
+	PhysBuddyAuto PhysPolicy = iota
+	// PhysBuddyOn forces the buddy allocator everywhere.
+	PhysBuddyOn
+	// PhysBuddyOff forces the LIFO stack everywhere (the ablation knob:
+	// what churn costs a kernel whose frame allocator cannot coalesce).
+	PhysBuddyOff
+)
+
+// String names the policy for reports.
+func (p PhysPolicy) String() string {
+	switch p {
+	case PhysBuddyOn:
+		return "on"
+	case PhysBuddyOff:
+		return "off"
+	}
+	return "auto"
+}
+
 // Config describes the kernel to boot.
 type Config struct {
 	// Platform is one of the Section 6.1 machines.
@@ -193,6 +228,23 @@ type Config struct {
 	// resolution explicitly.  Contig takes precedence over Vectored
 	// where both would apply.
 	Contig ContigPolicy
+	// PhysBuddy selects the physical-frame allocator.  The zero value
+	// (Auto) boots the buddy allocator exactly where recovered physical
+	// contiguity pays (sf_buf kernels on non-figure engines) and keeps
+	// the LIFO stack on the figure-reproduction configurations, whose
+	// deterministic experiments must stay bit-identical.
+	PhysBuddy PhysPolicy
+}
+
+// UsesBuddyPhys reports the config's resolved frame-allocator choice.
+func (cfg Config) UsesBuddyPhys() bool {
+	switch cfg.PhysBuddy {
+	case PhysBuddyOn:
+		return true
+	case PhysBuddyOff:
+		return false
+	}
+	return cfg.Mapper == SFBuf && cfg.Cache != CacheGlobal
 }
 
 // Kernel is one booted simulated kernel instance.
@@ -214,7 +266,13 @@ func Boot(cfg Config) (*Kernel, error) {
 	if cfg.PhysPages == 0 {
 		cfg.PhysPages = 40960 // 160 MB
 	}
-	m := smp.NewMachine(cfg.Platform, cfg.PhysPages, cfg.Backed)
+	var phys *vm.PhysMem
+	if cfg.UsesBuddyPhys() {
+		phys = vm.NewBuddyPhysMem(cfg.PhysPages, cfg.Backed)
+	} else {
+		phys = vm.NewPhysMem(cfg.PhysPages, cfg.Backed)
+	}
+	m := smp.NewMachineWithPhys(cfg.Platform, phys)
 	if cfg.ShootdownBatch > 0 {
 		m.SetShootdownBatch(cfg.ShootdownBatch)
 	}
@@ -366,6 +424,43 @@ func (k *Kernel) mapCapacityPages() int {
 		}
 		return sfbuf.DefaultI386Entries
 	}
+}
+
+// PhysStats snapshots the physical frame allocator's fragmentation
+// picture: free blocks per buddy order, the largest contiguous free
+// extent, split/coalesce counts.
+func (k *Kernel) PhysStats() vm.PhysStats { return k.M.Phys.PhysStats() }
+
+// PhysContigAlign is the frame-alignment hint for an n-page physically
+// contiguous extent on this kernel:
+//
+//   - Extents that can cover a superpage align to the superpage span, so
+//     an aligned run window over them promotes (and on amd64 they fall on
+//     the direct map's own 2 MB boundaries).
+//   - On sparc64 smaller extents align to the color modulus: the direct
+//     map's cache color of page i is then i mod NumColors, matching any
+//     color-aligned user mapping of the same buffer, so the hybrid keeps
+//     its direct-map fast path (Section 4.4) for buddy-allocated pools.
+//   - Everything else needs no alignment beyond contiguity itself.
+func (k *Kernel) PhysContigAlign(n int) int {
+	if n >= pmap.SuperpagePages {
+		return pmap.SuperpagePages
+	}
+	if k.Cfg.Platform.Arch == arch.SPARC64 {
+		if nc := k.Cfg.NumColors; nc > 1 {
+			return nc
+		}
+		return 2
+	}
+	return 1
+}
+
+// AllocPhysContig allocates n physically contiguous frames with the
+// kernel's alignment/color hint applied.  It fails with vm.ErrNoContig on
+// LIFO pools and under unrecoverable fragmentation; callers that can use
+// scattered pages fall back to AllocN.
+func (k *Kernel) AllocPhysContig(n int) ([]*vm.Page, error) {
+	return k.M.Phys.AllocContig(n, k.PhysContigAlign(n))
 }
 
 // Reset zeroes all machine counters and mapper statistics, preparing for a

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"sfbuf/internal/arch"
+	"sfbuf/internal/pmap"
 	"sfbuf/internal/sfbuf"
 )
 
@@ -122,5 +123,61 @@ func TestResetClearsCountersAndStats(t *testing.T) {
 	}
 	if k.M.TotalCycles() != 0 {
 		t.Fatal("cycles not reset")
+	}
+}
+
+func TestPhysBuddyResolution(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		buddy bool
+	}{
+		{"auto sf_buf sharded", Config{Mapper: SFBuf, Cache: CacheSharded}, true},
+		{"auto sf_buf amd64", Config{Platform: arch.OpteronMP(), Mapper: SFBuf}, true},
+		{"auto sf_buf global", Config{Mapper: SFBuf, Cache: CacheGlobal}, false},
+		{"auto original", Config{Mapper: OriginalKernel}, false},
+		{"forced on, global", Config{Mapper: SFBuf, Cache: CacheGlobal, PhysBuddy: PhysBuddyOn}, true},
+		{"forced off, sharded", Config{Mapper: SFBuf, PhysBuddy: PhysBuddyOff}, false},
+	}
+	for _, c := range cases {
+		if got := c.cfg.UsesBuddyPhys(); got != c.buddy {
+			t.Errorf("%s: UsesBuddyPhys = %v, want %v", c.name, got, c.buddy)
+		}
+	}
+	// The booted machine's pool must match the resolution.
+	k := MustBoot(Config{Platform: arch.XeonMP(), Mapper: SFBuf, PhysPages: 128, CacheEntries: 32})
+	if !k.M.Phys.Buddy() {
+		t.Error("sharded sf_buf kernel did not boot the buddy allocator")
+	}
+	if st := k.PhysStats(); !st.Buddy || st.Frames != 128 {
+		t.Errorf("PhysStats = %+v", st)
+	}
+	k = MustBoot(Config{Platform: arch.XeonMP(), Mapper: SFBuf, Cache: CacheGlobal, PhysPages: 128, CacheEntries: 32})
+	if k.M.Phys.Buddy() {
+		t.Error("global-lock figure kernel must keep the LIFO pool under Auto")
+	}
+}
+
+func TestPhysContigAlignHints(t *testing.T) {
+	k := MustBoot(Config{Platform: arch.XeonMP(), Mapper: SFBuf, PhysPages: 4096, CacheEntries: 32})
+	if got := k.PhysContigAlign(pmap.SuperpagePages); got != pmap.SuperpagePages {
+		t.Errorf("superpage-coverable align = %d, want %d", got, pmap.SuperpagePages)
+	}
+	if got := k.PhysContigAlign(8); got != 1 {
+		t.Errorf("i386 small align = %d, want 1", got)
+	}
+	sp := MustBoot(Config{Platform: arch.Sparc64MP(), Mapper: SFBuf, PhysPages: 4096,
+		NumColors: 4, EntriesPerColor: 64})
+	if got := sp.PhysContigAlign(8); got != 4 {
+		t.Errorf("sparc64 color align = %d, want 4", got)
+	}
+	// A color-aligned contiguous extent keeps the direct map color-
+	// compatible: frame i's direct-map color is i mod NumColors.
+	pages, err := sp.AllocPhysContig(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages[0].Frame()%4 != 0 {
+		t.Errorf("sparc64 extent starts at frame %d, want a multiple of 4", pages[0].Frame())
 	}
 }

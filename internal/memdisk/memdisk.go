@@ -17,6 +17,7 @@ import (
 
 	"sfbuf/internal/kcopy"
 	"sfbuf/internal/kernel"
+	"sfbuf/internal/pmap"
 	"sfbuf/internal/sfbuf"
 	"sfbuf/internal/smp"
 	"sfbuf/internal/vm"
@@ -47,19 +48,62 @@ type Disk struct {
 }
 
 // New allocates a memory disk of the given size (rounded up to whole
-// pages) from the machine's physical memory.
+// pages) from the machine's physical memory.  On a buddy-managed machine
+// the pool is built from aligned physically contiguous extents — one
+// AllocContig when a single block covers the disk, else one per maximal
+// block — so transfers stay superpage-promotion-eligible even when the
+// disk is created after churn; fragments degrade gracefully to scattered
+// AllocN pages.  LIFO machines keep the seed's AllocN pool (contiguous on
+// a fresh machine, which is what the figure experiments boot).
 func New(k *kernel.Kernel, size int64) (*Disk, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("memdisk: invalid size %d", size)
 	}
 	npages := int((size + vm.PageSize - 1) / vm.PageSize)
-	pages, err := k.M.Phys.AllocN(npages)
+	pages, err := allocPool(k, npages)
 	if err != nil {
 		return nil, fmt.Errorf("memdisk: allocating %d pages: %w", npages, err)
 	}
 	d := &Disk{k: k, pages: pages, size: size, contig: k.Consumer("memdisk")}
 	d.usePrivate.Store(true)
 	return d, nil
+}
+
+// allocPool assembles the disk's page pool, preferring aligned contiguous
+// extents chunked at the buddy allocator's maximal block size.  When a
+// maximal chunk is unavailable the request halves down to the superpage
+// span before degrading — a pool whose biggest intact blocks are exactly
+// superpage-sized still gets promotion-eligible chunks — and only a
+// remainder no covering block can serve is filled with scattered AllocN
+// pages.
+func allocPool(k *kernel.Kernel, npages int) ([]*vm.Page, error) {
+	if !k.M.Phys.Buddy() {
+		return k.M.Phys.AllocN(npages)
+	}
+	var pool []*vm.Page
+	release := func() {
+		for _, pg := range pool {
+			k.M.Phys.Free(pg)
+		}
+	}
+	for len(pool) < npages {
+		rem := npages - len(pool)
+		chunk := min(rem, vm.MaxContigPages)
+		pages, err := k.AllocPhysContig(chunk)
+		for errors.Is(err, vm.ErrNoContig) && chunk > pmap.SuperpagePages {
+			chunk = max(chunk/2, pmap.SuperpagePages)
+			pages, err = k.AllocPhysContig(chunk)
+		}
+		if errors.Is(err, vm.ErrNoContig) {
+			pages, err = k.M.Phys.AllocN(rem)
+		}
+		if err != nil {
+			release()
+			return nil, err
+		}
+		pool = append(pool, pages...)
+	}
+	return pool, nil
 }
 
 // Size returns the disk capacity in bytes.

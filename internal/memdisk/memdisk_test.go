@@ -194,3 +194,111 @@ func TestQuickFlatModel(t *testing.T) {
 		}
 	}
 }
+
+// TestBuddyPoolStaysPromotionEligible pins the buddy-backed pool builder:
+// on a buddy kernel a disk created AFTER allocator churn still gets
+// aligned, physically contiguous superpage-span chunks, which is what
+// keeps its transfers promotion-eligible.
+func TestBuddyPoolStaysPromotionEligible(t *testing.T) {
+	const span = 512 // pmap.SuperpagePages
+	k, err := kernel.Boot(kernel.Config{
+		Platform:     arch.XeonMP(),
+		Mapper:       kernel.SFBuf,
+		PhysPages:    4 * span,
+		CacheEntries: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.M.Phys.Buddy() {
+		t.Fatal("sharded sf_buf kernel should boot the buddy allocator")
+	}
+	// Churn the allocator so a LIFO stack would be scrambled.
+	churn, err := k.M.Phys.AllocN(3 * span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(churn), func(i, j int) { churn[i], churn[j] = churn[j], churn[i] })
+	for _, pg := range churn {
+		k.M.Phys.Free(pg)
+	}
+	d, err := New(k, int64(2*span)*vm.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := d.Pages()
+	for c := 0; c+span <= len(pool); c += span {
+		if pool[c].Frame()%span != 0 {
+			t.Errorf("chunk %d starts at frame %d, want superpage alignment", c/span, pool[c].Frame())
+		}
+		for i := 1; i < span; i++ {
+			if pool[c+i].Frame() != pool[c].Frame()+uint64(i) {
+				t.Fatalf("chunk %d page %d breaks contiguity", c/span, i)
+			}
+		}
+	}
+	d.Release()
+}
+
+// TestPoolFallsBackScatteredUnderFragmentation: when fragmentation has
+// consumed every covering block the pool builder degrades to scattered
+// AllocN pages instead of failing.
+func TestPoolFallsBackScatteredUnderFragmentation(t *testing.T) {
+	k, err := kernel.Boot(kernel.Config{
+		Platform:     arch.XeonMP(),
+		Mapper:       kernel.SFBuf,
+		PhysPages:    256,
+		CacheEntries: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := k.M.Phys.AllocN(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(all); i += 2 {
+		k.M.Phys.Free(all[i]) // every other frame: no two adjacent free
+	}
+	d, err := New(k, int64(64)*vm.PageSize)
+	if err != nil {
+		t.Fatalf("fragmented pool build: %v", err)
+	}
+	if got := len(d.Pages()); got != 64 {
+		t.Fatalf("pool has %d pages, want 64", got)
+	}
+	d.Release()
+}
+
+// TestPoolHalvesChunksToSuperpageSpan: a pool whose largest intact
+// blocks are exactly one superpage span (a 1536-page machine has no
+// order-10 block at all) must still build a >512-page disk from
+// promotion-eligible 512-page chunks instead of degrading the whole
+// remainder to scattered pages.
+func TestPoolHalvesChunksToSuperpageSpan(t *testing.T) {
+	const span = 512
+	k, err := kernel.Boot(kernel.Config{
+		Platform:     arch.XeonMP(),
+		Mapper:       kernel.SFBuf,
+		PhysPages:    3 * span, // boot cover tops out at order-9 blocks
+		CacheEntries: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(k, int64(span+64)*vm.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := d.Pages()
+	if pool[0].Frame()%span != 0 {
+		t.Errorf("first chunk starts at frame %d, want superpage alignment", pool[0].Frame())
+	}
+	for i := 1; i < span; i++ {
+		if pool[i].Frame() != pool[0].Frame()+uint64(i) {
+			t.Fatalf("page %d breaks the halved chunk's contiguity", i)
+		}
+	}
+	d.Release()
+}

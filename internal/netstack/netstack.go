@@ -21,6 +21,7 @@ import (
 	"sfbuf/internal/kcopy"
 	"sfbuf/internal/kernel"
 	"sfbuf/internal/mbuf"
+	"sfbuf/internal/pmap"
 	"sfbuf/internal/sfbuf"
 	"sfbuf/internal/smp"
 	"sfbuf/internal/vm"
@@ -379,17 +380,63 @@ func (c *Conn) sendChain(ctx *smp.Context, chain *mbuf.Chain) error {
 // checksumPacket runs the software TCP checksum over a packet's payload,
 // reading every byte through its ephemeral mapping and thereby setting the
 // mappings' PTE accessed bits — the effect Figures 19-20 isolate.
+//
+// On kernels whose send path maps packets into contiguous run windows
+// (UseRunsSend), consecutive mbufs over one window are virtually adjacent;
+// the checksum sweeps each such span with kcopy.ChecksumRun — ONE ranged
+// translate per span instead of one walk per page, the same economy the
+// run path already gives the copies.  The figure-reproduction kernels
+// never take the run send path, so they keep the historical per-mbuf
+// Checksum loop byte-for-byte (a single-page span goes through Checksum
+// unchanged either way).
 func (c *Conn) checksumPacket(ctx *smp.Context, pkt *mbuf.Chain) error {
+	if !c.st.K.UseRunsSend() {
+		for m := pkt.Head; m != nil; m = m.Next {
+			if m.Ext != nil {
+				if _, err := kcopy.Checksum(ctx, c.st.K.Pmap, m.KVA(), m.Len); err != nil {
+					return err
+				}
+			} else {
+				ctx.ChargeBytes(ctx.Cost().ChecksumPerByte, m.Len)
+			}
+		}
+		return nil
+	}
+	var spanKVA uint64
+	spanLen := 0
+	flush := func() error {
+		if spanLen == 0 {
+			return nil
+		}
+		var err error
+		if pmap.PageOffset(spanKVA)+spanLen > vm.PageSize {
+			_, err = kcopy.ChecksumRun(ctx, c.st.K.Pmap, spanKVA, spanLen)
+		} else {
+			// A span inside one page gains nothing from a ranged walk;
+			// keep the single-page path and its exact cost shape.
+			_, err = kcopy.Checksum(ctx, c.st.K.Pmap, spanKVA, spanLen)
+		}
+		spanLen = 0
+		return err
+	}
 	for m := pkt.Head; m != nil; m = m.Next {
-		if m.Ext != nil {
-			if _, err := kcopy.Checksum(ctx, c.st.K.Pmap, m.KVA(), m.Len); err != nil {
+		if m.Ext == nil {
+			if err := flush(); err != nil {
 				return err
 			}
-		} else {
 			ctx.ChargeBytes(ctx.Cost().ChecksumPerByte, m.Len)
+			continue
 		}
+		if spanLen > 0 && m.KVA() == spanKVA+uint64(spanLen) {
+			spanLen += m.Len
+			continue
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		spanKVA, spanLen = m.KVA(), m.Len
 	}
-	return nil
+	return flush()
 }
 
 // transmit places a packet on the receive queue, enforcing the window.

@@ -419,3 +419,42 @@ func TestMSSValidation(t *testing.T) {
 	}()
 	NewStack(k, HeaderSize)
 }
+
+// TestSoftwareChecksumOverRunsUsesRangedTranslate pins the checksum-over-
+// runs satellite: with offload disabled on a run-mapped send path
+// (sharded engine, large MTU so one packet spans several pages), the
+// software checksum sweeps each packet's window with one ranged translate
+// instead of one walk per page — so the walk bill stays near one per
+// PACKET, not one per page.  A sink connection isolates the send side.
+func TestSoftwareChecksumOverRunsUsesRangedTranslate(t *testing.T) {
+	k := bootNetKernel(t, kernel.SFBuf, arch.XeonMP())
+	if !k.UseRunsSend() {
+		t.Fatal("sharded sf_buf kernel should take the run send path")
+	}
+	st := NewStack(k, MTULarge) // MSS crosses ~4 pages per packet
+	st.ChecksumOffload = false
+	c := st.NewSinkConn()
+	defer c.Close(k.Ctx(0))
+	const size = 256 * 1024
+	um, err := vm.AllocUserMem(k.M.Phys, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := k.Ctx(0)
+	before := k.M.SnapshotCounters()
+	if err := c.SendZeroCopy(ctx, um, 0, size); err != nil {
+		t.Fatal(err)
+	}
+	d := k.M.SnapshotCounters().Sub(before)
+	sent := c.Stats().PacketsSent
+	pages := uint64(size / vm.PageSize)
+	t.Logf("packets=%d pages=%d walks=%d", sent, pages, d.PTWalks)
+	if d.PTWalks >= pages {
+		t.Errorf("walks = %d for %d checksummed pages: the per-page translate is back", d.PTWalks, pages)
+	}
+	// One ranged walk per packet checksum plus map-side noise; 2x packet
+	// count is a comfortable deterministic bound far below the page count.
+	if d.PTWalks > 2*sent {
+		t.Errorf("walks = %d, want <= 2x packet count %d", d.PTWalks, sent)
+	}
+}

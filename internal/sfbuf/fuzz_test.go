@@ -33,10 +33,11 @@ func FuzzBatchOps(f *testing.F) {
 	f.Add([]byte("0\x80" + "0\x81" + "4\xff" + "5\x00" + "2\x00")) // private flags, write/verify
 	f.Add([]byte("1\xf0" + "1\xf1" + "1\xf2" + "1\xf3" + "1\xf4")) // NoWait exhaustion + rollback
 	f.Add([]byte("0123456789abcdef0123456789abcdef"))
-	f.Add([]byte("6a6b4c5d7a7b"))                        // runs, write/verify through windows, frees
-	f.Add([]byte("6\xf06\xf16\xf27\x007\x016\x337\x00")) // run churn: window recycling + NoWait exhaustion
-	f.Add([]byte("6a1b0c7a3a2a6d5e7b"))                  // runs, batches and singles interleaved
-	f.Add([]byte("6a707a6a4a5a7a6a7a6b6a7a7a6a2a7a"))    // revive-heavy: free/re-alloc the same extent, with writes between lives
+	f.Add([]byte("6a6b4c5d7a7b"))                                   // runs, write/verify through windows, frees
+	f.Add([]byte("6\xf06\xf16\xf27\x007\x016\x337\x00"))            // run churn: window recycling + NoWait exhaustion
+	f.Add([]byte("6a1b0c7a3a2a6d5e7b"))                             // runs, batches and singles interleaved
+	f.Add([]byte("6a707a6a4a5a7a6a7a6b6a7a7a6a2a7a"))               // revive-heavy: free/re-alloc the same extent, with writes between lives
+	f.Add([]byte("0a0q0b2a0c2b6e2c7a0d6f0e7a2d6a4b5c7a1f2e3a6b7a")) // fragmentation-heavy: interleaved single alloc/free churn punctuated by runs and batches
 	f.Fuzz(func(t *testing.T, data []byte) {
 		runBatchOpsTrace(t, data)
 	})

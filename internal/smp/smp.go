@@ -145,14 +145,24 @@ type Machine struct {
 }
 
 // NewMachine builds a machine for the given platform with frames pages of
-// physical memory.  backed selects whether pages carry real storage.
+// physical memory on the LIFO frame allocator.  backed selects whether
+// pages carry real storage.
 func NewMachine(p arch.Platform, frames int, backed bool) *Machine {
+	return NewMachineWithPhys(p, vm.NewPhysMem(frames, backed))
+}
+
+// NewMachineWithPhys builds a machine over a caller-constructed physical
+// memory pool — how the kernel boots the buddy frame allocator
+// (vm.NewBuddyPhysMem) behind the Config.PhysBuddy knob while the
+// figure-reproduction configurations keep the seed's LIFO pool and its
+// bit-exact allocation order.
+func NewMachineWithPhys(p arch.Platform, phys *vm.PhysMem) *Machine {
 	if p.NumCPUs <= 0 || p.NumCPUs > MaxCPUs {
 		panic(fmt.Sprintf("smp: invalid CPU count %d", p.NumCPUs))
 	}
 	m := &Machine{
 		Plat: p,
-		Phys: vm.NewPhysMem(frames, backed),
+		Phys: phys,
 		cpus: make([]*CPU, p.NumCPUs),
 		sdq:  make([]*shootdownQueue, p.NumCPUs),
 	}

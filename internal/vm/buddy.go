@@ -1,0 +1,480 @@
+package vm
+
+// Buddy physical-frame allocation.  The seed allocator was a LIFO free
+// stack: contiguity existed only on a fresh machine, and the first churn
+// epoch destroyed it forever — once the stack's order is a random
+// permutation, AllocN hands out scattered frames until reboot, and the
+// superpage promotion path (which demands physically contiguous, aligned
+// frames) fires only for pools allocated at boot.
+//
+// The buddy allocator makes contiguity a renewable resource.  Free memory
+// is kept in order-indexed free lists: order k holds blocks of 1<<k
+// frames whose start frame is aligned to the block size.  Allocation
+// splits the smallest sufficient block (charging Splits); freeing a block
+// re-inserts it and greedily merges it with its buddy — the unique
+// same-sized neighbor at start^size — as long as the buddy is also free
+// (charging Coalesces).  Blocks within each order are kept in a min-heap
+// by start frame, so allocation is address-sorted and deterministic:
+// a fresh machine hands out frames 1, 2, 3, ... exactly as the LIFO
+// stack did, and a drained machine coalesces back to the same maximal
+// block cover it booted with, no matter in what order the frees arrived.
+//
+// Frame 0 stays the "no frame" sentinel: the cover starts at frame 1, so
+// the order-0 block {1} simply has no free buddy, ever.
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// MaxContigOrder is the largest buddy block order: blocks span at most
+// 1<<MaxContigOrder frames (4 MB of 4 KB pages), comfortably covering the
+// 2 MB-equivalent superpage span with alignment to spare.
+const MaxContigOrder = 10
+
+// MaxContigPages is the largest physically contiguous extent AllocContig
+// can return in one call; wider pools are built from multiple extents.
+const MaxContigPages = 1 << MaxContigOrder
+
+// ErrNoContig is returned by AllocContig when no free block can satisfy
+// the requested size and alignment — either the pool is a LIFO (non-buddy)
+// pool, which cannot promise contiguity at all, or fragmentation has
+// (for now) consumed every covering block.  Frames may still be free:
+// callers that can live with scattered pages fall back to AllocN.
+var ErrNoContig = errors.New("vm: no physically contiguous extent available")
+
+// orderHeap is one order's free list: a min-heap of block start frames
+// with a position index, so the lowest-addressed block pops in O(log n)
+// and a specific buddy can be removed for coalescing in O(log n).
+type orderHeap struct {
+	starts []uint64
+	pos    map[uint64]int
+}
+
+func (h *orderHeap) len() int { return len(h.starts) }
+
+func (h *orderHeap) swap(i, j int) {
+	h.starts[i], h.starts[j] = h.starts[j], h.starts[i]
+	h.pos[h.starts[i]] = i
+	h.pos[h.starts[j]] = j
+}
+
+func (h *orderHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.starts[p] <= h.starts[i] {
+			return
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *orderHeap) siftDown(i int) {
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < len(h.starts) && h.starts[l] < h.starts[m] {
+			m = l
+		}
+		if r < len(h.starts) && h.starts[r] < h.starts[m] {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+func (h *orderHeap) push(s uint64) {
+	if h.pos == nil {
+		h.pos = make(map[uint64]int)
+	}
+	h.starts = append(h.starts, s)
+	h.pos[s] = len(h.starts) - 1
+	h.siftUp(len(h.starts) - 1)
+}
+
+func (h *orderHeap) popMin() uint64 {
+	s := h.starts[0]
+	h.removeAt(0)
+	return s
+}
+
+// remove deletes the block starting at s, reporting whether it was free
+// at this order — the buddy-merge probe.
+func (h *orderHeap) remove(s uint64) bool {
+	i, ok := h.pos[s]
+	if !ok {
+		return false
+	}
+	h.removeAt(i)
+	return true
+}
+
+func (h *orderHeap) removeAt(i int) {
+	last := len(h.starts) - 1
+	delete(h.pos, h.starts[i])
+	if i != last {
+		h.starts[i] = h.starts[last]
+		h.pos[h.starts[i]] = i
+	}
+	h.starts = h.starts[:last]
+	if i < last {
+		h.siftDown(i)
+		h.siftUp(i)
+	}
+}
+
+// NewBuddyPhysMem creates a machine whose frames are managed by the buddy
+// allocator rather than the seed's LIFO stack: AllocContig can return
+// aligned, physically contiguous extents, AllocN prefers contiguity
+// opportunistically, and freed frames coalesce so contiguity recovers
+// after churn.  The Alloc/AllocN/Free surface is unchanged; on a fresh
+// machine single-page Alloc hands out the same frame sequence the LIFO
+// pool did.
+func NewBuddyPhysMem(frames int, backed bool) *PhysMem {
+	if frames <= 0 {
+		panic("vm: NewBuddyPhysMem with no frames")
+	}
+	pm := &PhysMem{
+		pages:  make([]*Page, frames),
+		backed: backed,
+		buddy:  true,
+		orders: make([]orderHeap, MaxContigOrder+1),
+	}
+	for i := range pm.pages {
+		pm.pages[i] = &Page{frame: uint64(i + 1), UserColor: -1}
+	}
+	// Cover [1, frames] with maximal aligned blocks (frame 0 is the
+	// sentinel and is never part of any block).
+	end := uint64(frames)
+	for start := uint64(1); start <= end; {
+		k := MaxContigOrder
+		for k > 0 && (start&(1<<k-1) != 0 || start+1<<k-1 > end) {
+			k--
+		}
+		pm.orders[k].push(start)
+		pm.freePages += 1 << k
+		start += 1 << k
+	}
+	return pm
+}
+
+// Buddy reports whether this pool is buddy-managed (AllocContig can
+// succeed and freed frames coalesce) rather than a LIFO stack.
+func (pm *PhysMem) Buddy() bool { return pm.buddy }
+
+// MaxContig returns the widest contiguous extent one AllocContig call can
+// return on this pool, or 0 for LIFO pools.
+func (pm *PhysMem) MaxContig() int {
+	if !pm.buddy {
+		return 0
+	}
+	return MaxContigPages
+}
+
+// orderFor returns the smallest order whose blocks hold at least n frames.
+func orderFor(n int) int {
+	return bits.Len(uint(n - 1))
+}
+
+// takeBlockLocked removes and returns the lowest-addressed free block of
+// order k, splitting the smallest sufficient larger block when order k is
+// empty.  Caller holds pm.mu.
+func (pm *PhysMem) takeBlockLocked(k int) (uint64, bool) {
+	j := k
+	for j <= MaxContigOrder && pm.orders[j].len() == 0 {
+		j++
+	}
+	if j > MaxContigOrder {
+		return 0, false
+	}
+	start := pm.orders[j].popMin()
+	for ; j > k; j-- {
+		pm.orders[j-1].push(start + 1<<(j-1))
+		pm.splits++
+	}
+	pm.freePages -= 1 << k
+	return start, true
+}
+
+// insertBlockLocked frees the block [start, start+1<<k) with address-
+// sorted coalescing: while the block's buddy (the unique same-sized
+// neighbor at start^size) is also free, the pair merges one order up.
+// Caller holds pm.mu.
+func (pm *PhysMem) insertBlockLocked(start uint64, k int) {
+	pm.freePages += 1 << k
+	for k < MaxContigOrder {
+		buddy := start ^ (1 << k)
+		if !pm.orders[k].remove(buddy) {
+			break
+		}
+		pm.coalesces++
+		if buddy < start {
+			start = buddy
+		}
+		k++
+	}
+	pm.orders[k].push(start)
+}
+
+// freeRangeLocked frees the frame range [start, start+n) as maximal
+// aligned blocks.  Caller holds pm.mu.
+func (pm *PhysMem) freeRangeLocked(start uint64, n int) {
+	for n > 0 {
+		k := bits.TrailingZeros64(start)
+		if k > MaxContigOrder {
+			k = MaxContigOrder
+		}
+		for 1<<k > n {
+			k--
+		}
+		pm.insertBlockLocked(start, k)
+		start += 1 << k
+		n -= 1 << k
+	}
+}
+
+// takePageLocked materializes the page for frame f as allocated: backing
+// storage on first touch, user color reset.  Caller holds pm.mu and has
+// already removed the frame from the free structures.
+func (pm *PhysMem) takePageLocked(f uint64) *Page {
+	p := pm.pages[f-1]
+	if pm.backed && p.data == nil {
+		p.data = make([]byte, PageSize)
+	}
+	p.UserColor = -1
+	return p
+}
+
+// buddyAllocOneLocked allocates the lowest-addressed free page, splitting
+// the block that holds it.  Address-ordered allocation keeps single-page
+// churn compacted at the bottom of the pool (higher blocks stay whole for
+// AllocContig) and makes a fresh machine hand out frames 1, 2, 3, ... —
+// the exact sequence the LIFO stack produced.  Caller holds pm.mu.
+func (pm *PhysMem) buddyAllocOneLocked() (*Page, error) {
+	bestK := -1
+	var best uint64
+	for k := range pm.orders {
+		if pm.orders[k].len() == 0 {
+			continue
+		}
+		// Free blocks partition the free space, so the global minimum of
+		// the per-order heap tops is the lowest free frame.
+		if s := pm.orders[k].starts[0]; bestK < 0 || s < best {
+			best, bestK = s, k
+		}
+	}
+	if bestK < 0 {
+		return nil, ErrNoMemory
+	}
+	pm.orders[bestK].remove(best)
+	for j := bestK; j > 0; j-- {
+		pm.orders[j-1].push(best + 1<<(j-1))
+		pm.splits++
+	}
+	pm.freePages--
+	pm.allocs.Add(1)
+	return pm.takePageLocked(best), nil
+}
+
+// buddyAllocNLocked allocates n pages by address-ordered gather: take
+// the lowest-addressed free block whole while it fits, and carve only
+// the block that straddles the remaining need.  On a fresh (or fully
+// coalesced) machine the free space is one contiguous span from the
+// lowest free frame, so the result is a physically contiguous ascending
+// extent — frames 1..n on a fresh boot, exactly the LIFO pool's
+// sequence — which is what makes AllocN promotion-aware.  Under
+// fragmentation the gather consumes the low-address fragments churn
+// leaves behind before it reaches (and splits) the intact high blocks,
+// so routine scattered demand does not cannibalize the superpage-
+// capable stock AllocContig depends on.  Caller holds pm.mu.
+func (pm *PhysMem) buddyAllocNLocked(n int) ([]*Page, error) {
+	if pm.freePages < n {
+		return nil, ErrNoMemory
+	}
+	out := make([]*Page, 0, n)
+	for need := n - len(out); need > 0; need = n - len(out) {
+		bestK := -1
+		var best uint64
+		for k := range pm.orders {
+			if pm.orders[k].len() == 0 {
+				continue
+			}
+			if s := pm.orders[k].starts[0]; bestK < 0 || s < best {
+				best, bestK = s, k
+			}
+		}
+		pm.orders[bestK].popMin()
+		size := 1 << bestK
+		pm.freePages -= size
+		if size <= need {
+			for f := best; f < best+uint64(size); f++ {
+				out = append(out, pm.takePageLocked(f))
+			}
+		} else {
+			out = append(out, pm.carveLocked(best, bestK, need)...)
+		}
+	}
+	pm.allocs.Add(uint64(n))
+	return out, nil
+}
+
+// carveLocked turns the first n frames of the order-k block at start into
+// allocated pages and frees the tail back.  Caller holds pm.mu; the block
+// has been taken (takeBlockLocked) already.
+func (pm *PhysMem) carveLocked(start uint64, k, n int) []*Page {
+	out := make([]*Page, 0, n)
+	for f := start; f < start+uint64(n); f++ {
+		out = append(out, pm.takePageLocked(f))
+	}
+	if tail := 1<<k - n; tail > 0 {
+		pm.freeRangeLocked(start+uint64(n), tail)
+	}
+	return out
+}
+
+// AllocContig allocates n physically contiguous pages whose first frame
+// is aligned to align (a power of two; 1 or 0 means no constraint), in
+// ascending frame order.  Subsystems that need superpage-eligible extents
+// — the sharded engine's aligned run windows, amd64 direct-map windows,
+// memory-disk pools — ask here; when fragmentation has consumed every
+// covering block (or the pool is a LIFO pool) it returns ErrNoContig and
+// the caller falls back to AllocN's scattered pages.
+func (pm *PhysMem) AllocContig(n, align int) ([]*Page, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("vm: AllocContig of %d pages", n)
+	}
+	if align <= 0 {
+		align = 1
+	}
+	if align&(align-1) != 0 {
+		return nil, fmt.Errorf("vm: AllocContig alignment %d is not a power of two", align)
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if !pm.buddy || n > MaxContigPages || align > MaxContigPages {
+		// No fragmentation gauge moves here: a LIFO pool (or an over-wide
+		// request) is refused by construction, not by fragmentation, and
+		// PhysStats documents the buddy counters as zero on LIFO pools.
+		if pm.buddy {
+			pm.contigFails++
+		}
+		return nil, ErrNoContig
+	}
+	// A block of order k >= max(orderFor(n), log2(align)) starts on a
+	// multiple of its own size, so it satisfies both constraints at once.
+	k := orderFor(n)
+	if ak := orderFor(align); ak > k {
+		k = ak
+	}
+	start, ok := pm.takeBlockLocked(k)
+	if !ok {
+		pm.contigFails++
+		if pm.freePages < n {
+			return nil, ErrNoMemory
+		}
+		return nil, ErrNoContig
+	}
+	out := pm.carveLocked(start, k, n)
+	pm.contigAllocs++
+	pm.allocs.Add(uint64(n))
+	return out, nil
+}
+
+// PhysStats is a point-in-time fragmentation picture of a physical pool.
+type PhysStats struct {
+	// Frames and FreeFrames are the pool size and current free count.
+	Frames     int
+	FreeFrames int
+	// Buddy reports the allocator mode; the fields below it are zero on
+	// LIFO pools except LargestFreeExtent, which is computed either way.
+	Buddy bool
+	// FreeBlocks counts free blocks per order (index = order, block size
+	// 1<<order frames); the shape of fragmentation.
+	FreeBlocks []int
+	// LargestFreeExtent is the longest physically contiguous free frame
+	// run in pages — adjacency across block boundaries included, so it can
+	// exceed the largest block.  It is what bounds the biggest extent any
+	// sequence of AllocContig calls could reassemble.
+	LargestFreeExtent int
+	// Splits and Coalesces count block splits on allocation and buddy
+	// merges on free; their ratio over time is the churn the allocator
+	// absorbed while keeping contiguity recoverable.
+	Splits    uint64
+	Coalesces uint64
+	// ContigAllocs and ContigFails count AllocContig calls that returned
+	// an extent vs. calls refused for want of a covering block.
+	ContigAllocs uint64
+	ContigFails  uint64
+	// Allocs and Frees are the cumulative page counts.
+	Allocs uint64
+	Frees  uint64
+}
+
+// PhysStats snapshots the pool's fragmentation statistics.
+func (pm *PhysMem) PhysStats() PhysStats {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	s := PhysStats{
+		Frames:       len(pm.pages),
+		Buddy:        pm.buddy,
+		Splits:       pm.splits,
+		Coalesces:    pm.coalesces,
+		ContigAllocs: pm.contigAllocs,
+		ContigFails:  pm.contigFails,
+		Allocs:       pm.allocs.Load(),
+		Frees:        pm.frees.Load(),
+	}
+	var extents []extent
+	if pm.buddy {
+		s.FreeFrames = pm.freePages
+		s.FreeBlocks = make([]int, MaxContigOrder+1)
+		for k := range pm.orders {
+			s.FreeBlocks[k] = pm.orders[k].len()
+			for _, start := range pm.orders[k].starts {
+				extents = append(extents, extent{start, 1 << k})
+			}
+		}
+	} else {
+		s.FreeFrames = len(pm.free)
+		for _, p := range pm.free {
+			extents = append(extents, extent{p.frame, 1})
+		}
+	}
+	s.LargestFreeExtent = largestExtent(extents)
+	return s
+}
+
+type extent struct {
+	start uint64
+	n     int
+}
+
+// largestExtent merges adjacent free extents and returns the longest
+// contiguous run in pages.
+func largestExtent(extents []extent) int {
+	if len(extents) == 0 {
+		return 0
+	}
+	sort.Slice(extents, func(i, j int) bool { return extents[i].start < extents[j].start })
+	best, cur := 0, extents[0]
+	for _, e := range extents[1:] {
+		if e.start == cur.start+uint64(cur.n) {
+			cur.n += e.n
+			continue
+		}
+		if cur.n > best {
+			best = cur.n
+		}
+		cur = e
+	}
+	if cur.n > best {
+		best = cur.n
+	}
+	return best
+}

@@ -86,20 +86,37 @@ func (p *Page) String() string {
 var ErrNoMemory = errors.New("vm: out of physical memory")
 
 // PhysMem is the physical memory of one simulated machine: a fixed number
-// of frames with a LIFO free list.
+// of frames managed either by the seed's LIFO free stack (NewPhysMem) or
+// by the buddy allocator (NewBuddyPhysMem; see buddy.go).  The two modes
+// share the Alloc/AllocN/Free surface; only the buddy mode can satisfy
+// AllocContig and recover contiguity after churn.  The LIFO mode is kept
+// because the figure-reproduction kernels depend on its exact allocation
+// order for bit-identical experiment replay.
 type PhysMem struct {
 	mu     sync.Mutex
 	pages  []*Page
-	free   []*Page
+	free   []*Page // LIFO mode free stack
 	backed bool
+
+	// Buddy-mode state: order-indexed free lists and fragmentation
+	// counters, all guarded by mu (see buddy.go).
+	buddy     bool
+	orders    []orderHeap
+	freePages int
+	splits    uint64
+	coalesces uint64
+
+	contigAllocs uint64
+	contigFails  uint64
 
 	allocs atomic.Uint64
 	frees  atomic.Uint64
 }
 
-// NewPhysMem creates a machine with frames physical pages.  When backed is
-// true every page gets PageSize bytes of real storage (allocated lazily on
-// first allocation of the page, so large mostly-unused pools stay cheap).
+// NewPhysMem creates a machine with frames physical pages on the LIFO
+// free stack.  When backed is true every page gets PageSize bytes of real
+// storage (allocated lazily on first allocation of the page, so large
+// mostly-unused pools stay cheap).
 func NewPhysMem(frames int, backed bool) *PhysMem {
 	if frames <= 0 {
 		panic("vm: NewPhysMem with no frames")
@@ -125,10 +142,13 @@ func (pm *PhysMem) Backed() bool { return pm.backed }
 // Frames returns the total number of frames in the pool.
 func (pm *PhysMem) Frames() int { return len(pm.pages) }
 
-// FreeFrames returns the number of frames currently on the free list.
+// FreeFrames returns the number of frames currently free.
 func (pm *PhysMem) FreeFrames() int {
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
+	if pm.buddy {
+		return pm.freePages
+	}
 	return len(pm.free)
 }
 
@@ -136,6 +156,9 @@ func (pm *PhysMem) FreeFrames() int {
 func (pm *PhysMem) Alloc() (*Page, error) {
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
+	if pm.buddy {
+		return pm.buddyAllocOneLocked()
+	}
 	return pm.allocLocked()
 }
 
@@ -153,11 +176,21 @@ func (pm *PhysMem) allocLocked() (*Page, error) {
 	return p, nil
 }
 
-// AllocN allocates n pages, returning them in allocation order.  On
-// failure no pages are retained.
+// AllocN allocates n pages, returning them in allocation order.  On a
+// buddy pool the allocation is promotion-aware: when the sub-covering
+// stock cannot serve the request, the pages come from one covering block
+// as a physically contiguous ascending extent (so a consumer that maps
+// them as an aligned run can superpage-promote); otherwise frames are
+// gathered smallest-block-first, consuming fragments while the pool's
+// superpage-capable blocks survive for AllocContig — from a fresh boot
+// cover the gather is still one ascending contiguous extent.  On failure
+// no pages are retained.
 func (pm *PhysMem) AllocN(n int) ([]*Page, error) {
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
+	if pm.buddy {
+		return pm.buddyAllocNLocked(n)
+	}
 	if len(pm.free) < n {
 		return nil, ErrNoMemory
 	}
@@ -167,7 +200,7 @@ func (pm *PhysMem) AllocN(n int) ([]*Page, error) {
 		if err != nil {
 			// Unreachable given the length check, but roll back anyway.
 			for j := 0; j < i; j++ {
-				pm.freeLocked(out[j])
+				pm.freeUnzeroedLocked(out[j])
 			}
 			return nil, err
 		}
@@ -176,25 +209,36 @@ func (pm *PhysMem) AllocN(n int) ([]*Page, error) {
 	return out, nil
 }
 
-// Free returns a page to the free list.  Freeing a wired page panics: a
+// Free returns a page to the free pool.  Freeing a wired page panics: a
 // wired page is on loan to some subsystem and releasing its frame would be
 // a use-after-free.
+//
+// Backed page data is zeroed BEFORE the pool mutex is taken: until the
+// page reaches a free list the freeing thread owns it exclusively, so the
+// PageSize memset needs no serialization — bulk frees (a released memory
+// disk, a drained user buffer) no longer serialize the whole machine
+// behind one lock holder clearing pages.  Unbacked pools skip the loop
+// entirely (there is nothing to clear).
 func (pm *PhysMem) Free(p *Page) {
-	pm.mu.Lock()
-	defer pm.mu.Unlock()
-	pm.freeLocked(p)
-}
-
-func (pm *PhysMem) freeLocked(p *Page) {
 	if p.Wired() {
 		panic(fmt.Sprintf("vm: freeing wired %v", p))
 	}
 	if p.data != nil {
-		for i := range p.data {
-			p.data[i] = 0
-		}
+		clear(p.data)
 	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	pm.freeUnzeroedLocked(p)
+}
+
+// freeUnzeroedLocked links an already-cleared (or never-touched) page
+// back into the free structures.  Caller holds pm.mu.
+func (pm *PhysMem) freeUnzeroedLocked(p *Page) {
 	pm.frees.Add(1)
+	if pm.buddy {
+		pm.insertBlockLocked(p.frame, 0)
+		return
+	}
 	pm.free = append(pm.free, p)
 }
 

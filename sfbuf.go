@@ -135,6 +135,14 @@ type (
 	Page = vm.Page
 	// UserMem is a user-space buffer backed by physical pages.
 	UserMem = vm.UserMem
+	// PhysPolicy selects the physical-frame allocator (Config.PhysBuddy):
+	// the buddy allocator whose coalescing keeps contiguity recoverable,
+	// or the seed's LIFO free stack.
+	PhysPolicy = kernel.PhysPolicy
+	// PhysStats is the frame allocator's fragmentation snapshot (free
+	// blocks per order, largest contiguous free extent, split/coalesce
+	// counts), reported by Kernel.PhysStats.
+	PhysStats = vm.PhysStats
 )
 
 // Kernel variants.
@@ -186,8 +194,29 @@ const (
 	ContigAdaptive = kernel.ContigAdaptive
 )
 
+// Physical-frame allocator policies (Config.PhysBuddy).
+const (
+	// PhysBuddyAuto is the default: the buddy allocator on sf_buf kernels
+	// with native engines; the LIFO stack on the figure-reproduction
+	// configurations (global-lock cache, original kernel), preserving
+	// their bit-exact frame allocation order.
+	PhysBuddyAuto = kernel.PhysBuddyAuto
+	// PhysBuddyOn forces the buddy allocator everywhere.
+	PhysBuddyOn = kernel.PhysBuddyOn
+	// PhysBuddyOff forces the LIFO free stack everywhere (ablation knob).
+	PhysBuddyOff = kernel.PhysBuddyOff
+)
+
+// ErrNoContig is AllocContig's failure: no aligned physically contiguous
+// extent of the requested size is currently free (or the pool is LIFO).
+var ErrNoContig = vm.ErrNoContig
+
 // PageSize is the simulated machine's page size in bytes.
 const PageSize = vm.PageSize
+
+// MaxContigPages is the widest physically contiguous extent one
+// AllocContig call can return on a buddy-managed machine.
+const MaxContigPages = vm.MaxContigPages
 
 // Boot constructs a simulated kernel per the configuration.
 func Boot(cfg Config) (*Kernel, error) { return kernel.Boot(cfg) }
