@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke fuzz bench bench-contended bench-batch bench-run bench-adaptive bench-contig docs lint vet fmt ci clean
+.PHONY: all build test race fuzz-smoke fuzz bench bench-contended bench-batch bench-run bench-adaptive bench-contig bench-serve docs lint vet fmt ci clean
 
 all: build test
 
@@ -52,6 +52,14 @@ bench-adaptive:
 # promotions after a fragmentation-churn warmup, vs the LIFO pool.
 bench-contig:
 	$(GO) test -run '^$$' -bench BenchmarkAllocContig -benchtime 100000x .
+
+# Virtual-internet serving macro-benchmark: the five-way send-window
+# sweep (adaptive vs fixed pins vs the global-lock cache), then the
+# serve economy acceptance criterion at the canonical thousand-
+# connection scale.  docs/SERVING.md documents the workload and metrics.
+bench-serve:
+	$(GO) test -run '^$$' -bench BenchmarkServe -benchtime 1x .
+	$(GO) test -run TestServeEconomy -v -timeout 600s ./internal/experiments
 
 # Documentation gate: package comments on every package, docs links
 # resolve.  Mirrors the CI docs step.

@@ -221,6 +221,18 @@ func BenchmarkScaleExperiment(b *testing.B) {
 		"ipis_per_kop/sf_buf sharded", "ipis_per_kop/sf_buf global-lock")
 }
 
+// BenchmarkServe regenerates the virtual-internet serving macro-
+// benchmark (experiment "serve"): the five-way send-window sweep over
+// the canonical lossy workload, reporting each arm's p99 mapping
+// latency and the engines' per-megabyte walk and shootdown economy.
+// docs/SERVING.md documents the topology and the metrics.
+func BenchmarkServe(b *testing.B) {
+	runExperiment(b, "serve",
+		"p99_adaptive", "p99_fixed-2", "p99_fixed-16", "p99_fixed-64", "p99_global",
+		"walks_per_mb_adaptive", "walks_per_mb_global",
+		"rounds_per_mb_adaptive", "rounds_per_mb_global")
+}
+
 // BenchmarkAllocContended hammers Alloc/touch/Free from one goroutine per
 // virtual CPU over a working set larger than the cache — the workload the
 // sharded engine exists for.  Wall-clock ns/op measures real lock
@@ -610,6 +622,7 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		"fig19": true, "fig20": true,
 		"ablation": true, // covered by the BenchmarkAblation* family
 		"scale":    true, // covered by BenchmarkScaleExperiment + BenchmarkAllocContended
+		"serve":    true, // covered by BenchmarkServe
 	}
 	for _, id := range experiments.IDs() {
 		if !covered[id] {

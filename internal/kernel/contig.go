@@ -264,16 +264,24 @@ func (c *MapConsumer) UseVectored() bool { return c.k.UseVectored() }
 // window mapper behind both sendfile and zero-copy socket sends, so
 // their mapping economies cannot drift apart.
 func (c *MapConsumer) MapSendExtent(ctx *smp.Context, pages []*vm.Page) ([]*sfbuf.Buf, *mbuf.RunRelease, error) {
+	return c.mapSendExtent(ctx, pages, 0)
+}
+
+// mapSendExtent is MapSendExtent with allocation flags — the serving
+// loop maps with sfbuf.NoWait through SendWindow.MapExtent so mapping
+// pressure surfaces as ErrWouldBlock instead of a sleep.  Mappings stay
+// shared regardless of flags: any CPU may retransmit.
+func (c *MapConsumer) mapSendExtent(ctx *smp.Context, pages []*vm.Page, flags sfbuf.Flags) ([]*sfbuf.Buf, *mbuf.RunRelease, error) {
 	k := c.k
 	if c.UseRuns(ctx, pages) {
-		run, err := k.Map.AllocRun(ctx, pages, 0)
+		run, err := k.Map.AllocRun(ctx, pages, flags)
 		if err != nil {
 			return nil, nil, err
 		}
 		return run.Bufs(), mbuf.NewRunReleaseMapped(k.Map, run, pages), nil
 	}
 	if k.UseVectoredSend() {
-		bufs, err := k.Map.AllocBatch(ctx, pages, 0)
+		bufs, err := k.Map.AllocBatch(ctx, pages, flags)
 		if err != nil {
 			return nil, nil, err
 		}

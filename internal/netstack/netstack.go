@@ -113,6 +113,11 @@ type Conn struct {
 	// rxq holds driver receive pages for the zero-copy receive path.
 	rxq []rxPage
 
+	// sw sizes the connection's windowed-send mapping windows from the
+	// observed ACK cadence (see kernel.SendWindow); inert — the
+	// historical fixed size — on non-adaptive kernels.
+	sw *kernel.SendWindow
+
 	closed bool
 	stats  Stats
 }
@@ -138,11 +143,20 @@ func (st *Stack) NewZeroCopyRxConn() *Conn {
 }
 
 func (st *Stack) newConn(sink, zcRx bool) *Conn {
-	c := &Conn{st: st, window: DefaultWindow, sink: sink, zcRx: zcRx}
+	c := &Conn{st: st, window: DefaultWindow, sink: sink, zcRx: zcRx,
+		sw: st.contig.SendWindow()}
 	c.notFull = sync.NewCond(&c.mu)
 	c.notEmpty = sync.NewCond(&c.mu)
 	return c
 }
+
+// SendWindow exposes the connection's mapping-window policy handle; the
+// windowed sendfile path sizes its per-window page runs through it.
+func (c *Conn) SendWindow() *kernel.SendWindow { return c.sw }
+
+// SendWindowPages is the pages the connection's next mapping window
+// should cover.
+func (c *Conn) SendWindowPages() int { return c.sw.WindowPages() }
 
 // SetWindow adjusts the send window (tests).
 func (c *Conn) SetWindow(n int) {
@@ -390,10 +404,16 @@ func (c *Conn) sendChain(ctx *smp.Context, chain *mbuf.Chain) error {
 // Checksum loop byte-for-byte (a single-page span goes through Checksum
 // unchanged either way).
 func (c *Conn) checksumPacket(ctx *smp.Context, pkt *mbuf.Chain) error {
-	if !c.st.K.UseRunsSend() {
+	return c.st.checksumChain(ctx, pkt)
+}
+
+// checksumChain is the shared software-checksum sweep, used by both the
+// socket paths above and the virtual-internet serving path (vserve.go).
+func (st *Stack) checksumChain(ctx *smp.Context, pkt *mbuf.Chain) error {
+	if !st.K.UseRunsSend() {
 		for m := pkt.Head; m != nil; m = m.Next {
 			if m.Ext != nil {
-				if _, err := kcopy.Checksum(ctx, c.st.K.Pmap, m.KVA(), m.Len); err != nil {
+				if _, err := kcopy.Checksum(ctx, st.K.Pmap, m.KVA(), m.Len); err != nil {
 					return err
 				}
 			} else {
@@ -410,11 +430,11 @@ func (c *Conn) checksumPacket(ctx *smp.Context, pkt *mbuf.Chain) error {
 		}
 		var err error
 		if pmap.PageOffset(spanKVA)+spanLen > vm.PageSize {
-			_, err = kcopy.ChecksumRun(ctx, c.st.K.Pmap, spanKVA, spanLen)
+			_, err = kcopy.ChecksumRun(ctx, st.K.Pmap, spanKVA, spanLen)
 		} else {
 			// A span inside one page gains nothing from a ranged walk;
 			// keep the single-page path and its exact cost shape.
-			_, err = kcopy.Checksum(ctx, c.st.K.Pmap, spanKVA, spanLen)
+			_, err = kcopy.Checksum(ctx, st.K.Pmap, spanKVA, spanLen)
 		}
 		spanLen = 0
 		return err
@@ -456,14 +476,18 @@ func (c *Conn) transmit(ctx *smp.Context, pkt *mbuf.Chain) error {
 		}
 		c.stats.PacketsSent++
 		c.stats.BytesSent += uint64(pkt.PktLen)
+		inflight := c.rcvqBytes
 		c.mu.Unlock()
 		// Returning acknowledgments are processed on the sending CPU:
 		// ack parsing plus the release of the covered mbufs and their
 		// ephemeral mappings.
 		ctx.Charge(ctx.Cost().AckProcess * cycles.Cycles(len(acked)))
+		ackedBytes := 0
 		for _, a := range acked {
+			ackedBytes += a.PktLen
 			a.Free(ctx)
 		}
+		c.sw.ObserveAck(ackedBytes, inflight)
 		return nil
 	}
 	for c.rcvqBytes+pkt.PktLen > c.window && !c.closed && c.rcvqBytes > 0 {
@@ -546,15 +570,19 @@ func (c *Conn) Recv(ctx *smp.Context, dst []byte) (int, error) {
 	}
 	c.stats.PacketsRecved += uint64(len(done))
 	c.stats.BytesRecved += uint64(read)
+	inflight := c.rcvqBytes
 	c.notFull.Broadcast()
 	c.mu.Unlock()
 	// Each fully consumed packet pays tcp_input-side processing, then is
 	// acknowledged: freed outside the lock (sf_buf frees take the mapper
 	// lock), releasing its ephemeral mappings and page wirings.
 	ctx.Charge(ctx.Cost().PacketRecv * cycles.Cycles(len(done)))
+	ackedBytes := 0
 	for _, pkt := range done {
+		ackedBytes += pkt.PktLen
 		pkt.Free(ctx)
 	}
+	c.sw.ObserveAck(ackedBytes, inflight)
 	return read, nil
 }
 

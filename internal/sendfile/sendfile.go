@@ -18,12 +18,16 @@ import (
 	"sfbuf/internal/vm"
 )
 
-// VectoredRun caps how many file pages one AllocBatch maps ahead of
-// transmission on the vectored path.  The send window already bounds how
-// many mappings stay live awaiting acknowledgments; the run rides on top
-// of that, so it is kept small enough that window + run cannot strain
-// even a test-sized mapping cache.
-const VectoredRun = 16
+// VectoredRun is the historical fixed cap on how many file pages one
+// AllocBatch maps ahead of transmission on the vectored path.  It is now
+// the DEFAULT window only: each connection carries a kernel.SendWindow
+// that sizes windows from the connection's observed ACK cadence on
+// adaptive kernels (kernel.DefaultSendWindowPages == VectoredRun, so
+// non-adaptive kernels behave exactly as before).  The send window
+// already bounds how many mappings stay live awaiting acknowledgments;
+// the mapping window rides on top of that, so it is kept small enough
+// that window + run cannot strain even a test-sized mapping cache.
+const VectoredRun = kernel.DefaultSendWindowPages
 
 // SendFile transmits the whole named file over conn, returning the bytes
 // sent.  Pages are resolved through the filesystem (real metadata I/O),
@@ -101,8 +105,11 @@ func sendFileWindowed(ctx *smp.Context, k *kernel.Kernel, fsys *fs.FS, conn *net
 	for off := int64(0); off < size; {
 		pi := int(off / vm.PageSize)
 		n := int((size-1)/vm.PageSize) - pi + 1
-		if n > VectoredRun {
-			n = VectoredRun
+		// Window size is the connection's adaptive decision (the
+		// historical fixed VectoredRun on non-adaptive kernels),
+		// re-consulted per window so a long file adapts mid-transfer.
+		if w := conn.SendWindowPages(); n > w {
+			n = w
 		}
 		pages := make([]*vm.Page, 0, n)
 		unwire := func() {

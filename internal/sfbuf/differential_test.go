@@ -462,6 +462,101 @@ func TestDifferentialReviveHeavy(t *testing.T) {
 	}
 }
 
+// genTraceACKClocked builds a trace shaped like the serving path's
+// ACK-clocked send pipeline: windows (runs) are allocated ahead of
+// transmission and freed OLDEST-FIRST as cumulative acknowledgments
+// cover them, with the pipeline depth bounded — allocation and FIFO
+// release continuously interleave, instead of the uniform-random free
+// order of genTrace.  A slice of steps re-allocates the extent that was
+// just acknowledged (the next request for the same popular document),
+// and writes land through live mappings mid-pipeline the way checksum
+// passes touch in-flight windows.
+func genTraceACKClocked(seed int64, ncpu int) []diffOp {
+	rng := rand.New(rand.NewSource(seed))
+	var ops []diffOp
+	liveSingles := 0
+	type extent struct{ start, count int }
+	var runExtents []extent // the in-flight FIFO, oldest first
+	var freed []extent      // acknowledged extents, for the re-request mix
+	const pipeDepth = 6     // windows in flight per pseudo-connection
+	live := func() int {
+		n := liveSingles
+		for _, e := range runExtents {
+			n += e.count
+		}
+		return n
+	}
+	for len(ops) < diffOps {
+		r := rng.Intn(100)
+		switch {
+		case r < 40 && len(runExtents) < pipeDepth && live()+8 < diffMaxLive:
+			// Stage the next window.  A quarter of the time it is a
+			// re-request of an acknowledged extent, hitting the page-set
+			// window cache on the sharded engine.
+			var e extent
+			if len(freed) > 0 && rng.Intn(4) == 0 {
+				e = freed[rng.Intn(len(freed))]
+			} else {
+				e.count = 2 + rng.Intn(7)
+				e.start = rng.Intn(diffPages - e.count)
+			}
+			ops = append(ops, diffOp{kind: 6, page: e.start, count: e.count,
+				cpu: rng.Intn(ncpu), private: rng.Intn(5) == 0})
+			runExtents = append(runExtents, e)
+		case r < 70 && len(runExtents) > 0:
+			// Cumulative ACK: the OLDEST window is always the one released.
+			ops = append(ops, diffOp{kind: 7, pick: 0})
+			freed = append(freed, runExtents[0])
+			if len(freed) > 8 {
+				freed = freed[1:]
+			}
+			runExtents = runExtents[1:]
+		case r < 78 && live() < diffMaxLive:
+			// Control-plane singles (headers, metadata) around the stream.
+			ops = append(ops, diffOp{kind: 0, page: rng.Intn(diffPages),
+				cpu: rng.Intn(ncpu), private: rng.Intn(3) == 0})
+			liveSingles++
+		case r < 84 && liveSingles > 0:
+			ops = append(ops, diffOp{kind: 2, pick: rng.Intn(liveSingles)})
+			liveSingles--
+		case r < 93 && live() > 0:
+			// Checksum-style write through an in-flight mapping.
+			ops = append(ops, diffOp{kind: 4, pick: rng.Intn(live()),
+				val: byte(rng.Intn(256)), cpu: rng.Intn(ncpu)})
+		case live() > 0:
+			ops = append(ops, diffOp{kind: 5, pick: rng.Intn(live()),
+				cpu: rng.Intn(ncpu)})
+		}
+	}
+	return ops
+}
+
+// TestDifferentialACKClocked replays the ACK-clocked serving trace —
+// FIFO window release interleaved with look-ahead allocation, plus
+// same-extent re-requests — against all three engines.  The ordering is
+// exactly what the virtual-internet serve loop generates, and it is the
+// ordering that exposes release-order bugs (a window freed while a newer
+// one is still installing) that uniform-random frees rarely line up.
+func TestDifferentialACKClocked(t *testing.T) {
+	plat := arch.XeonMPHTT()
+	for seed := int64(31); seed <= 34; seed++ {
+		ops := genTraceACKClocked(seed, plat.NumCPUs)
+		engines := newDiffEngines(t, plat)
+		var ref [diffPages]byte
+		for i, e := range engines {
+			got := replayTrace(t, e, ops)
+			if i == 0 {
+				ref = got
+				continue
+			}
+			if got != ref {
+				t.Fatalf("seed %d: engine %s final bytes diverge from %s",
+					seed, e.name, engines[0].name)
+			}
+		}
+	}
+}
+
 // TestDifferentialVectoredForcedLoop additionally replays a batch-heavy
 // trace against the global-lock cache directly through its loop fallback,
 // pinning the claim that batched and per-page requests are

@@ -1,6 +1,7 @@
 package sfbuf
 
 import (
+	"sort"
 	"sync"
 
 	"sfbuf/internal/kva"
@@ -195,13 +196,20 @@ func (p *runPool) get(ctx *smp.Context, pages []*vm.Page) (w *runWindow, revived
 	// retry once.
 	p.mu.Lock()
 	p.launderLocked(ctx)
-	for size, ws := range p.clean {
-		if size == n && len(ws) > 0 {
-			w := p.popCleanLocked(n)
-			p.mu.Unlock()
-			return w, false, nil
-		}
-		for _, w := range ws {
+	if w := p.popCleanLocked(n); w != nil {
+		p.mu.Unlock()
+		return w, false, nil
+	}
+	// No stock in our size: give every cached window's address space back,
+	// smallest class first — sorted, so the recovery path frees the same
+	// ranges in the same order on every run and replay stays exact.
+	sizes := make([]int, 0, len(p.clean))
+	for size := range p.clean {
+		sizes = append(sizes, size)
+	}
+	sort.Ints(sizes)
+	for _, size := range sizes {
+		for _, w := range p.clean[size] {
 			p.arena.Free(w.base)
 		}
 		delete(p.clean, size)

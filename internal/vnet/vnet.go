@@ -1,0 +1,306 @@
+// Package vnet simulates the internet between the serving machine and
+// its clients: point-to-point links that lose, reorder and delay
+// packets, driven by a deterministic discrete-event scheduler on the
+// same simulated-cycles clock the kernel charges CPU work to.
+//
+// The simulation is metadata-only.  A Packet carries flow, sequence,
+// length, acknowledgment and window fields but no payload: payload bytes
+// stay on the sender in mbuf chains under their ephemeral mappings
+// (which is the point — retransmission is why send-side mappings
+// outlive the first transmit), and the serving layer in
+// internal/netstack interprets deliveries against that state.
+//
+// Determinism is the design constraint everything else follows from.
+// Events fire in (time, schedule-order) order from a binary heap, all
+// randomness comes from per-link splitmix64 generators seeded from the
+// caller's one seed, and the event loop is single-threaded: Step and
+// Run must be called from one goroutine, and every callback runs on
+// that goroutine.  Two runs with the same seed therefore replay the
+// same packet schedule bit for bit, which TraceHash certifies — it
+// folds every delivery and timer into one FNV-1a digest that the
+// determinism suite compares across runs.  Virtual time is measured in
+// simulated CPU cycles so that network round trips and mapping-stall
+// backoffs add in the same unit the latency percentiles are reported
+// in, but the clock only advances through link delays and timers —
+// never by CPU work, which the smp machine accounts separately.
+package vnet
+
+import "container/heap"
+
+// Flags mark a packet's role.
+type Flags uint8
+
+const (
+	// FlagAck marks a pure acknowledgment (Ack and Win are meaningful).
+	FlagAck Flags = 1 << iota
+	// FlagFin marks the flow's final data packet.
+	FlagFin
+	// FlagProbe marks a zero-window probe: a dataless poke that asks the
+	// receiver to re-advertise its window after a lost update.
+	FlagProbe
+)
+
+// Packet is the metadata of one frame in flight.
+type Packet struct {
+	// Flow identifies the connection.
+	Flow int
+	// Seq is the first payload byte's stream offset and Len the payload
+	// length; data packets only.
+	Seq int64
+	Len int
+	// Ack is the cumulative acknowledgment and Win the advertised
+	// receive window in bytes; meaningful when FlagAck is set.
+	Ack int64
+	Win int
+	// Flags marks the packet's role.
+	Flags Flags
+}
+
+// Rand is a splitmix64 generator: deterministic, seedable, and cheap
+// enough to sit on the per-packet path.
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator; distinct links derive distinct streams by
+// seeding with seed+linkID so call interleaving cannot couple them.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next value of the stream.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a value in [0, n).
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// event is one scheduled callback.
+type event struct {
+	at  int64
+	seq uint64 // schedule order: the deterministic tiebreak
+	fn  func()
+}
+
+// eventHeap orders events by (time, schedule order).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Stats counts scheduler and link activity.
+type Stats struct {
+	// Sent counts packets offered to links, Delivered those that arrived,
+	// Dropped those lost, Reordered those given extra reordering delay.
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	Reordered uint64
+	// Timers counts After callbacks fired; Events counts every event.
+	Timers uint64
+	Events uint64
+}
+
+// Net is one virtual network: a clock, an event heap, and the links
+// created on it.  Single-threaded: see the package comment.
+type Net struct {
+	now   int64
+	seq   uint64
+	heap  eventHeap
+	seed  uint64
+	links int
+	hash  uint64
+	stats Stats
+}
+
+// New creates a network whose links derive their randomness from seed.
+func New(seed uint64) *Net {
+	return &Net{seed: seed, hash: fnvOffset}
+}
+
+// Now returns the current virtual time in simulated cycles.
+func (n *Net) Now() int64 { return n.now }
+
+// Stats returns a copy of the activity counters.
+func (n *Net) Stats() Stats { return n.stats }
+
+// Pending returns the number of scheduled events.
+func (n *Net) Pending() int { return len(n.heap) }
+
+// After schedules fn to run at Now()+d (d floors at zero, meaning "next
+// event slot").
+func (n *Net) After(d int64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	n.schedule(n.now+d, func() {
+		n.stats.Timers++
+		n.fold('T', uint64(n.now))
+		fn()
+	})
+}
+
+func (n *Net) schedule(at int64, fn func()) {
+	ev := &event{at: at, seq: n.seq, fn: fn}
+	n.seq++
+	heap.Push(&n.heap, ev)
+}
+
+// Step fires the earliest event, advancing the clock to it.  It returns
+// false when no events remain.
+func (n *Net) Step() bool {
+	if len(n.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&n.heap).(*event)
+	if ev.at > n.now {
+		n.now = ev.at
+	}
+	n.stats.Events++
+	ev.fn()
+	return true
+}
+
+// Run fires events until none remain.
+func (n *Net) Run() {
+	for n.Step() {
+	}
+}
+
+// RunLimit fires at most limit events, returning the number fired — the
+// runaway backstop for misconfigured protocols that never drain.
+func (n *Net) RunLimit(limit uint64) uint64 {
+	var fired uint64
+	for fired < limit && n.Step() {
+		fired++
+	}
+	return fired
+}
+
+// TraceHash digests the schedule observed so far: every delivery's
+// (time, flow, seq, len, ack, win, flags) and every drop, in firing
+// order.  Equal seeds and equal workloads produce equal hashes; any
+// divergence in packet scheduling changes the digest.
+func (n *Net) TraceHash() uint64 { return n.hash }
+
+const (
+	fnvOffset = 1469598103934665603
+	fnvPrime  = 1099511628211
+)
+
+func (n *Net) fold(vs ...uint64) {
+	h := n.hash
+	for _, v := range vs {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= fnvPrime
+		}
+	}
+	n.hash = h
+}
+
+func (n *Net) foldPacket(tag uint64, p Packet) {
+	n.fold(tag, uint64(n.now), uint64(p.Flow), uint64(p.Seq),
+		uint64(p.Len), uint64(p.Ack), uint64(p.Win), uint64(p.Flags))
+}
+
+// Link is one simplex path with loss, reordering and delay.  Deliver is
+// invoked (on the event-loop goroutine) for each packet that survives.
+type Link struct {
+	n *Net
+	// LossPct is the percentage of packets dropped; ReorderPct the
+	// percentage of surviving packets held back by an extra jitter so
+	// they overtake later traffic.
+	LossPct    int
+	ReorderPct int
+	// DelayMin and DelayMax bound the uniform one-way delay in cycles;
+	// ReorderDelay is the extra hold applied to reordered packets (zero
+	// defaults to DelayMax-DelayMin, one full jitter span).
+	DelayMin     int64
+	DelayMax     int64
+	ReorderDelay int64
+	// Deliver receives surviving packets.
+	Deliver func(Packet)
+
+	rng *Rand
+}
+
+// NewLink creates a link on the network with the given delay bounds.
+// Loss/reorder default to zero; callers set the fields before traffic
+// flows.
+func (n *Net) NewLink(delayMin, delayMax int64, deliver func(Packet)) *Link {
+	l := &Link{
+		n:        n,
+		DelayMin: delayMin,
+		DelayMax: delayMax,
+		Deliver:  deliver,
+		rng:      NewRand(n.seed + uint64(n.links)*0x6a09e667f3bcc909 + 1),
+	}
+	n.links++
+	return l
+}
+
+// Send offers a packet to the link: it is dropped with LossPct, else
+// delivered after a uniform delay in [DelayMin, DelayMax], plus
+// ReorderDelay with ReorderPct.
+func (l *Link) Send(p Packet) {
+	n := l.n
+	n.stats.Sent++
+	if l.LossPct > 0 && l.rng.Intn(100) < l.LossPct {
+		n.stats.Dropped++
+		n.foldPacket('D', p)
+		return
+	}
+	delay := l.DelayMin
+	if span := l.DelayMax - l.DelayMin; span > 0 {
+		delay += l.rng.Int63n(span + 1)
+	}
+	if l.ReorderPct > 0 && l.rng.Intn(100) < l.ReorderPct {
+		extra := l.ReorderDelay
+		if extra == 0 {
+			extra = l.DelayMax - l.DelayMin
+		}
+		delay += extra
+		n.stats.Reordered++
+	}
+	pkt := p
+	n.schedule(n.now+delay, func() {
+		n.stats.Delivered++
+		n.foldPacket('P', pkt)
+		l.Deliver(pkt)
+	})
+}

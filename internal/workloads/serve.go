@@ -1,0 +1,343 @@
+package workloads
+
+// The virtual-internet serving macro-benchmark: thousands of concurrent
+// TCP-ish connections stream a Zipf-popular, heavy-tailed document
+// corpus from one server kernel through internal/vnet's lossy,
+// reordering, delaying links to client endpoints that read at their own
+// pace.  Each connection's mapping windows are sized by its
+// kernel.SendWindow handle — the adaptive send-batching policy under
+// test — and the run reports the mapping economy end to end: walks and
+// shootdown rounds per byte served, and the latency percentiles of what
+// mapping management added to each request.
+//
+// Everything is deterministic: the virtual network replays the same
+// packet schedule for the same seed, connection behaviour (slow readers,
+// churn, zero-copy mix) is drawn from a splitmix64 stream at setup time
+// in connection order, and the driver runs the event loop on one
+// goroutine.  Two runs with one seed produce identical TraceHash,
+// identical counters, and identical percentiles.
+
+import (
+	"fmt"
+	"sort"
+
+	"sfbuf/internal/kernel"
+	"sfbuf/internal/netstack"
+	"sfbuf/internal/smp"
+	"sfbuf/internal/vm"
+	"sfbuf/internal/vnet"
+)
+
+// ServeConfig parameterizes one serving run.  Zero values take the
+// defaults noted on each field.
+type ServeConfig struct {
+	// Clients is the number of concurrent connections (default 64);
+	// RequestsPerConn the requests each serves back to back (default 2).
+	Clients         int
+	RequestsPerConn int
+
+	// Corpus shape: Files documents totalling Footprint bytes, requested
+	// with Zipf exponent ZipfS (defaults 200 files, 4 MB, s=1.2).
+	Files     int
+	Footprint int64
+	ZipfS     float64
+
+	// Network: per-direction loss and reorder percentages and the uniform
+	// one-way delay bounds in cycles (defaults 5%, 10%, 1000..5000).
+	LossPct    int
+	ReorderPct int
+	DelayMin   int64
+	DelayMax   int64
+
+	// SlowFrac of connections are slow readers: SlowBufBytes receive
+	// buffer drained SlowDrainBytes every DrainEvery cycles.  The rest
+	// are fast: FastBufBytes buffer, FastDrainBytes per drain.
+	// (Defaults: 0.5 slow, 8 KB/2 KB slow, 64 KB/32 KB fast, 20k cycles.)
+	SlowFrac       float64
+	SlowBufBytes   int
+	SlowDrainBytes int
+	FastBufBytes   int
+	FastDrainBytes int
+	DrainEvery     int64
+
+	// ChurnFrac of connections are aborted mid-transfer (client vanishes,
+	// server tears down with windows still unacknowledged).
+	ChurnFrac float64
+	// ZeroCopyFrac of requests are served from wired user memory (the
+	// zero-copy socket-send shape) instead of the file corpus.
+	ZeroCopyFrac float64
+
+	// StaggerCycles offsets each connection's start (default 200).
+	StaggerCycles int64
+
+	// FixedWindowPages pins every connection's mapping window (the fixed-
+	// batch ablation arms); zero uses the kernel's per-connection policy.
+	FixedWindowPages int
+
+	// Seed drives the network, the corpus, and the behaviour draws.
+	Seed int64
+	// MaxEvents bounds the event loop (default 50M); exceeding it is an
+	// error, not a hang.
+	MaxEvents uint64
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.Clients == 0 {
+		c.Clients = 64
+	}
+	if c.RequestsPerConn == 0 {
+		c.RequestsPerConn = 2
+	}
+	if c.Files == 0 {
+		c.Files = 200
+	}
+	if c.Footprint == 0 {
+		c.Footprint = 4 << 20
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.2
+	}
+	if c.DelayMin == 0 {
+		c.DelayMin = 1000
+	}
+	if c.DelayMax == 0 {
+		c.DelayMax = 5000
+	}
+	if c.SlowBufBytes == 0 {
+		c.SlowBufBytes = 8 * 1024
+	}
+	if c.SlowDrainBytes == 0 {
+		c.SlowDrainBytes = 2 * 1024
+	}
+	if c.FastBufBytes == 0 {
+		c.FastBufBytes = netstack.DefaultWindow
+	}
+	if c.FastDrainBytes == 0 {
+		c.FastDrainBytes = 32 * 1024
+	}
+	if c.DrainEvery == 0 {
+		c.DrainEvery = 20_000
+	}
+	if c.StaggerCycles == 0 {
+		c.StaggerCycles = 200
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 50_000_000
+	}
+	return c
+}
+
+// ServeResult reports one run's serving outcome and mapping economy.
+type ServeResult struct {
+	// Requests were enqueued; Completed were fully acknowledged (churned
+	// connections abandon their remainder); AbortedConns were churned.
+	Requests     int
+	Completed    int
+	AbortedConns int
+	// BytesReceived sums every client's reassembled in-order bytes.
+	BytesReceived int64
+
+	// P50/P99/P999 are mapping-latency percentiles over completed
+	// requests, in simulated cycles: map+release CPU work plus stall
+	// backoff (see netstack.VRequest.MapLatency).
+	P50, P99, P999 int64
+
+	// Walks, Rounds and Locks are the page-table walks, shootdown rounds
+	// (remote invalidation initiations) and lock acquisitions the run
+	// charged; the PerMB forms divide by BytesReceived.
+	Walks, Rounds, Locks    uint64
+	WalksPerMB, RoundsPerMB float64
+
+	// TraceHash certifies the packet schedule; Serve and Net are the
+	// endpoint and link counters.
+	TraceHash uint64
+	Serve     netstack.VServeStats
+	Net       vnet.Stats
+
+	// Latencies is the sorted completed-request mapping-latency sample.
+	Latencies []int64
+}
+
+// percentile returns the p-th percentile of a sorted sample (nearest
+// rank), zero on an empty sample.
+func percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// RunServe executes one serving run against a booted kernel.  The kernel
+// must be Backed (the corpus lives on a memory disk).
+func RunServe(k *kernel.Kernel, cfg ServeConfig) (*ServeResult, error) {
+	cfg = cfg.withDefaults()
+	ctx0 := k.Ctx(0)
+
+	trace := SynthesizeTrace("serve", cfg.Footprint, cfg.Files,
+		cfg.Clients*cfg.RequestsPerConn, cfg.ZipfS, cfg.Seed)
+	corpus, err := BuildCorpus(ctx0, k, trace)
+	if err != nil {
+		return nil, err
+	}
+	const umPages = 64
+	um, err := vm.AllocUserMem(k.M.Phys, umPages*vm.PageSize)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: serve user memory: %w", err)
+	}
+
+	// Resolve every corpus file's block->page mapping up front — the warm
+	// metadata cache of a long-running server.  The resolution does real
+	// inode and block-pointer reads through the disk, but at setup time,
+	// where the mapper may block; inside the event loop a blocking
+	// metadata read would deadlock the single-threaded schedule the
+	// moment send windows fully subscribe the buffer cache.
+	filePages := make([][]*vm.Page, len(trace.FileSizes))
+	for doc, size := range trace.FileSizes {
+		npg := (size + vm.PageSize - 1) / vm.PageSize
+		pgs := make([]*vm.Page, npg)
+		for pi := 0; pi < npg; pi++ {
+			pg, err := corpus.FS.FilePage(ctx0, corpus.Names[doc], pi)
+			if err != nil {
+				return nil, fmt.Errorf("workloads: resolving %q page %d: %w",
+					corpus.Names[doc], pi, err)
+			}
+			pgs[pi] = pg
+		}
+		filePages[doc] = pgs
+	}
+
+	net := vnet.New(uint64(cfg.Seed))
+	st := netstack.NewStack(k, netstack.MTUSmall)
+	srv := netstack.NewVServer(st, net)
+
+	res := &ServeResult{Requests: cfg.Clients * cfg.RequestsPerConn}
+	srv.OnComplete = func(_ *netstack.VConn, r *netstack.VRequest) {
+		res.Latencies = append(res.Latencies, r.MapLatency())
+	}
+
+	// Behaviour draws come from their own stream, in connection order, at
+	// setup time — independent of packet scheduling, so the same seed
+	// assigns the same roles however the network interleaves.
+	behave := vnet.NewRand(uint64(cfg.Seed)*0x9e3779b97f4a7c15 + 1)
+	cons := k.Consumer("vserve")
+	ncpu := k.M.NumCPUs()
+
+	type endpoints struct {
+		conn   *netstack.VConn
+		client *netstack.VClient
+	}
+	eps := make([]endpoints, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		slow := behave.Float64() < cfg.SlowFrac
+		churn := behave.Float64() < cfg.ChurnFrac
+		bufCap, drain := cfg.FastBufBytes, cfg.FastDrainBytes
+		if slow {
+			bufCap, drain = cfg.SlowBufBytes, cfg.SlowDrainBytes
+		}
+
+		var conn *netstack.VConn
+		var client *netstack.VClient
+		s2c := net.NewLink(cfg.DelayMin, cfg.DelayMax, func(p vnet.Packet) { client.HandleData(p) })
+		s2c.LossPct, s2c.ReorderPct = cfg.LossPct, cfg.ReorderPct
+		c2s := net.NewLink(cfg.DelayMin, cfg.DelayMax, func(p vnet.Packet) { conn.HandleAck(p) })
+		c2s.LossPct, c2s.ReorderPct = cfg.LossPct, cfg.ReorderPct
+
+		var sw *kernel.SendWindow
+		if cfg.FixedWindowPages > 0 {
+			sw = cons.FixedSendWindow(cfg.FixedWindowPages)
+		} else {
+			// Adaptive connections slow-start: a thousand connections
+			// each opening at the historical 16-page window is a demand
+			// spike several times the mapping cache, before a single ACK
+			// has been observed.  Fast readers grow out of the floor
+			// within a few ACK epochs; slow readers were never going to
+			// use more.
+			sw = cons.SendWindow().StartPages(kernel.MinSendWindowPages)
+		}
+		conn = srv.NewVConn(i, k.Ctx(i%ncpu), s2c, sw)
+		client = netstack.NewVClient(net, i, c2s, bufCap, drain, cfg.DrainEvery)
+		eps[i] = endpoints{conn: conn, client: client}
+
+		reqs := make([]*netstack.VRequest, 0, cfg.RequestsPerConn)
+		for r := 0; r < cfg.RequestsPerConn; r++ {
+			doc := trace.Requests[i*cfg.RequestsPerConn+r]
+			size := int64(trace.FileSizes[doc])
+			if cfg.ZeroCopyFrac > 0 && behave.Float64() < cfg.ZeroCopyFrac {
+				// Zero-copy socket send: page-aligned user memory.
+				need := int((size + vm.PageSize - 1) / vm.PageSize)
+				if need > umPages {
+					need = umPages
+					size = umPages * vm.PageSize
+				}
+				off := behave.Intn(umPages-need+1) * vm.PageSize
+				reqs = append(reqs, &netstack.VRequest{
+					Size: size,
+					PageAt: func(_ *smp.Context, pi int) (*vm.Page, error) {
+						pg, _, err := um.PageAt(off + pi*vm.PageSize)
+						return pg, err
+					},
+				})
+			} else {
+				pgs := filePages[doc]
+				reqs = append(reqs, &netstack.VRequest{
+					Size: size,
+					PageAt: func(_ *smp.Context, pi int) (*vm.Page, error) {
+						return pgs[pi], nil
+					},
+				})
+			}
+		}
+		start := int64(i) * cfg.StaggerCycles
+		c := conn
+		net.After(start, func() {
+			for _, rq := range reqs {
+				c.Enqueue(rq)
+			}
+		})
+		if churn {
+			res.AbortedConns++
+			at := start + 50_000 + behave.Int63n(1_000_000)
+			cc, cl := conn, client
+			net.After(at, func() { cc.Abort(); cl.Close() })
+		}
+	}
+
+	before := k.M.SnapshotCounters()
+	net.RunLimit(cfg.MaxEvents)
+	if net.Pending() != 0 {
+		return nil, fmt.Errorf("workloads: serve did not quiesce within %d events (%d pending)",
+			cfg.MaxEvents, net.Pending())
+	}
+	for i := range eps {
+		if err := eps[i].conn.Err(); err != nil {
+			return nil, fmt.Errorf("workloads: serve conn %d: %w", i, err)
+		}
+		res.BytesReceived += eps[i].client.Stats().BytesRecved
+	}
+
+	delta := k.M.SnapshotCounters().Sub(before)
+	res.Walks = delta.PTWalks
+	res.Rounds = delta.RemoteInvIssued
+	res.Locks = delta.LockAcq
+	if mb := float64(res.BytesReceived) / (1 << 20); mb > 0 {
+		res.WalksPerMB = float64(res.Walks) / mb
+		res.RoundsPerMB = float64(res.Rounds) / mb
+	}
+
+	sort.Slice(res.Latencies, func(a, b int) bool { return res.Latencies[a] < res.Latencies[b] })
+	res.Completed = len(res.Latencies)
+	res.P50 = percentile(res.Latencies, 0.50)
+	res.P99 = percentile(res.Latencies, 0.99)
+	res.P999 = percentile(res.Latencies, 0.999)
+	res.TraceHash = net.TraceHash()
+	res.Serve = srv.Stats()
+	res.Net = net.Stats()
+	return res, nil
+}
