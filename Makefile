@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke fuzz bench bench-contended bench-batch bench-run bench-adaptive bench-contig bench-serve docs lint vet fmt ci clean
+.PHONY: all build test race fuzz-smoke fuzz bench bench-contended bench-batch bench-run bench-adaptive bench-contig bench-serve bench-reclaim docs lint vet fmt ci clean
 
 all: build test
 
@@ -60,6 +60,12 @@ bench-contig:
 bench-serve:
 	$(GO) test -run '^$$' -bench BenchmarkServe -benchtime 1x .
 	$(GO) test -run TestServeEconomy -v -timeout 600s ./internal/experiments
+
+# Background-reclaim economy: first-alloc-after-idle tail latency (p99 and
+# p999), daemon vs on-demand reclaim, plus the steady-state no-cost check.
+bench-reclaim:
+	$(GO) test -run '^$$' -bench BenchmarkReclaim -benchtime 1x .
+	$(GO) test -run TestReclaimEconomy -v -timeout 300s ./internal/experiments
 
 # Documentation gate: package comments on every package, docs links
 # resolve.  Mirrors the CI docs step.

@@ -233,6 +233,20 @@ func BenchmarkServe(b *testing.B) {
 		"rounds_per_mb_adaptive", "rounds_per_mb_global")
 }
 
+// BenchmarkReclaim is make bench-reclaim's reporting benchmark
+// (experiment "reclaim"): tail latency of the first allocation after an
+// idle gap, with the background reclaim daemon riding the idle ticks vs
+// the paper's on-demand-only reclaim, plus the steady-state churn cost of
+// both arms (which must not differ — the daemon runs only against idle
+// time).
+func BenchmarkReclaim(b *testing.B) {
+	runExperiment(b, "reclaim",
+		"p99/daemon/16", "p999/daemon/16",
+		"p99/on-demand/16", "p999/on-demand/16",
+		"p99/daemon/1", "p99/on-demand/1",
+		"steady_cyc_op/daemon", "steady_cyc_op/on-demand")
+}
+
 // BenchmarkAllocContended hammers Alloc/touch/Free from one goroutine per
 // virtual CPU over a working set larger than the cache — the workload the
 // sharded engine exists for.  Wall-clock ns/op measures real lock
@@ -623,6 +637,7 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		"ablation": true, // covered by the BenchmarkAblation* family
 		"scale":    true, // covered by BenchmarkScaleExperiment + BenchmarkAllocContended
 		"serve":    true, // covered by BenchmarkServe
+		"reclaim":  true, // covered by BenchmarkReclaim
 	}
 	for _, id := range experiments.IDs() {
 		if !covered[id] {

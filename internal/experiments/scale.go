@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"sfbuf/internal/arch"
+	"sfbuf/internal/cycles"
 	"sfbuf/internal/kernel"
 	"sfbuf/internal/vm"
 )
@@ -143,40 +144,75 @@ func RunScale(o Options) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("scale %s: %w", name, err)
 			}
-
-			s := k.M.SnapshotCounters()
-			st := k.Map.Stats()
-			perK := func(n uint64) float64 { return float64(n) * 1000 / float64(done) }
-			coalesce := 0.0
-			if s.BatchedFlushes > 0 {
-				coalesce = float64(s.BatchedInv) / float64(s.BatchedFlushes)
-			}
-			locksPerOp := float64(s.LockAcq) / float64(done)
-			walksPerOp := float64(s.PTWalks) / float64(done)
-			var tlbTouched uint64
-			for cpu := 0; cpu < k.M.NumCPUs(); cpu++ {
-				ts := k.M.CPU(cpu).TLBStats()
-				tlbTouched += ts.Inserts + ts.LargeInserts
-			}
-			tlbPerOp := float64(tlbTouched) / float64(done)
-			res.Rows = append(res.Rows, []string{
-				name, fmt.Sprintf("%d", done), fmt.Sprintf("%.2f", st.HitRate()),
-				fmtF(perK(s.LocalInv)), fmtF(perK(s.RemoteInvIssued)),
-				fmtF(perK(s.IPIsDelivered)), fmt.Sprintf("%.2f", locksPerOp),
-				fmt.Sprintf("%.3f", walksPerOp), fmt.Sprintf("%.3f", tlbPerOp),
-				fmtF(coalesce), contigCol,
-			})
-			res.SetMetric("remote_per_kop/"+name, perK(s.RemoteInvIssued))
-			res.SetMetric("ipis_per_kop/"+name, perK(s.IPIsDelivered))
-			res.SetMetric("local_per_kop/"+name, perK(s.LocalInv))
-			res.SetMetric("hitrate/"+name, st.HitRate())
-			res.SetMetric("coalesce/"+name, coalesce)
-			res.SetMetric("locks_per_op/"+name, locksPerOp)
-			res.SetMetric("walks_per_op/"+name, walksPerOp)
-			res.SetMetric("tlb_per_op/"+name, tlbPerOp)
+			scaleRow(res, k, name, done, contigCol)
 		}
 	}
+
+	// Idle-gap rows: the same vectored churn on the sharded engine, but
+	// with periodic idle ticks between rounds — once with the background
+	// reclaim daemon riding the ticks, once with the ticks advancing time
+	// only.  Steady-state economy must match the plain batch row (the
+	// daemon runs exclusively against idle time); the reclaim experiment
+	// measures what the daemon buys the first alloc after each gap.
+	for _, ir := range []struct {
+		name string
+		wm   int
+	}{
+		{"sf_buf sharded idle", -1},
+		{"sf_buf sharded idle+daemon", 0},
+	} {
+		cfg := variants[0].cfg
+		cfg.ReclaimWatermark = ir.wm
+		k, err := kernel.Boot(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pages, err := k.M.Phys.AllocN(4 * entries)
+		if err != nil {
+			return nil, err
+		}
+		done, err := ChurnIdle(k, pages, ops, batch, 8, 1<<16)
+		if err != nil {
+			return nil, fmt.Errorf("scale %s: %w", ir.name, err)
+		}
+		scaleRow(res, k, ir.name, done, "-")
+	}
 	return res, nil
+}
+
+// scaleRow appends one engine's churn economy to the scale result: the
+// shared row/metric emission for the variant grid and the idle-gap rows.
+func scaleRow(res *Result, k *kernel.Kernel, name string, done int, contigCol string) {
+	s := k.M.SnapshotCounters()
+	st := k.Map.Stats()
+	perK := func(n uint64) float64 { return float64(n) * 1000 / float64(done) }
+	coalesce := 0.0
+	if s.BatchedFlushes > 0 {
+		coalesce = float64(s.BatchedInv) / float64(s.BatchedFlushes)
+	}
+	locksPerOp := float64(s.LockAcq) / float64(done)
+	walksPerOp := float64(s.PTWalks) / float64(done)
+	var tlbTouched uint64
+	for cpu := 0; cpu < k.M.NumCPUs(); cpu++ {
+		ts := k.M.CPU(cpu).TLBStats()
+		tlbTouched += ts.Inserts + ts.LargeInserts
+	}
+	tlbPerOp := float64(tlbTouched) / float64(done)
+	res.Rows = append(res.Rows, []string{
+		name, fmt.Sprintf("%d", done), fmt.Sprintf("%.2f", st.HitRate()),
+		fmtF(perK(s.LocalInv)), fmtF(perK(s.RemoteInvIssued)),
+		fmtF(perK(s.IPIsDelivered)), fmt.Sprintf("%.2f", locksPerOp),
+		fmt.Sprintf("%.3f", walksPerOp), fmt.Sprintf("%.3f", tlbPerOp),
+		fmtF(coalesce), contigCol,
+	})
+	res.SetMetric("remote_per_kop/"+name, perK(s.RemoteInvIssued))
+	res.SetMetric("ipis_per_kop/"+name, perK(s.IPIsDelivered))
+	res.SetMetric("local_per_kop/"+name, perK(s.LocalInv))
+	res.SetMetric("hitrate/"+name, st.HitRate())
+	res.SetMetric("coalesce/"+name, coalesce)
+	res.SetMetric("locks_per_op/"+name, locksPerOp)
+	res.SetMetric("walks_per_op/"+name, walksPerOp)
+	res.SetMetric("tlb_per_op/"+name, tlbPerOp)
 }
 
 // ScaleBatch is the run length the scale experiment's batch rows use —
@@ -264,6 +300,56 @@ func ChurnBatch(k *kernel.Kernel, pages []*vm.Page, ops, batch int) (int, error)
 					}
 				}
 				k.Map.FreeBatch(ctx, bufs)
+			}
+		}(cpu)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	if st := k.Map.Stats(); st.Allocs != st.Frees {
+		return 0, fmt.Errorf("leaked references: allocs %d != frees %d", st.Allocs, st.Frees)
+	}
+	return rounds * ncpu * batch, nil
+}
+
+// ChurnIdle is ChurnBatch with traffic lulls: after every gapEvery rounds
+// each CPU goes idle for gap cycles (kernel.Idle — the background daemon's
+// tick when one is enabled).  It is the scale experiment's bursty-workload
+// row and the -race stressor for daemon-vs-churn interleaving: reclaim
+// passes on idling CPUs race allocation misses on busy ones.
+func ChurnIdle(k *kernel.Kernel, pages []*vm.Page, ops, batch, gapEvery int, gap cycles.Cycles) (int, error) {
+	ncpu := k.M.NumCPUs()
+	rounds := ops / ncpu / batch
+	var wg sync.WaitGroup
+	errs := make([]error, ncpu)
+	for cpu := 0; cpu < ncpu; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			ctx := k.Ctx(cpu)
+			scratch := make([]*vm.Page, batch)
+			for i := 0; i < rounds; i++ {
+				for j := 0; j < batch; j++ {
+					scratch[j] = pages[(i*batch*(2*cpu+1)+j*7+cpu*11)%len(pages)]
+				}
+				bufs, err := k.Map.AllocBatch(ctx, scratch, 0)
+				if err != nil {
+					errs[cpu] = err
+					return
+				}
+				for _, b := range bufs {
+					if _, err := k.Pmap.Translate(ctx, b.KVA(), false); err != nil {
+						errs[cpu] = err
+						return
+					}
+				}
+				k.Map.FreeBatch(ctx, bufs)
+				if gapEvery > 0 && (i+1)%gapEvery == 0 {
+					k.Idle(cpu, gap)
+				}
 			}
 		}(cpu)
 	}

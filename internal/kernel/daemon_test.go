@@ -1,0 +1,132 @@
+package kernel
+
+// Boot-time wiring tests for the background reclaim-and-laundering daemon
+// knobs (Config.ReclaimWatermark, Config.LaunderAge) and the Kernel.Idle
+// passthrough.
+
+import (
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/cycles"
+	"sfbuf/internal/sfbuf"
+)
+
+func TestDaemonWiring(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want bool
+	}{
+		{"sharded default", Config{Platform: arch.XeonMP(), Mapper: SFBuf,
+			PhysPages: 256, CacheEntries: 32}, true},
+		{"sharded sparc64", Config{Platform: arch.Sparc64MP(), Mapper: SFBuf,
+			PhysPages: 256, EntriesPerColor: 32}, true},
+		{"explicit watermark", Config{Platform: arch.XeonMP(), Mapper: SFBuf,
+			PhysPages: 256, CacheEntries: 32, ReclaimWatermark: 4}, true},
+		{"disabled by watermark", Config{Platform: arch.XeonMP(), Mapper: SFBuf,
+			PhysPages: 256, CacheEntries: 32, ReclaimWatermark: -1}, false},
+		{"global-lock figure engine", Config{Platform: arch.XeonMP(), Mapper: SFBuf,
+			PhysPages: 256, CacheEntries: 32, Cache: CacheGlobal}, false},
+		{"original kernel", Config{Platform: arch.XeonMP(), Mapper: OriginalKernel,
+			PhysPages: 256}, false},
+		{"amd64 direct map", Config{Platform: arch.OpteronMP(), Mapper: SFBuf,
+			PhysPages: 256}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k, err := Boot(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := k.DaemonEnabled(); got != tc.want {
+				t.Fatalf("DaemonEnabled = %v, want %v", got, tc.want)
+			}
+			if !tc.want {
+				if s := k.DaemonStats(); s != (sfbuf.DaemonStats{}) {
+					t.Fatalf("DaemonStats = %+v without a daemon, want zero", s)
+				}
+				// Idle must still be safe (pure clock advance).
+				if spent := k.Idle(0, 1000); spent != 0 {
+					t.Fatalf("Idle spent %d with no daemon, want 0", spent)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelIdleRunsDaemon: after churn leaves the cache dirty, an idle
+// tick must run the daemon on the idling CPU and charge its work against
+// the tick.
+func TestKernelIdleRunsDaemon(t *testing.T) {
+	k := MustBoot(Config{Platform: arch.XeonMP(), Mapper: SFBuf,
+		Backed: true, PhysPages: 512, CacheEntries: 32})
+	ctx := k.Ctx(0)
+	pages, err := k.M.Phys.AllocN(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs, err := k.Map.AllocBatch(ctx, pages, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bufs {
+		if _, err := k.Pmap.Translate(ctx, b.KVA(), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Map.FreeBatch(ctx, bufs)
+
+	spent := k.Idle(0, 1<<20)
+	if spent <= 0 {
+		t.Fatalf("Idle spent %d cycles, want > 0 (refill work was available)", spent)
+	}
+	ds := k.DaemonStats()
+	if ds.Passes == 0 || ds.RefilledBufs == 0 {
+		t.Fatalf("daemon stats = %+v, want a pass with refilled buffers", ds)
+	}
+	c := k.M.Counters()
+	if got := c.DaemonCycles.Load(); got != int64(spent) {
+		t.Fatalf("DaemonCycles = %d, want %d (the tick's charge)", got, spent)
+	}
+	if got := c.IdleCycles.Load(); got != 1<<20 {
+		t.Fatalf("IdleCycles = %d, want the full tick", got)
+	}
+}
+
+// TestLaunderAgeKnob: Config.LaunderAge passes through to the run pools —
+// a small bound launders an aged parked window on the next allocation, a
+// negative bound disables aging so the window stays revivable.
+func TestLaunderAgeKnob(t *testing.T) {
+	parkAndRepeat := func(age cycles.Cycles) sfbuf.RunWindowStats {
+		k := MustBoot(Config{Platform: arch.XeonMP(), Mapper: SFBuf,
+			Backed: true, PhysPages: 512, CacheEntries: 32,
+			ReclaimWatermark: -1, LaunderAge: age})
+		ctx := k.Ctx(0)
+		pages, err := k.M.Phys.AllocN(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := k.Map.AllocRun(ctx, pages, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Map.FreeRun(ctx, run)
+		k.Idle(0, 1<<18) // pure clock advance: the daemon is disabled
+		run2, err := k.Map.AllocRun(ctx, pages, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Map.FreeRun(ctx, run2)
+		return k.Map.(*sfbuf.I386).RunWindowStats()
+	}
+
+	aged := parkAndRepeat(1 << 17)
+	if aged.Revives != 0 || aged.AgedWindows != 1 {
+		t.Fatalf("small LaunderAge: revives/aged = %d/%d, want 0/1", aged.Revives, aged.AgedWindows)
+	}
+	kept := parkAndRepeat(-1)
+	if kept.Revives != 1 || kept.AgedWindows != 0 {
+		t.Fatalf("LaunderAge < 0: revives/aged = %d/%d, want 1/0 (age bound disabled)", kept.Revives, kept.AgedWindows)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"sfbuf/internal/arch"
+	"sfbuf/internal/cycles"
 	"sfbuf/internal/kva"
 	"sfbuf/internal/pmap"
 	"sfbuf/internal/sfbuf"
@@ -234,6 +235,21 @@ type Config struct {
 	// the LIFO stack on the figure-reproduction configurations, whose
 	// deterministic experiments must stay bit-identical.
 	PhysBuddy PhysPolicy
+	// ReclaimWatermark configures the background reclaim-and-laundering
+	// daemon on engines with sharded cores: the clean-stock low watermark
+	// (buffers) the idle-tick pass refills each CPU's freelist and the
+	// overflow pool to.  Zero enables the daemon with its derived default
+	// (half the per-CPU freelist capacity); negative disables the daemon
+	// entirely (reclaim happens only on allocation-miss shortage, the
+	// paper's behaviour).  The figure engines (CacheGlobal, the original
+	// kernel) never run a daemon regardless.
+	ReclaimWatermark int
+	// LaunderAge bounds how long a freed run window may stay parked
+	// (revivable) before the age-triggered laundering retires it, in
+	// simulated cycles.  Zero keeps sfbuf.DefaultLaunderAge; negative
+	// disables the age bound (windows launder only by count threshold or
+	// arena pressure, the pre-daemon behaviour).
+	LaunderAge cycles.Cycles
 }
 
 // UsesBuddyPhys reports the config's resolved frame-allocator choice.
@@ -254,6 +270,10 @@ type Kernel struct {
 	Pmap  *pmap.Pmap
 	Arena *kva.Arena
 	Map   sfbuf.Mapper
+
+	// daemon is the background reclaim-and-laundering worker, nil when
+	// disabled or when the engine has no sharded cores.
+	daemon *sfbuf.Daemon
 
 	// consumers is the registry of per-subsystem contiguity-policy
 	// handles (see Consumer).
@@ -290,6 +310,25 @@ func Boot(cfg Config) (*Kernel, error) {
 	k.Map, err = buildMapper(cfg, m, pm, arena)
 	if err != nil {
 		return nil, err
+	}
+	// Background reclaim/laundering rides the idle tick on engines with
+	// sharded cores.  The figure engines never get a daemon (NewDaemon
+	// returns nil for them), and their experiments never call Idle, so
+	// figure reproduction stays bit-identical.
+	if cfg.Mapper == SFBuf && cfg.Cache != CacheGlobal {
+		if cfg.LaunderAge != 0 {
+			age := cfg.LaunderAge
+			if age < 0 {
+				age = 0
+			}
+			sfbuf.SetLaunderAge(k.Map, age)
+		}
+		if cfg.ReclaimWatermark >= 0 {
+			if d := sfbuf.NewDaemon(k.Map, sfbuf.DaemonConfig{Watermark: cfg.ReclaimWatermark}); d != nil {
+				k.daemon = d
+				m.RegisterIdleWork(d.Run)
+			}
+		}
 	}
 	return k, nil
 }
@@ -461,6 +500,28 @@ func (k *Kernel) PhysContigAlign(n int) int {
 // scattered pages fall back to AllocN.
 func (k *Kernel) AllocPhysContig(n int) ([]*vm.Page, error) {
 	return k.M.Phys.AllocContig(n, k.PhysContigAlign(n))
+}
+
+// Idle models cpu being idle for dur simulated cycles.  If the background
+// daemon is enabled it runs a maintenance pass on that CPU within the
+// budget; either way the machine clock advances by at least dur, so
+// age-bound laundering sees the lull.  Returns the cycles the daemon
+// consumed.
+func (k *Kernel) Idle(cpu int, dur cycles.Cycles) cycles.Cycles {
+	return k.M.Idle(cpu, dur)
+}
+
+// DaemonEnabled reports whether the background reclaim daemon is wired to
+// the machine's idle tick.
+func (k *Kernel) DaemonEnabled() bool { return k.daemon != nil }
+
+// DaemonStats reports cumulative background-daemon activity (zero value
+// when no daemon runs).
+func (k *Kernel) DaemonStats() sfbuf.DaemonStats {
+	if k.daemon == nil {
+		return sfbuf.DaemonStats{}
+	}
+	return k.daemon.Stats()
 }
 
 // Reset zeroes all machine counters and mapper statistics, preparing for a

@@ -55,6 +55,12 @@ const (
 	sendWindowEpoch = 8
 	// sendWindowAlpha smooths the ACK-burst and in-flight signals.
 	sendWindowAlpha = 0.25
+	// sendWindowRecoveryEpochs is how many consecutive stall-free epochs
+	// earn one upward probe of the stall ceiling (AIMD recovery): long
+	// enough that a ceiling halved under real pressure is not immediately
+	// re-tested, short enough that a long-lived connection outliving a
+	// transient spike re-earns its window.
+	sendWindowRecoveryEpochs = 4
 )
 
 // SendWindow sizes one connection's mapping windows from its observed
@@ -76,12 +82,19 @@ type SendWindow struct {
 	resizes      uint64
 	stalls       uint64
 	cur          int
-	// ceil is the stall-driven congestion cap on epoch growth: it starts
-	// at the ceiling and only ever halves, on ObserveStall.  A stall is
-	// evidence this connection's share of the mapping cache is smaller
-	// than its appetite, and connections are short-lived relative to
-	// cache pressure, so the cap never recovers within a handle's life.
+	// ceil is the stall-driven congestion cap on epoch growth: it halves
+	// on ObserveStall — a stall is evidence this connection's share of
+	// the mapping cache is smaller than its appetite — and probes back
+	// upward (one doubling) after sendWindowRecoveryEpochs consecutive
+	// stall-free epochs, the AIMD shape.  A long-lived connection that
+	// outlives a transient pressure spike thus re-earns its window
+	// instead of being capped for life.
 	ceil int
+	// calmEpochs counts consecutive stall-free epochs since the last
+	// ceiling change; epochStalls is the stall count at the last epoch
+	// boundary, for detecting stalls that arrived between boundaries.
+	calmEpochs  int
+	epochStalls uint64
 }
 
 // SendWindow returns a new per-connection send-window handle under this
@@ -116,12 +129,13 @@ func (w *SendWindow) StartPages(pages int) *SendWindow {
 
 // FixedSendWindow returns a handle pinned to the given window size — the
 // ablation arm of the serve benchmark's fixed-batch sweep.  Observation
-// is accepted and tracked but never changes the window.
+// is accepted and tracked but never changes the window; ceil is pinned
+// too, so Stats reports the cap a fixed handle actually lives under.
 func (c *MapConsumer) FixedSendWindow(pages int) *SendWindow {
 	if pages < 1 {
 		pages = 1
 	}
-	return &SendWindow{c: c, fixed: pages, cur: pages}
+	return &SendWindow{c: c, fixed: pages, cur: pages, ceil: pages}
 }
 
 // WindowPages returns the pages the next mapping window should cover.
@@ -152,6 +166,23 @@ func (w *SendWindow) ObserveAck(ackedBytes, inflightBytes int) {
 	w.inflightEWMA += sendWindowAlpha * (inflightPages - w.inflightEWMA)
 	w.obs++
 	if w.fixed == 0 && w.c != nil && w.c.adaptive && w.obs%sendWindowEpoch == 0 {
+		// AIMD recovery: after sendWindowRecoveryEpochs consecutive
+		// stall-free epochs, probe the stall ceiling one doubling upward
+		// before this epoch's decision, so sustained calm re-earns the
+		// window a transient pressure spike took away.
+		if w.stalls == w.epochStalls {
+			w.calmEpochs++
+			if w.calmEpochs >= sendWindowRecoveryEpochs && w.ceil < MaxSendWindowPages {
+				w.ceil *= 2
+				if w.ceil > MaxSendWindowPages {
+					w.ceil = MaxSendWindowPages
+				}
+				w.calmEpochs = 0
+			}
+		} else {
+			w.calmEpochs = 0
+		}
+		w.epochStalls = w.stalls
 		// Target one window per ACK burst, with headroom up to what the
 		// connection keeps in flight: a slow reader's burst and backlog
 		// are both tiny, a BDP-limited fast path has bursts near the
@@ -181,13 +212,20 @@ func (w *SendWindow) ObserveAck(ackedBytes, inflightBytes int) {
 // every backoff tick spent retrying it is pure added latency.  The
 // halved size also becomes the handle's growth ceiling, and the smoothed
 // signals are damped, so epoch decisions cannot immediately re-grow into
-// the same pressure.  Inert on fixed and non-adaptive handles.
+// the same pressure; the ceiling recovers only through the AIMD probe
+// after sustained stall-free epochs.  Inert on fixed and non-adaptive
+// handles.
 func (w *SendWindow) ObserveStall() {
 	if w.fixed != 0 || w.c == nil || !w.c.adaptive {
 		return
 	}
 	w.mu.Lock()
 	w.stalls++
+	// Restart the recovery clock: the calm count drops now, and
+	// epochStalls syncs so the next boundary counts the post-stall ACKs
+	// as the first stall-free epoch rather than re-detecting this stall.
+	w.calmEpochs = 0
+	w.epochStalls = w.stalls
 	next := w.cur / 2
 	if next < MinSendWindowPages {
 		next = MinSendWindowPages

@@ -126,9 +126,10 @@ func TestSendWindowZeroAcksIgnored(t *testing.T) {
 }
 
 // TestSendWindowStallBackoff: a mapping-pressure stall must halve the
-// window immediately and cap all future epoch growth at the halved size
-// — the congestion response that keeps the adaptive arm off an
-// exhausted cache.
+// window immediately and cap epoch growth at the halved size until the
+// AIMD recovery probe re-earns it — the congestion response that keeps
+// the adaptive arm off an exhausted cache without capping a long-lived
+// connection for life.
 func TestSendWindowStallBackoff(t *testing.T) {
 	k := bootSendWindowKernel(t, CacheSharded)
 	w := k.Consumer("test-sw-stall").SendWindow()
@@ -147,22 +148,69 @@ func TestSendWindowStallBackoff(t *testing.T) {
 		t.Fatalf("stall stats %+v, want 1 stall, ceil %d", st, MaxSendWindowPages/2)
 	}
 
-	// Fast ACK traffic may not grow the window past the stall ceiling.
-	feedAcks(w, 64, 40*vm.PageSize, 100*vm.PageSize)
+	// Fast ACK traffic may not grow the window past the stall ceiling
+	// until sendWindowRecoveryEpochs stall-free epochs have passed.
+	feedAcks(w, (sendWindowRecoveryEpochs-1)*sendWindowEpoch, 40*vm.PageSize, 100*vm.PageSize)
 	if got := w.WindowPages(); got > MaxSendWindowPages/2 {
-		t.Fatalf("window %d grew past stall ceiling %d", got, MaxSendWindowPages/2)
+		t.Fatalf("window %d grew past stall ceiling %d before the recovery delay", got, MaxSendWindowPages/2)
 	}
 
-	// Repeated stalls converge on the floor and stay there.
+	// The next stall-free epoch earns the upward probe.
+	feedAcks(w, sendWindowEpoch, 40*vm.PageSize, 100*vm.PageSize)
+	if got := w.WindowPages(); got != MaxSendWindowPages {
+		t.Fatalf("window %d after recovery probe, want %d", got, MaxSendWindowPages)
+	}
+
+	// Repeated stalls converge on the floor, where the cap holds for the
+	// full recovery delay...
 	for i := 0; i < 10; i++ {
 		w.ObserveStall()
 	}
 	if got := w.WindowPages(); got != MinSendWindowPages {
 		t.Fatalf("post-collapse window %d, want floor %d", got, MinSendWindowPages)
 	}
-	feedAcks(w, 64, 40*vm.PageSize, 100*vm.PageSize)
+	feedAcks(w, (sendWindowRecoveryEpochs-1)*sendWindowEpoch, 40*vm.PageSize, 100*vm.PageSize)
 	if got := w.WindowPages(); got != MinSendWindowPages {
-		t.Fatalf("window %d re-grew past collapsed ceiling", got)
+		t.Fatalf("window %d re-grew before the recovery delay", got)
+	}
+	// ...and sustained stall-free ACKs then climb all the way back: one
+	// doubling per recovery delay, floor to ceiling.
+	feedAcks(w, 6*sendWindowRecoveryEpochs*sendWindowEpoch, 40*vm.PageSize, 100*vm.PageSize)
+	if got := w.WindowPages(); got != MaxSendWindowPages {
+		t.Fatalf("window %d after sustained calm, want full recovery to %d", got, MaxSendWindowPages)
+	}
+}
+
+// TestSendWindowStallResetsRecovery: a stall during the recovery delay
+// must restart the calm count — pressure that keeps recurring keeps the
+// cap down.
+func TestSendWindowStallResetsRecovery(t *testing.T) {
+	k := bootSendWindowKernel(t, CacheSharded)
+	w := k.Consumer("test-sw-stall-reset").SendWindow()
+	feedAcks(w, 64, 40*vm.PageSize, 100*vm.PageSize)
+	w.ObserveStall()
+
+	// Almost earn the probe, stall again, then almost earn it again: the
+	// ceiling must reflect both stalls and no recovery.
+	feedAcks(w, (sendWindowRecoveryEpochs-1)*sendWindowEpoch, 40*vm.PageSize, 100*vm.PageSize)
+	w.ObserveStall()
+	feedAcks(w, (sendWindowRecoveryEpochs-1)*sendWindowEpoch, 40*vm.PageSize, 100*vm.PageSize)
+	if st := w.Stats(); st.CeilPages != MaxSendWindowPages/4 {
+		t.Fatalf("ceil %d after re-stall, want %d (no recovery credit across stalls)",
+			st.CeilPages, MaxSendWindowPages/4)
+	}
+}
+
+// TestSendWindowFixedCeilStat: a pinned handle must report its pin as the
+// ceiling too — the zero CeilPages the serve sweep's fixed arms used to
+// report made their stats tables lie.
+func TestSendWindowFixedCeilStat(t *testing.T) {
+	k := bootSendWindowKernel(t, CacheSharded)
+	for _, pin := range []int{2, 16, 64} {
+		st := k.Consumer("test-sw-fixed-ceil").FixedSendWindow(pin).Stats()
+		if st.CeilPages != pin {
+			t.Fatalf("fixed(%d) reports CeilPages %d, want %d", pin, st.CeilPages, pin)
+		}
 	}
 }
 

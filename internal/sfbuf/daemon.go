@@ -1,0 +1,212 @@
+package sfbuf
+
+import (
+	"sync/atomic"
+
+	"sfbuf/internal/cycles"
+	"sfbuf/internal/smp"
+)
+
+// Background reclaim and laundering daemon.
+//
+// The paper's sf_buf cache reclaims only on allocation-miss shortage, so
+// the first allocation after a quiet period eats an entire reclaim round
+// plus a forced shootdown flush — a tail-latency spike paid exactly when
+// the machine was doing nothing and could have paid it for free.  The
+// daemon is the low-watermark fix: a modeled per-CPU kernel thread,
+// driven by smp.Machine idle ticks, that does the shortage work ahead of
+// demand and charges it against idle time.
+//
+// One pass, per sharded core, does three things in order:
+//
+//  1. Age-bound laundering: parked run windows older than the pool's
+//     LaunderAge are torn down and flushed, so a revivable window's hold
+//     on frames, address space, and TLB masks is bounded by time, not by
+//     the arrival of runLaunderBatch-1 siblings.
+//  2. Watermark refill: while the idling CPU's clean freelist or the
+//     overflow pool sits below the watermark, run ordinary reclaim rounds
+//     (LRU inactive harvest, batched teardown, ONE ranged IPI flush per
+//     round) with want=0 so every harvested buffer restocks the freelists
+//     and pool.  The next burst's misses then pop clean stock instead of
+//     paying the round synchronously.
+//  3. Clean-window trim: surplus laundered run windows (beyond
+//     runLaunderBatch per size class) return their address space to the
+//     KVA arena, whose free-range merging re-coalesces it — the pool's
+//     address-space analogue of buddy coalescing.  (Buddy frame
+//     coalescing itself is eager on free and needs no daemon help; the
+//     deferred coalescing debt in this system lives in the VA arena.)
+//
+// Charging model: daemon work runs on the idling CPU's context and is
+// charged normally — its locks, walks and IPIs are as real as the
+// workload's and hit the same machine-wide counters — but the cycles come
+// out of the idle stretch (tracked as Counters.DaemonCycles against
+// Counters.IdleCycles), not out of workload time.  The pass checks its
+// budget between reclaim rounds and stops when the tick is spent, so a
+// short lull buys a partial refill rather than a latency debt.
+
+// DaemonConfig configures NewDaemon.
+type DaemonConfig struct {
+	// Watermark is the clean-stock low watermark, in buffers, applied to
+	// the idling CPU's freelist and to the overflow pool.  0 means half
+	// the per-CPU freelist capacity (minimum 1).
+	Watermark int
+	// LaunderAge, when nonzero, overrides the run pools' parked-window
+	// age bound (see DefaultLaunderAge); negative disables the bound.
+	LaunderAge cycles.Cycles
+}
+
+// DaemonStats counts background-daemon activity.
+type DaemonStats struct {
+	// Passes counts idle ticks that ran the daemon.
+	Passes uint64
+	// RefillRounds counts reclaim rounds the daemon ran to restock clean
+	// freelists, and RefilledBufs the buffers those rounds harvested.
+	RefillRounds uint64
+	RefilledBufs uint64
+	// AgedLaunders/AgedWindows mirror the run pools' age-bound laundering
+	// counters summed across cores (sync-path and daemon-path both).
+	AgedLaunders uint64
+	AgedWindows  uint64
+	// TrimmedWindows counts clean run windows whose address space the
+	// daemon's trim pass returned to the KVA arena.
+	TrimmedWindows uint64
+}
+
+// Daemon is the background reclaim and laundering worker for a mapper's
+// sharded cores.  Register its Run method as the machine's idle work.
+type Daemon struct {
+	cores     []*shardedCache
+	watermark int
+
+	passes   atomic.Uint64
+	refills  atomic.Uint64
+	refilled atomic.Uint64
+	trimmed  atomic.Uint64
+}
+
+// shardedCores extracts the sharded cache cores behind a mapper: one for
+// the i386 engine, one per color for the sparc64 hybrid, none for the
+// figure-reproduction (global-lock) and amd64 direct-map engines.
+func shardedCores(m Mapper) []*shardedCache {
+	switch v := m.(type) {
+	case *I386:
+		if sc, ok := v.c.(*shardedCache); ok {
+			return []*shardedCache{sc}
+		}
+	case *Sparc64:
+		var cores []*shardedCache
+		for _, col := range v.colors {
+			if sc, ok := col.(*shardedCache); ok {
+				cores = append(cores, sc)
+			}
+		}
+		return cores
+	}
+	return nil
+}
+
+// SetLaunderAge sets the parked-window age bound on every sharded core
+// behind m (0 disables it).  No-op for engines without run pools.
+func SetLaunderAge(m Mapper, age cycles.Cycles) {
+	for _, c := range shardedCores(m) {
+		c.runs.setLaunderAge(age)
+	}
+}
+
+// NewDaemon builds a background daemon for the mapper's sharded cores,
+// applying cfg.LaunderAge to their run pools.  Returns nil if the mapper
+// has no sharded cores (the global-lock figure engines and the amd64
+// direct map have no clean stock to refill and no windows to launder).
+func NewDaemon(m Mapper, cfg DaemonConfig) *Daemon {
+	cores := shardedCores(m)
+	if len(cores) == 0 {
+		return nil
+	}
+	switch {
+	case cfg.LaunderAge > 0:
+		SetLaunderAge(m, cfg.LaunderAge)
+	case cfg.LaunderAge < 0:
+		SetLaunderAge(m, 0)
+	}
+	wm := cfg.Watermark
+	if wm <= 0 {
+		wm = cores[0].cfg.PerCPUFree / 2
+		if wm < 1 {
+			wm = 1
+		}
+	}
+	return &Daemon{cores: cores, watermark: wm}
+}
+
+// Run is the idle-tick entry point (an smp.IdleWork).  It spends up to
+// budget cycles of the idling CPU doing one background pass over every
+// core, oldest duties first, and stops early once the budget is consumed.
+func (d *Daemon) Run(ctx *smp.Context, budget cycles.Cycles) {
+	d.passes.Add(1)
+	start := ctx.CPU().Cycles()
+	within := func() bool { return ctx.CPU().Cycles()-start < budget }
+	for _, c := range d.cores {
+		// 1. Retire parked run windows past the age bound.
+		c.runs.launderAged(ctx)
+		// 2. Refill clean stock to the watermark, one reclaim round at a
+		// time, until the inactive lists run dry or the budget does.
+		for within() && c.cleanBelow(ctx, d.watermark) {
+			before := c.reclaimed.Load()
+			c.reclaimBulk(ctx, 0, nil)
+			got := c.reclaimed.Load() - before
+			if got == 0 {
+				break
+			}
+			d.refills.Add(1)
+			d.refilled.Add(uint64(got))
+		}
+		// 3. Give surplus clean windows' address space back to the arena.
+		if within() {
+			if n := c.runs.trimClean(ctx, runLaunderBatch); n > 0 {
+				d.trimmed.Add(uint64(n))
+			}
+		}
+		if !within() {
+			break
+		}
+	}
+}
+
+// Stats reports cumulative daemon activity, including the run pools'
+// age-bound laundering counters.
+func (d *Daemon) Stats() DaemonStats {
+	s := DaemonStats{
+		Passes:         d.passes.Load(),
+		RefillRounds:   d.refills.Load(),
+		RefilledBufs:   d.refilled.Load(),
+		TrimmedWindows: d.trimmed.Load(),
+	}
+	for _, c := range d.cores {
+		rs := c.runs.snapshot()
+		s.AgedLaunders += rs.AgedLaunders
+		s.AgedWindows += rs.AgedWindows
+	}
+	return s
+}
+
+// Watermark returns the clean-stock low watermark the daemon refills to.
+func (d *Daemon) Watermark() int { return d.watermark }
+
+// cleanBelow reports whether the calling CPU's clean freelist or the
+// overflow pool is below the watermark.  Peeking takes the same charged
+// locks a restock would: the daemon's probe cost is modeled, not free.
+func (c *shardedCache) cleanBelow(ctx *smp.Context, wm int) bool {
+	f := c.freelists[ctx.CPUID()]
+	ctx.ChargeLock()
+	f.mu.Lock()
+	n := len(f.bufs)
+	f.mu.Unlock()
+	if n < wm {
+		return true
+	}
+	ctx.ChargeLock()
+	c.pool.mu.Lock()
+	pn := len(c.pool.bufs)
+	c.pool.mu.Unlock()
+	return pn < wm
+}

@@ -27,7 +27,7 @@ import (
 // diffOp is one step of a trace.  Traces are generated once per seed and
 // replayed verbatim against every engine.
 type diffOp struct {
-	kind    int // 0 alloc, 1 allocBatch, 2 free, 3 freeBatch, 4 write, 5 verify, 6 allocRun, 7 freeRun
+	kind    int // 0 alloc, 1 allocBatch, 2 free, 3 freeBatch, 4 write, 5 verify, 6 allocRun, 7 freeRun, 8 idle
 	page    int // first page index (alloc kinds)
 	count   int // batch/run length
 	cpu     int
@@ -365,6 +365,11 @@ func replayTrace(t *testing.T, e *diffEngine, ops []diffOp) [diffPages]byte {
 			}
 			e.sf.FreeRun(e.m.Ctx(dr.hs[0].cpu), dr.r)
 			runs = append(runs[:op.pick], runs[op.pick+1:]...)
+		case 8:
+			// Idle gap: runs whatever idle work the engine registered (the
+			// background daemon where supported, nothing elsewhere).  Live
+			// mappings must read true straight through it.
+			e.m.Idle(op.cpu, 20000)
 		}
 	}
 
@@ -547,6 +552,58 @@ func TestDifferentialACKClocked(t *testing.T) {
 			got := replayTrace(t, e, ops)
 			if i == 0 {
 				ref = got
+				continue
+			}
+			if got != ref {
+				t.Fatalf("seed %d: engine %s final bytes diverge from %s",
+					seed, e.name, engines[0].name)
+			}
+		}
+	}
+}
+
+// insertIdleGaps deterministically interleaves idle ops (kind 8) into a
+// trace: one gap after every `every` real operations, rotating the idling
+// CPU.  Idle ops touch no live-set bookkeeping, so the generator's pick
+// accounting stays valid.
+func insertIdleGaps(ops []diffOp, every, ncpu int) []diffOp {
+	out := make([]diffOp, 0, len(ops)+len(ops)/every)
+	for i, op := range ops {
+		out = append(out, op)
+		if (i+1)%every == 0 {
+			out = append(out, diffOp{kind: 8, cpu: (i / every) % ncpu})
+		}
+	}
+	return out
+}
+
+// TestDifferentialIdleGaps replays revive-biased traces with idle gaps
+// interleaved, the background daemon registered on every engine that
+// supports one (the sharded cache; NewDaemon declines the global-lock and
+// original engines).  The daemon asynchronously launders parked windows
+// and refills freelists during the gaps — and must never change a single
+// observable byte: a trace with a daemon racing it must read exactly like
+// the same trace replayed cold on the other engines.
+func TestDifferentialIdleGaps(t *testing.T) {
+	plat := arch.XeonMPHTT()
+	for seed := int64(41); seed <= 43; seed++ {
+		ops := insertIdleGaps(genTraceBias(seed, plat.NumCPUs, 35), 13, plat.NumCPUs)
+		engines := newDiffEngines(t, plat)
+		var ref [diffPages]byte
+		for i, e := range engines {
+			// A short age bound so the gaps genuinely launder windows out
+			// from under the revive-heavy trace; a watermark so the gaps
+			// also run refill rounds against the trace's inactive lists.
+			if d := NewDaemon(e.sf, DaemonConfig{Watermark: 2, LaunderAge: 5000}); d != nil {
+				e.m.RegisterIdleWork(d.Run)
+			}
+			got := replayTrace(t, e, ops)
+			if i == 0 {
+				ref = got
+				ws := e.sf.(*I386).RunWindowStats()
+				if ws.AgedWindows == 0 {
+					t.Errorf("seed %d: idle gaps never aged a window out on %s — the trace is not exercising the daemon", seed, e.name)
+				}
 				continue
 			}
 			if got != ref {

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"sfbuf/internal/cycles"
 	"sfbuf/internal/kva"
 	"sfbuf/internal/pmap"
 	"sfbuf/internal/smp"
@@ -66,6 +67,18 @@ const (
 	runLaunderBatch = 8
 )
 
+// DefaultLaunderAge bounds how long a window may stay parked, in simulated
+// cycles on the machine clock (smp.Machine.Now).  Fewer than
+// runLaunderBatch parked windows never trip the count-threshold launder, so
+// without an age bound a quiet kernel would pin their frames, address
+// space, and accumulated TLB masks forever.  The bound is enforced on the
+// synchronous alloc/free path (so it holds even with no daemon running)
+// and by the background daemon's pass (so it holds even with no further
+// allocations).  Large enough that revival-economy workloads never trip it
+// between back-to-back reuses; small enough that a lull of a few million
+// cycles launders everything parked.
+const DefaultLaunderAge cycles.Cycles = 2 << 20
+
 // runWindow is one reserved VA window.  Between a FreeRun and the next
 // laundering round the window is PARKED: frames records the extent whose
 // translations are still installed (the revive key) and mask accumulates
@@ -78,6 +91,10 @@ type runWindow struct {
 	frames []uint64   // parked: the installed frame extent, revive key
 	mask   smp.CPUSet // parked: union of the lives' TLB masks
 	accScr []bool     // KRemoveRun scratch, reused across lives
+
+	// parkedAt is the machine-clock time of the most recent park; the
+	// age-bound laundering compares it against runPool.launderAge.
+	parkedAt cycles.Cycles
 }
 
 // RunWindowStats counts run-window pool events and reports the pool's
@@ -98,6 +115,17 @@ type RunWindowStats struct {
 	// coalescing factor the pool earns.
 	Launders  uint64
 	Laundered uint64
+	// AgedLaunders counts laundering rounds triggered by the parked-window
+	// age bound rather than the count threshold, and AgedWindows the
+	// windows those rounds retired.  Age-triggered rounds launder fewer
+	// than runLaunderBatch windows by design: they trade coalescing for a
+	// bound on how long a parked window pins its frames and VA.
+	AgedLaunders uint64
+	AgedWindows  uint64
+	// Trimmed counts clean windows whose address space was returned to the
+	// KVA arena by the background daemon's trim pass (the pool's
+	// contribution to address-space coalescing).
+	Trimmed uint64
 
 	// CleanPages is the usable-page total of windows on the clean lists:
 	// torn down, flushed, reusable for any extent.
@@ -125,23 +153,36 @@ type runPool struct {
 	// not.
 	forceDebt func() bool
 
-	mu       sync.Mutex
-	clean    map[int][]*runWindow
-	dirty    []*runWindow            // parked windows in free order
+	mu    sync.Mutex
+	clean map[int][]*runWindow
+	// dirty holds parked windows in park order (oldest first), so the
+	// windows past the age bound are always a prefix.
+	dirty    []*runWindow
 	dirtyIdx map[uint64][]*runWindow // frame-extent hash -> parked windows
-	stats    RunWindowStats
-	scrVpns  []uint64 // laundering scratch
-	scrMasks []smp.CPUSet
+	// launderAge is the parked-window age bound on the machine clock;
+	// 0 disables age-triggered laundering (count threshold only).
+	launderAge cycles.Cycles
+	stats      RunWindowStats
+	scrVpns    []uint64 // laundering scratch
+	scrMasks   []smp.CPUSet
 }
 
 func newRunPool(pm *pmap.Pmap, arena *kva.Arena) *runPool {
 	return &runPool{
-		pm:        pm,
-		arena:     arena,
-		forceDebt: func() bool { return false },
-		clean:     make(map[int][]*runWindow),
-		dirtyIdx:  make(map[uint64][]*runWindow),
+		pm:         pm,
+		arena:      arena,
+		forceDebt:  func() bool { return false },
+		clean:      make(map[int][]*runWindow),
+		dirtyIdx:   make(map[uint64][]*runWindow),
+		launderAge: DefaultLaunderAge,
 	}
+}
+
+// setLaunderAge overrides the parked-window age bound; 0 disables it.
+func (p *runPool) setLaunderAge(age cycles.Cycles) {
+	p.mu.Lock()
+	p.launderAge = age
+	p.mu.Unlock()
 }
 
 // ExtentHash keys the page-set window cache: an order-sensitive hash of
@@ -170,6 +211,12 @@ func (p *runPool) get(ctx *smp.Context, pages []*vm.Page) (w *runWindow, revived
 	n := len(pages)
 	ctx.ChargeLock()
 	p.mu.Lock()
+	// The age bound wins over revival: a window parked past launderAge is
+	// retired even if this very request would have revived it, so no
+	// window stays revivable-parked forever.
+	if p.launderAge > 0 && len(p.dirty) > 0 {
+		p.launderAgedLocked(ctx, ctx.Machine().Now())
+	}
 	if w := p.reviveLocked(pages); w != nil {
 		p.mu.Unlock()
 		return w, true, nil
@@ -303,9 +350,16 @@ func (p *runPool) put(ctx *smp.Context, w *runWindow, pages []*vm.Page, mask smp
 		w.frames = append(w.frames, pg.Frame())
 	}
 	w.mask |= mask
+	w.parkedAt = ctx.Machine().Now()
 	h := ExtentHash(pages)
 	p.dirtyIdx[h] = append(p.dirtyIdx[h], w)
 	p.dirty = append(p.dirty, w)
+	// Parking is also a chance to retire windows that aged out while the
+	// pool sat under the count threshold (the just-parked window has age
+	// zero and always survives).
+	if p.launderAge > 0 && len(p.dirty) > 1 {
+		p.launderAgedLocked(ctx, w.parkedAt)
+	}
 	p.mu.Unlock()
 }
 
@@ -315,11 +369,34 @@ func (p *runPool) put(ctx *smp.Context, w *runWindow, pages []*vm.Page, mask smp
 // forced flush, then moves the windows to their clean lists, reusable
 // for any extent.  Caller holds p.mu.
 func (p *runPool) launderLocked(ctx *smp.Context) {
-	if len(p.dirty) == 0 {
+	p.launderSomeLocked(ctx, len(p.dirty))
+}
+
+// launderSomeLocked launders the n oldest parked windows (the dirty-list
+// prefix) in one round: one page-table pass per window, all invalidation
+// debt retired through ONE forced shootdown flush.  Caller holds p.mu.
+func (p *runPool) launderSomeLocked(ctx *smp.Context, n int) {
+	if n > len(p.dirty) {
+		n = len(p.dirty)
+	}
+	if n <= 0 {
 		return
 	}
 	force := p.forceDebt()
-	for _, w := range p.dirty {
+	batch := p.dirty[:n]
+	for _, w := range batch {
+		// Drop the revive key first, while the parked frames are intact.
+		h := frameHash(w.frames)
+		if ws := p.dirtyIdx[h]; len(ws) == 1 && ws[0] == w {
+			delete(p.dirtyIdx, h)
+		} else {
+			for wi, cand := range ws {
+				if cand == w {
+					p.dirtyIdx[h] = append(ws[:wi], ws[wi+1:]...)
+					break
+				}
+			}
+		}
 		w.accScr = p.pm.KRemoveRun(ctx, w.base, w.pages, w.accScr[:0])
 		vpn0 := pmap.VPN(w.base)
 		p.scrVpns, p.scrMasks = p.scrVpns[:0], p.scrMasks[:0]
@@ -335,14 +412,89 @@ func (p *runPool) launderLocked(ctx *smp.Context) {
 	}
 	ctx.FlushShootdowns()
 	p.stats.Launders++
-	p.stats.Laundered += uint64(len(p.dirty))
-	for _, w := range p.dirty {
+	p.stats.Laundered += uint64(n)
+	for _, w := range batch {
 		p.clean[w.pages] = append(p.clean[w.pages], w)
 	}
-	p.dirty = p.dirty[:0]
-	for h := range p.dirtyIdx {
-		delete(p.dirtyIdx, h)
+	p.dirty = append(p.dirty[:0], p.dirty[n:]...)
+}
+
+// launderAgedLocked launders the parked windows whose age at time now
+// meets the pool's age bound.  The dirty list is in park order, so they
+// form a prefix.  Caller holds p.mu.  Returns how many were laundered.
+func (p *runPool) launderAgedLocked(ctx *smp.Context, now cycles.Cycles) int {
+	if p.launderAge <= 0 {
+		return 0
 	}
+	cut := 0
+	for cut < len(p.dirty) && now-p.dirty[cut].parkedAt >= p.launderAge {
+		cut++
+	}
+	if cut == 0 {
+		return 0
+	}
+	p.stats.AgedLaunders++
+	p.stats.AgedWindows += uint64(cut)
+	p.launderSomeLocked(ctx, cut)
+	return cut
+}
+
+// launderAged runs an age-bound laundering round outside the allocation
+// path — the background daemon's entry point.
+func (p *runPool) launderAged(ctx *smp.Context) int {
+	ctx.ChargeLock()
+	p.mu.Lock()
+	n := 0
+	if len(p.dirty) > 0 {
+		n = p.launderAgedLocked(ctx, ctx.Machine().Now())
+	}
+	p.mu.Unlock()
+	return n
+}
+
+// trimClean returns surplus clean windows' address space to the KVA arena,
+// keeping at most keep windows per size class.  Laundering deliberately
+// never does this (a clean window is warm stock); the background daemon
+// does, so a load spike's window population shrinks back during lulls and
+// the arena's free ranges re-coalesce.  Returns how many windows were
+// freed.
+func (p *runPool) trimClean(ctx *smp.Context, keep int) int {
+	ctx.ChargeLock()
+	p.mu.Lock()
+	sizes := make([]int, 0, len(p.clean))
+	for size := range p.clean {
+		if len(p.clean[size]) > keep {
+			sizes = append(sizes, size)
+		}
+	}
+	sort.Ints(sizes) // deterministic free order
+	freed := 0
+	for _, size := range sizes {
+		ws := p.clean[size]
+		for len(ws) > keep {
+			w := ws[len(ws)-1]
+			ws = ws[:len(ws)-1]
+			p.arena.Free(w.base)
+			freed++
+		}
+		p.clean[size] = ws
+	}
+	if freed > 0 {
+		p.stats.Trimmed += uint64(freed)
+	}
+	p.mu.Unlock()
+	return freed
+}
+
+// frameHash is ExtentHash over an already-extracted frame sequence (the
+// parked window's revive key).
+func frameHash(frames []uint64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, f := range frames {
+		h ^= f
+		h *= 1099511628211
+	}
+	return h
 }
 
 // launder forces a laundering round outside the allocation path — a test

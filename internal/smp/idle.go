@@ -1,0 +1,68 @@
+package smp
+
+import "sfbuf/internal/cycles"
+
+// Idle-tick hook: the machine's model of a CPU having nothing to do for a
+// stretch of simulated time.  A workload harness calls Idle(cpu, dur) for
+// each lull; registered idle work (the background reclaim daemon) runs on
+// that CPU and is charged normally — its locks, walks and IPIs are as real
+// as the workload's — but the cycles it burns come out of the idle stretch
+// instead of workload time.  Whatever the work does not consume still
+// advances the simulated clock, so parked-state age bounds see idle time
+// pass even on a machine doing nothing.
+
+// IdleWork is background maintenance run during idle ticks.  It executes
+// on the idling CPU's context and should stop on its own once it has
+// charged roughly budget cycles; Idle tolerates overrun but the overrun
+// extends the tick.
+type IdleWork func(ctx *Context, budget cycles.Cycles)
+
+// RegisterIdleWork installs fn as the machine's idle-tick hook, replacing
+// any previous hook.  Pass nil to disable.
+func (m *Machine) RegisterIdleWork(fn IdleWork) {
+	m.idleMu.Lock()
+	m.idleWork = fn
+	m.idleMu.Unlock()
+}
+
+// Now returns the machine's simulated clock: every cycle any CPU has ever
+// consumed, plus idle time, monotonic across ResetCounters.  It is a
+// global (not per-CPU) clock, which is what age bounds want: a window
+// parked by CPU 0 must age while CPU 1 does all the work.
+func (m *Machine) Now() cycles.Cycles {
+	return cycles.Cycles(m.clockBase.Load()) + m.TotalCycles()
+}
+
+// Idle models cpu being idle for dur cycles.  If idle work is registered
+// it runs on that CPU with dur as its budget; the cycles it charged are
+// measured and the unconsumed remainder is credited straight to the
+// simulated clock, so Now() advances by at least dur either way.  Returns
+// the cycles the idle work consumed.
+func (m *Machine) Idle(cpu int, dur cycles.Cycles) cycles.Cycles {
+	if dur <= 0 {
+		return 0
+	}
+	m.idleMu.Lock()
+	work := m.idleWork
+	m.idleMu.Unlock()
+
+	var spent cycles.Cycles
+	if work != nil {
+		c := m.cpus[cpu]
+		before := c.Cycles()
+		work(m.Ctx(cpu), dur)
+		spent = c.Cycles() - before
+		if spent < 0 {
+			spent = 0 // a concurrent ResetCounters raced the tick
+		}
+		if spent > dur {
+			spent = dur // overrun extends the tick but not the credit
+		}
+		m.counters.DaemonCycles.Add(int64(spent))
+	}
+	if rest := dur - spent; rest > 0 {
+		m.clockBase.Add(int64(rest))
+	}
+	m.counters.IdleCycles.Add(int64(dur))
+	return spent
+}

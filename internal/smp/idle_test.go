@@ -1,0 +1,145 @@
+package smp
+
+import (
+	"testing"
+
+	"sfbuf/internal/arch"
+	"sfbuf/internal/cycles"
+)
+
+// TestNowMonotonicAcrossReset: ResetCounters zeroes the per-CPU cycle
+// counters for measurement, but the machine clock must keep ticking —
+// age bounds compare against it across measurement windows.
+func TestNowMonotonicAcrossReset(t *testing.T) {
+	m := NewMachine(arch.XeonMP(), 16, true)
+	m.Ctx(0).Charge(500)
+	m.Ctx(1).Charge(250)
+	before := m.Now()
+	if before < 750 {
+		t.Fatalf("Now = %d before reset, want >= 750", before)
+	}
+	m.ResetCounters()
+	if got := m.TotalCycles(); got != 0 {
+		t.Fatalf("TotalCycles = %d after reset, want 0", got)
+	}
+	if after := m.Now(); after < before {
+		t.Fatalf("Now went backwards across ResetCounters: %d -> %d", before, after)
+	}
+	m.Ctx(0).Charge(100)
+	if got := m.Now(); got < before+100 {
+		t.Fatalf("Now = %d, want >= %d (clock keeps accumulating)", got, before+100)
+	}
+}
+
+// TestIdleWithoutWork: an idle tick on a machine with no registered work
+// is pure clock advance — exactly dur, all of it idle, none of it daemon.
+func TestIdleWithoutWork(t *testing.T) {
+	m := NewMachine(arch.XeonMP(), 16, true)
+	before := m.Now()
+	if spent := m.Idle(0, 1000); spent != 0 {
+		t.Fatalf("Idle spent %d with no work registered, want 0", spent)
+	}
+	if got := m.Now(); got != before+1000 {
+		t.Fatalf("Now advanced by %d, want exactly 1000", got-before)
+	}
+	c := m.Counters()
+	if got := c.IdleCycles.Load(); got != 1000 {
+		t.Fatalf("IdleCycles = %d, want 1000", got)
+	}
+	if got := c.DaemonCycles.Load(); got != 0 {
+		t.Fatalf("DaemonCycles = %d, want 0", got)
+	}
+	if m.Idle(0, 0) != 0 || m.Idle(0, -5) != 0 {
+		t.Fatal("zero/negative ticks must be no-ops")
+	}
+}
+
+// TestIdleChargesWorkAgainstTick: work that consumes part of the budget is
+// charged as daemon cycles, and the unconsumed remainder still advances
+// the clock — the tick costs dur wall-clock no matter how much the work
+// used.
+func TestIdleChargesWorkAgainstTick(t *testing.T) {
+	m := NewMachine(arch.XeonMP(), 16, true)
+	m.RegisterIdleWork(func(ctx *Context, budget cycles.Cycles) {
+		ctx.Charge(300)
+	})
+	before := m.Now()
+	if spent := m.Idle(0, 1000); spent != 300 {
+		t.Fatalf("Idle spent %d, want 300", spent)
+	}
+	if got := m.Now(); got != before+1000 {
+		t.Fatalf("Now advanced by %d, want exactly 1000 (300 charged + 700 credited)", got-before)
+	}
+	c := m.Counters()
+	if got := c.DaemonCycles.Load(); got != 300 {
+		t.Fatalf("DaemonCycles = %d, want 300", got)
+	}
+	if got := c.IdleCycles.Load(); got != 1000 {
+		t.Fatalf("IdleCycles = %d, want 1000", got)
+	}
+	// The charged cycles ran on the idling CPU, not out of thin air.
+	if got := m.Ctx(0).CPU().Cycles(); got != 300 {
+		t.Fatalf("CPU 0 cycles = %d, want 300", got)
+	}
+}
+
+// TestIdleOverrunClamped: work that blows past its budget extends the tick
+// (its cycles are real) but the daemon charge and the return value are
+// clamped to the budget, so IdleCycles never under-reports a lull and the
+// credit never goes negative.
+func TestIdleOverrunClamped(t *testing.T) {
+	m := NewMachine(arch.XeonMP(), 16, true)
+	m.RegisterIdleWork(func(ctx *Context, budget cycles.Cycles) {
+		ctx.Charge(5000)
+	})
+	before := m.Now()
+	if spent := m.Idle(0, 1000); spent != 1000 {
+		t.Fatalf("Idle spent %d, want clamp to budget 1000", spent)
+	}
+	// All 5000 charged cycles are on the clock; no extra credit on top.
+	if got := m.Now(); got != before+5000 {
+		t.Fatalf("Now advanced by %d, want 5000 (overrun extends the tick)", got-before)
+	}
+	if got := m.Counters().DaemonCycles.Load(); got != 1000 {
+		t.Fatalf("DaemonCycles = %d, want clamp to 1000", got)
+	}
+}
+
+// TestRegisterIdleWorkReplaceAndDisable: registration replaces the
+// previous hook, nil disables it.
+func TestRegisterIdleWorkReplaceAndDisable(t *testing.T) {
+	m := NewMachine(arch.XeonMP(), 16, true)
+	ran := 0
+	m.RegisterIdleWork(func(ctx *Context, budget cycles.Cycles) { ran = 1 })
+	m.RegisterIdleWork(func(ctx *Context, budget cycles.Cycles) { ran = 2 })
+	m.Idle(0, 100)
+	if ran != 2 {
+		t.Fatalf("ran = %d, want the replacement hook", ran)
+	}
+	m.RegisterIdleWork(nil)
+	ran = 0
+	m.Idle(0, 100)
+	if ran != 0 {
+		t.Fatal("nil registration must disable idle work")
+	}
+}
+
+// TestIdleCountersSurviveSnapshot: the new counters ride the snapshot/sub
+// plumbing like every other counter.
+func TestIdleCountersSurviveSnapshot(t *testing.T) {
+	m := NewMachine(arch.XeonMP(), 16, true)
+	m.Idle(0, 700)
+	snap := m.SnapshotCounters()
+	if snap.IdleCycles != 700 {
+		t.Fatalf("snapshot IdleCycles = %d, want 700", snap.IdleCycles)
+	}
+	m.Idle(0, 300)
+	diff := m.SnapshotCounters().Sub(snap)
+	if diff.IdleCycles != 300 {
+		t.Fatalf("diff IdleCycles = %d, want 300", diff.IdleCycles)
+	}
+	m.ResetCounters()
+	if got := m.Counters().IdleCycles.Load(); got != 0 {
+		t.Fatalf("IdleCycles = %d after reset, want 0", got)
+	}
+}

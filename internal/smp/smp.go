@@ -101,6 +101,14 @@ type Counters struct {
 	// translate path.  Walks per page is the economy metric the
 	// contiguous-run work targets.
 	PTWalks atomic.Uint64
+	// IdleCycles accumulates the durations passed to Machine.Idle, and
+	// DaemonCycles the portion the registered idle work actually consumed.
+	// Daemon work is charged to the idling CPU like any other kernel work
+	// (its locks and IPIs are real), but it displaces idle time, not
+	// workload time; these two counters let a harness separate the
+	// machine's busy cycles from its background-maintenance cycles.
+	IdleCycles   atomic.Int64
+	DaemonCycles atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -114,6 +122,8 @@ type Snapshot struct {
 	BatchedInv      uint64
 	LockAcq         uint64
 	PTWalks         uint64
+	IdleCycles      int64
+	DaemonCycles    int64
 }
 
 // Sub returns the event deltas since an earlier snapshot.
@@ -128,6 +138,8 @@ func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 		BatchedInv:      s.BatchedInv - earlier.BatchedInv,
 		LockAcq:         s.LockAcq - earlier.LockAcq,
 		PTWalks:         s.PTWalks - earlier.PTWalks,
+		IdleCycles:      s.IdleCycles - earlier.IdleCycles,
+		DaemonCycles:    s.DaemonCycles - earlier.DaemonCycles,
 	}
 }
 
@@ -142,6 +154,18 @@ type Machine struct {
 	sdBatch atomic.Int64
 
 	counters Counters
+
+	// clockBase carries the simulated-time contribution of idle periods
+	// and of per-CPU cycle counters zeroed by ResetCounters, so that
+	// Now() is monotonic across counter resets and idle gaps.  Without
+	// it, a harness reset would make parked-window age stamps appear to
+	// come from the future.
+	clockBase atomic.Int64
+
+	// idleWork is the background-maintenance hook run by Idle (the
+	// modeled per-CPU reclaim daemon registers here).
+	idleMu   sync.Mutex
+	idleWork IdleWork
 }
 
 // NewMachine builds a machine for the given platform with frames pages of
@@ -210,11 +234,14 @@ func (m *Machine) SnapshotCounters() Snapshot {
 		BatchedInv:      m.counters.BatchedInv.Load(),
 		LockAcq:         m.counters.LockAcq.Load(),
 		PTWalks:         m.counters.PTWalks.Load(),
+		IdleCycles:      m.counters.IdleCycles.Load(),
+		DaemonCycles:    m.counters.DaemonCycles.Load(),
 	}
 }
 
 // ResetCounters zeroes coherence counters and per-CPU cycle counters;
-// experiment harnesses call it between runs.
+// experiment harnesses call it between runs.  The zeroed cycles are
+// folded into clockBase first so Now() never runs backwards.
 func (m *Machine) ResetCounters() {
 	m.counters.LocalInv.Store(0)
 	m.counters.RemoteInvIssued.Store(0)
@@ -225,8 +252,10 @@ func (m *Machine) ResetCounters() {
 	m.counters.BatchedInv.Store(0)
 	m.counters.LockAcq.Store(0)
 	m.counters.PTWalks.Store(0)
+	m.counters.IdleCycles.Store(0)
+	m.counters.DaemonCycles.Store(0)
 	for _, c := range m.cpus {
-		c.cycles.Store(0)
+		m.clockBase.Add(c.cycles.Swap(0))
 	}
 }
 

@@ -62,6 +62,13 @@ type (
 	// reports its live capacity gauges (clean vs parked pages, largest
 	// free arena run).
 	RunWindowStats = sfbuf.RunWindowStats
+	// DaemonStats counts the background reclaim-and-laundering daemon's
+	// activity (idle passes, watermark refill rounds, age-triggered
+	// window laundering, clean-window trims), reported by
+	// Kernel.DaemonStats.  The daemon is configured through
+	// Config.ReclaimWatermark and Config.LaunderAge and driven by
+	// Kernel.Idle.
+	DaemonStats = sfbuf.DaemonStats
 )
 
 // Alloc flags (Section 4.1).
