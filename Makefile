@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke fuzz bench bench-contended bench-batch bench-run bench-adaptive bench-contig bench-serve bench-reclaim docs lint vet fmt ci clean
+.PHONY: all build test race fuzz-smoke fuzz bench bench-contended bench-batch bench-run bench-adaptive bench-contig bench-serve bench-reclaim bench-numa docs lint vet fmt ci clean
 
 all: build test
 
@@ -66,6 +66,13 @@ bench-serve:
 bench-reclaim:
 	$(GO) test -run '^$$' -bench BenchmarkReclaim -benchtime 1x .
 	$(GO) test -run TestReclaimEconomy -v -timeout 300s ./internal/experiments
+
+# NUMA economy: socket-homed vs hash-striped mapping state on the
+# modeled two- and four-package machines — cross-package lock
+# acquisitions and teardown IPIs per op, at no cycle regression.
+bench-numa:
+	$(GO) test -run '^$$' -bench BenchmarkAllocNUMA -benchtime 1x .
+	$(GO) test -run TestNUMAEconomy -v -timeout 300s ./internal/experiments
 
 # Documentation gate: package comments on every package, docs links
 # resolve.  Mirrors the CI docs step.

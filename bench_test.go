@@ -247,6 +247,55 @@ func BenchmarkReclaim(b *testing.B) {
 		"steady_cyc_op/daemon", "steady_cyc_op/on-demand")
 }
 
+// BenchmarkAllocNUMA is make bench-numa's driving benchmark: the numa
+// experiment's two-phase churn (hit-dominated hot set, then a cold sweep
+// that forces reclaim) on a two-package Xeon, once with socket-homed
+// mapping state and once with the flat hash-striped layout.  Wall-clock
+// ns/op is the simulator's own cost; the metrics that matter are the
+// cross-package lock acquisitions and teardown IPIs per operation, which
+// homing exists to eliminate.
+func BenchmarkAllocNUMA(b *testing.B) {
+	cases := []struct {
+		name   string
+		homing kernel.HomingPolicy
+	}{
+		{"homed", kernel.HomingAuto},
+		{"striped", kernel.HomingOff},
+	}
+	const (
+		sockets = 2
+		entries = 256
+	)
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			k := kernel.MustBoot(kernel.Config{
+				Platform:     arch.XeonNUMA(sockets, 2),
+				Mapper:       kernel.SFBuf,
+				Cache:        kernel.CacheSharded,
+				PhysPages:    8*entries + 128,
+				CacheEntries: entries,
+				Sockets:      sockets,
+				Homing:       c.homing,
+			})
+			b.ResetTimer()
+			done, err := experiments.ChurnNUMA(k, entries, b.N)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ops := float64(done)
+			if ops == 0 {
+				return
+			}
+			cnt := k.M.SnapshotCounters()
+			b.ReportMetric(float64(cnt.RemoteLockAcq)/ops, "rlocks/op")
+			b.ReportMetric(float64(cnt.RemoteIPIs)/ops, "rIPIs/op")
+			b.ReportMetric(float64(cnt.LockAcq)/ops, "locks/op")
+			b.ReportMetric(float64(k.M.TotalCycles())/ops, "simcycles/op")
+		})
+	}
+}
+
 // BenchmarkAllocContended hammers Alloc/touch/Free from one goroutine per
 // virtual CPU over a working set larger than the cache — the workload the
 // sharded engine exists for.  Wall-clock ns/op measures real lock
@@ -638,6 +687,7 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		"scale":    true, // covered by BenchmarkScaleExperiment + BenchmarkAllocContended
 		"serve":    true, // covered by BenchmarkServe
 		"reclaim":  true, // covered by BenchmarkReclaim
+		"numa":     true, // covered by BenchmarkAllocNUMA
 	}
 	for _, id := range experiments.IDs() {
 		if !covered[id] {

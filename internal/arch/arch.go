@@ -21,7 +21,11 @@
 // see EXPERIMENTS.md for the calibration discussion.
 package arch
 
-import "sfbuf/internal/cycles"
+import (
+	"fmt"
+
+	"sfbuf/internal/cycles"
+)
 
 // ID identifies a simulated processor architecture.
 type ID int
@@ -113,6 +117,19 @@ type CostModel struct {
 	// from the memory disk's worker thread.  Both kernels pay it; it is
 	// why disk-dump gains (Figures 4 and 6) are smaller than pipe gains.
 	BioFixed cycles.Cycles
+	// RemoteLockExtra is the surcharge on LockUncontended when the lock's
+	// cache line is homed on another socket: the acquire must pull the
+	// line across the package interconnect.  Charged only on multi-socket
+	// topologies (smp.Context.ChargeLockAt).
+	RemoteLockExtra cycles.Cycles
+	// RemoteIPIExtra is the initiator's additional wait per shootdown
+	// target on another socket: a cross-package interrupt is delivered
+	// over the interconnect, not the shared APIC bus.
+	RemoteIPIExtra cycles.Cycles
+	// RemoteMemPerByte is the per-byte surcharge for copies, zeroing, and
+	// checksums against a frame homed on another socket (the NUMA remote
+	// access penalty), on top of CopyPerByte/ChecksumPerByte.
+	RemoteMemPerByte float64
 }
 
 // xeonCosts is the i386 cost model, seeded from the paper's Xeon numbers.
@@ -138,6 +155,9 @@ func xeonCosts() CostModel {
 		PageWire:               180,
 		Syscall:                1100,
 		BioFixed:               52000,
+		RemoteLockExtra:        280,
+		RemoteIPIExtra:         2500,
+		RemoteMemPerByte:       0.65,
 	}
 }
 
@@ -166,6 +186,9 @@ func opteronCosts() CostModel {
 		PageWire:               90,
 		Syscall:                600,
 		BioFixed:               22000,
+		RemoteLockExtra:        120,
+		RemoteIPIExtra:         700,
+		RemoteMemPerByte:       0.28,
 	}
 }
 
@@ -279,6 +302,41 @@ func XeonMPHTT() Platform {
 	p.MPKernel = true
 	p.RemoteShootdownWait = 13500
 	p.SMTSpeedup = 1.25
+	return p
+}
+
+// XeonNUMA is a parameterized multi-package Xeon: sockets packages of
+// cpusPerSocket hyper-threaded virtual CPUs each, sharing the Xeon-MP-HTT
+// cost model and its cross-package shootdown wait.  It exists for the
+// NUMA-modeled experiments, which need 2- and 4-socket machines the
+// paper's fixed evaluation set cannot express; pairing it with
+// kernel.Config.Sockets = sockets makes the package boundaries visible to
+// the cost model (remote locks, IPIs, and memory).  SMT siblings share a
+// core, so Cores groups CPU ids in pairs when cpusPerSocket is even.
+func XeonNUMA(sockets, cpusPerSocket int) Platform {
+	if sockets < 1 {
+		sockets = 1
+	}
+	if cpusPerSocket < 1 {
+		cpusPerSocket = 1
+	}
+	n := sockets * cpusPerSocket
+	p := XeonUP()
+	p.Name = fmt.Sprintf("Xeon-NUMA-%dx%d", sockets, cpusPerSocket)
+	p.NumCPUs = n
+	p.MPKernel = true
+	p.RemoteShootdownWait = 13500
+	p.SMTSpeedup = 1.25
+	p.Cores = nil
+	for i := 0; i < n; {
+		if cpusPerSocket%2 == 0 {
+			p.Cores = append(p.Cores, []int{i, i + 1})
+			i += 2
+		} else {
+			p.Cores = append(p.Cores, []int{i})
+			i++
+		}
+	}
 	return p
 }
 

@@ -9,6 +9,7 @@ import (
 	"sfbuf/internal/arch"
 	"sfbuf/internal/kernel"
 	"sfbuf/internal/pmap"
+	"sfbuf/internal/smp"
 	"sfbuf/internal/vm"
 )
 
@@ -29,31 +30,63 @@ import (
 // reboot — while the buddy allocator has coalesced back to maximal
 // blocks; the two allocators' contrasting futures from an identical
 // churn history are exactly what the recovery harness measures.  The
-// churn is deterministic for a given pool.
+// churn is deterministic for a given pool, and respects the booted
+// machine's socket topology (FragmentPhysOn).
 func FragmentPhys(k *kernel.Kernel) error {
-	phys := k.M.Phys
+	return FragmentPhysOn(k.M.Phys, k.M.Topology())
+}
+
+// FragmentPhysOn is the topology-aware fragmentation churn.  On a flat
+// machine it drains the pool with plain AllocN, byte-for-byte the
+// historical behavior.  On a multi-package machine it drains each
+// socket's frames in turn with AllocNOn — group sizes clamped to the
+// socket's own free count so no group spills across packages — because a
+// homed pool fragments per socket: churning only through the global
+// allocator would let spill-over launder one package's fragmentation
+// through another's free lists.  The freeing shuffle stays global; Free
+// is address-routed, so every frame still coalesces back into its home
+// socket's buddy lists.
+func FragmentPhysOn(phys *vm.PhysMem, topo smp.Topology) error {
 	rng := uint64(0x9E3779B97F4A7C15)
 	next := func(n int) int {
 		rng = rng*6364136223846793005 + 1442695040888963407
 		return int((rng >> 33) % uint64(n))
 	}
+	sockets := topo.Sockets
+	if sockets < 1 {
+		sockets = 1
+	}
 	var groups [][]*vm.Page
-	for {
-		n := 1 + next(13)
-		if free := phys.FreeFrames(); n > free {
-			if free == 0 {
-				break
+	for s := 0; s < sockets; s++ {
+		freeOn := func() int {
+			if sockets == 1 {
+				return phys.FreeFrames()
 			}
-			n = free
+			return phys.PhysStats().FreeBySocket[s]
 		}
-		pages, err := phys.AllocN(n)
-		if err != nil {
-			if errors.Is(err, vm.ErrNoMemory) {
-				break
+		for {
+			n := 1 + next(13)
+			if free := freeOn(); n > free {
+				if free == 0 {
+					break
+				}
+				n = free
 			}
-			return err
+			var pages []*vm.Page
+			var err error
+			if sockets == 1 {
+				pages, err = phys.AllocN(n)
+			} else {
+				pages, err = phys.AllocNOn(s, n)
+			}
+			if err != nil {
+				if errors.Is(err, vm.ErrNoMemory) {
+					break
+				}
+				return err
+			}
+			groups = append(groups, pages)
 		}
-		groups = append(groups, pages)
 	}
 	for i := len(groups) - 1; i > 0; i-- {
 		j := next(i + 1)

@@ -42,22 +42,28 @@ func RunReclaim(o Options) (*Result, error) {
 			"each trial fills and frees the whole cache, idles one tick, then times a burst of never-mapped pages",
 			"on-demand = Config.ReclaimWatermark < 0: reclaim only on allocation-miss shortage (the paper's behaviour)",
 			"steady rows run the scale experiment's vectored churn with no idle: daemon wiring must cost nothing while busy",
+			"daemon-2s runs the daemon arm on a 2-package NUMA Xeon with socket-homed state (Config.Sockets=2)",
 		},
 	}
 
-	plat := arch.XeonMPHTT()
 	entries := o.scaleInt(256, 64)
 	trials := o.scaleInt(240, 48)
 
 	for _, arm := range []struct {
-		name string
-		wm   int
+		name    string
+		wm      int
+		plat    arch.Platform
+		sockets int
 	}{
-		{"daemon", 0},
-		{"on-demand", -1},
+		{"daemon", 0, arch.XeonMPHTT(), 1},
+		{"on-demand", -1, arch.XeonMPHTT(), 1},
+		// The same daemon arm on a 2-package machine with socket-homed
+		// state: the refill must ride idle time there too, each package's
+		// daemon restocking from its own socket's frames.
+		{"daemon-2s", 0, arch.XeonNUMA(2, 2), 2},
 	} {
 		for _, probe := range []int{1, ScaleBatch} {
-			lats, err := idleSpikeTrials(plat, entries, trials, probe, arm.wm)
+			lats, err := idleSpikeTrials(arm.plat, arm.sockets, entries, trials, probe, arm.wm)
 			if err != nil {
 				return nil, fmt.Errorf("reclaim %s/%d: %w", arm.name, probe, err)
 			}
@@ -83,7 +89,7 @@ func RunReclaim(o Options) (*Result, error) {
 
 		// Steady state: the same engine under continuous vectored churn,
 		// no idle ticks — the daemon never runs, and must cost nothing.
-		cycOp, err := steadyChurn(o, plat, entries, arm.wm)
+		cycOp, err := steadyChurn(o, arm.plat, arm.sockets, entries, arm.wm)
 		if err != nil {
 			return nil, fmt.Errorf("reclaim steady %s: %w", arm.name, err)
 		}
@@ -97,11 +103,13 @@ func RunReclaim(o Options) (*Result, error) {
 }
 
 // idleSpikeTrials runs the fill/free/idle/probe loop on one arm and
-// returns the per-trial probe latencies.  The workload is single-CPU and
+// returns the per-trial probe latencies.  The machine's socket topology
+// is a parameter, not an assumption: sockets > 1 boots the partitioned
+// pool and socket-homed state.  The workload is single-CPU and
 // deterministic: every trial leaves the cache in the same state (all
 // buffers referenced by the fill, then all inactive), so the latency
 // distribution is a property of the arm, not of scheduling.
-func idleSpikeTrials(plat arch.Platform, entries, trials, probe, watermark int) ([]cycles.Cycles, error) {
+func idleSpikeTrials(plat arch.Platform, sockets, entries, trials, probe, watermark int) ([]cycles.Cycles, error) {
 	k, err := kernel.Boot(kernel.Config{
 		Platform:         plat,
 		Mapper:           kernel.SFBuf,
@@ -109,6 +117,7 @@ func idleSpikeTrials(plat arch.Platform, entries, trials, probe, watermark int) 
 		PhysPages:        entries + trials*probe + 256,
 		CacheEntries:     entries,
 		ReclaimWatermark: watermark,
+		Sockets:          sockets,
 	})
 	if err != nil {
 		return nil, err
@@ -167,8 +176,9 @@ func idleSpikeTrials(plat arch.Platform, entries, trials, probe, watermark int) 
 }
 
 // steadyChurn measures simulated cycles per page-op of the scale
-// experiment's vectored churn on one arm, with no idle ticks.
-func steadyChurn(o Options, plat arch.Platform, entries, watermark int) (float64, error) {
+// experiment's vectored churn on one arm, with no idle ticks.  Like the
+// spike trials it takes the socket topology as a parameter.
+func steadyChurn(o Options, plat arch.Platform, sockets, entries, watermark int) (float64, error) {
 	k, err := kernel.Boot(kernel.Config{
 		Platform:         plat,
 		Mapper:           kernel.SFBuf,
@@ -176,6 +186,7 @@ func steadyChurn(o Options, plat arch.Platform, entries, watermark int) (float64
 		PhysPages:        8*entries + 128,
 		CacheEntries:     entries,
 		ReclaimWatermark: watermark,
+		Sockets:          sockets,
 	})
 	if err != nil {
 		return 0, err

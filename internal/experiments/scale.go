@@ -40,14 +40,16 @@ func RunScale(o Options) (*Result, error) {
 		ID:    "scale",
 		Title: "Contended Alloc/Free: sharded vs. global-lock vs. original (Xeon 4-way)",
 		Columns: []string{"variant", "ops", "hit rate", "local/1k ops",
-			"remote rounds/1k ops", "IPIs/1k ops", "locks/op", "walks/op",
-			"tlb/op", "coalesce", "contig%"},
+			"remote rounds/1k ops", "IPIs/1k ops", "locks/op", "rlocks/op",
+			"rIPIs/op", "walks/op", "tlb/op", "coalesce", "contig%"},
 		Notes: []string{
 			"working set is 4x the cache so every shared reuse of the global cache pays a shootdown round",
 			"coalesce = invalidations retired per batched flush (sharded engine only)",
 			"walks/op = page-table walks per page touched; run rows pay one walk per contiguous run",
 			"tlb/op = TLB entries filled per page touched (base + superpage entries)",
 			"frag rows churn FRESH physical extents after a fragmentation-churn warmup; contig% is the fraction served physically contiguous (buddy allocator coalesces, LIFO never recovers)",
+			"rlocks/op and rIPIs/op are cross-package lock acquisitions and IPI deliveries; zero on the flat single-package machine",
+			"N-socket rows run the same shared churn on 2- and 4-package NUMA Xeons, socket-homed vs. hash-striped state",
 		},
 	}
 
@@ -177,6 +179,49 @@ func RunScale(o Options) (*Result, error) {
 		}
 		scaleRow(res, k, ir.name, done, "-")
 	}
+
+	// Multi-package rows: the same shared churn on 2- and 4-socket NUMA
+	// Xeons, sharded engine, once with the mapping state socket-homed and
+	// once hash-striped.  The rlocks/op and rIPIs/op columns — zero
+	// everywhere above — light up here: the striped layout's shard homes
+	// fall round-robin across packages, so most lock round trips cross the
+	// interconnect; the homed layout keeps them inside the package except
+	// where the shared working set genuinely crosses sockets.  The numa
+	// experiment isolates the placement effect on a socket-local workload;
+	// these rows show it under the scale churn's worst-case sharing.
+	for _, sockets := range []int{2, 4} {
+		for _, hp := range []struct {
+			name   string
+			homing kernel.HomingPolicy
+		}{
+			{"homed", kernel.HomingAuto},
+			{"striped", kernel.HomingOff},
+		} {
+			cfg := kernel.Config{
+				Platform:     arch.XeonNUMA(sockets, 2),
+				Mapper:       kernel.SFBuf,
+				Cache:        kernel.CacheSharded,
+				PhysPages:    8*entries + 128,
+				CacheEntries: entries,
+				Sockets:      sockets,
+				Homing:       hp.homing,
+			}
+			k, err := kernel.Boot(cfg)
+			if err != nil {
+				return nil, err
+			}
+			pages, err := k.M.Phys.AllocN(4 * entries)
+			if err != nil {
+				return nil, err
+			}
+			name := fmt.Sprintf("sf_buf sharded %s %d-socket", hp.name, sockets)
+			done, err := Churn(k, pages, ops)
+			if err != nil {
+				return nil, fmt.Errorf("scale %s: %w", name, err)
+			}
+			scaleRow(res, k, name, done, "-")
+		}
+	}
 	return res, nil
 }
 
@@ -191,6 +236,8 @@ func scaleRow(res *Result, k *kernel.Kernel, name string, done int, contigCol st
 		coalesce = float64(s.BatchedInv) / float64(s.BatchedFlushes)
 	}
 	locksPerOp := float64(s.LockAcq) / float64(done)
+	rlocksPerOp := float64(s.RemoteLockAcq) / float64(done)
+	ripisPerOp := float64(s.RemoteIPIs) / float64(done)
 	walksPerOp := float64(s.PTWalks) / float64(done)
 	var tlbTouched uint64
 	for cpu := 0; cpu < k.M.NumCPUs(); cpu++ {
@@ -202,6 +249,7 @@ func scaleRow(res *Result, k *kernel.Kernel, name string, done int, contigCol st
 		name, fmt.Sprintf("%d", done), fmt.Sprintf("%.2f", st.HitRate()),
 		fmtF(perK(s.LocalInv)), fmtF(perK(s.RemoteInvIssued)),
 		fmtF(perK(s.IPIsDelivered)), fmt.Sprintf("%.2f", locksPerOp),
+		fmt.Sprintf("%.4f", rlocksPerOp), fmt.Sprintf("%.4f", ripisPerOp),
 		fmt.Sprintf("%.3f", walksPerOp), fmt.Sprintf("%.3f", tlbPerOp),
 		fmtF(coalesce), contigCol,
 	})
@@ -211,6 +259,8 @@ func scaleRow(res *Result, k *kernel.Kernel, name string, done int, contigCol st
 	res.SetMetric("hitrate/"+name, st.HitRate())
 	res.SetMetric("coalesce/"+name, coalesce)
 	res.SetMetric("locks_per_op/"+name, locksPerOp)
+	res.SetMetric("remote_locks_per_op/"+name, rlocksPerOp)
+	res.SetMetric("remote_ipis_per_op/"+name, ripisPerOp)
 	res.SetMetric("walks_per_op/"+name, walksPerOp)
 	res.SetMetric("tlb_per_op/"+name, tlbPerOp)
 }

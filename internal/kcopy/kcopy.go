@@ -34,7 +34,7 @@ func CopyIn(ctx *smp.Context, pm *pmap.Pmap, kva uint64, src []byte) error {
 		if d := pg.Data(); d != nil {
 			copy(d[off:off+n], src[:n])
 		}
-		ctx.ChargeBytes(ctx.Cost().CopyPerByte, n)
+		ctx.ChargeBytesAt(ctx.Cost().CopyPerByte, n, pg.Frame())
 		src = src[n:]
 		kva += uint64(n)
 	}
@@ -59,7 +59,7 @@ func CopyOut(ctx *smp.Context, pm *pmap.Pmap, dst []byte, kva uint64) error {
 				dst[i] = 0
 			}
 		}
-		ctx.ChargeBytes(ctx.Cost().CopyPerByte, n)
+		ctx.ChargeBytesAt(ctx.Cost().CopyPerByte, n, pg.Frame())
 		dst = dst[n:]
 		kva += uint64(n)
 	}
@@ -161,7 +161,7 @@ func copyRun(ctx *smp.Context, pm *pmap.Pmap, r *sfbuf.Run, off int, buf []byte,
 				buf[i] = 0
 			}
 		}
-		ctx.ChargeBytes(ctx.Cost().CopyPerByte, n)
+		ctx.ChargeBytesAt(ctx.Cost().CopyPerByte, n, pg.Frame())
 		buf = buf[n:]
 		po = 0
 	}
@@ -182,7 +182,7 @@ func Zero(ctx *smp.Context, pm *pmap.Pmap, kva uint64, n int) error {
 				d[i] = 0
 			}
 		}
-		ctx.ChargeBytes(ctx.Cost().CopyPerByte, c)
+		ctx.ChargeBytesAt(ctx.Cost().CopyPerByte, c, pg.Frame())
 		n -= c
 		kva += uint64(c)
 	}
@@ -207,7 +207,7 @@ func Checksum(ctx *smp.Context, pm *pmap.Pmap, kva uint64, n int) (uint32, error
 				sum += uint32(d[i])
 			}
 		}
-		ctx.ChargeBytes(ctx.Cost().ChecksumPerByte, c)
+		ctx.ChargeBytesAt(ctx.Cost().ChecksumPerByte, c, pg.Frame())
 		n -= c
 		kva += uint64(c)
 	}
@@ -250,7 +250,7 @@ func ChecksumRun(ctx *smp.Context, pm *pmap.Pmap, kva uint64, n int) (uint32, er
 				sum += uint32(d[i])
 			}
 		}
-		ctx.ChargeBytes(ctx.Cost().ChecksumPerByte, c)
+		ctx.ChargeBytesAt(ctx.Cost().ChecksumPerByte, c, pg.Frame())
 		n -= c
 		off = 0
 	}

@@ -43,7 +43,9 @@ func TestDaemonWiring(t *testing.T) {
 				t.Fatalf("DaemonEnabled = %v, want %v", got, tc.want)
 			}
 			if !tc.want {
-				if s := k.DaemonStats(); s != (sfbuf.DaemonStats{}) {
+				if s := k.DaemonStats(); s.Passes != 0 || s.RefillRounds != 0 ||
+					s.RefilledBufs != 0 || s.TrimmedWindows != 0 ||
+					len(s.RefilledBySocket) != 0 || len(s.TrimmedBySocket) != 0 {
 					t.Fatalf("DaemonStats = %+v without a daemon, want zero", s)
 				}
 				// Idle must still be safe (pure clock advance).

@@ -184,6 +184,36 @@ func (p PhysPolicy) String() string {
 	return "auto"
 }
 
+// HomingPolicy selects how mapping state is placed on a multi-socket
+// machine (Config.Sockets > 1).  On a one-socket machine the policy is
+// irrelevant: every layout collapses to the flat one.
+type HomingPolicy int
+
+const (
+	// HomingAuto is the default: socket-homed state whenever the machine
+	// has more than one socket and the engine is sharded; flat otherwise.
+	HomingAuto HomingPolicy = iota
+	// HomingOn forces socket homing (still a no-op at one socket).
+	HomingOn
+	// HomingOff pins the hash-striped flat layout even on a multi-socket
+	// machine — the NUMA experiment's baseline arm: shard homes fall
+	// round-robin across packages, clean stock and the overflow pool stay
+	// global, and reclaim's hand rotates over every socket's shards, so
+	// the workload pays the cross-package costs homing is built to avoid.
+	HomingOff
+)
+
+// String names the policy for reports.
+func (h HomingPolicy) String() string {
+	switch h {
+	case HomingOn:
+		return "homed"
+	case HomingOff:
+		return "striped"
+	}
+	return "auto"
+}
+
 // Config describes the kernel to boot.
 type Config struct {
 	// Platform is one of the Section 6.1 machines.
@@ -250,6 +280,22 @@ type Config struct {
 	// disables the age bound (windows launder only by count threshold or
 	// arena pressure, the pre-daemon behaviour).
 	LaunderAge cycles.Cycles
+	// Sockets models the machine as that many CPU packages: consecutive
+	// CPU-id blocks become sockets, physical frames are homed on sockets
+	// by address range, and cross-package lock acquisitions, IPI
+	// deliveries, and memory traffic pay the platform's remote
+	// multipliers (Counters.RemoteLockAcq / RemoteIPIs /
+	// RemoteMemCycles).  The CPU count must divide evenly.  Zero or one
+	// keeps the flat machine: every existing configuration, including the
+	// figure-reproduction kernels, is bit-identical.
+	Sockets int
+	// Homing places the mapping state on a multi-socket machine: Auto
+	// homes state per socket whenever Sockets > 1 (shards striped within
+	// the frame's home socket, per-CPU freelists and pool sub-stocks per
+	// package, run windows and KVA from socket-local regions, the daemon
+	// refilling from its own socket); Off pins the flat hash-striped
+	// layout as the NUMA baseline arm.  Ignored at Sockets <= 1.
+	Homing HomingPolicy
 }
 
 // UsesBuddyPhys reports the config's resolved frame-allocator choice.
@@ -258,6 +304,23 @@ func (cfg Config) UsesBuddyPhys() bool {
 	case PhysBuddyOn:
 		return true
 	case PhysBuddyOff:
+		return false
+	}
+	return cfg.Mapper == SFBuf && cfg.Cache != CacheGlobal
+}
+
+// sockets returns the configured socket count, clamped to at least 1.
+func (cfg Config) sockets() int {
+	if cfg.Sockets < 1 {
+		return 1
+	}
+	return cfg.Sockets
+}
+
+// UsesHoming reports the config's resolved state-placement choice: true
+// when a multi-socket machine homes its mapping state per package.
+func (cfg Config) UsesHoming() bool {
+	if cfg.sockets() <= 1 || cfg.Homing == HomingOff {
 		return false
 	}
 	return cfg.Mapper == SFBuf && cfg.Cache != CacheGlobal
@@ -286,13 +349,21 @@ func Boot(cfg Config) (*Kernel, error) {
 	if cfg.PhysPages == 0 {
 		cfg.PhysPages = 40960 // 160 MB
 	}
+	sockets := cfg.sockets()
 	var phys *vm.PhysMem
 	if cfg.UsesBuddyPhys() {
-		phys = vm.NewBuddyPhysMem(cfg.PhysPages, cfg.Backed)
+		phys = vm.NewBuddyPhysMemNUMA(cfg.PhysPages, cfg.Backed, sockets)
 	} else {
 		phys = vm.NewPhysMem(cfg.PhysPages, cfg.Backed)
+		if sockets > 1 {
+			// LIFO pools keep their exact allocation order; the partition
+			// only homes frames for SocketOfFrame and remote-memory
+			// charging.
+			phys.HomeSockets(sockets)
+		}
 	}
 	m := smp.NewMachineWithPhys(cfg.Platform, phys)
+	m.SetTopology(sockets)
 	if cfg.ShootdownBatch > 0 {
 		m.SetShootdownBatch(cfg.ShootdownBatch)
 	}
@@ -303,6 +374,13 @@ func Boot(cfg Config) (*Kernel, error) {
 		arena = kva.NewArena(pmap.KVABaseI386, pmap.KVASizeI386)
 	} else {
 		arena = kva.NewArena(pmap.KVABaseAMD64, pmap.KVASizeAMD64)
+	}
+	if cfg.UsesHoming() {
+		// One arena region per socket: run windows and other window
+		// reservations carve address space from their socket's region, so
+		// a window's span identifies its home and frees re-coalesce
+		// per package.
+		arena.SetRegions(sockets)
 	}
 
 	k := &Kernel{Cfg: cfg, M: m, Pmap: pm, Arena: arena}
@@ -341,6 +419,7 @@ func buildMapper(cfg Config, m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena) (s
 		Shards:       cfg.CacheShards,
 		PerCPUFree:   cfg.PerCPUFree,
 		ReclaimBatch: cfg.ReclaimBatch,
+		Homed:        cfg.UsesHoming(),
 	}
 	switch cfg.Platform.Arch {
 	case arch.I386:

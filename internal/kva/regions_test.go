@@ -1,0 +1,141 @@
+package kva
+
+// Region-partition unit tests: SetRegions/RegionOf bookkeeping, the
+// region-first AllocWindowOn scan with ascending spill-over, and the
+// address-routed Free that returns a window to its owning region without
+// any explicit home tag.
+
+import (
+	"testing"
+
+	"sfbuf/internal/vm"
+)
+
+func TestSetRegionsAndRegionOf(t *testing.T) {
+	a := NewArena(testBase, 16*vm.PageSize)
+	if a.Regions() != 1 {
+		t.Fatalf("fresh arena regions = %d, want 1", a.Regions())
+	}
+	a.SetRegions(4)
+	if a.Regions() != 4 {
+		t.Fatalf("regions = %d, want 4", a.Regions())
+	}
+	for page, want := range map[int]int{0: 0, 3: 0, 4: 1, 7: 1, 8: 2, 15: 3} {
+		va := uint64(testBase) + uint64(page)*vm.PageSize
+		if got := a.RegionOf(va); got != want {
+			t.Errorf("RegionOf(page %d) = %d, want %d", page, got, want)
+		}
+	}
+	// Clamping: more regions than pages, and out-of-arena addresses.
+	a.SetRegions(1000)
+	if a.Regions() != 16 {
+		t.Fatalf("oversized SetRegions clamped to %d, want 16", a.Regions())
+	}
+	a.SetRegions(2)
+	if got := a.RegionOf(testBase + 999*16*vm.PageSize); got != 1 {
+		t.Fatalf("RegionOf past the arena = %d, want clamp to last region", got)
+	}
+}
+
+// TestAllocWindowOnHomesAndSpills: each region serves its own windows
+// first; once a region is full the allocation spills to the others in
+// ascending order instead of failing.
+func TestAllocWindowOnHomesAndSpills(t *testing.T) {
+	a := NewArena(testBase, 16*vm.PageSize)
+	a.SetRegions(2) // pages [0,8) region 0, [8,16) region 1
+
+	v1, err := a.AllocWindowOn(1, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.RegionOf(v1); got != 1 {
+		t.Fatalf("window homed on region %d, want 1", got)
+	}
+	v2, err := a.AllocWindowOn(1, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.RegionOf(v2); got != 1 {
+		t.Fatalf("second window homed on region %d, want 1", got)
+	}
+	// Region 1 is now full: the next request must spill into region 0.
+	v3, err := a.AllocWindowOn(1, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.RegionOf(v3); got != 0 {
+		t.Fatalf("spilled window landed in region %d, want 0", got)
+	}
+
+	// Address-routed Free: releasing v1 re-opens region 1, and the next
+	// homed request lands back there — no home tag needed anywhere.
+	a.Free(v1)
+	v4, err := a.AllocWindowOn(1, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.RegionOf(v4); got != 1 {
+		t.Fatalf("post-free window landed in region %d, want 1 (address-routed return)", got)
+	}
+	a.Free(v2)
+	a.Free(v3)
+	a.Free(v4)
+	if a.FreeRanges() != 1 || a.FreePages() != 16 {
+		t.Fatalf("after full drain: %d ranges / %d pages, want 1/16 (coalescing crossed regions)",
+			a.FreeRanges(), a.FreePages())
+	}
+}
+
+// TestAllocWindowOnFlatIdentity: region < 0 and a one-region arena both
+// degenerate to AllocWindow's bounded first-fit over the whole arena, so
+// a partitioned arena with agnostic callers behaves exactly like a flat
+// one.
+func TestAllocWindowOnFlatIdentity(t *testing.T) {
+	flat := NewArena(testBase, 16*vm.PageSize)
+	agnostic := NewArena(testBase, 16*vm.PageSize)
+	agnostic.SetRegions(4)
+	for i := 0; i < 3; i++ {
+		vf, err := flat.AllocWindow(3, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		va, err := agnostic.AllocWindowOn(-1, 3, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vf != va {
+			t.Fatalf("alloc %d: region-agnostic window %#x diverges from flat %#x", i, va, vf)
+		}
+	}
+}
+
+// TestAllocWindowOnExhaustion: when every region is full the homed path
+// reports ErrExhausted like the flat one, and rejects the same invalid
+// arguments.
+func TestAllocWindowOnExhaustion(t *testing.T) {
+	a := NewArena(testBase, 8*vm.PageSize)
+	a.SetRegions(2)
+	// Wider than any region: the homed path must fall back to the flat
+	// whole-arena scan rather than fail with free space on hand.
+	if _, err := a.AllocWindowOn(0, 8, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AllocWindowOn(0, 1, 0, 1); err == nil {
+		t.Fatal("full arena should exhaust the homed path")
+	}
+	if _, err := a.AllocWindowOn(0, 0, 0, 1); err == nil {
+		t.Fatal("zero-page window should be rejected")
+	}
+	if _, err := a.AllocWindowOn(0, 1, -1, 1); err == nil {
+		t.Fatal("negative guard should be rejected")
+	}
+	if _, err := a.AllocWindowOn(0, 1, 0, 3); err == nil {
+		t.Fatal("non-power-of-two alignment should be rejected")
+	}
+	// An out-of-range region id clamps instead of crashing the caller.
+	b := NewArena(testBase, 8*vm.PageSize)
+	b.SetRegions(2)
+	if _, err := b.AllocWindowOn(9, 2, 0, 1); err != nil {
+		t.Fatalf("oversized region id should clamp, got %v", err)
+	}
+}

@@ -70,6 +70,13 @@ type DaemonStats struct {
 	// TrimmedWindows counts clean run windows whose address space the
 	// daemon's trim pass returned to the KVA arena.
 	TrimmedWindows uint64
+
+	// RefilledBySocket and TrimmedBySocket split RefilledBufs and
+	// TrimmedWindows by the socket of the CPU whose idle tick did the
+	// work — the per-socket view of where the daemon's background effort
+	// lands.  Length is the machine's socket count (1 on a flat machine).
+	RefilledBySocket []uint64
+	TrimmedBySocket  []uint64
 }
 
 // Daemon is the background reclaim and laundering worker for a mapper's
@@ -82,6 +89,11 @@ type Daemon struct {
 	refills  atomic.Uint64
 	refilled atomic.Uint64
 	trimmed  atomic.Uint64
+
+	// Per-socket attribution of refill and trim work, indexed by the
+	// socket of the CPU running the pass.
+	refilledSock []atomic.Uint64
+	trimmedSock  []atomic.Uint64
 }
 
 // shardedCores extracts the sharded cache cores behind a mapper: one for
@@ -135,7 +147,16 @@ func NewDaemon(m Mapper, cfg DaemonConfig) *Daemon {
 			wm = 1
 		}
 	}
-	return &Daemon{cores: cores, watermark: wm}
+	nsock := cores[0].sockets
+	if nsock < 1 {
+		nsock = 1
+	}
+	return &Daemon{
+		cores:        cores,
+		watermark:    wm,
+		refilledSock: make([]atomic.Uint64, nsock),
+		trimmedSock:  make([]atomic.Uint64, nsock),
+	}
 }
 
 // Run is the idle-tick entry point (an smp.IdleWork).  It spends up to
@@ -143,27 +164,37 @@ func NewDaemon(m Mapper, cfg DaemonConfig) *Daemon {
 // core, oldest duties first, and stops early once the budget is consumed.
 func (d *Daemon) Run(ctx *smp.Context, budget cycles.Cycles) {
 	d.passes.Add(1)
+	sock := ctx.Socket()
+	if sock >= len(d.refilledSock) {
+		sock = 0
+	}
 	start := ctx.CPU().Cycles()
 	within := func() bool { return ctx.CPU().Cycles()-start < budget }
 	for _, c := range d.cores {
 		// 1. Retire parked run windows past the age bound.
 		c.runs.launderAged(ctx)
 		// 2. Refill clean stock to the watermark, one reclaim round at a
-		// time, until the inactive lists run dry or the budget does.
+		// time, until the inactive lists run dry or the budget does.  On a
+		// homed core the harvest stays on the idling CPU's own socket's
+		// shard group: the daemon refills each socket's stocks from that
+		// socket's frames, and never pays cross-package locks or IPIs for
+		// an optimization pass (shortage-driven reclaim still spills).
 		for within() && c.cleanBelow(ctx, d.watermark) {
 			before := c.reclaimed.Load()
-			c.reclaimBulk(ctx, 0, nil)
+			c.reclaimScoped(ctx, 0, nil, c.homed)
 			got := c.reclaimed.Load() - before
 			if got == 0 {
 				break
 			}
 			d.refills.Add(1)
 			d.refilled.Add(uint64(got))
+			d.refilledSock[sock].Add(uint64(got))
 		}
 		// 3. Give surplus clean windows' address space back to the arena.
 		if within() {
 			if n := c.runs.trimClean(ctx, runLaunderBatch); n > 0 {
 				d.trimmed.Add(uint64(n))
+				d.trimmedSock[sock].Add(uint64(n))
 			}
 		}
 		if !within() {
@@ -176,10 +207,16 @@ func (d *Daemon) Run(ctx *smp.Context, budget cycles.Cycles) {
 // age-bound laundering counters.
 func (d *Daemon) Stats() DaemonStats {
 	s := DaemonStats{
-		Passes:         d.passes.Load(),
-		RefillRounds:   d.refills.Load(),
-		RefilledBufs:   d.refilled.Load(),
-		TrimmedWindows: d.trimmed.Load(),
+		Passes:           d.passes.Load(),
+		RefillRounds:     d.refills.Load(),
+		RefilledBufs:     d.refilled.Load(),
+		TrimmedWindows:   d.trimmed.Load(),
+		RefilledBySocket: make([]uint64, len(d.refilledSock)),
+		TrimmedBySocket:  make([]uint64, len(d.trimmedSock)),
+	}
+	for i := range d.refilledSock {
+		s.RefilledBySocket[i] = d.refilledSock[i].Load()
+		s.TrimmedBySocket[i] = d.trimmedSock[i].Load()
 	}
 	for _, c := range d.cores {
 		rs := c.runs.snapshot()
@@ -196,17 +233,21 @@ func (d *Daemon) Watermark() int { return d.watermark }
 // overflow pool is below the watermark.  Peeking takes the same charged
 // locks a restock would: the daemon's probe cost is modeled, not free.
 func (c *shardedCache) cleanBelow(ctx *smp.Context, wm int) bool {
-	f := c.freelists[ctx.CPUID()]
-	ctx.ChargeLock()
+	self := ctx.CPUID()
+	f := c.freelists[self]
+	ctx.ChargeLockAt(c.cpuSock[self])
 	f.mu.Lock()
 	n := len(f.bufs)
 	f.mu.Unlock()
 	if n < wm {
 		return true
 	}
-	ctx.ChargeLock()
+	// On a homed core the daemon watches its own socket's pool sub-stock;
+	// the other sockets' daemons watch theirs.
+	pi := c.poolIdx(ctx)
+	ctx.ChargeLockAt(pi)
 	c.pool.mu.Lock()
-	pn := len(c.pool.bufs)
+	pn := len(c.pool.socks[pi])
 	c.pool.mu.Unlock()
 	return pn < wm
 }

@@ -156,6 +156,14 @@ type diffRun struct {
 }
 
 func newDiffEngines(t *testing.T, plat arch.Platform) []*diffEngine {
+	return newDiffEnginesTopo(t, plat, 1)
+}
+
+// newDiffEnginesTopo is newDiffEngines on a sockets-package machine: the
+// physical pool is homing-partitioned, the machine gets the topology, the
+// arena gets per-socket regions and the sharded engine runs socket-homed.
+// sockets <= 1 is byte-for-byte the flat build.
+func newDiffEnginesTopo(t *testing.T, plat arch.Platform, sockets int) []*diffEngine {
 	t.Helper()
 	build := func(name string, mk func(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena) (Mapper, error)) *diffEngine {
 		m := smp.NewMachine(plat, diffPages+600, true)
@@ -164,7 +172,13 @@ func newDiffEngines(t *testing.T, plat arch.Platform) []*diffEngine {
 		if plat.Arch != arch.I386 {
 			base, size = pmap.KVABaseAMD64, pmap.KVASizeAMD64
 		}
-		sf, err := mk(m, pm, kva.NewArena(base, size))
+		arena := kva.NewArena(base, size)
+		if sockets > 1 {
+			m.Phys.HomeSockets(sockets)
+			m.SetTopology(sockets)
+			arena.SetRegions(sockets)
+		}
+		sf, err := mk(m, pm, arena)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -185,7 +199,7 @@ func newDiffEngines(t *testing.T, plat arch.Platform) []*diffEngine {
 		}
 		return &diffEngine{name: name, m: m, pm: pm, sf: sf, pages: pages}
 	}
-	shardCfg := ShardedConfig{ReclaimBatch: 8, PerCPUFree: 4}
+	shardCfg := ShardedConfig{ReclaimBatch: 8, PerCPUFree: 4, Homed: sockets > 1}
 	engines := []*diffEngine{
 		build("sharded", func(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena) (Mapper, error) {
 			switch plat.Arch {
@@ -630,6 +644,46 @@ func TestDifferentialVectoredForcedLoop(t *testing.T) {
 				ref = got
 			} else if got != ref {
 				t.Fatalf("seed %d: %s diverged", seed, e.name)
+			}
+		}
+	}
+}
+
+// TestDifferentialTopology replays seeded traces across socket
+// topologies.  At Sockets=1 the topology-aware build must be
+// byte-identical to the flat harness — the homing machinery's existence
+// alone may not perturb a single observable.  At Sockets=2 all three
+// engines run on a 2-package machine (the sharded cache socket-homed,
+// the others merely topology-charged) and must agree with each other AND
+// with the flat replay: cross-package cost asymmetry changes cycle
+// totals, never mapping semantics.
+func TestDifferentialTopology(t *testing.T) {
+	flatPlat := arch.XeonMPHTT()
+	numaPlat := arch.XeonNUMA(2, 2)
+	if numaPlat.NumCPUs != flatPlat.NumCPUs {
+		t.Fatalf("platform CPU counts diverge (%d vs %d): traces are not comparable",
+			numaPlat.NumCPUs, flatPlat.NumCPUs)
+	}
+	for seed := int64(51); seed <= 53; seed++ {
+		ops := genTrace(seed, flatPlat.NumCPUs)
+
+		var ref [diffPages]byte
+		for i, e := range newDiffEngines(t, flatPlat) {
+			got := replayTrace(t, e, ops)
+			if i == 0 {
+				ref = got
+			} else if got != ref {
+				t.Fatalf("seed %d: flat engine %s diverged", seed, e.name)
+			}
+		}
+		for _, e := range newDiffEnginesTopo(t, flatPlat, 1) {
+			if got := replayTrace(t, e, ops); got != ref {
+				t.Fatalf("seed %d: Sockets=1 build of %s diverges from the flat harness", seed, e.name)
+			}
+		}
+		for _, e := range newDiffEnginesTopo(t, numaPlat, 2) {
+			if got := replayTrace(t, e, ops); got != ref {
+				t.Fatalf("seed %d: 2-socket %s diverges from the flat replay", seed, e.name)
 			}
 		}
 	}

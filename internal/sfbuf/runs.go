@@ -87,6 +87,9 @@ const DefaultLaunderAge cycles.Cycles = 2 << 20
 type runWindow struct {
 	base  uint64
 	pages int
+	// home is the arena region (= socket, under NUMA homing) the window's
+	// address space was reserved from; 0 on a single-region arena.
+	home int
 
 	frames []uint64   // parked: the installed frame extent, revive key
 	mask   smp.CPUSet // parked: union of the lives' TLB masks
@@ -148,6 +151,11 @@ type RunWindowStats struct {
 type runPool struct {
 	pm    *pmap.Pmap
 	arena *kva.Arena
+	// homed enables NUMA homing: fresh windows are reserved from the
+	// caller's socket's arena region and clean stock is popped
+	// home-socket-first.  Off (the default), the pool behaves exactly as
+	// the flat single-region pool.
+	homed bool
 	// forceDebt reports whether the accessed-bit optimization is ablated:
 	// laundering then owes an invalidation for every page, accessed or
 	// not.
@@ -209,6 +217,10 @@ func ExtentHash(pages []*vm.Page) uint64 {
 // fresh address space otherwise.
 func (p *runPool) get(ctx *smp.Context, pages []*vm.Page) (w *runWindow, revived bool, err error) {
 	n := len(pages)
+	sock := -1
+	if p.homed {
+		sock = ctx.Socket()
+	}
 	ctx.ChargeLock()
 	p.mu.Lock()
 	// The age bound wins over revival: a window parked past launderAge is
@@ -221,13 +233,13 @@ func (p *runPool) get(ctx *smp.Context, pages []*vm.Page) (w *runWindow, revived
 		p.mu.Unlock()
 		return w, true, nil
 	}
-	if w := p.popCleanLocked(n); w != nil {
+	if w := p.popCleanLocked(n, sock); w != nil {
 		p.mu.Unlock()
 		return w, false, nil
 	}
 	if len(p.dirty) >= runLaunderBatch {
 		p.launderLocked(ctx)
-		if w := p.popCleanLocked(n); w != nil {
+		if w := p.popCleanLocked(n, sock); w != nil {
 			p.mu.Unlock()
 			return w, false, nil
 		}
@@ -243,7 +255,7 @@ func (p *runPool) get(ctx *smp.Context, pages []*vm.Page) (w *runWindow, revived
 	// retry once.
 	p.mu.Lock()
 	p.launderLocked(ctx)
-	if w := p.popCleanLocked(n); w != nil {
+	if w := p.popCleanLocked(n, sock); w != nil {
 		p.mu.Unlock()
 		return w, false, nil
 	}
@@ -308,33 +320,58 @@ func framesMatch(frames []uint64, pages []*vm.Page) bool {
 	return true
 }
 
-func (p *runPool) popCleanLocked(pages int) *runWindow {
+// popCleanLocked pops a clean window of the given size, preferring one
+// whose address space is homed on socket sock (newest first, so the
+// preference degrades to the plain tail pop when every window matches).
+// sock < 0 — the non-homed pool — is exactly the old tail pop, which
+// keeps the flat configurations bit-identical.
+func (p *runPool) popCleanLocked(pages, sock int) *runWindow {
 	ws := p.clean[pages]
 	if len(ws) == 0 {
 		return nil
 	}
-	w := ws[len(ws)-1]
-	p.clean[pages] = ws[:len(ws)-1]
+	pick := len(ws) - 1
+	if sock >= 0 && ws[pick].home != sock {
+		for i := pick - 1; i >= 0; i-- {
+			if ws[i].home == sock {
+				pick = i
+				break
+			}
+		}
+	}
+	w := ws[pick]
+	p.clean[pages] = append(ws[:pick], ws[pick+1:]...)
 	p.stats.Reuses++
 	return w
 }
 
 // reserve takes a fresh window from the arena, superpage-aligned when the
 // size can cover an aligned superpage chunk, with the trailing guard.
+// Under NUMA homing the reservation prefers the caller's socket's arena
+// region (spilling to the others only when it is exhausted) and the
+// window records which region it landed in.
 func (p *runPool) reserve(ctx *smp.Context, pages int) (*runWindow, error) {
 	ctx.Charge(ctx.Cost().KVAAlloc)
 	align := 1
 	if pages >= pmap.SuperpagePages {
 		align = pmap.SuperpagePages
 	}
-	base, err := p.arena.AllocWindow(pages, runGuardPages, align)
+	var (
+		base uint64
+		err  error
+	)
+	if p.homed {
+		base, err = p.arena.AllocWindowOn(ctx.Socket(), pages, runGuardPages, align)
+	} else {
+		base, err = p.arena.AllocWindow(pages, runGuardPages, align)
+	}
 	if err != nil {
 		return nil, err
 	}
 	p.mu.Lock()
 	p.stats.Reserved++
 	p.mu.Unlock()
-	return &runWindow{base: base, pages: pages}, nil
+	return &runWindow{base: base, pages: pages, home: p.arena.RegionOf(base)}, nil
 }
 
 // put parks a freed window on the dirty list WITH its translations still
@@ -456,8 +493,10 @@ func (p *runPool) launderAged(ctx *smp.Context) int {
 // keeping at most keep windows per size class.  Laundering deliberately
 // never does this (a clean window is warm stock); the background daemon
 // does, so a load spike's window population shrinks back during lulls and
-// the arena's free ranges re-coalesce.  Returns how many windows were
-// freed.
+// the arena's free ranges re-coalesce.  Arena frees are address-routed, so
+// under NUMA homing each window's span returns to the region — the socket
+// — it was reserved from, regardless of which CPU runs the trim.  Returns
+// how many windows were freed.
 func (p *runPool) trimClean(ctx *smp.Context, keep int) int {
 	ctx.ChargeLock()
 	p.mu.Lock()

@@ -75,6 +75,15 @@ type ShardedConfig struct {
 	PerCPUFree int
 	// ReclaimBatch is the number of buffers recycled per reclaim round.
 	ReclaimBatch int
+	// Homed selects socket-homed state placement on a multi-socket
+	// machine: shards are grouped per socket with each frame routed to
+	// its home socket's group, the overflow pool splits into per-socket
+	// stocks, the clean-stock steal order prefers same-socket state, and
+	// reclaim harvests the caller's own socket group first.  Off (the
+	// default), the cache keeps the flat global-hash striping — on a
+	// one-socket machine the two layouts are identical, so the knob only
+	// matters when smp.Machine has a multi-socket topology.
+	Homed bool
 }
 
 // withDefaults resolves zero fields against the machine and cache size.
@@ -148,12 +157,31 @@ type shardedCache struct {
 	shardMask uint64
 	freelists []*cpuFree
 
+	// Socket homing.  Every lock on the clean-stock and shard paths has a
+	// home socket for smp.ChargeLockAt: shardHome per stripe (the owning
+	// socket under Homed, round-robin across sockets for the striped
+	// baseline — which is what makes the baseline pay cross-package
+	// transfers), cpuSock per freelist (its owner CPU's socket, in both
+	// layouts).  planOf is each CPU's clean-stock search order beyond its
+	// own freelist and spreadOf its restock order for reclaim surplus;
+	// under Homed both visit same-socket state before crossing a package.
+	homed     bool
+	sockets   int
+	shardsPer int   // Homed: stripes per socket group
+	shardHome []int // home socket of each shard's lock
+	cpuSock   []int // home socket of each CPU's freelist lock
+	planOf    [][]stealStep
+	spreadOf  [][]int
+
 	// pool is the overflow stock of clean buffers beyond the per-CPU
-	// freelists, and doubles as the sleep rendezvous for exhaustion.
+	// freelists — one sub-stock per socket under Homed, a single global
+	// stock homed on socket 0 otherwise — and doubles as the sleep
+	// rendezvous for exhaustion.  One mutex guards all sub-stocks; the
+	// modeled per-socket lock cost is charged per sub-stock touched.
 	pool struct {
-		mu   sync.Mutex
-		cond *sync.Cond
-		bufs []*Buf
+		mu    sync.Mutex
+		cond  *sync.Cond
+		socks [][]*Buf
 	}
 	// waiters counts sleepers in alloc.  It changes only under pool.mu
 	// but is read atomically on the free fast path, which must not take
@@ -230,44 +258,165 @@ var (
 // the remainder in the overflow pool.
 func newShardedCache(m *smp.Machine, pm *pmap.Pmap, arena *kva.Arena, vas []uint64, cfg ShardedConfig) *shardedCache {
 	cfg = cfg.withDefaults(m.NumCPUs(), len(vas))
+	topo := m.Topology()
+	sockets := topo.Sockets
+	if sockets < 1 {
+		sockets = 1
+	}
+	homed := cfg.Homed && sockets > 1
+	nshards, shardsPer := cfg.Shards, cfg.Shards
+	if homed {
+		shardsPer = cfg.Shards / sockets
+		if shardsPer < 1 {
+			shardsPer = 1
+		}
+		nshards = shardsPer * sockets
+		cfg.Shards = nshards
+	}
 	c := &shardedCache{
 		m:         m,
 		pm:        pm,
 		cfg:       cfg,
 		total:     len(vas),
-		shards:    make([]*cacheShard, cfg.Shards),
-		shardMask: uint64(cfg.Shards - 1),
+		shards:    make([]*cacheShard, nshards),
+		shardMask: uint64(nshards - 1),
 		freelists: make([]*cpuFree, m.NumCPUs()),
+		homed:     homed,
+		sockets:   sockets,
+		shardsPer: shardsPer,
 		runs:      newRunPool(pm, arena),
 	}
+	c.runs.homed = homed
 	c.pool.cond = sync.NewCond(&c.pool.mu)
 	c.claimCond = sync.NewCond(&c.pool.mu)
 	c.runs.forceDebt = func() bool { return c.ablate&AblateAccessedBit != 0 }
 	for i := range c.shards {
-		c.shards[i] = &cacheShard{hash: make(map[uint64]*Buf, len(vas)/cfg.Shards+1)}
+		c.shards[i] = &cacheShard{hash: make(map[uint64]*Buf, len(vas)/nshards+1)}
 	}
 	for i := range c.freelists {
 		c.freelists[i] = &cpuFree{}
 	}
+	c.buildHoming(topo)
 	all := m.AllCPUs()
 	for i, va := range vas {
 		b := &Buf{kva: va, home: c, cpumask: all}
 		if f := c.freelists[i%len(c.freelists)]; len(f.bufs) < cfg.PerCPUFree {
 			f.bufs = append(f.bufs, b)
 		} else {
-			c.pool.bufs = append(c.pool.bufs, b)
+			pi := i % len(c.pool.socks)
+			c.pool.socks[pi] = append(c.pool.socks[pi], b)
 		}
 	}
 	return c
 }
 
+// stealStep is one stop on a CPU's clean-stock search beyond its own
+// freelist: an overflow sub-stock (pool >= 0) or a sibling CPU's freelist
+// (cpu >= 0).  Exactly one field is set per step.
+type stealStep struct{ pool, cpu int }
+
+// buildHoming precomputes the lock homes and per-CPU search orders.
+// Striped layout: shard homes round-robin across sockets, one overflow
+// stock homed on socket 0, steal order pool-then-every-sibling — the flat
+// PR 6 behaviour, now with its cross-package lock transfers charged.
+// Homed layout: shard i belongs to socket i/shardsPer, one overflow stock
+// per socket, and the steal/spread orders visit own socket's state before
+// any remote socket's.
+func (c *shardedCache) buildHoming(topo smp.Topology) {
+	ncpu := len(c.freelists)
+	c.shardHome = make([]int, len(c.shards))
+	for i := range c.shards {
+		if c.homed {
+			c.shardHome[i] = i / c.shardsPer
+		} else {
+			c.shardHome[i] = i % c.sockets
+		}
+	}
+	c.cpuSock = make([]int, ncpu)
+	for i := range c.cpuSock {
+		c.cpuSock[i] = topo.SocketOf(i)
+	}
+	npool := 1
+	if c.homed {
+		npool = c.sockets
+	}
+	c.pool.socks = make([][]*Buf, npool)
+	c.planOf = make([][]stealStep, ncpu)
+	c.spreadOf = make([][]int, ncpu)
+	for cpu := 0; cpu < ncpu; cpu++ {
+		var plan []stealStep
+		var spread []int
+		if !c.homed {
+			plan = append(plan, stealStep{pool: 0, cpu: -1})
+			for i := 0; i < ncpu; i++ {
+				if i != cpu {
+					plan = append(plan, stealStep{pool: -1, cpu: i})
+				}
+				spread = append(spread, (cpu+i)%ncpu)
+			}
+		} else {
+			sock := c.cpuSock[cpu]
+			plan = append(plan, stealStep{pool: sock, cpu: -1})
+			// Same-socket siblings, rotated from the owner so two
+			// neighbors under shortage don't always raid the same victim.
+			perSock := topo.CPUsPerSocket
+			base := sock * perSock
+			for i := 0; i < perSock; i++ {
+				peer := base + (cpu-base+i)%perSock
+				if peer != cpu {
+					plan = append(plan, stealStep{pool: -1, cpu: peer})
+				}
+				spread = append(spread, base+(cpu-base+i)%perSock)
+			}
+			for s := 0; s < c.sockets; s++ {
+				if s != sock {
+					plan = append(plan, stealStep{pool: s, cpu: -1})
+				}
+			}
+			for i := 0; i < ncpu; i++ {
+				if c.cpuSock[i] != sock {
+					plan = append(plan, stealStep{pool: -1, cpu: i})
+					spread = append(spread, i)
+				}
+			}
+		}
+		c.planOf[cpu] = plan
+		c.spreadOf[cpu] = spread
+	}
+}
+
 func (c *shardedCache) shardIdx(frame uint64) uint64 {
 	// Fibonacci hashing spreads dense frame numbers across stripes.
-	return (frame * 0x9E3779B97F4A7C15 >> 32) & c.shardMask
+	h := frame * 0x9E3779B97F4A7C15 >> 32
+	if c.homed {
+		// The frame's home socket picks the group; the hash only picks
+		// the stripe within it, so socket-local traffic stays on
+		// socket-local locks.
+		sock := uint64(c.m.Phys.SocketOfFrame(frame))
+		return sock*uint64(c.shardsPer) + h%uint64(c.shardsPer)
+	}
+	return h & c.shardMask
 }
 
 func (c *shardedCache) shardFor(frame uint64) *cacheShard {
 	return c.shards[c.shardIdx(frame)]
+}
+
+// chargeShardLock charges acquiring shard si's lock against its home
+// socket: remote on a cross-package acquisition, plain ChargeLock on a
+// one-socket machine.
+func (c *shardedCache) chargeShardLock(ctx *smp.Context, si uint64) {
+	ctx.ChargeLockAt(c.shardHome[si])
+}
+
+// poolIdx returns the overflow sub-stock the calling CPU restocks into:
+// its own socket's under Homed, the single global stock otherwise.  Sub-
+// stock i is always homed on socket i for lock charging.
+func (c *shardedCache) poolIdx(ctx *smp.Context) int {
+	if c.homed {
+		return c.cpuSock[ctx.CPUID()]
+	}
+	return 0
 }
 
 // bumpFreeN publishes that n buffers became reusable and wakes sleepers
@@ -405,12 +554,13 @@ func (c *shardedCache) taint(ctx *smp.Context, b *Buf, flags Flags) {
 // reclaim only under shortage.
 func (c *shardedCache) alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf, error) {
 	ctx.Charge(ctx.Cost().MapperOp)
-	ctx.ChargeLock()
 	frame := page.Frame()
+	si := c.shardIdx(frame)
+	c.chargeShardLock(ctx, si)
 
 	for {
 		gen := c.freeGen.Load()
-		s := c.shardFor(frame)
+		s := c.shards[si]
 
 		s.mu.Lock()
 		if b, ok := s.hash[frame]; ok && c.ablate&AblateSharing == 0 {
@@ -433,7 +583,7 @@ func (c *shardedCache) alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf
 			s.mu.Unlock()
 			b = c.reclaim(ctx)
 			if b != nil {
-				ctx.ChargeLock()
+				c.chargeShardLock(ctx, si)
 				s.mu.Lock()
 				if cur, ok := s.hash[frame]; ok && c.ablate&AblateSharing == 0 {
 					// Another CPU mapped the frame while the shard
@@ -507,14 +657,16 @@ func (c *shardedCache) alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf
 }
 
 // takeCleanFast returns a clean buffer from the calling CPU's freelist,
-// the overflow pool, or a sibling CPU's freelist.  It takes no shard
-// locks, so callers may hold one.  Returns nil when the clean stock is
-// exhausted and a reclaim round is needed.
+// an overflow stock, or a sibling CPU's freelist, searching in the CPU's
+// precomputed steal order (same-socket state first under Homed).  It
+// takes no shard locks, so callers may hold one.  Returns nil when the
+// clean stock is exhausted and a reclaim round is needed.
 func (c *shardedCache) takeCleanFast(ctx *smp.Context) *Buf {
 	// Each lock taken on this path is charged: the modeled cost must not
 	// flatter the sharded engine against the global design's one mutex.
-	ctx.ChargeLock()
-	f := c.freelists[ctx.CPUID()]
+	self := ctx.CPUID()
+	ctx.ChargeLockAt(c.cpuSock[self])
+	f := c.freelists[self]
 	f.mu.Lock()
 	if n := len(f.bufs); n > 0 {
 		b := f.bufs[n-1]
@@ -525,22 +677,22 @@ func (c *shardedCache) takeCleanFast(ctx *smp.Context) *Buf {
 	}
 	f.mu.Unlock()
 
-	ctx.ChargeLock()
-	c.pool.mu.Lock()
-	if n := len(c.pool.bufs); n > 0 {
-		b := c.pool.bufs[n-1]
-		c.pool.bufs = c.pool.bufs[:n-1]
-		c.pool.mu.Unlock()
-		c.freelistAllocs.Add(1)
-		return b
-	}
-	c.pool.mu.Unlock()
-
-	for i, of := range c.freelists {
-		if i == ctx.CPUID() {
+	for _, st := range c.planOf[self] {
+		if st.cpu < 0 {
+			ctx.ChargeLockAt(st.pool)
+			c.pool.mu.Lock()
+			if n := len(c.pool.socks[st.pool]); n > 0 {
+				b := c.pool.socks[st.pool][n-1]
+				c.pool.socks[st.pool] = c.pool.socks[st.pool][:n-1]
+				c.pool.mu.Unlock()
+				c.freelistAllocs.Add(1)
+				return b
+			}
+			c.pool.mu.Unlock()
 			continue
 		}
-		ctx.ChargeLock()
+		ctx.ChargeLockAt(c.cpuSock[st.cpu])
+		of := c.freelists[st.cpu]
 		of.mu.Lock()
 		if n := len(of.bufs); n > 0 {
 			b := of.bufs[n-1]
@@ -556,16 +708,18 @@ func (c *shardedCache) takeCleanFast(ctx *smp.Context) *Buf {
 
 // putClean restocks a clean buffer the allocator ended up not needing.
 func (c *shardedCache) putClean(ctx *smp.Context, b *Buf) {
-	ctx.ChargeLock()
-	f := c.freelists[ctx.CPUID()]
+	self := ctx.CPUID()
+	ctx.ChargeLockAt(c.cpuSock[self])
+	f := c.freelists[self]
 	f.mu.Lock()
 	if len(f.bufs) < c.cfg.PerCPUFree {
 		f.bufs = append(f.bufs, b)
 		f.mu.Unlock()
 	} else {
 		f.mu.Unlock()
+		pi := c.poolIdx(ctx)
 		c.pool.mu.Lock()
-		c.pool.bufs = append(c.pool.bufs, b)
+		c.pool.socks[pi] = append(c.pool.socks[pi], b)
 		c.pool.mu.Unlock()
 	}
 	c.bumpFree()
@@ -573,8 +727,9 @@ func (c *shardedCache) putClean(ctx *smp.Context, b *Buf) {
 
 // takeCleanBulk pops up to n clean buffers with as few lock round trips
 // as possible: the calling CPU's freelist first (one round trip for the
-// whole take), then the overflow pool, then sibling freelists.  It takes
-// no shard locks, so callers may hold one.  It returns whatever stock it
+// whole take), then the overflow stock(s) and sibling freelists in the
+// CPU's steal order (same-socket state first under Homed).  It takes no
+// shard locks, so callers may hold one.  It returns whatever stock it
 // could find appended to into; the shortfall is the caller's to reclaim.
 func (c *shardedCache) takeCleanBulk(ctx *smp.Context, n int, into []*Buf) []*Buf {
 	want := n
@@ -590,23 +745,25 @@ func (c *shardedCache) takeCleanBulk(ctx *smp.Context, n int, into []*Buf) []*Bu
 			want -= take
 		}
 	}
-	ctx.ChargeLock()
-	f := c.freelists[ctx.CPUID()]
+	self := ctx.CPUID()
+	ctx.ChargeLockAt(c.cpuSock[self])
+	f := c.freelists[self]
 	f.mu.Lock()
 	pop(&f.bufs)
 	f.mu.Unlock()
-	if want > 0 {
-		ctx.ChargeLock()
-		c.pool.mu.Lock()
-		pop(&c.pool.bufs)
-		c.pool.mu.Unlock()
-	}
-	for i := 0; want > 0 && i < len(c.freelists); i++ {
-		if i == ctx.CPUID() {
+	for _, st := range c.planOf[self] {
+		if want == 0 {
+			break
+		}
+		if st.cpu < 0 {
+			ctx.ChargeLockAt(st.pool)
+			c.pool.mu.Lock()
+			pop(&c.pool.socks[st.pool])
+			c.pool.mu.Unlock()
 			continue
 		}
-		of := c.freelists[i]
-		ctx.ChargeLock()
+		of := c.freelists[st.cpu]
+		ctx.ChargeLockAt(c.cpuSock[st.cpu])
 		of.mu.Lock()
 		pop(&of.bufs)
 		of.mu.Unlock()
@@ -616,12 +773,13 @@ func (c *shardedCache) takeCleanBulk(ctx *smp.Context, n int, into []*Buf) []*Bu
 }
 
 // putCleanBulk restocks clean buffers: the calling CPU's freelist up to
-// its bound in one round trip, the surplus to the overflow pool, and one
-// wakeup round for the lot.
+// its bound in one round trip, the surplus to the caller's overflow
+// stock, and one wakeup round for the lot.
 func (c *shardedCache) putCleanBulk(ctx *smp.Context, bufs []*Buf) {
 	n := len(bufs)
-	ctx.ChargeLock()
-	f := c.freelists[ctx.CPUID()]
+	self := ctx.CPUID()
+	ctx.ChargeLockAt(c.cpuSock[self])
+	f := c.freelists[self]
 	f.mu.Lock()
 	if room := c.cfg.PerCPUFree - len(f.bufs); room > 0 {
 		take := min(room, len(bufs))
@@ -630,18 +788,21 @@ func (c *shardedCache) putCleanBulk(ctx *smp.Context, bufs []*Buf) {
 	}
 	f.mu.Unlock()
 	if len(bufs) > 0 {
-		ctx.ChargeLock()
+		pi := c.poolIdx(ctx)
+		ctx.ChargeLockAt(pi)
 		c.pool.mu.Lock()
-		c.pool.bufs = append(c.pool.bufs, bufs...)
+		c.pool.socks[pi] = append(c.pool.socks[pi], bufs...)
 		c.pool.mu.Unlock()
 	}
 	c.bumpFreeN(n)
 }
 
 // batchGroup is one shard's share of a vectored request: the indices of
-// the batch's pages (or buffers) homed on that shard.
+// the batch's pages (or buffers) homed on that shard.  si is the shard's
+// index, kept for charging its lock against its home socket.
 type batchGroup struct {
 	shard *cacheShard
+	si    uint64
 	idxs  []int
 }
 
@@ -656,7 +817,7 @@ func (c *shardedCache) groupByShard(n int, frameOf func(int) uint64) []batchGrou
 		if !ok {
 			gi = len(groups)
 			pos[si] = gi
-			groups = append(groups, batchGroup{shard: c.shards[si]})
+			groups = append(groups, batchGroup{shard: c.shards[si], si: si})
 		}
 		groups[gi].idxs = append(groups[gi].idxs, i)
 	}
@@ -702,7 +863,7 @@ restart:
 			gen := c.freeGen.Load()
 			hgen := c.hitGen.Load()
 			installed := 0
-			ctx.ChargeLock()
+			c.chargeShardLock(ctx, g.si)
 			s.mu.Lock()
 			for _, idx := range g.idxs {
 				if out[idx] != nil {
@@ -838,7 +999,7 @@ func (c *shardedCache) sweepHits(ctx *smp.Context, groups []batchGroup, pages []
 				continue
 			}
 			if !locked {
-				ctx.ChargeLock()
+				c.chargeShardLock(ctx, g.si)
 				g.shard.mu.Lock()
 				locked = true
 			}
@@ -869,8 +1030,9 @@ func (c *shardedCache) rollbackBatch(ctx *smp.Context, out []*Buf) {
 		if b == nil {
 			continue
 		}
-		ctx.ChargeLock()
-		s := c.shardFor(b.page.Frame())
+		si := c.shardIdx(b.page.Frame())
+		c.chargeShardLock(ctx, si)
+		s := c.shards[si]
 		s.mu.Lock()
 		b.ref--
 		if b.ref == 0 {
@@ -905,7 +1067,7 @@ func (c *shardedCache) freeBatch(ctx *smp.Context, bufs []*Buf) {
 	for gi := range groups {
 		g := &groups[gi]
 		s := g.shard
-		ctx.ChargeLock()
+		c.chargeShardLock(ctx, g.si)
 		s.mu.Lock()
 		for _, idx := range g.idxs {
 			b := bufs[idx]
@@ -1117,6 +1279,18 @@ func (c *shardedCache) reclaim(ctx *smp.Context) *Buf {
 // the surplus restocks the freelists.  The round harvests at least the
 // configured ReclaimBatch so large wants keep the one-round amortization.
 func (c *shardedCache) reclaimBulk(ctx *smp.Context, want int, into []*Buf) []*Buf {
+	return c.reclaimScoped(ctx, want, into, false)
+}
+
+// reclaimScoped is reclaimBulk with a homing scope: under the homed
+// layout the harvest sweeps the calling CPU's own socket group first —
+// its victims were mapped by same-socket CPUs, so their teardown IPIs
+// stay inside the package — and crosses to the other groups only when
+// the local one runs dry (never when localOnly, the background daemon's
+// mode: refill is an optimization, not a correctness obligation, so the
+// daemon only does package-local work).  The striped layout rotates the
+// hand over all stripes exactly as before.
+func (c *shardedCache) reclaimScoped(ctx *smp.Context, want int, into []*Buf, localOnly bool) []*Buf {
 	scratch := scratchPool.Get().(*reclaimScratch)
 	defer func() {
 		scratch.victims = scratch.victims[:0]
@@ -1133,9 +1307,9 @@ func (c *shardedCache) reclaimBulk(ctx *smp.Context, want int, into []*Buf) []*B
 	}
 	victims := scratch.victims
 	start := c.reclaimHand.Add(1)
-	for i := 0; i < len(c.shards) && len(victims) < goal; i++ {
-		t := c.shards[(start+uint64(i))%uint64(len(c.shards))]
-		ctx.ChargeLock()
+	harvest := func(si uint64) {
+		t := c.shards[si]
+		c.chargeShardLock(ctx, si)
 		t.mu.Lock()
 		for len(victims) < goal {
 			b := t.inactive.popHead()
@@ -1150,6 +1324,25 @@ func (c *shardedCache) reclaimBulk(ctx *smp.Context, want int, into []*Buf) []*B
 			victims = append(victims, b)
 		}
 		t.mu.Unlock()
+	}
+	if !c.homed {
+		for i := 0; i < len(c.shards) && len(victims) < goal; i++ {
+			harvest((start + uint64(i)) % uint64(len(c.shards)))
+		}
+	} else {
+		sock := ctx.Socket()
+		per := uint64(c.shardsPer)
+		for i := uint64(0); i < per && len(victims) < goal; i++ {
+			harvest(uint64(sock)*per + (start+i)%per)
+		}
+		for g := 0; !localOnly && g < c.sockets && len(victims) < goal; g++ {
+			if g == sock {
+				continue
+			}
+			for i := uint64(0); i < per && len(victims) < goal; i++ {
+				harvest(uint64(g)*per + (start+i)%per)
+			}
+		}
 	}
 	scratch.victims = victims
 	if len(victims) == 0 {
@@ -1167,18 +1360,22 @@ func (c *shardedCache) reclaimBulk(ctx *smp.Context, want int, into []*Buf) []*B
 	into = append(into, victims[:keep]...)
 	surplus := len(victims) - keep
 	if rest := victims[keep:]; len(rest) > 0 {
-		// Spread the surplus across every CPU's freelist, starting with
-		// our own: each CPU's next misses then restock locally instead
-		// of stealing through the sibling freelists lock by lock.
+		// Spread the surplus across the freelists in the CPU's restock
+		// order (our own first, same-socket siblings before remote ones
+		// under Homed): each CPU's next misses then restock locally
+		// instead of stealing through the sibling freelists lock by lock.
 		ncpu := len(c.freelists)
 		share := (len(rest) + ncpu - 1) / ncpu
-		for i := 0; i < ncpu && len(rest) > 0; i++ {
-			f := c.freelists[(ctx.CPUID()+i)%ncpu]
+		for _, fi := range c.spreadOf[ctx.CPUID()] {
+			if len(rest) == 0 {
+				break
+			}
+			f := c.freelists[fi]
 			n := share
 			if n > len(rest) {
 				n = len(rest)
 			}
-			ctx.ChargeLock()
+			ctx.ChargeLockAt(c.cpuSock[fi])
 			f.mu.Lock()
 			if room := c.cfg.PerCPUFree - len(f.bufs); n > room {
 				n = room
@@ -1190,8 +1387,9 @@ func (c *shardedCache) reclaimBulk(ctx *smp.Context, want int, into []*Buf) []*B
 			f.mu.Unlock()
 		}
 		if len(rest) > 0 {
+			pi := c.poolIdx(ctx)
 			c.pool.mu.Lock()
-			c.pool.bufs = append(c.pool.bufs, rest...)
+			c.pool.socks[pi] = append(c.pool.socks[pi], rest...)
 			c.pool.mu.Unlock()
 		}
 		c.bumpFreeN(surplus)
@@ -1278,14 +1476,15 @@ func (c *shardedCache) teardown(ctx *smp.Context, b *Buf) {
 // AblateLazyTeardown, tear it down eagerly.
 func (c *shardedCache) free(ctx *smp.Context, b *Buf) {
 	ctx.Charge(ctx.Cost().MapperOp)
-	ctx.ChargeLock()
 	c.frees.Add(1)
 	if b.page == nil {
 		// A referenced buffer always has a page; a clean one was
 		// already freed (and since reclaimed).
 		panic("sfbuf: free of unreferenced sf_buf")
 	}
-	s := c.shardFor(b.page.Frame())
+	si := c.shardIdx(b.page.Frame())
+	c.chargeShardLock(ctx, si)
+	s := c.shards[si]
 	s.mu.Lock()
 	if b.ref <= 0 {
 		s.mu.Unlock()
@@ -1382,7 +1581,9 @@ func (c *shardedCache) inactiveLen() int {
 		f.mu.Unlock()
 	}
 	c.pool.mu.Lock()
-	n += len(c.pool.bufs)
+	for _, s := range c.pool.socks {
+		n += len(s)
+	}
 	c.pool.mu.Unlock()
 	return n
 }

@@ -102,7 +102,20 @@ func (c *Context) Shootdown(targets CPUSet, vpn uint64) {
 		t.mu.Unlock()
 		c.m.counters.HandlerCycles.Add(int64(c.Cost().IPIHandler))
 		c.m.counters.IPIsDelivered.Add(1)
+		c.chargeRemoteIPI(id)
 	})
+}
+
+// chargeRemoteIPI accounts one IPI delivery crossing a package boundary:
+// when the target sits on a different socket than the initiator, the
+// initiator pays the platform's RemoteIPIExtra on top of its shootdown
+// wait and the delivery is counted in Counters.RemoteIPIs.  A no-op on a
+// one-socket topology.
+func (c *Context) chargeRemoteIPI(target int) {
+	if c.m.topo.Sockets > 1 && c.m.topo.SocketOf(target) != c.Socket() {
+		c.Charge(c.m.Plat.Cost.RemoteIPIExtra)
+		c.m.counters.RemoteIPIs.Add(1)
+	}
 }
 
 // ShootdownRange sends one ranged shootdown covering all vpns: a single
@@ -129,6 +142,7 @@ func (c *Context) ShootdownRange(targets CPUSet, vpns []uint64) {
 		c.m.counters.HandlerCycles.Add(int64(c.Cost().IPIHandler) +
 			int64(c.Cost().LocalInvCachedPTE)*int64(len(vpns)))
 		c.m.counters.IPIsDelivered.Add(1)
+		c.chargeRemoteIPI(id)
 	})
 }
 

@@ -109,6 +109,21 @@ type Counters struct {
 	// machine's busy cycles from its background-maintenance cycles.
 	IdleCycles   atomic.Int64
 	DaemonCycles atomic.Int64
+	// RemoteLockAcq counts the subset of LockAcq whose lock home socket
+	// differed from the acquiring CPU's socket — cross-package cache-line
+	// transfers on a multi-socket machine.  Always zero on a one-socket
+	// topology.
+	RemoteLockAcq atomic.Uint64
+	// RemoteIPIs counts the subset of IPIsDelivered whose target CPU sat
+	// on a different socket than the initiator.  Always zero on a
+	// one-socket topology.
+	RemoteIPIs atomic.Uint64
+	// RemoteMemCycles accumulates the extra cycles cross-socket memory
+	// traffic cost: copies, zeroing, and checksums whose frame is homed on
+	// another socket pay the platform's RemoteMemPerByte surcharge, which
+	// lands both on the CPU and here.  Always zero on a one-socket
+	// topology.
+	RemoteMemCycles atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -124,6 +139,9 @@ type Snapshot struct {
 	PTWalks         uint64
 	IdleCycles      int64
 	DaemonCycles    int64
+	RemoteLockAcq   uint64
+	RemoteIPIs      uint64
+	RemoteMemCycles int64
 }
 
 // Sub returns the event deltas since an earlier snapshot.
@@ -140,7 +158,31 @@ func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 		PTWalks:         s.PTWalks - earlier.PTWalks,
 		IdleCycles:      s.IdleCycles - earlier.IdleCycles,
 		DaemonCycles:    s.DaemonCycles - earlier.DaemonCycles,
+		RemoteLockAcq:   s.RemoteLockAcq - earlier.RemoteLockAcq,
+		RemoteIPIs:      s.RemoteIPIs - earlier.RemoteIPIs,
+		RemoteMemCycles: s.RemoteMemCycles - earlier.RemoteMemCycles,
 	}
+}
+
+// Topology describes the machine's socket layout: Sockets packages, each
+// holding CPUsPerSocket consecutive CPU ids.  The default topology is one
+// socket spanning every CPU, under which every remote-cost path is
+// unreachable and the machine behaves exactly as before sockets existed.
+type Topology struct {
+	Sockets       int
+	CPUsPerSocket int
+}
+
+// SocketOf returns the socket housing the given CPU id.
+func (t Topology) SocketOf(cpu int) int {
+	if t.Sockets <= 1 || t.CPUsPerSocket <= 0 {
+		return 0
+	}
+	s := cpu / t.CPUsPerSocket
+	if s >= t.Sockets {
+		s = t.Sockets - 1
+	}
+	return s
 }
 
 // Machine is one simulated multiprocessor.
@@ -152,6 +194,10 @@ type Machine struct {
 	// queue depth that forces a flush (0 means DefaultShootdownBatch).
 	sdq     []*shootdownQueue
 	sdBatch atomic.Int64
+
+	// topo is the socket layout; the zero value means one socket over all
+	// CPUs (SetTopology installs multi-socket layouts).
+	topo Topology
 
 	counters Counters
 
@@ -213,6 +259,40 @@ func NewMachineWithPhys(p arch.Platform, phys *vm.PhysMem) *Machine {
 // NumCPUs returns the number of virtual CPUs.
 func (m *Machine) NumCPUs() int { return len(m.cpus) }
 
+// SetTopology partitions the machine's CPUs into sockets of consecutive
+// ids.  sockets must divide the CPU count; sockets <= 1 restores the flat
+// single-package layout.  It must be called before any work runs (kernel
+// boot does), not concurrently with charging.
+func (m *Machine) SetTopology(sockets int) {
+	if sockets <= 1 {
+		m.topo = Topology{Sockets: 1, CPUsPerSocket: len(m.cpus)}
+		return
+	}
+	if len(m.cpus)%sockets != 0 {
+		panic(fmt.Sprintf("smp: %d CPUs do not divide into %d sockets", len(m.cpus), sockets))
+	}
+	m.topo = Topology{Sockets: sockets, CPUsPerSocket: len(m.cpus) / sockets}
+}
+
+// Topology returns the machine's socket layout.
+func (m *Machine) Topology() Topology {
+	if m.topo.Sockets <= 0 {
+		return Topology{Sockets: 1, CPUsPerSocket: len(m.cpus)}
+	}
+	return m.topo
+}
+
+// Sockets returns the number of sockets (1 on the default flat layout).
+func (m *Machine) Sockets() int {
+	if m.topo.Sockets <= 1 {
+		return 1
+	}
+	return m.topo.Sockets
+}
+
+// SocketOf returns the socket housing the given CPU id.
+func (m *Machine) SocketOf(cpu int) int { return m.topo.SocketOf(cpu) }
+
 // CPU returns the virtual CPU with the given id.
 func (m *Machine) CPU(id int) *CPU { return m.cpus[id] }
 
@@ -236,6 +316,9 @@ func (m *Machine) SnapshotCounters() Snapshot {
 		PTWalks:         m.counters.PTWalks.Load(),
 		IdleCycles:      m.counters.IdleCycles.Load(),
 		DaemonCycles:    m.counters.DaemonCycles.Load(),
+		RemoteLockAcq:   m.counters.RemoteLockAcq.Load(),
+		RemoteIPIs:      m.counters.RemoteIPIs.Load(),
+		RemoteMemCycles: m.counters.RemoteMemCycles.Load(),
 	}
 }
 
@@ -254,6 +337,9 @@ func (m *Machine) ResetCounters() {
 	m.counters.PTWalks.Store(0)
 	m.counters.IdleCycles.Store(0)
 	m.counters.DaemonCycles.Store(0)
+	m.counters.RemoteLockAcq.Store(0)
+	m.counters.RemoteIPIs.Store(0)
+	m.counters.RemoteMemCycles.Store(0)
 	for _, c := range m.cpus {
 		m.clockBase.Add(c.cycles.Swap(0))
 	}
@@ -334,6 +420,23 @@ func (c *Context) ChargeBytes(perByte float64, n int) {
 	c.Charge(cycles.PerByte(perByte, n))
 }
 
+// Socket returns the socket of the CPU the context runs on.
+func (c *Context) Socket() int { return c.m.topo.SocketOf(c.cpu.ID) }
+
+// ChargeBytesAt is ChargeBytes for traffic against a physical frame: when
+// the frame's home socket differs from the executing CPU's, the platform's
+// RemoteMemPerByte surcharge is charged on top and accumulated in
+// Counters.RemoteMemCycles.  On a one-socket topology it is exactly
+// ChargeBytes.
+func (c *Context) ChargeBytesAt(perByte float64, n int, frame uint64) {
+	c.Charge(cycles.PerByte(perByte, n))
+	if c.m.topo.Sockets > 1 && c.m.Phys.SocketOfFrame(frame) != c.Socket() {
+		extra := cycles.PerByte(c.m.Plat.Cost.RemoteMemPerByte, n)
+		c.Charge(extra)
+		c.m.counters.RemoteMemCycles.Add(int64(extra))
+	}
+}
+
 // ChargeLock charges one uncontended lock round trip on multiprocessor
 // kernels; uniprocessor kernels skip synchronization entirely, which is
 // why Xeon-UP outruns the other Xeons on single-threaded benchmarks.
@@ -341,6 +444,25 @@ func (c *Context) ChargeLock() {
 	if c.m.Plat.MPKernel {
 		c.Charge(c.m.Plat.Cost.LockUncontended)
 		c.m.counters.LockAcq.Add(1)
+	}
+}
+
+// ChargeLockAt is ChargeLock for a lock homed on a specific socket: when
+// the home differs from the acquiring CPU's socket the platform's
+// RemoteLockExtra surcharge (the cross-package cache-line transfer) is
+// charged on top and the acquisition counted in Counters.RemoteLockAcq.
+// home < 0 marks a socket-agnostic lock and always charges locally; on a
+// one-socket topology every home is local, so the method degenerates to
+// ChargeLock exactly.
+func (c *Context) ChargeLockAt(home int) {
+	if !c.m.Plat.MPKernel {
+		return
+	}
+	c.Charge(c.m.Plat.Cost.LockUncontended)
+	c.m.counters.LockAcq.Add(1)
+	if home >= 0 && c.m.topo.Sockets > 1 && home != c.Socket() {
+		c.Charge(c.m.Plat.Cost.RemoteLockExtra)
+		c.m.counters.RemoteLockAcq.Add(1)
 	}
 }
 

@@ -19,6 +19,18 @@ package vm
 // stack did, and a drained machine coalesces back to the same maximal
 // block cover it booted with, no matter in what order the frees arrived.
 //
+// On a multi-socket machine (NewBuddyPhysMemNUMA) the free lists are kept
+// per socket: frames are homed on sockets by contiguous address range, each
+// socket gets its own order-indexed heaps covering exactly its range, and
+// blocks never straddle a socket boundary (the boot cover is built per
+// socket, merges only combine blocks from the same socket's heaps, and
+// freeRangeLocked clips blocks at the boundary).  AllocOn/AllocNOn/
+// AllocContigOn drain the preferred socket's lists before spilling to the
+// others in ascending order; since socket ranges ascend by address, the
+// socket-agnostic forms (preference -1) still hand out the globally
+// lowest-addressed free frames — on one socket the allocator is
+// bit-identical to the flat PR 5 buddy.
+//
 // Frame 0 stays the "no frame" sentinel: the cover starts at frame 1, so
 // the order-0 block {1} simply has no free buddy, ever.
 
@@ -137,29 +149,53 @@ func (h *orderHeap) removeAt(i int) {
 // machine single-page Alloc hands out the same frame sequence the LIFO
 // pool did.
 func NewBuddyPhysMem(frames int, backed bool) *PhysMem {
+	return NewBuddyPhysMemNUMA(frames, backed, 1)
+}
+
+// NewBuddyPhysMemNUMA is NewBuddyPhysMem on a multi-socket machine: frames
+// are homed on sockets by contiguous address range (frames/sockets frames
+// per socket, the last socket taking the remainder) and every socket gets
+// its own buddy free lists covering exactly its range.  Socket-preferring
+// allocation (AllocOn and friends) drains the caller's home lists before
+// spilling; sockets=1 is exactly NewBuddyPhysMem.
+func NewBuddyPhysMemNUMA(frames int, backed bool, sockets int) *PhysMem {
 	if frames <= 0 {
 		panic("vm: NewBuddyPhysMem with no frames")
 	}
+	if sockets < 1 {
+		sockets = 1
+	}
+	if sockets > frames {
+		sockets = frames
+	}
 	pm := &PhysMem{
-		pages:  make([]*Page, frames),
-		backed: backed,
-		buddy:  true,
-		orders: make([]orderHeap, MaxContigOrder+1),
+		pages:      make([]*Page, frames),
+		backed:     backed,
+		buddy:      true,
+		orders:     make([][]orderHeap, sockets),
+		freeBySock: make([]int, sockets),
+		sockets:    sockets,
+		framesPer:  frames / sockets,
 	}
 	for i := range pm.pages {
 		pm.pages[i] = &Page{frame: uint64(i + 1), UserColor: -1}
 	}
-	// Cover [1, frames] with maximal aligned blocks (frame 0 is the
-	// sentinel and is never part of any block).
-	end := uint64(frames)
-	for start := uint64(1); start <= end; {
-		k := MaxContigOrder
-		for k > 0 && (start&(1<<k-1) != 0 || start+1<<k-1 > end) {
-			k--
+	// Cover each socket's range with maximal aligned blocks (frame 0 is
+	// the sentinel and is never part of any block).  Because the cover is
+	// built per socket, no free block ever straddles a socket boundary.
+	for s := 0; s < sockets; s++ {
+		pm.orders[s] = make([]orderHeap, MaxContigOrder+1)
+		lo, hi := pm.socketRange(s)
+		for start := lo; start <= hi; {
+			k := MaxContigOrder
+			for k > 0 && (start&(1<<k-1) != 0 || start+1<<k-1 > hi) {
+				k--
+			}
+			pm.orders[s][k].push(start)
+			pm.freePages += 1 << k
+			pm.freeBySock[s] += 1 << k
+			start += 1 << k
 		}
-		pm.orders[k].push(start)
-		pm.freePages += 1 << k
-		start += 1 << k
 	}
 	return pm
 }
@@ -177,40 +213,138 @@ func (pm *PhysMem) MaxContig() int {
 	return MaxContigPages
 }
 
+// Sockets returns the number of sockets frames are homed across (1 on a
+// flat machine).
+func (pm *PhysMem) Sockets() int { return pm.sockets }
+
+// SocketOfFrame returns the home socket of the given frame: the socket
+// whose address range contains it.  Frame 0 (the "no frame" sentinel) and
+// one-socket pools report socket 0.
+func (pm *PhysMem) SocketOfFrame(f uint64) int {
+	if pm.sockets <= 1 || f == 0 {
+		return 0
+	}
+	s := int((f - 1) / uint64(pm.framesPer))
+	if s >= pm.sockets {
+		s = pm.sockets - 1
+	}
+	return s
+}
+
+// socketRange returns the inclusive frame range homed on socket s.  The
+// last socket absorbs the remainder when frames does not divide evenly.
+func (pm *PhysMem) socketRange(s int) (lo, hi uint64) {
+	lo = uint64(s*pm.framesPer) + 1
+	hi = uint64((s + 1) * pm.framesPer)
+	if s == pm.sockets-1 {
+		hi = uint64(len(pm.pages))
+	}
+	return lo, hi
+}
+
+// HomeSockets installs an address-range socket homing on a LIFO pool so
+// SocketOfFrame answers consistently with what a buddy pool of the same
+// geometry would say.  The LIFO free stack itself stays flat — only the
+// homing metadata changes, so figure-reproduction kernels keep their exact
+// allocation order.  On a buddy pool the partition is fixed at
+// construction: asking for the same count is a no-op and anything else
+// panics (rebuilding the per-socket heaps mid-flight would scramble the
+// free lists).
+func (pm *PhysMem) HomeSockets(sockets int) {
+	if sockets < 1 {
+		sockets = 1
+	}
+	if sockets > len(pm.pages) {
+		sockets = len(pm.pages)
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if pm.buddy {
+		if sockets != pm.sockets {
+			panic("vm: HomeSockets on a buddy pool; pass sockets to NewBuddyPhysMemNUMA instead")
+		}
+		return
+	}
+	pm.sockets = sockets
+	pm.framesPer = len(pm.pages) / sockets
+}
+
+// eachSocketFrom visits sockets in allocation-preference order: pref first
+// (when valid), then the rest ascending.  fn returns false to stop.  With
+// pref < 0 the visit is plain ascending, which — because socket ranges
+// ascend by address — preserves the flat allocator's global
+// lowest-frame-first order.  Caller holds pm.mu.
+func (pm *PhysMem) eachSocketFrom(pref int, fn func(s int) bool) {
+	if pref >= 0 && pref < pm.sockets {
+		if !fn(pref) {
+			return
+		}
+	}
+	for s := 0; s < pm.sockets; s++ {
+		if s == pref {
+			continue
+		}
+		if !fn(s) {
+			return
+		}
+	}
+}
+
+// countHomeLocked records where a socket-preferring allocation was served
+// from: n pages from the preferred socket count as NUMA-local, anything
+// else as spill.  Socket-agnostic allocations (pref < 0) and one-socket
+// pools don't move the gauges.  Caller holds pm.mu.
+func (pm *PhysMem) countHomeLocked(pref, served, n int) {
+	if pm.sockets <= 1 || pref < 0 {
+		return
+	}
+	if served == pref {
+		pm.numaLocal += uint64(n)
+	} else {
+		pm.numaSpill += uint64(n)
+	}
+}
+
 // orderFor returns the smallest order whose blocks hold at least n frames.
 func orderFor(n int) int {
 	return bits.Len(uint(n - 1))
 }
 
 // takeBlockLocked removes and returns the lowest-addressed free block of
-// order k, splitting the smallest sufficient larger block when order k is
-// empty.  Caller holds pm.mu.
-func (pm *PhysMem) takeBlockLocked(k int) (uint64, bool) {
+// order k homed on socket s, splitting the smallest sufficient larger
+// block when order k is empty.  Caller holds pm.mu.
+func (pm *PhysMem) takeBlockLocked(s, k int) (uint64, bool) {
 	j := k
-	for j <= MaxContigOrder && pm.orders[j].len() == 0 {
+	for j <= MaxContigOrder && pm.orders[s][j].len() == 0 {
 		j++
 	}
 	if j > MaxContigOrder {
 		return 0, false
 	}
-	start := pm.orders[j].popMin()
+	start := pm.orders[s][j].popMin()
 	for ; j > k; j-- {
-		pm.orders[j-1].push(start + 1<<(j-1))
+		pm.orders[s][j-1].push(start + 1<<(j-1))
 		pm.splits++
 	}
 	pm.freePages -= 1 << k
+	pm.freeBySock[s] -= 1 << k
 	return start, true
 }
 
 // insertBlockLocked frees the block [start, start+1<<k) with address-
 // sorted coalescing: while the block's buddy (the unique same-sized
 // neighbor at start^size) is also free, the pair merges one order up.
-// Caller holds pm.mu.
+// The block's home socket is derived from its start frame; since blocks
+// never straddle socket boundaries and the buddy probe only consults the
+// home socket's heaps, merges never cross a boundary either.  Caller
+// holds pm.mu.
 func (pm *PhysMem) insertBlockLocked(start uint64, k int) {
+	s := pm.SocketOfFrame(start)
 	pm.freePages += 1 << k
+	pm.freeBySock[s] += 1 << k
 	for k < MaxContigOrder {
 		buddy := start ^ (1 << k)
-		if !pm.orders[k].remove(buddy) {
+		if !pm.orders[s][k].remove(buddy) {
 			break
 		}
 		pm.coalesces++
@@ -219,11 +353,12 @@ func (pm *PhysMem) insertBlockLocked(start uint64, k int) {
 		}
 		k++
 	}
-	pm.orders[k].push(start)
+	pm.orders[s][k].push(start)
 }
 
 // freeRangeLocked frees the frame range [start, start+n) as maximal
-// aligned blocks.  Caller holds pm.mu.
+// aligned blocks, clipped so no block straddles a socket boundary.
+// Caller holds pm.mu.
 func (pm *PhysMem) freeRangeLocked(start uint64, n int) {
 	for n > 0 {
 		k := bits.TrailingZeros64(start)
@@ -231,6 +366,9 @@ func (pm *PhysMem) freeRangeLocked(start uint64, n int) {
 			k = MaxContigOrder
 		}
 		for 1<<k > n {
+			k--
+		}
+		for k > 0 && pm.SocketOfFrame(start+1<<k-1) != pm.SocketOfFrame(start) {
 			k--
 		}
 		pm.insertBlockLocked(start, k)
@@ -251,75 +389,102 @@ func (pm *PhysMem) takePageLocked(f uint64) *Page {
 	return p
 }
 
-// buddyAllocOneLocked allocates the lowest-addressed free page, splitting
-// the block that holds it.  Address-ordered allocation keeps single-page
-// churn compacted at the bottom of the pool (higher blocks stay whole for
-// AllocContig) and makes a fresh machine hand out frames 1, 2, 3, ... —
-// the exact sequence the LIFO stack produced.  Caller holds pm.mu.
-func (pm *PhysMem) buddyAllocOneLocked() (*Page, error) {
-	bestK := -1
-	var best uint64
-	for k := range pm.orders {
-		if pm.orders[k].len() == 0 {
-			continue
+// buddyAllocOneLocked allocates the lowest-addressed free page on the
+// preferred socket (falling through the rest ascending when it is
+// drained), splitting the block that holds it.  Address-ordered
+// allocation keeps single-page churn compacted at the bottom of each
+// socket's range (higher blocks stay whole for AllocContig) and makes a
+// fresh machine hand out frames 1, 2, 3, ... — the exact sequence the
+// LIFO stack produced.  pref < 0 means no preference.  Caller holds
+// pm.mu.
+func (pm *PhysMem) buddyAllocOneLocked(pref int) (*Page, error) {
+	var pg *Page
+	served := -1
+	pm.eachSocketFrom(pref, func(s int) bool {
+		if pm.freeBySock[s] == 0 {
+			return true
 		}
-		// Free blocks partition the free space, so the global minimum of
-		// the per-order heap tops is the lowest free frame.
-		if s := pm.orders[k].starts[0]; bestK < 0 || s < best {
-			best, bestK = s, k
+		bestK := -1
+		var best uint64
+		for k := range pm.orders[s] {
+			if pm.orders[s][k].len() == 0 {
+				continue
+			}
+			// Free blocks partition the socket's free space, so the minimum
+			// of the per-order heap tops is its lowest free frame.
+			if b := pm.orders[s][k].starts[0]; bestK < 0 || b < best {
+				best, bestK = b, k
+			}
 		}
-	}
-	if bestK < 0 {
+		pm.orders[s][bestK].remove(best)
+		for j := bestK; j > 0; j-- {
+			pm.orders[s][j-1].push(best + 1<<(j-1))
+			pm.splits++
+		}
+		pm.freePages--
+		pm.freeBySock[s]--
+		pg = pm.takePageLocked(best)
+		served = s
+		return false
+	})
+	if pg == nil {
 		return nil, ErrNoMemory
 	}
-	pm.orders[bestK].remove(best)
-	for j := bestK; j > 0; j-- {
-		pm.orders[j-1].push(best + 1<<(j-1))
-		pm.splits++
-	}
-	pm.freePages--
+	pm.countHomeLocked(pref, served, 1)
 	pm.allocs.Add(1)
-	return pm.takePageLocked(best), nil
+	return pg, nil
 }
 
-// buddyAllocNLocked allocates n pages by address-ordered gather: take
-// the lowest-addressed free block whole while it fits, and carve only
-// the block that straddles the remaining need.  On a fresh (or fully
+// buddyAllocNLocked allocates n pages by address-ordered gather within
+// each visited socket: take the lowest-addressed free block whole while
+// it fits, and carve only the block that straddles the remaining need.
+// The preferred socket is drained first; a shortfall spills to the other
+// sockets ascending (counted in the NUMA gauges).  On a fresh (or fully
 // coalesced) machine the free space is one contiguous span from the
-// lowest free frame, so the result is a physically contiguous ascending
-// extent — frames 1..n on a fresh boot, exactly the LIFO pool's
-// sequence — which is what makes AllocN promotion-aware.  Under
-// fragmentation the gather consumes the low-address fragments churn
+// lowest free frame, so the socket-agnostic gather is a physically
+// contiguous ascending extent — frames 1..n on a fresh boot, exactly the
+// LIFO pool's sequence — which is what makes AllocN promotion-aware.
+// Under fragmentation the gather consumes the low-address fragments churn
 // leaves behind before it reaches (and splits) the intact high blocks,
 // so routine scattered demand does not cannibalize the superpage-
 // capable stock AllocContig depends on.  Caller holds pm.mu.
-func (pm *PhysMem) buddyAllocNLocked(n int) ([]*Page, error) {
+func (pm *PhysMem) buddyAllocNLocked(pref, n int) ([]*Page, error) {
 	if pm.freePages < n {
 		return nil, ErrNoMemory
 	}
 	out := make([]*Page, 0, n)
-	for need := n - len(out); need > 0; need = n - len(out) {
-		bestK := -1
-		var best uint64
-		for k := range pm.orders {
-			if pm.orders[k].len() == 0 {
-				continue
+	local := 0
+	pm.eachSocketFrom(pref, func(s int) bool {
+		for len(out) < n && pm.freeBySock[s] > 0 {
+			bestK := -1
+			var best uint64
+			for k := range pm.orders[s] {
+				if pm.orders[s][k].len() == 0 {
+					continue
+				}
+				if b := pm.orders[s][k].starts[0]; bestK < 0 || b < best {
+					best, bestK = b, k
+				}
 			}
-			if s := pm.orders[k].starts[0]; bestK < 0 || s < best {
-				best, bestK = s, k
+			pm.orders[s][bestK].popMin()
+			size := 1 << bestK
+			pm.freePages -= size
+			pm.freeBySock[s] -= size
+			if need := n - len(out); size <= need {
+				for f := best; f < best+uint64(size); f++ {
+					out = append(out, pm.takePageLocked(f))
+				}
+			} else {
+				out = append(out, pm.carveLocked(best, bestK, need)...)
 			}
 		}
-		pm.orders[bestK].popMin()
-		size := 1 << bestK
-		pm.freePages -= size
-		if size <= need {
-			for f := best; f < best+uint64(size); f++ {
-				out = append(out, pm.takePageLocked(f))
-			}
-		} else {
-			out = append(out, pm.carveLocked(best, bestK, need)...)
+		if s == pref {
+			local = len(out)
 		}
-	}
+		return len(out) < n
+	})
+	pm.countHomeLocked(pref, pref, local)
+	pm.countHomeLocked(pref, -1, n-local)
 	pm.allocs.Add(uint64(n))
 	return out, nil
 }
@@ -346,6 +511,16 @@ func (pm *PhysMem) carveLocked(start uint64, k, n int) []*Page {
 // covering block (or the pool is a LIFO pool) it returns ErrNoContig and
 // the caller falls back to AllocN's scattered pages.
 func (pm *PhysMem) AllocContig(n, align int) ([]*Page, error) {
+	return pm.AllocContigOn(-1, n, align)
+}
+
+// AllocContigOn is AllocContig preferring a block homed on the given
+// socket, spilling to the other sockets' lists ascending when the
+// preferred one has no covering block.  A contiguous extent never spans
+// sockets (blocks don't straddle the boundary), so the whole extent is
+// local or the whole extent is spill.  socket < 0 (or a one-socket pool)
+// is exactly AllocContig.
+func (pm *PhysMem) AllocContigOn(socket, n, align int) ([]*Page, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("vm: AllocContig of %d pages", n)
 	}
@@ -372,8 +547,16 @@ func (pm *PhysMem) AllocContig(n, align int) ([]*Page, error) {
 	if ak := orderFor(align); ak > k {
 		k = ak
 	}
-	start, ok := pm.takeBlockLocked(k)
-	if !ok {
+	var start uint64
+	served := -1
+	pm.eachSocketFrom(socket, func(s int) bool {
+		if got, ok := pm.takeBlockLocked(s, k); ok {
+			start, served = got, s
+			return false
+		}
+		return true
+	})
+	if served < 0 {
 		pm.contigFails++
 		if pm.freePages < n {
 			return nil, ErrNoMemory
@@ -381,6 +564,7 @@ func (pm *PhysMem) AllocContig(n, align int) ([]*Page, error) {
 		return nil, ErrNoContig
 	}
 	out := pm.carveLocked(start, k, n)
+	pm.countHomeLocked(socket, served, n)
 	pm.contigAllocs++
 	pm.allocs.Add(uint64(n))
 	return out, nil
@@ -395,7 +579,8 @@ type PhysStats struct {
 	// LIFO pools except LargestFreeExtent, which is computed either way.
 	Buddy bool
 	// FreeBlocks counts free blocks per order (index = order, block size
-	// 1<<order frames); the shape of fragmentation.
+	// 1<<order frames), aggregated across sockets; the shape of
+	// fragmentation.
 	FreeBlocks []int
 	// LargestFreeExtent is the longest physically contiguous free frame
 	// run in pages — adjacency across block boundaries included, so it can
@@ -414,6 +599,15 @@ type PhysStats struct {
 	// Allocs and Frees are the cumulative page counts.
 	Allocs uint64
 	Frees  uint64
+	// Sockets is the homing partition width; FreeBySocket the free count
+	// per socket (nil on LIFO pools, which have no per-socket lists).
+	Sockets      int
+	FreeBySocket []int
+	// NUMALocalPages and NUMASpillPages count pages served by
+	// socket-preferring allocations from the preferred socket vs. spilled
+	// to another; always zero on one-socket pools.
+	NUMALocalPages uint64
+	NUMASpillPages uint64
 }
 
 // PhysStats snapshots the pool's fragmentation statistics.
@@ -421,23 +615,29 @@ func (pm *PhysMem) PhysStats() PhysStats {
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
 	s := PhysStats{
-		Frames:       len(pm.pages),
-		Buddy:        pm.buddy,
-		Splits:       pm.splits,
-		Coalesces:    pm.coalesces,
-		ContigAllocs: pm.contigAllocs,
-		ContigFails:  pm.contigFails,
-		Allocs:       pm.allocs.Load(),
-		Frees:        pm.frees.Load(),
+		Frames:         len(pm.pages),
+		Buddy:          pm.buddy,
+		Splits:         pm.splits,
+		Coalesces:      pm.coalesces,
+		ContigAllocs:   pm.contigAllocs,
+		ContigFails:    pm.contigFails,
+		Allocs:         pm.allocs.Load(),
+		Frees:          pm.frees.Load(),
+		Sockets:        pm.sockets,
+		NUMALocalPages: pm.numaLocal,
+		NUMASpillPages: pm.numaSpill,
 	}
 	var extents []extent
 	if pm.buddy {
 		s.FreeFrames = pm.freePages
+		s.FreeBySocket = append([]int(nil), pm.freeBySock...)
 		s.FreeBlocks = make([]int, MaxContigOrder+1)
-		for k := range pm.orders {
-			s.FreeBlocks[k] = pm.orders[k].len()
-			for _, start := range pm.orders[k].starts {
-				extents = append(extents, extent{start, 1 << k})
+		for sock := range pm.orders {
+			for k := range pm.orders[sock] {
+				s.FreeBlocks[k] += pm.orders[sock][k].len()
+				for _, start := range pm.orders[sock][k].starts {
+					extents = append(extents, extent{start, 1 << k})
+				}
 			}
 		}
 	} else {

@@ -15,23 +15,33 @@ func checkBuddyInvariants(t *testing.T, pm *PhysMem) {
 	defer pm.mu.Unlock()
 	covered := make(map[uint64]bool)
 	total := 0
-	for k := range pm.orders {
-		for _, start := range pm.orders[k].starts {
-			size := uint64(1) << k
-			if start%size != 0 {
-				t.Fatalf("order-%d block at %d is not size-aligned", k, start)
-			}
-			if start == 0 || start+size-1 > uint64(len(pm.pages)) {
-				t.Fatalf("order-%d block at %d out of range", k, start)
-			}
-			for f := start; f < start+size; f++ {
-				if covered[f] {
-					t.Fatalf("frame %d covered by two free blocks", f)
+	for sock := range pm.orders {
+		sockTotal := 0
+		for k := range pm.orders[sock] {
+			for _, start := range pm.orders[sock][k].starts {
+				size := uint64(1) << k
+				if start%size != 0 {
+					t.Fatalf("order-%d block at %d is not size-aligned", k, start)
 				}
-				covered[f] = true
+				if start == 0 || start+size-1 > uint64(len(pm.pages)) {
+					t.Fatalf("order-%d block at %d out of range", k, start)
+				}
+				if pm.SocketOfFrame(start) != sock || pm.SocketOfFrame(start+size-1) != sock {
+					t.Fatalf("order-%d block at %d straddles or escapes socket %d", k, start, sock)
+				}
+				for f := start; f < start+size; f++ {
+					if covered[f] {
+						t.Fatalf("frame %d covered by two free blocks", f)
+					}
+					covered[f] = true
+				}
+				sockTotal += int(size)
 			}
-			total += int(size)
 		}
+		if sockTotal != pm.freeBySock[sock] {
+			t.Fatalf("socket %d free blocks cover %d pages, counter says %d", sock, sockTotal, pm.freeBySock[sock])
+		}
+		total += sockTotal
 	}
 	if total != pm.freePages {
 		t.Fatalf("free blocks cover %d pages, counter says %d", total, pm.freePages)

@@ -98,13 +98,26 @@ type PhysMem struct {
 	free   []*Page // LIFO mode free stack
 	backed bool
 
-	// Buddy-mode state: order-indexed free lists and fragmentation
-	// counters, all guarded by mu (see buddy.go).
-	buddy     bool
-	orders    []orderHeap
-	freePages int
-	splits    uint64
-	coalesces uint64
+	// Buddy-mode state: per-socket order-indexed free lists and
+	// fragmentation counters, all guarded by mu (see buddy.go).  On the
+	// default one-socket partition orders[0] is exactly the flat buddy
+	// free list.
+	buddy      bool
+	orders     [][]orderHeap // [socket][order]
+	freePages  int
+	freeBySock []int
+	splits     uint64
+	coalesces  uint64
+
+	// NUMA frame homing: frames are homed on sockets by address range
+	// (framesPer frames per socket, the last socket taking the
+	// remainder).  Buddy pools fix the partition at construction
+	// (NewBuddyPhysMemNUMA); LIFO pools may carry a homing-only
+	// partition for SocketOfFrame (HomeSockets).
+	sockets   int
+	framesPer int
+	numaLocal uint64
+	numaSpill uint64
 
 	contigAllocs uint64
 	contigFails  uint64
@@ -122,9 +135,11 @@ func NewPhysMem(frames int, backed bool) *PhysMem {
 		panic("vm: NewPhysMem with no frames")
 	}
 	pm := &PhysMem{
-		pages:  make([]*Page, frames),
-		free:   make([]*Page, 0, frames),
-		backed: backed,
+		pages:     make([]*Page, frames),
+		free:      make([]*Page, 0, frames),
+		backed:    backed,
+		sockets:   1,
+		framesPer: frames,
 	}
 	// Frame numbers start at 1 so that frame 0 / physical address 0 can
 	// serve as a sentinel ("no frame") throughout the MMU model.
@@ -157,7 +172,20 @@ func (pm *PhysMem) Alloc() (*Page, error) {
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
 	if pm.buddy {
-		return pm.buddyAllocOneLocked()
+		return pm.buddyAllocOneLocked(-1)
+	}
+	return pm.allocLocked()
+}
+
+// AllocOn allocates one physical page, preferring frames homed on the
+// given socket and spilling to the other sockets' free lists only when
+// the preferred one is drained (counted in NUMASpillPages).  On a LIFO or
+// one-socket pool it is exactly Alloc.
+func (pm *PhysMem) AllocOn(socket int) (*Page, error) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if pm.buddy {
+		return pm.buddyAllocOneLocked(socket)
 	}
 	return pm.allocLocked()
 }
@@ -186,10 +214,20 @@ func (pm *PhysMem) allocLocked() (*Page, error) {
 // cover the gather is still one ascending contiguous extent.  On failure
 // no pages are retained.
 func (pm *PhysMem) AllocN(n int) ([]*Page, error) {
+	return pm.AllocNOn(-1, n)
+}
+
+// AllocNOn is AllocN preferring frames homed on the given socket: the
+// preferred socket's free lists are gathered first (address-ordered, the
+// same promotion-aware gather), and only a shortfall spills to the other
+// sockets ascending.  Pages served from the preferred socket count in
+// NUMALocalPages, spilled pages in NUMASpillPages.  socket < 0 (or a LIFO
+// or one-socket pool) is exactly AllocN.
+func (pm *PhysMem) AllocNOn(socket, n int) ([]*Page, error) {
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
 	if pm.buddy {
-		return pm.buddyAllocNLocked(n)
+		return pm.buddyAllocNLocked(socket, n)
 	}
 	if len(pm.free) < n {
 		return nil, ErrNoMemory

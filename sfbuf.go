@@ -150,6 +150,9 @@ type (
 	// blocks per order, largest contiguous free extent, split/coalesce
 	// counts), reported by Kernel.PhysStats.
 	PhysStats = vm.PhysStats
+	// HomingPolicy selects how mapping state is placed on a multi-socket
+	// machine (Config.Sockets > 1): socket-homed or flat hash-striped.
+	HomingPolicy = kernel.HomingPolicy
 )
 
 // Kernel variants.
@@ -214,6 +217,19 @@ const (
 	PhysBuddyOff = kernel.PhysBuddyOff
 )
 
+// State-placement policies for multi-socket machines (Config.Homing,
+// effective when Config.Sockets > 1).
+const (
+	// HomingAuto homes mapping state per socket whenever the machine has
+	// more than one socket and the engine is sharded (the default).
+	HomingAuto = kernel.HomingAuto
+	// HomingOn forces socket homing (no-op at one socket).
+	HomingOn = kernel.HomingOn
+	// HomingOff pins the flat hash-striped layout even on a multi-socket
+	// machine — the NUMA experiment's baseline arm.
+	HomingOff = kernel.HomingOff
+)
+
 // ErrNoContig is AllocContig's failure: no aligned physically contiguous
 // extent of the requested size is currently free (or the pool is LIFO).
 var ErrNoContig = vm.ErrNoContig
@@ -236,7 +252,8 @@ func AllocUserMem(k *Kernel, size int) (*UserMem, error) {
 	return vm.AllocUserMem(k.M.Phys, size)
 }
 
-// The paper's evaluation platforms (Section 6.1).
+// The paper's evaluation platforms (Section 6.1), plus the multi-socket
+// NUMA extrapolation used by the scale and numa experiments.
 var (
 	XeonUP    = arch.XeonUP
 	XeonHTT   = arch.XeonHTT
@@ -244,6 +261,9 @@ var (
 	XeonMPHTT = arch.XeonMPHTT
 	OpteronMP = arch.OpteronMP
 	Sparc64MP = arch.Sparc64MP
+	// XeonNUMA builds a multi-package Xeon with asymmetric cross-socket
+	// costs; boot it with Config.Sockets set to the same socket count.
+	XeonNUMA = arch.XeonNUMA
 )
 
 // EvaluationPlatforms returns the five platforms in figure order.
