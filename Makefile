@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke fuzz bench bench-contended bench-batch bench-run bench-adaptive bench-contig bench-serve bench-reclaim bench-numa docs lint vet fmt ci clean
+.PHONY: all build test race fuzz-smoke fuzz bench bench-contended bench-batch bench-run bench-adaptive bench-contig bench-serve bench-reclaim bench-numa bench-defrag docs lint vet fmt ci clean
 
 all: build test
 
@@ -73,6 +73,14 @@ bench-reclaim:
 bench-numa:
 	$(GO) test -run '^$$' -bench BenchmarkAllocNUMA -benchtime 1x .
 	$(GO) test -run TestNUMAEconomy -v -timeout 300s ./internal/experiments
+
+# Defragmentation-by-migration economy: contiguous extents and superpage
+# promotions on the shaped ~70%-occupancy pool that defeats plain buddy
+# coalescing, migration on vs. off, plus the steady-state acceptance
+# criterion (>= 50% contiguous service at <= 10% cycle overhead).
+bench-defrag:
+	$(GO) test -run '^$$' -bench BenchmarkAllocDefrag -benchtime 32x .
+	$(GO) test -run TestDefragEconomy -v -timeout 300s ./internal/experiments
 
 # Documentation gate: package comments on every package, docs links
 # resolve.  Mirrors the CI docs step.

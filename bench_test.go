@@ -542,6 +542,59 @@ func BenchmarkAllocContig(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocDefrag is make bench-defrag's reporting benchmark: the
+// defrag experiment's steady-churn driver on the shaped ~70%-occupancy
+// pool, where scattered residents in every superpage span defeat the
+// buddy allocator's eager coalescing for good.  Each iteration is one
+// serving round — 512 single-page churn ops plus one superpage extent
+// mapped as an aligned run.  On the migrate row the Migrator evacuates
+// the nearly-free spans (on demand from AllocPhysContig and ahead of
+// demand on daemon idle ticks), so contig/extent returns to ~1.0 and the
+// run windows promote; on the no-migrate row both stay 0 forever.  The
+// acceptance criterion (>= 50% contiguous service, non-zero promotions,
+// steady-state simcycles/op within 10% of the baseline, byte-oracle
+// clean) is enforced by TestDefragEconomy; this benchmark is where the
+// numbers surface.
+func BenchmarkAllocDefrag(b *testing.B) {
+	cases := []struct {
+		name string
+		pol  kernel.MigratePolicy
+	}{
+		{"migrate", kernel.MigrateOn},
+		{"no-migrate", kernel.MigrateOff},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			k, err := experiments.BootDefrag(c.pol)
+			if err != nil {
+				b.Fatal(err)
+			}
+			shape, err := experiments.ShapeOccupancy(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := experiments.ChurnDefrag(k, shape, 2); err != nil {
+				b.Fatal(err)
+			}
+			k.Reset()
+			superBefore := k.Pmap.SuperStats()
+			b.ResetTimer()
+			done, contig, err := experiments.ChurnDefrag(k, shape, b.N)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			super := k.Pmap.SuperStats()
+			mig := k.MigrationStats()
+			b.ReportMetric(float64(contig)/float64(b.N), "contig/extent")
+			b.ReportMetric(float64(super.Promotions-superBefore.Promotions)/float64(b.N), "promotions/round")
+			b.ReportMetric(float64(k.M.TotalCycles())/float64(done), "simcycles/op")
+			b.ReportMetric(float64(mig.PagesMoved), "pagesmoved")
+			b.ReportMetric(float64(mig.BlocksFreed), "blocksfreed")
+		})
+	}
+}
+
 // BenchmarkAllocAdaptive is the adaptive-contiguity acceptance
 // benchmark: the two canonical workloads (cyclic re-streaming of large
 // extents wider than the cache, and reuse-heavy churn over a
@@ -688,6 +741,7 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		"serve":    true, // covered by BenchmarkServe
 		"reclaim":  true, // covered by BenchmarkReclaim
 		"numa":     true, // covered by BenchmarkAllocNUMA
+		"defrag":   true, // covered by BenchmarkAllocDefrag
 	}
 	for _, id := range experiments.IDs() {
 		if !covered[id] {

@@ -7,6 +7,7 @@ import (
 	"sfbuf/internal/arch"
 	"sfbuf/internal/cycles"
 	"sfbuf/internal/kernel"
+	"sfbuf/internal/pmap"
 	"sfbuf/internal/vm"
 )
 
@@ -41,13 +42,14 @@ func RunScale(o Options) (*Result, error) {
 		Title: "Contended Alloc/Free: sharded vs. global-lock vs. original (Xeon 4-way)",
 		Columns: []string{"variant", "ops", "hit rate", "local/1k ops",
 			"remote rounds/1k ops", "IPIs/1k ops", "locks/op", "rlocks/op",
-			"rIPIs/op", "walks/op", "tlb/op", "coalesce", "contig%"},
+			"rIPIs/op", "walks/op", "tlb/op", "coalesce", "contig%", "promo/s"},
 		Notes: []string{
 			"working set is 4x the cache so every shared reuse of the global cache pays a shootdown round",
 			"coalesce = invalidations retired per batched flush (sharded engine only)",
 			"walks/op = page-table walks per page touched; run rows pay one walk per contiguous run",
 			"tlb/op = TLB entries filled per page touched (base + superpage entries)",
 			"frag rows churn FRESH physical extents after a fragmentation-churn warmup; contig% is the fraction served physically contiguous (buddy allocator coalesces, LIFO never recovers)",
+			"defrag rows run the shaped ~70%-occupancy steady-churn driver (experiment \"defrag\"): superpage extents under residency that defeats plain coalescing, migration on vs. off; promo/s counts superpage promotions per simulated second",
 			"rlocks/op and rIPIs/op are cross-package lock acquisitions and IPI deliveries; zero on the flat single-package machine",
 			"N-socket rows run the same shared churn on 2- and 4-package NUMA Xeons, socket-homed vs. hash-striped state",
 		},
@@ -146,7 +148,7 @@ func RunScale(o Options) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("scale %s: %w", name, err)
 			}
-			scaleRow(res, k, name, done, contigCol)
+			scaleRow(res, k, name, done, contigCol, "-")
 		}
 	}
 
@@ -177,7 +179,7 @@ func RunScale(o Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scale %s: %w", ir.name, err)
 		}
-		scaleRow(res, k, ir.name, done, "-")
+		scaleRow(res, k, ir.name, done, "-", "-")
 	}
 
 	// Multi-package rows: the same shared churn on 2- and 4-socket NUMA
@@ -219,15 +221,44 @@ func RunScale(o Options) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("scale %s: %w", name, err)
 			}
-			scaleRow(res, k, name, done, "-")
+			scaleRow(res, k, name, done, "-", "-")
 		}
+	}
+
+	// Defrag rows: the same steady-churn driver the defrag experiment
+	// measures, on the shaped ~70%-occupancy pool whose scattered
+	// residents defeat plain buddy coalescing.  The contig% and promo/s
+	// columns — frozen at 0 on the no-defrag row — show migration turning
+	// the shaped pool back into a superpage server; the shared economy
+	// columns show what the steady churn pays for it (nothing measurable:
+	// evacuations ride idle ticks and contiguity misses).
+	defragRounds := o.scaleInt(40960, 8192) / (DefragChurnOps + pmap.SuperpagePages)
+	if defragRounds < 4 {
+		defragRounds = 4
+	}
+	for _, dr := range []struct {
+		name string
+		pol  kernel.MigratePolicy
+	}{
+		{"sf_buf sharded defrag", kernel.MigrateOn},
+		{"sf_buf sharded no-defrag", kernel.MigrateOff},
+	} {
+		arm, err := RunDefragArm(dr.pol, defragRounds)
+		if err != nil {
+			return nil, fmt.Errorf("scale %s: %w", dr.name, err)
+		}
+		scaleRow(res, arm.K, dr.name, arm.Done,
+			fmt.Sprintf("%.2f", arm.ContigFrac), fmtF(arm.PromoPerSec))
+		res.SetMetric("contig_frac/"+dr.name, arm.ContigFrac)
+		res.SetMetric("promo_per_sec/"+dr.name, arm.PromoPerSec)
 	}
 	return res, nil
 }
 
 // scaleRow appends one engine's churn economy to the scale result: the
-// shared row/metric emission for the variant grid and the idle-gap rows.
-func scaleRow(res *Result, k *kernel.Kernel, name string, done int, contigCol string) {
+// shared row/metric emission for the variant grid, the idle-gap, NUMA
+// and defrag rows.
+func scaleRow(res *Result, k *kernel.Kernel, name string, done int, contigCol, promoCol string) {
 	s := k.M.SnapshotCounters()
 	st := k.Map.Stats()
 	perK := func(n uint64) float64 { return float64(n) * 1000 / float64(done) }
@@ -251,7 +282,7 @@ func scaleRow(res *Result, k *kernel.Kernel, name string, done int, contigCol st
 		fmtF(perK(s.IPIsDelivered)), fmt.Sprintf("%.2f", locksPerOp),
 		fmt.Sprintf("%.4f", rlocksPerOp), fmt.Sprintf("%.4f", ripisPerOp),
 		fmt.Sprintf("%.3f", walksPerOp), fmt.Sprintf("%.3f", tlbPerOp),
-		fmtF(coalesce), contigCol,
+		fmtF(coalesce), contigCol, promoCol,
 	})
 	res.SetMetric("remote_per_kop/"+name, perK(s.RemoteInvIssued))
 	res.SetMetric("ipis_per_kop/"+name, perK(s.IPIsDelivered))

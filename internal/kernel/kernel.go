@@ -6,6 +6,7 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -184,6 +185,76 @@ func (p PhysPolicy) String() string {
 	return "auto"
 }
 
+// ReservPolicy selects superpage reservation watermarks on the buddy
+// allocator: while a socket's stock of intact superpage-span blocks is at
+// or below the low watermark, single-page allocation steers into smaller
+// blocks and splits a protected block only when nothing smaller exists
+// anywhere (an explicitly counted spill).
+type ReservPolicy int
+
+const (
+	// ReservAuto is the default: watermarks on every buddy-allocator
+	// kernel (reservations are meaningless on a LIFO pool, and the
+	// figure-reproduction kernels resolve to LIFO, so every deterministic
+	// figure experiment is untouched).
+	ReservAuto ReservPolicy = iota
+	// ReservOn forces the watermarks wherever the buddy allocator runs.
+	ReservOn
+	// ReservOff disables them — the ablation arm that measures how fast
+	// unguarded churn erodes contiguity.
+	ReservOff
+)
+
+// String names the policy for reports.
+func (r ReservPolicy) String() string {
+	switch r {
+	case ReservOn:
+		return "on"
+	case ReservOff:
+		return "off"
+	}
+	return "auto"
+}
+
+// MigratePolicy selects defragmentation by migration: a Migrator that
+// evacuates the few resident pages out of nearly-free superpage spans —
+// rewriting their cache and run-window mappings in place, one shootdown
+// flush per block — so buddy coalescing recovers the spans as intact
+// blocks.  It runs as the background daemon's fourth idle-tick duty and
+// as an on-demand pass when AllocPhysContig faces scattered-but-
+// sufficient free memory.
+type MigratePolicy int
+
+const (
+	// MigrateAuto is the default: migration wherever it can work — the
+	// sharded i386 engine over a buddy pool (NewMigrator's requirement) —
+	// which again excludes every figure-reproduction kernel.
+	MigrateAuto MigratePolicy = iota
+	// MigrateOn forces it (still nil on engines that cannot migrate).
+	MigrateOn
+	// MigrateOff disables it — the no-defrag baseline arm.
+	MigrateOff
+)
+
+// String names the policy for reports.
+func (p MigratePolicy) String() string {
+	switch p {
+	case MigrateOn:
+		return "on"
+	case MigrateOff:
+		return "off"
+	}
+	return "auto"
+}
+
+// DefaultReservLowWater is the per-socket intact-superpage stock below
+// which single-page allocation steers away from protected blocks.
+const DefaultReservLowWater = 2
+
+// DefaultMigrateBlocksPerTick bounds how many superpage spans one daemon
+// idle tick may evacuate.
+const DefaultMigrateBlocksPerTick = 1
+
 // HomingPolicy selects how mapping state is placed on a multi-socket
 // machine (Config.Sockets > 1).  On a one-socket machine the policy is
 // irrelevant: every layout collapses to the flat one.
@@ -280,6 +351,21 @@ type Config struct {
 	// disables the age bound (windows launder only by count threshold or
 	// arena pressure, the pre-daemon behaviour).
 	LaunderAge cycles.Cycles
+	// Reserv selects superpage reservation watermarks on the buddy
+	// allocator (Auto: on wherever the buddy allocator runs), and
+	// ReservLowWater the per-socket protected stock (0 means
+	// DefaultReservLowWater).
+	Reserv         ReservPolicy
+	ReservLowWater int
+	// Migrate selects defragmentation by migration (Auto: on wherever the
+	// engine can migrate — the sharded i386 cache over a buddy pool).
+	// MigrateMaxResident caps how many resident pages a span may hold and
+	// still be worth evacuating (0 means a quarter of the superpage span);
+	// MigrateBlocksPerTick bounds the daemon's per-idle-tick evacuation
+	// budget (0 means DefaultMigrateBlocksPerTick).
+	Migrate              MigratePolicy
+	MigrateMaxResident   int
+	MigrateBlocksPerTick int
 	// Sockets models the machine as that many CPU packages: consecutive
 	// CPU-id blocks become sockets, physical frames are homed on sockets
 	// by address range, and cross-package lock acquisitions, IPI
@@ -307,6 +393,27 @@ func (cfg Config) UsesBuddyPhys() bool {
 		return false
 	}
 	return cfg.Mapper == SFBuf && cfg.Cache != CacheGlobal
+}
+
+// UsesReservation reports the config's resolved reservation choice.  The
+// watermarks live in the buddy allocator, so they require it regardless
+// of policy.
+func (cfg Config) UsesReservation() bool {
+	if !cfg.UsesBuddyPhys() {
+		return false
+	}
+	return cfg.Reserv != ReservOff
+}
+
+// UsesMigration reports the config's resolved defragmentation choice.
+// Like the reservation, migration requires the buddy allocator; it
+// additionally requires an engine that can migrate, which Boot discovers
+// by whether sfbuf.NewMigrator accepts the mapper.
+func (cfg Config) UsesMigration() bool {
+	if !cfg.UsesBuddyPhys() {
+		return false
+	}
+	return cfg.Migrate != MigrateOff
 }
 
 // sockets returns the configured socket count, clamped to at least 1.
@@ -337,6 +444,10 @@ type Kernel struct {
 	// daemon is the background reclaim-and-laundering worker, nil when
 	// disabled or when the engine has no sharded cores.
 	daemon *sfbuf.Daemon
+
+	// migrator defragments physical memory by evacuating nearly-free
+	// superpage spans; nil when disabled or unsupported by the engine.
+	migrator *sfbuf.Migrator
 
 	// consumers is the registry of per-subsystem contiguity-policy
 	// handles (see Consumer).
@@ -389,6 +500,25 @@ func Boot(cfg Config) (*Kernel, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.UsesReservation() {
+		low := cfg.ReservLowWater
+		if low <= 0 {
+			low = DefaultReservLowWater
+		}
+		order := 0
+		for 1<<order < pmap.SuperpagePages {
+			order++
+		}
+		phys.SetReservation(order, low)
+	}
+	if cfg.UsesMigration() {
+		// NewMigrator answers nil for engines that cannot migrate (the
+		// global-lock cache, amd64, sparc64, LIFO pools) — the knob then
+		// resolves off by itself.
+		k.migrator = sfbuf.NewMigrator(k.Map, sfbuf.MigrateConfig{
+			MaxResident: cfg.MigrateMaxResident,
+		})
+	}
 	// Background reclaim/laundering rides the idle tick on engines with
 	// sharded cores.  The figure engines never get a daemon (NewDaemon
 	// returns nil for them), and their experiments never call Idle, so
@@ -404,6 +534,13 @@ func Boot(cfg Config) (*Kernel, error) {
 		if cfg.ReclaimWatermark >= 0 {
 			if d := sfbuf.NewDaemon(k.Map, sfbuf.DaemonConfig{Watermark: cfg.ReclaimWatermark}); d != nil {
 				k.daemon = d
+				if k.migrator != nil {
+					blocks := cfg.MigrateBlocksPerTick
+					if blocks <= 0 {
+						blocks = DefaultMigrateBlocksPerTick
+					}
+					d.SetMigrator(k.migrator, blocks)
+				}
 				m.RegisterIdleWork(d.Run)
 			}
 		}
@@ -577,9 +714,45 @@ func (k *Kernel) PhysContigAlign(n int) int {
 // kernel's alignment/color hint applied.  It fails with vm.ErrNoContig on
 // LIFO pools and under unrecoverable fragmentation; callers that can use
 // scattered pages fall back to AllocN.
+//
+// With a migrator booted, a contiguity failure over SUFFICIENT total free
+// memory triggers one synchronous defragmentation pass — evacuate enough
+// nearly-free superpage spans to cover the request — and one retry: the
+// on-demand complement to the daemon's ahead-of-demand idle-tick rounds.
 func (k *Kernel) AllocPhysContig(n int) ([]*vm.Page, error) {
+	pages, err := k.M.Phys.AllocContig(n, k.PhysContigAlign(n))
+	if err == nil || k.migrator == nil || !errors.Is(err, vm.ErrNoContig) {
+		return pages, err
+	}
+	if k.M.Phys.FreeFrames() < n {
+		return nil, err // genuinely out of memory: migration moves, it does not mint
+	}
+	span := k.migrator.Span()
+	blocks := (n + span - 1) / span
+	if k.migrator.MigrateBlocks(k.Ctx(0), blocks) == 0 {
+		return nil, err
+	}
 	return k.M.Phys.AllocContig(n, k.PhysContigAlign(n))
 }
+
+// MigrationEnabled reports whether the kernel booted a defragmentation
+// migrator.
+func (k *Kernel) MigrationEnabled() bool { return k.migrator != nil }
+
+// MigrateNow forces one synchronous defragmentation round on the given
+// CPU — up to blocks nearly-free superpage spans evacuated — and returns
+// how many fully coalesced.  Zero (and a no-op) without a migrator.  The
+// deterministic experiments use it to defragment at controlled points.
+func (k *Kernel) MigrateNow(cpu, blocks int) int {
+	if k.migrator == nil {
+		return 0
+	}
+	return k.migrator.MigrateBlocks(k.Ctx(cpu), blocks)
+}
+
+// MigrationStats snapshots the migrator's counters (zero value when no
+// migrator is booted).
+func (k *Kernel) MigrationStats() sfbuf.MigrationStats { return k.migrator.Stats() }
 
 // Idle models cpu being idle for dur simulated cycles.  If the background
 // daemon is enabled it runs a maintenance pass on that CPU within the

@@ -84,6 +84,12 @@ type SuperStats struct {
 	Promotions uint64
 	// Demotions counts promoted windows torn back down by KRemoveRun.
 	Demotions uint64
+	// AlignSkips counts would-be promotions disqualified ONLY by physical
+	// alignment: the window was fully covered by contiguous frames, but the
+	// first frame was not a multiple of SuperpagePages, which real page-size
+	// extension hardware refuses.  It measures the opportunistic promotion
+	// the frame allocator's alignment discipline is (or is not) losing.
+	AlignSkips uint64
 }
 
 // Pmap is the kernel address space of one machine.
@@ -224,13 +230,16 @@ func (p *Pmap) KRemoveBatch(ctx *smp.Context, vpns []uint64, accessed []bool) []
 // which is the caller's (the run pool's) obligation.
 //
 // Superpage promotion: every SuperpagePages-aligned chunk of the run that
-// is fully covered and physically contiguous is promoted — recorded so
-// that a later translation of any of its pages fills ONE large TLB entry
-// covering the whole chunk instead of one base entry per page.  (Real
-// hardware would additionally demand physical alignment; the model's
-// large entries translate by arithmetic from the window base, so
-// contiguity alone suffices, and we take the paper's side of modeling the
-// TLB-entry economy rather than the frame allocator.)
+// is fully covered, physically contiguous, AND starts on a
+// SuperpagePages-aligned frame is promoted — recorded so that a later
+// translation of any of its pages fills ONE large TLB entry covering the
+// whole chunk instead of one base entry per page.  Real page-size
+// extension hardware demands that physical alignment (a large PTE has no
+// low frame bits), so the model does too: a contiguous but misaligned
+// chunk maps fine as base pages and counts in SuperStats.AlignSkips — the
+// gauge of what opportunistic promotion the alignment discipline
+// disqualifies, which the buddy allocator's aligned AllocContig extents
+// are there to win back.
 func (p *Pmap) KEnterRun(ctx *smp.Context, base uint64, pages []*vm.Page) {
 	if p.IsDirectMapped(base) {
 		panic(fmt.Sprintf("pmap: KEnterRun into direct map va %#x", base))
@@ -263,7 +272,11 @@ func (p *Pmap) KEnterRun(ctx *smp.Context, base uint64, pages []*vm.Page) {
 				break
 			}
 		}
-		if contig {
+		switch {
+		case !contig:
+		case pages[idx].Frame()%span != 0:
+			p.sstat.AlignSkips++
+		default:
 			p.super[c>>tlb.SuperSpanShift] = &superWindow{baseVPN: c, frame: pages[idx].Frame()}
 			p.sstat.Promotions++
 		}

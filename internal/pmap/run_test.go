@@ -115,10 +115,24 @@ func TestTranslateRunDirectMap(t *testing.T) {
 }
 
 func TestSuperpagePromotionLifecycle(t *testing.T) {
-	m := smp.NewMachine(arch.XeonMPHTT(), SuperpagePages+32, false)
+	m := smp.NewMachine(arch.XeonMPHTT(), 2*SuperpagePages+32, false)
 	pm := New(m)
 	ctx := m.Ctx(0)
-	pages := allocRunPages(t, m, SuperpagePages)
+	// A fresh machine hands out frames 1, 2, 3, ...; promotion demands the
+	// window start on a SuperpagePages-aligned FRAME, so slice out the
+	// aligned contiguous window from a double-span allocation.
+	all := allocRunPages(t, m, 2*SuperpagePages)
+	start := -1
+	for i, pg := range all {
+		if pg.Frame()%uint64(SuperpagePages) == 0 {
+			start = i
+			break
+		}
+	}
+	if start < 0 || start+SuperpagePages > len(all) {
+		t.Skip("no aligned window in the allocation")
+	}
+	pages := all[start : start+SuperpagePages]
 	for i := 1; i < SuperpagePages; i++ {
 		if pages[i].Frame() != pages[0].Frame()+uint64(i) {
 			t.Skip("physical allocator did not hand out contiguous frames")
@@ -172,5 +186,71 @@ func TestSuperpagePromotionLifecycle(t *testing.T) {
 	}
 	if pm.Promoted(base) {
 		t.Fatal("window still promoted after KRemoveRun")
+	}
+}
+
+// TestPromotionDemandsFrameAlignment pins the alignment rule: a window of
+// physically CONTIGUOUS but misaligned frames maps and translates
+// correctly as base pages, yet does not promote — real page-size extension
+// hardware has no low frame bits in a large PTE — and the disqualification
+// is measured in SuperStats.AlignSkips.
+func TestPromotionDemandsFrameAlignment(t *testing.T) {
+	m := smp.NewMachine(arch.XeonMPHTT(), 2*SuperpagePages+32, true)
+	pm := New(m)
+	ctx := m.Ctx(0)
+	all := allocRunPages(t, m, SuperpagePages+8)
+	// Frames 1, 2, 3, ... — take a full span starting at a frame that is
+	// NOT a multiple of SuperpagePages.
+	pages := all[:SuperpagePages]
+	if pages[0].Frame()%uint64(SuperpagePages) == 0 {
+		pages = all[1 : SuperpagePages+1]
+	}
+	for i := 1; i < SuperpagePages; i++ {
+		if pages[i].Frame() != pages[0].Frame()+uint64(i) {
+			t.Skip("physical allocator did not hand out contiguous frames")
+		}
+	}
+	pages[3].Data()[7] = 0xA5
+
+	base := uint64(KVABaseI386) // superpage-aligned VA: only the frames disqualify
+	pm.KEnterRun(ctx, base, pages)
+	ss := pm.SuperStats()
+	if ss.Promotions != 0 {
+		t.Fatalf("misaligned contiguous window promoted: %+v", ss)
+	}
+	if ss.AlignSkips != 1 {
+		t.Fatalf("align skips = %d, want 1", ss.AlignSkips)
+	}
+	if pm.Promoted(base) {
+		t.Fatal("Promoted reports a window that must not exist")
+	}
+
+	// The window still maps fine: every page translates to its frame (base
+	// entries), and the bytes come through.
+	got, err := pm.TranslateRun(ctx, base, SuperpagePages, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pg := range got {
+		if pg != pages[i] {
+			t.Fatalf("page %d resolves wrong", i)
+		}
+	}
+	if got[3].Data()[7] != 0xA5 {
+		t.Fatal("bytes do not come through the base mappings")
+	}
+	if ts := m.CPU(0).TLBStats(); ts.LargeInserts != 0 {
+		t.Fatalf("large TLB inserts = %d, want 0 for a misaligned window", ts.LargeInserts)
+	}
+
+	// Teardown reports per-page accessed bits (no large entry to blame).
+	acc := pm.KRemoveRun(ctx, base, SuperpagePages, nil)
+	for i, a := range acc {
+		if !a {
+			t.Fatalf("accessed[%d] = false after a full sweep", i)
+		}
+	}
+	if ss := pm.SuperStats(); ss.Demotions != 0 {
+		t.Fatalf("demotions = %d, want 0 (nothing was promoted)", ss.Demotions)
 	}
 }

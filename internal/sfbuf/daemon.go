@@ -71,6 +71,12 @@ type DaemonStats struct {
 	// daemon's trim pass returned to the KVA arena.
 	TrimmedWindows uint64
 
+	// MigrateRounds counts idle ticks that ran a defragmentation round,
+	// and MigratedBlocks the superpage-span blocks those rounds fully
+	// coalesced (see MigrationStats for the finer-grained counters).
+	MigrateRounds  uint64
+	MigratedBlocks uint64
+
 	// RefilledBySocket and TrimmedBySocket split RefilledBufs and
 	// TrimmedWindows by the socket of the CPU whose idle tick did the
 	// work — the per-socket view of where the daemon's background effort
@@ -85,10 +91,19 @@ type Daemon struct {
 	cores     []*shardedCache
 	watermark int
 
-	passes   atomic.Uint64
-	refills  atomic.Uint64
-	refilled atomic.Uint64
-	trimmed  atomic.Uint64
+	// mig, when set (SetMigrator), adds defragmentation by migration as
+	// the pass's fourth duty: up to migBlocks nearly-free superpage spans
+	// are evacuated per tick, outside the per-core read gate (the
+	// Migrator takes the write side itself).
+	mig       *Migrator
+	migBlocks int
+
+	passes         atomic.Uint64
+	refills        atomic.Uint64
+	refilled       atomic.Uint64
+	trimmed        atomic.Uint64
+	migRounds      atomic.Uint64
+	migBlocksFreed atomic.Uint64
 
 	// Per-socket attribution of refill and trim work, indexed by the
 	// socket of the CPU running the pass.
@@ -159,9 +174,24 @@ func NewDaemon(m Mapper, cfg DaemonConfig) *Daemon {
 	}
 }
 
+// SetMigrator registers defragmentation by migration as the daemon's
+// fourth duty: each pass with budget left runs one MigrateBlocks round
+// with the given per-tick block budget.  A nil migrator (or blocks <= 0)
+// leaves the daemon as it was.
+func (d *Daemon) SetMigrator(mig *Migrator, blocks int) {
+	if d == nil || mig == nil || blocks <= 0 {
+		return
+	}
+	d.mig, d.migBlocks = mig, blocks
+}
+
 // Run is the idle-tick entry point (an smp.IdleWork).  It spends up to
 // budget cycles of the idling CPU doing one background pass over every
 // core, oldest duties first, and stops early once the budget is consumed.
+// Duties 1-3 hold the core's read migration gate — they walk frame-keyed
+// state (revive keys, shard hashes) that must not shift underfoot — and
+// duty 4, the defrag round, runs after the gate is dropped (the Migrator
+// takes the write side itself).
 func (d *Daemon) Run(ctx *smp.Context, budget cycles.Cycles) {
 	d.passes.Add(1)
 	sock := ctx.Socket()
@@ -171,6 +201,7 @@ func (d *Daemon) Run(ctx *smp.Context, budget cycles.Cycles) {
 	start := ctx.CPU().Cycles()
 	within := func() bool { return ctx.CPU().Cycles()-start < budget }
 	for _, c := range d.cores {
+		c.migGate.RLock()
 		// 1. Retire parked run windows past the age bound.
 		c.runs.launderAged(ctx)
 		// 2. Refill clean stock to the watermark, one reclaim round at a
@@ -197,9 +228,21 @@ func (d *Daemon) Run(ctx *smp.Context, budget cycles.Cycles) {
 				d.trimmedSock[sock].Add(uint64(n))
 			}
 		}
+		c.migGate.RUnlock()
 		if !within() {
-			break
+			return
 		}
+	}
+	// 4. Defragment: evacuate a bounded number of nearly-free superpage
+	// spans so AllocContig keeps finding intact blocks.  Like refill, this
+	// is ahead-of-demand work charged to idle time; the synchronous
+	// trigger (kernel.AllocPhysContig on contiguity failure) still covers
+	// demand the daemon has not met.
+	if d.mig != nil && within() {
+		if n := d.mig.MigrateBlocks(ctx, d.migBlocks); n > 0 {
+			d.migBlocksFreed.Add(uint64(n))
+		}
+		d.migRounds.Add(1)
 	}
 }
 
@@ -211,6 +254,8 @@ func (d *Daemon) Stats() DaemonStats {
 		RefillRounds:     d.refills.Load(),
 		RefilledBufs:     d.refilled.Load(),
 		TrimmedWindows:   d.trimmed.Load(),
+		MigrateRounds:    d.migRounds.Load(),
+		MigratedBlocks:   d.migBlocksFreed.Load(),
 		RefilledBySocket: make([]uint64, len(d.refilledSock)),
 		TrimmedBySocket:  make([]uint64, len(d.trimmedSock)),
 	}

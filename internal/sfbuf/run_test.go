@@ -479,7 +479,21 @@ func TestSuperpagePromotion(t *testing.T) {
 	span := pmap.SuperpagePages
 	r := newShardedRig(t, arch.XeonMPHTT(), span+64, ShardedConfig{})
 	ctx := r.m.Ctx(0)
-	pages := allocPages(t, r.m, span) // fresh machine: frames are contiguous
+	// Promotion demands a SuperpagePages-ALIGNED first frame; a fresh
+	// machine hands out frames 1, 2, 3, ..., so carve the aligned window
+	// out of a double-span allocation.
+	all := allocPages(t, r.m, 2*span)
+	start := -1
+	for i, pg := range all {
+		if pg.Frame()%uint64(span) == 0 {
+			start = i
+			break
+		}
+	}
+	if start < 0 || start+span > len(all) {
+		t.Skip("no aligned window in the allocation")
+	}
+	pages := all[start : start+span]
 	for i := 1; i < span; i++ {
 		if pages[i].Frame() != pages[0].Frame()+uint64(i) {
 			t.Skip("physical allocator did not hand out contiguous frames")

@@ -170,9 +170,15 @@ type runPool struct {
 	// launderAge is the parked-window age bound on the machine clock;
 	// 0 disables age-triggered laundering (count threshold only).
 	launderAge cycles.Cycles
-	stats      RunWindowStats
-	scrVpns    []uint64 // laundering scratch
-	scrMasks   []smp.CPUSet
+	// resident counts, per frame, the checked-out (live) runs currently
+	// mapping it.  The migrator consults it: a frame in a live run has its
+	// translations in active use and must not be evacuated.  Parked
+	// windows' frames are deliberately NOT here — those are migratable in
+	// place or force-launderable.
+	resident map[uint64]int
+	stats    RunWindowStats
+	scrVpns  []uint64 // laundering scratch
+	scrMasks []smp.CPUSet
 }
 
 func newRunPool(pm *pmap.Pmap, arena *kva.Arena) *runPool {
@@ -182,8 +188,40 @@ func newRunPool(pm *pmap.Pmap, arena *kva.Arena) *runPool {
 		forceDebt:  func() bool { return false },
 		clean:      make(map[int][]*runWindow),
 		dirtyIdx:   make(map[uint64][]*runWindow),
+		resident:   make(map[uint64]int),
 		launderAge: DefaultLaunderAge,
 	}
+}
+
+// noteLive records a checked-out run's frames as migration-ineligible;
+// noteDead drops them again when the run is freed (parked).
+func (p *runPool) noteLive(pages []*vm.Page) {
+	p.mu.Lock()
+	for _, pg := range pages {
+		p.resident[pg.Frame()]++
+	}
+	p.mu.Unlock()
+}
+
+func (p *runPool) noteDead(pages []*vm.Page) {
+	p.mu.Lock()
+	for _, pg := range pages {
+		f := pg.Frame()
+		if n := p.resident[f]; n <= 1 {
+			delete(p.resident, f)
+		} else {
+			p.resident[f] = n - 1
+		}
+	}
+	p.mu.Unlock()
+}
+
+// frameLive reports whether any checked-out run maps the frame.
+func (p *runPool) frameLive(f uint64) bool {
+	p.mu.Lock()
+	_, live := p.resident[f]
+	p.mu.Unlock()
+	return live
 }
 
 // setLaunderAge overrides the parked-window age bound; 0 disables it.
@@ -422,30 +460,7 @@ func (p *runPool) launderSomeLocked(ctx *smp.Context, n int) {
 	force := p.forceDebt()
 	batch := p.dirty[:n]
 	for _, w := range batch {
-		// Drop the revive key first, while the parked frames are intact.
-		h := frameHash(w.frames)
-		if ws := p.dirtyIdx[h]; len(ws) == 1 && ws[0] == w {
-			delete(p.dirtyIdx, h)
-		} else {
-			for wi, cand := range ws {
-				if cand == w {
-					p.dirtyIdx[h] = append(ws[:wi], ws[wi+1:]...)
-					break
-				}
-			}
-		}
-		w.accScr = p.pm.KRemoveRun(ctx, w.base, w.pages, w.accScr[:0])
-		vpn0 := pmap.VPN(w.base)
-		p.scrVpns, p.scrMasks = p.scrVpns[:0], p.scrMasks[:0]
-		for i, a := range w.accScr {
-			if a || force {
-				p.scrVpns = append(p.scrVpns, vpn0+uint64(i))
-				p.scrMasks = append(p.scrMasks, w.mask)
-			}
-		}
-		ctx.QueueShootdownBatch(p.scrMasks, p.scrVpns)
-		w.frames = w.frames[:0]
-		w.mask = 0
+		p.launderWindowLocked(ctx, w, force)
 	}
 	ctx.FlushShootdowns()
 	p.stats.Launders++
@@ -454,6 +469,128 @@ func (p *runPool) launderSomeLocked(ctx *smp.Context, n int) {
 		p.clean[w.pages] = append(p.clean[w.pages], w)
 	}
 	p.dirty = append(p.dirty[:0], p.dirty[n:]...)
+}
+
+// launderWindowLocked retires ONE parked window's revive key and deferred
+// teardown: drop it from the extent index, remove its translations in one
+// page-table pass, and queue the invalidations its accessed pages owe
+// against the window's accumulated mask.  The shootdown FLUSH is the
+// caller's: batch launderers flush once per round, the migrator once per
+// evacuated block.  The window is left frame-less but still on p.dirty;
+// the caller moves it to its clean list.  Caller holds p.mu.
+func (p *runPool) launderWindowLocked(ctx *smp.Context, w *runWindow, force bool) {
+	// Drop the revive key first, while the parked frames are intact.
+	h := frameHash(w.frames)
+	if ws := p.dirtyIdx[h]; len(ws) == 1 && ws[0] == w {
+		delete(p.dirtyIdx, h)
+	} else {
+		for wi, cand := range ws {
+			if cand == w {
+				p.dirtyIdx[h] = append(ws[:wi], ws[wi+1:]...)
+				break
+			}
+		}
+	}
+	w.accScr = p.pm.KRemoveRun(ctx, w.base, w.pages, w.accScr[:0])
+	vpn0 := pmap.VPN(w.base)
+	p.scrVpns, p.scrMasks = p.scrVpns[:0], p.scrMasks[:0]
+	for i, a := range w.accScr {
+		if a || force {
+			p.scrVpns = append(p.scrVpns, vpn0+uint64(i))
+			p.scrMasks = append(p.scrMasks, w.mask)
+		}
+	}
+	ctx.QueueShootdownBatch(p.scrMasks, p.scrVpns)
+	w.frames = w.frames[:0]
+	w.mask = 0
+}
+
+// launderSpan force-launders every parked window whose installed extent is
+// mostly (half or more) inside the victim frame span [lo, hi): when an
+// evacuation would have to remap most of a window's pages one by one, one
+// teardown pass is cheaper and frees the window for any extent.  Windows
+// only lightly touching the span are left parked for remapParked's
+// in-place migration.  Shootdowns are queued, NOT flushed — the migrator
+// owns the one-flush-per-block discipline.  Returns the windows laundered.
+func (p *runPool) launderSpan(ctx *smp.Context, lo, hi uint64) int {
+	ctx.ChargeLock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	force := p.forceDebt()
+	kept := p.dirty[:0]
+	laundered := 0
+	for _, w := range p.dirty {
+		in := 0
+		for _, f := range w.frames {
+			if f >= lo && f < hi {
+				in++
+			}
+		}
+		if in == 0 || 2*in < w.pages {
+			kept = append(kept, w)
+			continue
+		}
+		p.launderWindowLocked(ctx, w, force)
+		p.clean[w.pages] = append(p.clean[w.pages], w)
+		laundered++
+	}
+	p.dirty = kept
+	if laundered > 0 {
+		p.stats.Launders++
+		p.stats.Laundered += uint64(laundered)
+	}
+	return laundered
+}
+
+// remapParked migrates frame old in place wherever a parked window maps
+// it: the page pg (already swapped to its new frame) is re-entered at the
+// window slot, the stale translation's invalidation is queued against the
+// window's accumulated mask, and the window's revive key is rebuilt — so a
+// repeat AllocRun over the migrated page set still revives with zero PTE
+// writes.  Shootdowns are queued, not flushed (the migrator flushes once
+// per block).  Returns the slots remapped.
+func (p *runPool) remapParked(ctx *smp.Context, pg *vm.Page, old uint64) int {
+	ctx.ChargeLock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	force := p.forceDebt()
+	self := ctx.CPUID()
+	remapped := 0
+	for _, w := range p.dirty {
+		for i, f := range w.frames {
+			if f != old {
+				continue
+			}
+			oldH := frameHash(w.frames)
+			_, oldAcc := p.pm.KEnter(ctx, w.base+uint64(i)*vm.PageSize, pg)
+			if oldAcc || force {
+				vpn := pmap.VPN(w.base) + uint64(i)
+				mask := w.mask
+				if mask.Has(self) {
+					ctx.InvalidateLocal(vpn)
+					mask = mask.Clear(self)
+				}
+				ctx.QueueShootdown(mask, vpn)
+			}
+			w.frames[i] = pg.Frame()
+			// Rekey the extent index: the window now revives for the
+			// migrated frame sequence, not the pre-migration one.
+			if ws := p.dirtyIdx[oldH]; len(ws) == 1 && ws[0] == w {
+				delete(p.dirtyIdx, oldH)
+			} else {
+				for wi, cand := range ws {
+					if cand == w {
+						p.dirtyIdx[oldH] = append(ws[:wi], ws[wi+1:]...)
+						break
+					}
+				}
+			}
+			newH := frameHash(w.frames)
+			p.dirtyIdx[newH] = append(p.dirtyIdx[newH], w)
+			remapped++
+		}
+	}
+	return remapped
 }
 
 // launderAgedLocked launders the parked windows whose age at time now

@@ -234,6 +234,26 @@ type shardedCache struct {
 	// starving batch waits empty-handed, so the holder always drains.
 	batchMu sync.Mutex
 
+	// migGate is the migration gate.  Every mapping-path entry point holds
+	// it for READ for its whole critical span, and the Migrator holds it
+	// for WRITE while evacuating a block — so a page's frame (and with it
+	// the shard a buffer hashes to, the byte storage a mapping reads, and
+	// the revive key of a parked run window) never changes under a mapping
+	// operation.  Two rules keep it deadlock-free:
+	//
+	//   - A sleeper (alloc's exhaustion wait, claimWait) must drop the read
+	//     gate BEFORE blocking on its condvar and re-acquire it only AFTER
+	//     releasing pool.mu on the way out.  Re-acquiring while still
+	//     holding pool.mu would deadlock three ways with a writer pending:
+	//     the sleeper holds pool.mu wanting RLock, the pending writer
+	//     blocks new readers, and the free() that would signal holds RLock
+	//     wanting pool.mu.
+	//   - The migrator, under the write gate, may take pool.mu, freelist,
+	//     shard, and run-pool locks (no reader holds any of them while
+	//     blocked on the gate) but NEVER batchMu: the starving batch holds
+	//     batchMu across its gate-dropping sleep.
+	migGate sync.RWMutex
+
 	ablate Ablation
 
 	// Statistics are per-field atomics: the engine exists to kill the
@@ -497,7 +517,11 @@ func (c *shardedCache) noteHashInsert() {
 // sleepers are woken if the claim absorbed credits: the claimer's rescan
 // may consume fewer buffers than were credited (hash hits), and the
 // leftovers must not strand singles whose wakeups the claim suppressed.
-// The caller must hold batchMu, which makes it the sole claimer.
+// The caller must hold batchMu, which makes it the sole claimer.  The
+// caller also holds the read migration gate; the sleep drops it (frames
+// may migrate while we block) and re-acquires it — strictly after
+// releasing pool.mu, per the gate's ordering rule — on every exit path
+// that slept, so the caller's gate accounting is unchanged.
 func (c *shardedCache) claimWait(ctx *smp.Context, need int, gen, hgen uint64, flags Flags) (rescanAll, interrupted bool) {
 	c.pool.mu.Lock()
 	c.waiters.Add(1)
@@ -511,11 +535,13 @@ func (c *shardedCache) claimWait(ctx *smp.Context, need int, gen, hgen uint64, f
 	}
 	c.claimNeed, c.claimGot = need, 0
 	c.sleeps.Add(1)
+	c.migGate.RUnlock()
 	for c.claimGot < c.claimNeed && c.hitGen.Load() == hgen {
 		c.claimCond.Wait()
 		if flags&Catch != 0 && ctx.Interrupted() {
 			c.deregisterClaimLocked()
 			c.pool.mu.Unlock()
+			c.migGate.RLock()
 			c.interrupted.Add(1)
 			return false, true
 		}
@@ -523,6 +549,7 @@ func (c *shardedCache) claimWait(ctx *smp.Context, need int, gen, hgen uint64, f
 	rescanAll = c.hitGen.Load() != hgen
 	c.deregisterClaimLocked()
 	c.pool.mu.Unlock()
+	c.migGate.RLock()
 	return rescanAll, false
 }
 
@@ -554,11 +581,16 @@ func (c *shardedCache) taint(ctx *smp.Context, b *Buf, flags Flags) {
 // reclaim only under shortage.
 func (c *shardedCache) alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf, error) {
 	ctx.Charge(ctx.Cost().MapperOp)
-	frame := page.Frame()
-	si := c.shardIdx(frame)
-	c.chargeShardLock(ctx, si)
+	c.migGate.RLock()
+	defer c.migGate.RUnlock()
 
 	for {
+		// Frame and shard are re-read every iteration: the exhaustion
+		// sleep drops the migration gate, and the page may answer with a
+		// different frame — hashing to a different shard — when we wake.
+		frame := page.Frame()
+		si := c.shardIdx(frame)
+		c.chargeShardLock(ctx, si)
 		gen := c.freeGen.Load()
 		s := c.shards[si]
 
@@ -639,6 +671,10 @@ func (c *shardedCache) alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf
 			continue
 		}
 		c.sleeps.Add(1)
+		// Sleeping: drop the migration gate (the migrator may need the
+		// pool and freelist locks to make a buffer free for us) and
+		// re-acquire it only AFTER pool.mu is released, on both exits.
+		c.migGate.RUnlock()
 		c.pool.cond.Wait()
 		c.waiters.Add(-1)
 		if flags&Catch != 0 && ctx.Interrupted() {
@@ -649,10 +685,12 @@ func (c *shardedCache) alloc(ctx *smp.Context, page *vm.Page, flags Flags) (*Buf
 				c.pool.cond.Signal()
 			}
 			c.pool.mu.Unlock()
+			c.migGate.RLock()
 			c.interrupted.Add(1)
 			return nil, ErrInterrupted
 		}
 		c.pool.mu.Unlock()
+		c.migGate.RLock()
 	}
 }
 
@@ -839,7 +877,13 @@ func (c *shardedCache) allocBatch(ctx *smp.Context, pages []*vm.Page, flags Flag
 		return nil, ErrBatchTooLarge
 	}
 	ctx.Charge(ctx.Cost().MapperOp * cycles.Cycles(len(pages)))
+	c.migGate.RLock()
+	defer c.migGate.RUnlock()
 
+	// The grouping keys on each page's frame, which only migration can
+	// change.  The gate is held across every scan, so the groups stay
+	// keyed correctly except across claimWait — which drops the gate to
+	// sleep, and whose return therefore rebuilds the groups wholesale.
 	groups := c.groupByShard(len(pages), func(i int) uint64 { return pages[i].Frame() })
 	out := make([]*Buf, len(pages))
 	pending := len(pages) // pages not yet resolved, the restock target
@@ -937,18 +981,19 @@ restart:
 					// instead of waking to rescan per freed buffer.
 					// batchMu (held: starving == true) guarantees we are
 					// the only claimer.
-					rescanAll, interrupted := c.claimWait(ctx, pending, gen, hgen, flags)
-					if interrupted {
+					if _, interrupted := c.claimWait(ctx, pending, gen, hgen, flags); interrupted {
 						c.rollbackBatch(ctx, out)
 						return nil, ErrInterrupted
 					}
-					if rescanAll {
-						// New coverage may live in any group; rescan
-						// them all so pending reflects it.
-						gi = -1
-						continue restart
-					}
-					continue retry
+					// Any wake invalidates the shard grouping: the sleep
+					// dropped the migration gate, so an unresolved page
+					// may answer with a new frame homed on a different
+					// shard.  Rebuild the groups and rescan every one —
+					// which also picks up any coverage a hash-growth
+					// wake announced.
+					groups = c.groupByShard(len(pages), func(i int) uint64 { return pages[i].Frame() })
+					gi = -1
+					continue restart
 				}
 				b := stash[len(stash)-1]
 				stash = stash[:len(stash)-1]
@@ -1055,6 +1100,8 @@ func (c *shardedCache) freeBatch(ctx *smp.Context, bufs []*Buf) {
 		return
 	}
 	ctx.Charge(ctx.Cost().MapperOp * cycles.Cycles(len(bufs)))
+	c.migGate.RLock()
+	defer c.migGate.RUnlock()
 	for _, b := range bufs {
 		if b.page == nil {
 			panic("sfbuf: free of unreferenced sf_buf")
@@ -1176,6 +1223,8 @@ func (c *shardedCache) allocRun(ctx *smp.Context, pages []*vm.Page, flags Flags)
 		return nil, ErrBatchTooLarge
 	}
 	ctx.Charge(ctx.Cost().MapperOp * cycles.Cycles(n))
+	c.migGate.RLock()
+	defer c.migGate.RUnlock()
 	tokens, err := c.claimTokens(ctx, n, flags)
 	if err != nil {
 		return nil, err
@@ -1188,6 +1237,10 @@ func (c *shardedCache) allocRun(ctx *smp.Context, pages []*vm.Page, flags Flags)
 	if !revived {
 		c.pm.KEnterRun(ctx, win.base, pages)
 	}
+	// The run's frames are now migration-ineligible until freeRun: a live
+	// run's owner reads through the window with no reference the hash can
+	// see, so the migrator must learn of it from the run pool instead.
+	c.runs.noteLive(pages)
 	mask := c.m.AllCPUs()
 	if flags&Private != 0 {
 		mask = smp.CPUSet(0).Set(ctx.CPUID())
@@ -1228,6 +1281,9 @@ func (c *shardedCache) freeRun(ctx *smp.Context, r *Run) {
 	}
 	n := len(r.pages)
 	ctx.Charge(ctx.Cost().MapperOp * cycles.Cycles(n))
+	c.migGate.RLock()
+	defer c.migGate.RUnlock()
+	c.runs.noteDead(r.pages)
 	c.runs.put(ctx, r.win, r.pages, r.mask)
 	tokens := r.tokens
 	r.pages, r.tokens, r.win, r.home = nil, nil, nil, nil
@@ -1240,6 +1296,8 @@ func (c *shardedCache) freeRun(ctx *smp.Context, r *Run) {
 // window's deferred teardown in one flush — the deterministic drain hook
 // tests and benchmarks use between phases.
 func (c *shardedCache) launderRunWindows(ctx *smp.Context) {
+	c.migGate.RLock()
+	defer c.migGate.RUnlock()
 	c.runs.launder(ctx)
 }
 
@@ -1476,6 +1534,8 @@ func (c *shardedCache) teardown(ctx *smp.Context, b *Buf) {
 // AblateLazyTeardown, tear it down eagerly.
 func (c *shardedCache) free(ctx *smp.Context, b *Buf) {
 	ctx.Charge(ctx.Cost().MapperOp)
+	c.migGate.RLock()
+	defer c.migGate.RUnlock()
 	c.frees.Add(1)
 	if b.page == nil {
 		// A referenced buffer always has a page; a clean one was
@@ -1569,6 +1629,8 @@ func (c *shardedCache) resetStats() {
 // inactiveLen counts every unreferenced buffer: latently-valid buffers on
 // the shard inactive lists plus clean buffers on the freelists and pool.
 func (c *shardedCache) inactiveLen() int {
+	c.migGate.RLock()
+	defer c.migGate.RUnlock()
 	n := 0
 	for _, s := range c.shards {
 		s.mu.Lock()
@@ -1589,6 +1651,8 @@ func (c *shardedCache) inactiveLen() int {
 }
 
 func (c *shardedCache) validMappings() int {
+	c.migGate.RLock()
+	defer c.migGate.RUnlock()
 	n := 0
 	for _, s := range c.shards {
 		s.mu.Lock()
@@ -1599,6 +1663,14 @@ func (c *shardedCache) validMappings() int {
 }
 
 func (c *shardedCache) lookupRef(frame uint64) (ref int, mask smp.CPUSet, ok bool) {
+	c.migGate.RLock()
+	defer c.migGate.RUnlock()
+	return c.lookupRefUngated(frame)
+}
+
+// lookupRefUngated is lookupRef for callers that already hold the
+// migration gate (either side).
+func (c *shardedCache) lookupRefUngated(frame uint64) (ref int, mask smp.CPUSet, ok bool) {
 	s := c.shardFor(frame)
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 )
 
 // MaxContigOrder is the largest buddy block order: blocks span at most
@@ -169,7 +170,7 @@ func NewBuddyPhysMemNUMA(frames int, backed bool, sockets int) *PhysMem {
 		sockets = frames
 	}
 	pm := &PhysMem{
-		pages:      make([]*Page, frames),
+		pages:      make([]atomic.Pointer[Page], frames),
 		backed:     backed,
 		buddy:      true,
 		orders:     make([][]orderHeap, sockets),
@@ -178,7 +179,9 @@ func NewBuddyPhysMemNUMA(frames int, backed bool, sockets int) *PhysMem {
 		framesPer:  frames / sockets,
 	}
 	for i := range pm.pages {
-		pm.pages[i] = &Page{frame: uint64(i + 1), UserColor: -1}
+		p := &Page{UserColor: -1}
+		p.frame.Store(uint64(i + 1))
+		pm.pages[i].Store(p)
 	}
 	// Cover each socket's range with maximal aligned blocks (frame 0 is
 	// the sentinel and is never part of any block).  Because the cover is
@@ -310,6 +313,73 @@ func orderFor(n int) int {
 	return bits.Len(uint(n - 1))
 }
 
+// SetReservation installs per-socket reservation watermarks: while a
+// socket's stock of intact order>=order blocks covers at most lowWater
+// aligned order-sized spans, single-page service (Alloc/AllocN) steers to
+// sub-reservation blocks and splits a protected block only when no smaller
+// block is free anywhere — the FreeBSD-reservation-style defense that keeps
+// the last superpage-capable blocks intact for AllocContig under sustained
+// churn.  order<=0 (or a LIFO pool) disables the reservation.  AllocContig
+// itself is never steered: consuming spans is its purpose.
+func (pm *PhysMem) SetReservation(order, lowWater int) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if !pm.buddy || order <= 0 || order > MaxContigOrder || lowWater <= 0 {
+		pm.reservOrder, pm.reservLow = 0, 0
+		return
+	}
+	pm.reservOrder, pm.reservLow = order, lowWater
+}
+
+// Reservation returns the active reservation (order, lowWater); both zero
+// when disabled.
+func (pm *PhysMem) Reservation() (order, lowWater int) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.reservOrder, pm.reservLow
+}
+
+// spanStockLocked counts socket s's intact reserved spans: each free block
+// of order k >= reservOrder holds 1<<(k-reservOrder) aligned spans.
+// Caller holds pm.mu; reservOrder > 0.
+func (pm *PhysMem) spanStockLocked(s int) int {
+	stock := 0
+	for k := pm.reservOrder; k <= MaxContigOrder; k++ {
+		stock += pm.orders[s][k].len() << (k - pm.reservOrder)
+	}
+	return stock
+}
+
+// protectedLocked reports whether socket s's reserved stock is at or below
+// the watermark, so single-page service must avoid order>=reservOrder
+// blocks while any smaller block exists.  Caller holds pm.mu.
+func (pm *PhysMem) protectedLocked(s int) bool {
+	return pm.reservOrder > 0 && pm.spanStockLocked(s) <= pm.reservLow
+}
+
+// pickLowestLocked finds the lowest-addressed free block on socket s.
+// maxOrder > 0 restricts the scan to orders below it (the reservation
+// steering form); maxOrder <= 0 scans every order.  Free blocks partition
+// the socket's free space, so the minimum of the per-order heap tops is
+// its lowest eligible free frame.  Returns order -1 when no eligible block
+// exists.  Caller holds pm.mu.
+func (pm *PhysMem) pickLowestLocked(s, maxOrder int) (start uint64, order int) {
+	order = -1
+	lim := len(pm.orders[s])
+	if maxOrder > 0 && maxOrder < lim {
+		lim = maxOrder
+	}
+	for k := 0; k < lim; k++ {
+		if pm.orders[s][k].len() == 0 {
+			continue
+		}
+		if b := pm.orders[s][k].starts[0]; order < 0 || b < start {
+			start, order = b, k
+		}
+	}
+	return start, order
+}
+
 // takeBlockLocked removes and returns the lowest-addressed free block of
 // order k homed on socket s, splitting the smallest sufficient larger
 // block when order k is empty.  Caller holds pm.mu.
@@ -381,12 +451,26 @@ func (pm *PhysMem) freeRangeLocked(start uint64, n int) {
 // storage on first touch, user color reset.  Caller holds pm.mu and has
 // already removed the frame from the free structures.
 func (pm *PhysMem) takePageLocked(f uint64) *Page {
-	p := pm.pages[f-1]
+	p := pm.pages[f-1].Load()
 	if pm.backed && p.data == nil {
 		p.data = make([]byte, PageSize)
 	}
 	p.UserColor = -1
 	return p
+}
+
+// takeOneAtLocked removes the single frame best from the order-bestK free
+// block holding it on socket s, splitting the block down.  Caller holds
+// pm.mu and has located the block via pickLowestLocked.
+func (pm *PhysMem) takeOneAtLocked(s int, best uint64, bestK int) *Page {
+	pm.orders[s][bestK].remove(best)
+	for j := bestK; j > 0; j-- {
+		pm.orders[s][j-1].push(best + 1<<(j-1))
+		pm.splits++
+	}
+	pm.freePages--
+	pm.freeBySock[s]--
+	return pm.takePageLocked(best)
 }
 
 // buddyAllocOneLocked allocates the lowest-addressed free page on the
@@ -395,8 +479,15 @@ func (pm *PhysMem) takePageLocked(f uint64) *Page {
 // allocation keeps single-page churn compacted at the bottom of each
 // socket's range (higher blocks stay whole for AllocContig) and makes a
 // fresh machine hand out frames 1, 2, 3, ... — the exact sequence the
-// LIFO stack produced.  pref < 0 means no preference.  Caller holds
-// pm.mu.
+// LIFO stack produced.  pref < 0 means no preference.
+//
+// Reservation steering: on a socket whose reserved stock is at the
+// watermark the scan is restricted to sub-reservation blocks
+// (ReservSteers counts picks the restriction actually changed); a socket
+// whose free space is ONLY protected blocks is passed over.  If the whole
+// pass comes up empty while frames remain free, a second unrestricted
+// pass splits a protected block and counts ReservSpills — the explicit
+// spill when small blocks are truly exhausted.  Caller holds pm.mu.
 func (pm *PhysMem) buddyAllocOneLocked(pref int) (*Page, error) {
 	var pg *Page
 	served := -1
@@ -404,29 +495,32 @@ func (pm *PhysMem) buddyAllocOneLocked(pref int) (*Page, error) {
 		if pm.freeBySock[s] == 0 {
 			return true
 		}
-		bestK := -1
-		var best uint64
-		for k := range pm.orders[s] {
-			if pm.orders[s][k].len() == 0 {
-				continue
+		best, bestK := pm.pickLowestLocked(s, 0)
+		if pm.protectedLocked(s) && bestK >= pm.reservOrder {
+			sb, sk := pm.pickLowestLocked(s, pm.reservOrder)
+			if sk < 0 {
+				return true // only protected blocks here; try elsewhere
 			}
-			// Free blocks partition the socket's free space, so the minimum
-			// of the per-order heap tops is its lowest free frame.
-			if b := pm.orders[s][k].starts[0]; bestK < 0 || b < best {
-				best, bestK = b, k
-			}
+			best, bestK = sb, sk
+			pm.reservSteers++
 		}
-		pm.orders[s][bestK].remove(best)
-		for j := bestK; j > 0; j-- {
-			pm.orders[s][j-1].push(best + 1<<(j-1))
-			pm.splits++
-		}
-		pm.freePages--
-		pm.freeBySock[s]--
-		pg = pm.takePageLocked(best)
+		pg = pm.takeOneAtLocked(s, best, bestK)
 		served = s
 		return false
 	})
+	if pg == nil && pm.freePages > 0 {
+		// Every free frame sits in a protected block: spill explicitly.
+		pm.eachSocketFrom(pref, func(s int) bool {
+			if pm.freeBySock[s] == 0 {
+				return true
+			}
+			best, bestK := pm.pickLowestLocked(s, 0)
+			pg = pm.takeOneAtLocked(s, best, bestK)
+			served = s
+			pm.reservSpills++
+			return false
+		})
+	}
 	if pg == nil {
 		return nil, ErrNoMemory
 	}
@@ -448,25 +542,36 @@ func (pm *PhysMem) buddyAllocOneLocked(pref int) (*Page, error) {
 // leaves behind before it reaches (and splits) the intact high blocks,
 // so routine scattered demand does not cannibalize the superpage-
 // capable stock AllocContig depends on.  Caller holds pm.mu.
+// Reservation steering applies as in buddyAllocOneLocked: at the
+// watermark the gather is restricted to sub-reservation blocks (counted
+// once per restricted gather in ReservSteers) and moves on when a socket
+// has only protected blocks left; a shortfall after the restricted pass
+// finishes from protected blocks in a second pass, counted once in
+// ReservSpills.
 func (pm *PhysMem) buddyAllocNLocked(pref, n int) ([]*Page, error) {
 	if pm.freePages < n {
 		return nil, ErrNoMemory
 	}
 	out := make([]*Page, 0, n)
 	local := 0
-	pm.eachSocketFrom(pref, func(s int) bool {
+	steered := false
+	gather := func(s int, restricted bool) {
 		for len(out) < n && pm.freeBySock[s] > 0 {
-			bestK := -1
-			var best uint64
-			for k := range pm.orders[s] {
-				if pm.orders[s][k].len() == 0 {
-					continue
-				}
-				if b := pm.orders[s][k].starts[0]; bestK < 0 || b < best {
-					best, bestK = b, k
+			maxOrder := 0
+			if restricted && pm.protectedLocked(s) {
+				maxOrder = pm.reservOrder
+			}
+			best, bestK := pm.pickLowestLocked(s, maxOrder)
+			if bestK < 0 {
+				return // only protected blocks left on this socket
+			}
+			if maxOrder > 0 && !steered {
+				if _, uk := pm.pickLowestLocked(s, 0); uk >= pm.reservOrder {
+					steered = true
+					pm.reservSteers++
 				}
 			}
-			pm.orders[s][bestK].popMin()
+			pm.orders[s][bestK].remove(best)
 			size := 1 << bestK
 			pm.freePages -= size
 			pm.freeBySock[s] -= size
@@ -478,11 +583,27 @@ func (pm *PhysMem) buddyAllocNLocked(pref, n int) ([]*Page, error) {
 				out = append(out, pm.carveLocked(best, bestK, need)...)
 			}
 		}
+	}
+	pm.eachSocketFrom(pref, func(s int) bool {
+		gather(s, true)
 		if s == pref {
 			local = len(out)
 		}
 		return len(out) < n
 	})
+	if len(out) < n {
+		// Small blocks are exhausted everywhere; finish from the protected
+		// stock explicitly.
+		pm.reservSpills++
+		pm.eachSocketFrom(pref, func(s int) bool {
+			before := len(out)
+			gather(s, false)
+			if s == pref {
+				local += len(out) - before
+			}
+			return len(out) < n
+		})
+	}
 	pm.countHomeLocked(pref, pref, local)
 	pm.countHomeLocked(pref, -1, n-local)
 	pm.allocs.Add(uint64(n))
@@ -596,6 +717,12 @@ type PhysStats struct {
 	// an extent vs. calls refused for want of a covering block.
 	ContigAllocs uint64
 	ContigFails  uint64
+	// ReservSteers counts single-page allocations the reservation watermark
+	// redirected away from a protected block; ReservSpills counts
+	// allocations that had to split a protected block because no smaller
+	// block was free anywhere.  Zero while no reservation is installed.
+	ReservSteers uint64
+	ReservSpills uint64
 	// Allocs and Frees are the cumulative page counts.
 	Allocs uint64
 	Frees  uint64
@@ -621,6 +748,8 @@ func (pm *PhysMem) PhysStats() PhysStats {
 		Coalesces:      pm.coalesces,
 		ContigAllocs:   pm.contigAllocs,
 		ContigFails:    pm.contigFails,
+		ReservSteers:   pm.reservSteers,
+		ReservSpills:   pm.reservSpills,
 		Allocs:         pm.allocs.Load(),
 		Frees:          pm.frees.Load(),
 		Sockets:        pm.sockets,
@@ -643,7 +772,7 @@ func (pm *PhysMem) PhysStats() PhysStats {
 	} else {
 		s.FreeFrames = len(pm.free)
 		for _, p := range pm.free {
-			extents = append(extents, extent{p.frame, 1})
+			extents = append(extents, extent{p.Frame(), 1})
 		}
 	}
 	s.LargestFreeExtent = largestExtent(extents)

@@ -34,10 +34,14 @@ func (pa PAddr) Frame() uint64 { return uint64(pa) >> PageShift }
 func (pa PAddr) Offset() int { return int(uint64(pa) & (PageSize - 1)) }
 
 // Page is a physical page — the simulator's vm_page.  Fields mutated after
-// allocation (wire count) use atomics because subsystems run on multiple
-// goroutines.
+// allocation (wire count, and the frame number under migration) use atomics
+// because subsystems run on multiple goroutines.
 type Page struct {
-	frame uint64
+	// frame is the physical frame number currently backing this logical
+	// page.  It is mutable: defragmentation by migration (SwapFrames) moves
+	// a resident page to a different frame while every holder of the *Page
+	// keeps its handle, so readers racing a migration need the atomic.
+	frame atomic.Uint64
 	data  []byte // nil when the owning PhysMem is unbacked
 	wire  atomic.Int32
 
@@ -48,10 +52,10 @@ type Page struct {
 }
 
 // Frame returns the physical frame number.
-func (p *Page) Frame() uint64 { return p.frame }
+func (p *Page) Frame() uint64 { return p.frame.Load() }
 
 // PA returns the physical address of the first byte of the page.
-func (p *Page) PA() PAddr { return PAddr(p.frame << PageShift) }
+func (p *Page) PA() PAddr { return PAddr(p.frame.Load() << PageShift) }
 
 // Data returns the page's backing storage, or nil for unbacked memory.
 // Callers must bounds-check their own offsets; the slice is always exactly
@@ -67,7 +71,7 @@ func (p *Page) Wire() { p.wire.Add(1) }
 // indicates a subsystem bug.
 func (p *Page) Unwire() {
 	if n := p.wire.Add(-1); n < 0 {
-		panic(fmt.Sprintf("vm: unwire of unwired page frame %d", p.frame))
+		panic(fmt.Sprintf("vm: unwire of unwired page frame %d", p.Frame()))
 	}
 }
 
@@ -79,7 +83,7 @@ func (p *Page) WireCount() int { return int(p.wire.Load()) }
 
 // String implements fmt.Stringer for diagnostics.
 func (p *Page) String() string {
-	return fmt.Sprintf("page{frame=%d wire=%d}", p.frame, p.wire.Load())
+	return fmt.Sprintf("page{frame=%d wire=%d}", p.Frame(), p.wire.Load())
 }
 
 // ErrNoMemory is returned when the physical memory pool is exhausted.
@@ -93,8 +97,12 @@ var ErrNoMemory = errors.New("vm: out of physical memory")
 // because the figure-reproduction kernels depend on its exact allocation
 // order for bit-identical experiment replay.
 type PhysMem struct {
-	mu     sync.Mutex
-	pages  []*Page
+	mu sync.Mutex
+	// pages is the frame registry: pages[f-1] is the Page currently backing
+	// frame f.  Slots are atomic pointers because PageByFrame is the MMU
+	// model's lock-free hot path and migration (SwapFrames) rebinds two
+	// slots while the machine runs.
+	pages  []atomic.Pointer[Page]
 	free   []*Page // LIFO mode free stack
 	backed bool
 
@@ -108,6 +116,16 @@ type PhysMem struct {
 	freeBySock []int
 	splits     uint64
 	coalesces  uint64
+
+	// Superpage reservation watermarks (buddy mode; see buddy.go).  While a
+	// socket's stock of intact order>=reservOrder blocks is at or below
+	// reservLow, single-page allocation steers to sub-reservation blocks
+	// (reservSteers) and splits a protected block only when no smaller
+	// block exists anywhere (reservSpills).  reservOrder==0 disables.
+	reservOrder  int
+	reservLow    int
+	reservSteers uint64
+	reservSpills uint64
 
 	// NUMA frame homing: frames are homed on sockets by address range
 	// (framesPer frames per socket, the last socket taking the
@@ -135,7 +153,7 @@ func NewPhysMem(frames int, backed bool) *PhysMem {
 		panic("vm: NewPhysMem with no frames")
 	}
 	pm := &PhysMem{
-		pages:     make([]*Page, frames),
+		pages:     make([]atomic.Pointer[Page], frames),
 		free:      make([]*Page, 0, frames),
 		backed:    backed,
 		sockets:   1,
@@ -144,8 +162,9 @@ func NewPhysMem(frames int, backed bool) *PhysMem {
 	// Frame numbers start at 1 so that frame 0 / physical address 0 can
 	// serve as a sentinel ("no frame") throughout the MMU model.
 	for i := frames - 1; i >= 0; i-- {
-		p := &Page{frame: uint64(i + 1), UserColor: -1}
-		pm.pages[i] = p
+		p := &Page{UserColor: -1}
+		p.frame.Store(uint64(i + 1))
+		pm.pages[i].Store(p)
 		pm.free = append(pm.free, p)
 	}
 	return pm
@@ -274,7 +293,7 @@ func (pm *PhysMem) Free(p *Page) {
 func (pm *PhysMem) freeUnzeroedLocked(p *Page) {
 	pm.frees.Add(1)
 	if pm.buddy {
-		pm.insertBlockLocked(p.frame, 0)
+		pm.insertBlockLocked(p.Frame(), 0)
 		return
 	}
 	pm.free = append(pm.free, p)
@@ -287,7 +306,7 @@ func (pm *PhysMem) PageByFrame(frame uint64) *Page {
 	if frame == 0 || frame > uint64(len(pm.pages)) {
 		return nil
 	}
-	return pm.pages[frame-1]
+	return pm.pages[frame-1].Load()
 }
 
 // Stats returns cumulative allocation and free counts.
