@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke fuzz bench bench-contended bench-batch bench-run bench-adaptive bench-contig bench-serve bench-reclaim bench-numa bench-defrag docs lint vet fmt ci clean
+.PHONY: all build test race fuzz-smoke fuzz bench bench-contended bench-batch bench-run bench-adaptive bench-contig bench-serve bench-reclaim bench-numa bench-defrag bench-tier docs lint vet fmt ci clean
 
 all: build test
 
@@ -81,6 +81,14 @@ bench-numa:
 bench-defrag:
 	$(GO) test -run '^$$' -bench BenchmarkAllocDefrag -benchtime 32x .
 	$(GO) test -run TestDefragEconomy -v -timeout 300s ./internal/experiments
+
+# Tiered-placement economy: zipfian serving with consumer-hinted
+# promotion vs the tier-oblivious baseline on the same fast/slow split
+# (criterion: hinted <= 2/3 of oblivious cyc/page on zipf, within 10%
+# on the uniform adversarial control).
+bench-tier:
+	$(GO) test -run '^$$' -bench BenchmarkAllocTier -benchtime 32x .
+	$(GO) test -run TestTierEconomy -v -timeout 300s ./internal/experiments
 
 # Documentation gate: package comments on every package, docs links
 # resolve.  Mirrors the CI docs step.

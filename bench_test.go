@@ -595,6 +595,59 @@ func BenchmarkAllocDefrag(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocTier is make bench-tier's reporting benchmark: the tier
+// experiment's zipfian serving loop on the two-tier pool whose fast tier
+// holds a quarter of the working set, each iteration one extent served
+// (mapped, copied, checksummed, unmapped — slow frames paying the
+// platform's per-byte surcharge).  On the hinted rows the consumer's
+// reuse EWMAs nominate hot extents and the tier keeper migrates them
+// fast; on the oblivious rows frames stay where allocation order put
+// them.  The acceptance criterion (hinted <= 2/3 of oblivious
+// simcycles/page on the zipfian workload, within 10% on the uniform
+// adversarial one) is enforced by TestTierEconomy; this benchmark is
+// where the numbers surface.
+func BenchmarkAllocTier(b *testing.B) {
+	for _, c := range []struct {
+		name  string
+		hints kernel.TierHintPolicy
+	}{
+		{"hinted", kernel.TierHintOn},
+		{"oblivious", kernel.TierHintOff},
+	} {
+		for _, workload := range []string{"zipf", "uniform"} {
+			b.Run(c.name+"-"+workload, func(b *testing.B) {
+				k, err := experiments.BootTier(c.hints)
+				if err != nil {
+					b.Fatal(err)
+				}
+				extents, _, err := experiments.AllocTierExtents(k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := experiments.ChurnTier(k, workload, extents, 600); err != nil {
+					b.Fatal(err)
+				}
+				k.Reset()
+				b.ResetTimer()
+				pages, err := experiments.ChurnTier(k, workload, extents, b.N)
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := k.TierStats()
+				b.ReportMetric(float64(k.M.TotalCycles())/float64(pages), "simcycles/page")
+				for _, cs := range st.Consumers {
+					if cs.Name == "tier" {
+						b.ReportMetric(cs.FastFrac(), "fastfrac")
+					}
+				}
+				b.ReportMetric(float64(st.PromotedPages), "promoted")
+				b.ReportMetric(float64(st.DemotedPages), "demoted")
+			})
+		}
+	}
+}
+
 // BenchmarkAllocAdaptive is the adaptive-contiguity acceptance
 // benchmark: the two canonical workloads (cyclic re-streaming of large
 // extents wider than the cache, and reuse-heavy churn over a
@@ -742,6 +795,7 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		"reclaim":  true, // covered by BenchmarkReclaim
 		"numa":     true, // covered by BenchmarkAllocNUMA
 		"defrag":   true, // covered by BenchmarkAllocDefrag
+		"tier":     true, // covered by BenchmarkAllocTier
 	}
 	for _, id := range experiments.IDs() {
 		if !covered[id] {

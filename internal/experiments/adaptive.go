@@ -164,6 +164,85 @@ func ChurnAdaptiveWorkload(k *kernel.Kernel, workload, policy string, rounds int
 	return rounds * ncpu * runLen, nil
 }
 
+// ChurnAdaptiveSequential replays ChurnAdaptiveWorkload's exact extent
+// sequence from a single goroutine, round-robining the CPU contexts with
+// the round loop outermost and the CPU loop innermost — the same global
+// interleaving the concurrent driver produces on average, but with a
+// fully deterministic order.  The decision-pinning test uses it: the
+// policy's flip count depends on the order extents hit the consumer's
+// EWMAs, and goroutine scheduling must not be able to wobble an asserted
+// trace.  The concurrent driver remains the economy benchmark's path.
+func ChurnAdaptiveSequential(k *kernel.Kernel, workload, policy string, rounds int) (int, error) {
+	var pages []*vm.Page
+	var runLen int
+	var err error
+	switch workload {
+	case "stream":
+		runLen = AdaptiveStreamLen
+		pages, err = k.M.Phys.AllocN(AdaptiveStreamExtents * runLen)
+	case "churn":
+		runLen = AdaptiveChurnLen
+		pages, err = k.M.Phys.AllocN(AdaptiveChurnPages)
+	default:
+		return 0, fmt.Errorf("unknown adaptive workload %q", workload)
+	}
+	if err != nil {
+		return 0, err
+	}
+	cons := k.Consumer("adaptive-" + workload)
+	ncpu := k.M.NumCPUs()
+	span := len(pages) - runLen + 1
+	var got []*vm.Page
+	for r := 0; r < rounds; r++ {
+		for cpu := 0; cpu < ncpu; cpu++ {
+			ctx := k.Ctx(cpu)
+			var extent []*vm.Page
+			if workload == "stream" {
+				e := (r + cpu) % AdaptiveStreamExtents
+				extent = pages[e*runLen : (e+1)*runLen]
+			} else {
+				start := ((r*ncpu + cpu) * 7) % span
+				extent = pages[start : start+runLen]
+			}
+			useRun := policy == "run" || (policy == "adaptive" && cons.UseRuns(ctx, extent))
+			if useRun {
+				rn, err := k.Map.AllocRun(ctx, extent, 0)
+				if err != nil {
+					return 0, err
+				}
+				if rn.Contiguous() {
+					got, err = k.Pmap.TranslateRun(ctx, rn.Base(), rn.Len(), false, got[:0])
+					if err != nil {
+						return 0, err
+					}
+				} else {
+					for j := 0; j < rn.Len(); j++ {
+						if _, err := k.Pmap.Translate(ctx, rn.KVA(j), false); err != nil {
+							return 0, err
+						}
+					}
+				}
+				k.Map.FreeRun(ctx, rn)
+			} else {
+				bufs, err := k.Map.AllocBatch(ctx, extent, 0)
+				if err != nil {
+					return 0, err
+				}
+				for _, b := range bufs {
+					if _, err := k.Pmap.Translate(ctx, b.KVA(), false); err != nil {
+						return 0, err
+					}
+				}
+				k.Map.FreeBatch(ctx, bufs)
+			}
+		}
+	}
+	if st := k.Map.Stats(); st.Allocs != st.Frees {
+		return 0, fmt.Errorf("leaked references: allocs %d != frees %d", st.Allocs, st.Frees)
+	}
+	return rounds * ncpu * runLen, nil
+}
+
 // ChurnAuto is the scale experiment's adaptive counterpart of ChurnRun
 // and ChurnBatch: the same shared-working-set extent pattern, but each
 // extent routed through a consumer handle exactly as the converted

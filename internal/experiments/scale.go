@@ -42,7 +42,8 @@ func RunScale(o Options) (*Result, error) {
 		Title: "Contended Alloc/Free: sharded vs. global-lock vs. original (Xeon 4-way)",
 		Columns: []string{"variant", "ops", "hit rate", "local/1k ops",
 			"remote rounds/1k ops", "IPIs/1k ops", "locks/op", "rlocks/op",
-			"rIPIs/op", "walks/op", "tlb/op", "coalesce", "contig%", "promo/s"},
+			"rIPIs/op", "walks/op", "tlb/op", "coalesce", "contig%", "promo/s",
+			"fast%/op"},
 		Notes: []string{
 			"working set is 4x the cache so every shared reuse of the global cache pays a shootdown round",
 			"coalesce = invalidations retired per batched flush (sharded engine only)",
@@ -52,6 +53,7 @@ func RunScale(o Options) (*Result, error) {
 			"defrag rows run the shaped ~70%-occupancy steady-churn driver (experiment \"defrag\"): superpage extents under residency that defeats plain coalescing, migration on vs. off; promo/s counts superpage promotions per simulated second",
 			"rlocks/op and rIPIs/op are cross-package lock acquisitions and IPI deliveries; zero on the flat single-package machine",
 			"N-socket rows run the same shared churn on 2- and 4-package NUMA Xeons, socket-homed vs. hash-striped state",
+			"tier rows run the tiered-memory zipfian serving arms (experiment \"tier\"); fast%/op is the fraction of served pages found fast-tier resident",
 		},
 	}
 
@@ -148,7 +150,7 @@ func RunScale(o Options) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("scale %s: %w", name, err)
 			}
-			scaleRow(res, k, name, done, contigCol, "-")
+			scaleRow(res, k, name, done, contigCol, "-", "-")
 		}
 	}
 
@@ -179,7 +181,7 @@ func RunScale(o Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scale %s: %w", ir.name, err)
 		}
-		scaleRow(res, k, ir.name, done, "-", "-")
+		scaleRow(res, k, ir.name, done, "-", "-", "-")
 	}
 
 	// Multi-package rows: the same shared churn on 2- and 4-socket NUMA
@@ -221,7 +223,7 @@ func RunScale(o Options) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("scale %s: %w", name, err)
 			}
-			scaleRow(res, k, name, done, "-", "-")
+			scaleRow(res, k, name, done, "-", "-", "-")
 		}
 	}
 
@@ -248,9 +250,35 @@ func RunScale(o Options) (*Result, error) {
 			return nil, fmt.Errorf("scale %s: %w", dr.name, err)
 		}
 		scaleRow(res, arm.K, dr.name, arm.Done,
-			fmt.Sprintf("%.2f", arm.ContigFrac), fmtF(arm.PromoPerSec))
+			fmt.Sprintf("%.2f", arm.ContigFrac), fmtF(arm.PromoPerSec), "-")
 		res.SetMetric("contig_frac/"+dr.name, arm.ContigFrac)
 		res.SetMetric("promo_per_sec/"+dr.name, arm.PromoPerSec)
+	}
+
+	// Tier rows: the tiered-memory zipfian serving arms (the tier
+	// experiment's headline comparison) under the scale table's shared
+	// economy columns.  The fast%/op column — dashed everywhere above —
+	// lights up here: hinted placement parks the popular extents fast-tier
+	// resident, the oblivious arm serves them from wherever allocation
+	// order left them.
+	tierAcc := o.scaleInt(12000, 1600)
+	tierWarm := 400 + tierAcc/10
+	for _, tr := range []struct {
+		name  string
+		hints kernel.TierHintPolicy
+	}{
+		{"sf_buf sharded tier hinted", kernel.TierHintOn},
+		{"sf_buf sharded tier oblivious", kernel.TierHintOff},
+	} {
+		arm, err := RunTierArm(tr.hints, "zipf", tierWarm, tierAcc)
+		if err != nil {
+			return nil, fmt.Errorf("scale %s: %w", tr.name, err)
+		}
+		ff := tierFastFrac(arm.Stats)
+		scaleRow(res, arm.K, tr.name, arm.Pages, "-", "-",
+			fmt.Sprintf("%.2f", ff))
+		res.SetMetric("fast_frac/"+tr.name, ff)
+		res.SetMetric("cyc_per_page/"+tr.name, arm.CycPerPage)
 	}
 	return res, nil
 }
@@ -258,7 +286,7 @@ func RunScale(o Options) (*Result, error) {
 // scaleRow appends one engine's churn economy to the scale result: the
 // shared row/metric emission for the variant grid, the idle-gap, NUMA
 // and defrag rows.
-func scaleRow(res *Result, k *kernel.Kernel, name string, done int, contigCol, promoCol string) {
+func scaleRow(res *Result, k *kernel.Kernel, name string, done int, contigCol, promoCol, fastCol string) {
 	s := k.M.SnapshotCounters()
 	st := k.Map.Stats()
 	perK := func(n uint64) float64 { return float64(n) * 1000 / float64(done) }
@@ -282,7 +310,7 @@ func scaleRow(res *Result, k *kernel.Kernel, name string, done int, contigCol, p
 		fmtF(perK(s.IPIsDelivered)), fmt.Sprintf("%.2f", locksPerOp),
 		fmt.Sprintf("%.4f", rlocksPerOp), fmt.Sprintf("%.4f", ripisPerOp),
 		fmt.Sprintf("%.3f", walksPerOp), fmt.Sprintf("%.3f", tlbPerOp),
-		fmtF(coalesce), contigCol, promoCol,
+		fmtF(coalesce), contigCol, promoCol, fastCol,
 	})
 	res.SetMetric("remote_per_kop/"+name, perK(s.RemoteInvIssued))
 	res.SetMetric("ipis_per_kop/"+name, perK(s.IPIsDelivered))

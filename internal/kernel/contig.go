@@ -104,6 +104,12 @@ type MapConsumer struct {
 	observations uint64
 	runDecisions uint64
 	batchDecs    uint64
+
+	// Tier placement economy (tiered pools only): pages observed by this
+	// consumer, and how many of them were fast-tier resident at
+	// observation time.
+	tierPages uint64
+	tierFast  uint64
 }
 
 // PolicyClassStats is one window-size class's adaptive state snapshot.
@@ -236,16 +242,31 @@ func (c *MapConsumer) UseRuns(ctx *smp.Context, pages []*vm.Page) bool {
 	}
 	ctx.ChargeLock()
 	ctx.Charge(ctx.Cost().MapperOp)
+	phys := c.k.M.Phys
+	tiered := phys.Tiered()
 	c.mu.Lock()
 	cl := &c.classes[classIdx(len(pages))]
-	c.observe(cl, pages)
+	sig, hot := c.observe(cl, pages)
 	run := cl.run
 	if run {
 		c.runDecisions++
 	} else {
 		c.batchDecs++
 	}
+	if tiered {
+		c.tierPages += uint64(len(pages))
+		for _, pg := range pages {
+			if f := pg.Frame(); f != 0 && !phys.SlowFrame(f) {
+				c.tierFast++
+			}
+		}
+	}
 	c.mu.Unlock()
+	// The tier keeper takes its own locks and may migrate, so it runs
+	// outside the consumer lock; the reuse verdict travels with the call.
+	if tiered && c.k.tier != nil {
+		c.k.tier.Note(ctx, sig, pages, hot)
+	}
 	return run
 }
 
@@ -292,8 +313,12 @@ func (c *MapConsumer) mapSendExtent(ctx *smp.Context, pages []*vm.Page, flags sf
 
 // observe folds one extent into the reuse EWMAs of its size class and,
 // on an epoch boundary, re-decides the class's mode with hysteresis.
+// It returns the extent's signature and the tier-placement verdict: hot
+// means this exact extent repeated within its recency window while the
+// class's extent-reuse EWMA clears tierHotEWMA — the same smoothed
+// signal the run/batch flip reads, reused as the promotion hint.
 // Caller holds c.mu.
-func (c *MapConsumer) observe(cl *contigClass, pages []*vm.Page) {
+func (c *MapConsumer) observe(cl *contigClass, pages []*vm.Page) (sig uint64, hot bool) {
 	c.observations++
 	seen := 0
 	for _, pg := range pages {
@@ -306,9 +331,13 @@ func (c *MapConsumer) observe(cl *contigClass, pages []*vm.Page) {
 	}
 	pageReuse := float64(seen) / float64(len(pages))
 
-	// sfbuf.ExtentHash is the page-set window cache's own revive key, so
-	// "extent reuse high" predicts "revives will hit" by construction.
-	sig := sfbuf.ExtentHash(pages)
+	// vm.ExtentID keys the logical extent: on a pool that never migrates
+	// it is exactly sfbuf.ExtentHash, the page-set window cache's own
+	// revive key, so "extent reuse high" predicts "revives will hit" by
+	// construction — and when migration moves an extent's frames (the
+	// tier keeper's promotions, defragmentation), the identity follows
+	// the pages, exactly as the remapped-in-place parked window does.
+	sig = vm.ExtentID(pages)
 	extReuse := 0.0
 	if at, ok := c.extSeen[sig]; ok && c.extClock-at <= extentRecentWindow {
 		extReuse = 1.0
@@ -331,6 +360,8 @@ func (c *MapConsumer) observe(cl *contigClass, pages []*vm.Page) {
 		}
 	}
 	c.pruneLocked()
+	hot = extReuse > 0 && cl.extEWMA >= tierHotEWMA
+	return sig, hot
 }
 
 // pruneLocked bounds the recency maps: entries older than their windows
@@ -351,6 +382,14 @@ func (c *MapConsumer) pruneLocked() {
 			}
 		}
 	}
+}
+
+// tierCounts snapshots the consumer's tier placement counters (pages
+// observed, fast-tier resident at observation).
+func (c *MapConsumer) tierCounts() (pages, fast uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tierPages, c.tierFast
 }
 
 // PolicyStats snapshots the handle's policy state.

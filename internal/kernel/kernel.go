@@ -247,9 +247,48 @@ func (p MigratePolicy) String() string {
 	return "auto"
 }
 
+// TierHintPolicy selects consumer-hinted hot-extent placement on a tiered
+// physical pool (Config.Tiers >= 2): the kernel's tier keeper promotes
+// extents the per-consumer reuse EWMAs classify as hot into the fast tier
+// (migrating their frames and remapping parked windows in place, one
+// shootdown flush per pass) and demotes the coldest residents under
+// fast-tier pressure — synchronously when a promotion needs room, and as
+// the background daemon's fifth idle-tick duty.
+type TierHintPolicy int
+
+const (
+	// TierHintAuto is the default: hinted placement wherever it can work
+	// — a tiered pool on an engine that can migrate (the sharded i386
+	// cache over the buddy allocator).
+	TierHintAuto TierHintPolicy = iota
+	// TierHintOn forces hinted placement (still nil on engines that
+	// cannot migrate).
+	TierHintOn
+	// TierHintOff disables placement: the tiers still charge their costs,
+	// but frames stay wherever allocation put them — the tier-oblivious
+	// baseline arm of the tier experiment.
+	TierHintOff
+)
+
+// String names the policy for reports.
+func (p TierHintPolicy) String() string {
+	switch p {
+	case TierHintOn:
+		return "on"
+	case TierHintOff:
+		return "off"
+	}
+	return "auto"
+}
+
 // DefaultReservLowWater is the per-socket intact-superpage stock below
 // which single-page allocation steers away from protected blocks.
 const DefaultReservLowWater = 2
+
+// DefaultFastFraction is the fast tier's default share of each socket's
+// frames when Config.Tiers selects a tiered pool without an explicit
+// FastFraction.
+const DefaultFastFraction = 0.25
 
 // DefaultMigrateBlocksPerTick bounds how many superpage spans one daemon
 // idle tick may evacuate.
@@ -366,6 +405,21 @@ type Config struct {
 	Migrate              MigratePolicy
 	MigrateMaxResident   int
 	MigrateBlocksPerTick int
+	// Tiers models the physical memory as that many performance tiers.
+	// 2 splits each socket's frame range into a fast low-address prefix
+	// (FastFraction of its frames) and a slow remainder — far DRAM, CXL-
+	// attached or persistent memory — whose copies, zeroing and checksums
+	// pay the platform's SlowMemPerByte surcharge (Counters.SlowMemCycles).
+	// Zero or one keeps the uniform pool: every existing configuration,
+	// including the figure-reproduction kernels, is bit-identical.
+	Tiers int
+	// FastFraction is the fast tier's share of each socket's frames when
+	// Tiers >= 2; zero means DefaultFastFraction.
+	FastFraction float64
+	// TierHints selects consumer-hinted hot-extent placement on the
+	// tiered pool (Auto: on wherever the engine can migrate).  Off leaves
+	// frames where allocation put them — the tier-oblivious baseline.
+	TierHints TierHintPolicy
 	// Sockets models the machine as that many CPU packages: consecutive
 	// CPU-id blocks become sockets, physical frames are homed on sockets
 	// by address range, and cross-package lock acquisitions, IPI
@@ -416,6 +470,20 @@ func (cfg Config) UsesMigration() bool {
 	return cfg.Migrate != MigrateOff
 }
 
+// UsesTiering reports whether the config boots a tiered physical pool.
+func (cfg Config) UsesTiering() bool { return cfg.Tiers >= 2 }
+
+// UsesTierHints reports the config's resolved hot-extent placement
+// choice.  Placement moves frames with the migration machinery, so —
+// like defragmentation — it additionally requires an engine that can
+// migrate, which Boot discovers via sfbuf.NewMigrator.
+func (cfg Config) UsesTierHints() bool {
+	if !cfg.UsesTiering() || !cfg.UsesBuddyPhys() {
+		return false
+	}
+	return cfg.TierHints != TierHintOff
+}
+
 // sockets returns the configured socket count, clamped to at least 1.
 func (cfg Config) sockets() int {
 	if cfg.Sockets < 1 {
@@ -449,6 +517,11 @@ type Kernel struct {
 	// superpage spans; nil when disabled or unsupported by the engine.
 	migrator *sfbuf.Migrator
 
+	// tier is the hot-extent placement keeper on a tiered pool (see
+	// tier.go); nil when the pool is uniform, hints are off, or the
+	// engine cannot migrate.
+	tier *TierKeeper
+
 	// consumers is the registry of per-subsystem contiguity-policy
 	// handles (see Consumer).
 	consumersMu sync.Mutex
@@ -472,6 +545,26 @@ func Boot(cfg Config) (*Kernel, error) {
 			// charging.
 			phys.HomeSockets(sockets)
 		}
+	}
+	if cfg.UsesTiering() {
+		// The split must land before anything allocates: on a buddy pool
+		// the free-block cover is rebuilt per tier sub-range.  LIFO pools
+		// take the split as lookup-only metadata, so slow-tier charging
+		// works there too; hinted placement additionally needs the buddy
+		// allocator (tier-targeted allocation and migration).
+		per := cfg.PhysPages / sockets
+		ff := cfg.FastFraction
+		if ff <= 0 {
+			ff = DefaultFastFraction
+		}
+		if ff > 1 {
+			ff = 1
+		}
+		fast := int(float64(per)*ff + 0.5)
+		if fast < 1 {
+			fast = 1
+		}
+		phys.SetTierSplit(fast)
 	}
 	m := smp.NewMachineWithPhys(cfg.Platform, phys)
 	m.SetTopology(sockets)
@@ -542,6 +635,24 @@ func Boot(cfg Config) (*Kernel, error) {
 					d.SetMigrator(k.migrator, blocks)
 				}
 				m.RegisterIdleWork(d.Run)
+			}
+		}
+	}
+	if cfg.UsesTierHints() && phys.Tiered() {
+		// The tier keeper reuses the migration machinery even when the
+		// defrag knob is off: a dedicated Migrator over the same cache
+		// shares the gate discipline, so placement and defragmentation
+		// cannot race each other's remaps.
+		mig := k.migrator
+		if mig == nil {
+			mig = sfbuf.NewMigrator(k.Map, sfbuf.MigrateConfig{
+				MaxResident: cfg.MigrateMaxResident,
+			})
+		}
+		if mig != nil {
+			k.tier = newTierKeeper(k, mig)
+			if k.daemon != nil {
+				k.daemon.SetTierDuty(k.tier.IdleDemote)
 			}
 		}
 	}

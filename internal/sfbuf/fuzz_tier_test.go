@@ -1,0 +1,73 @@
+package sfbuf
+
+// Native fuzz target for tier migration: the same decoded trace language
+// as FuzzMigrate (digits '0'-'7' are readable opcodes), replayed over a
+// TIERED buddy pool — a quarter of the frames fast — where every op-7
+// pass runs a defrag round AND a tier-move pass over everything the
+// trace owns, each under its own byte oracle, live-mapping re-read and
+// structural audit.  The fast tier is small enough that promotion runs
+// into the destination-full exit under load, and odd-argument passes
+// demote, so the fuzzer continually drives frames across the boundary in
+// both directions while mappings, runs, wired holds and raw churn race
+// the moves.
+
+import "testing"
+
+// fuzzTierFast is the fast-tier size of the fuzz pool: a quarter of
+// fuzzMigFrames, so a full-pool trace oversubscribes it four to one.
+const fuzzTierFast = fuzzMigFrames / 4
+
+// tierPressureSeed is the checked-in acceptance trace for tier moves
+// under pressure: fill most of the pool, map and dirty pages, promote
+// everything (the fast tier overflows — the early-exit path), scatter
+// frees, then alternate demote/promote passes around a wired hold and
+// parked run windows while the pool keeps churning.
+func tierPressureSeed() []byte {
+	var b []byte
+	op := func(o, arg byte) { b = append(b, '0'+o, arg) }
+	for i := 0; i < 48; i++ {
+		op(0, 0xff) // burst-allocate: ~384 of 512 frames owned, fast tier 128
+	}
+	for i := 0; i < 5; i++ {
+		op(2, byte(i*53+17)|1) // map + dirty across the pool
+	}
+	op(4, 0x23) // park a run window across the moves
+	op(7, 0x00) // promote pass: oversubscribed 3:1, must hit the full exit
+	op(7, 0x01) // demote pass: drain the fast tier back out
+	for k := 0; k < 12; k++ {
+		for j := 0; j < 5; j++ {
+			op(1, byte(40+k)) // scatter frees: fragment both tiers
+		}
+	}
+	op(6, 0xfe) // wired contiguous hold: fenced off from every move
+	op(7, 0x02) // promote around the hold and the live mappings
+	op(3, 0x00) // unmap one
+	op(5, 0x00) // free the run
+	op(7, 0x01) // demote again now that the window is parked
+	op(6, 0x01) // release the hold
+	op(7, 0x00) // final promote over what remains
+	return b
+}
+
+func FuzzTier(f *testing.F) {
+	f.Add([]byte("0a0b2a2b7a7b3a3b1a1b"))             // churn, map, promote+demote, unmap
+	f.Add([]byte("0\xff7a1b1c7b6a7c6b"))              // pressure, scatter, moves around a hold
+	f.Add([]byte("0d4a4b7a5a7b4c7c5b"))               // parked windows crossing the boundary
+	f.Add([]byte("0\xff0\xff2a7a2b7b3a7c3b1a1b1c7d")) // mixed traffic with repeated passes
+	f.Add(tierPressureSeed())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runMigrateTraceTiered(t, data, fuzzTierFast)
+	})
+}
+
+// TestTierPressureSeed replays the checked-in tier-pressure seed
+// deterministically and pins that it does what its comment says: pages
+// actually crossed the tier boundary (the oversubscribed promote and the
+// demote both moved something), under every physcheck oracle the trace
+// runner applies per step.
+func TestTierPressureSeed(t *testing.T) {
+	sum := runMigrateTraceTiered(t, tierPressureSeed(), fuzzTierFast)
+	if sum.stats.TierMoves == 0 {
+		t.Fatal("the pressure seed never moved a page across the tier boundary")
+	}
+}

@@ -124,6 +124,12 @@ type Counters struct {
 	// lands both on the CPU and here.  Always zero on a one-socket
 	// topology.
 	RemoteMemCycles atomic.Int64
+	// SlowMemCycles accumulates the extra cycles slow-tier memory traffic
+	// cost: copies, zeroing, and checksums whose frame resides in the slow
+	// physical-memory tier pay the platform's SlowMemPerByte surcharge,
+	// which lands both on the CPU and here.  Always zero on a single-tier
+	// pool.
+	SlowMemCycles atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -142,6 +148,7 @@ type Snapshot struct {
 	RemoteLockAcq   uint64
 	RemoteIPIs      uint64
 	RemoteMemCycles int64
+	SlowMemCycles   int64
 }
 
 // Sub returns the event deltas since an earlier snapshot.
@@ -161,6 +168,7 @@ func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 		RemoteLockAcq:   s.RemoteLockAcq - earlier.RemoteLockAcq,
 		RemoteIPIs:      s.RemoteIPIs - earlier.RemoteIPIs,
 		RemoteMemCycles: s.RemoteMemCycles - earlier.RemoteMemCycles,
+		SlowMemCycles:   s.SlowMemCycles - earlier.SlowMemCycles,
 	}
 }
 
@@ -319,6 +327,7 @@ func (m *Machine) SnapshotCounters() Snapshot {
 		RemoteLockAcq:   m.counters.RemoteLockAcq.Load(),
 		RemoteIPIs:      m.counters.RemoteIPIs.Load(),
 		RemoteMemCycles: m.counters.RemoteMemCycles.Load(),
+		SlowMemCycles:   m.counters.SlowMemCycles.Load(),
 	}
 }
 
@@ -340,6 +349,7 @@ func (m *Machine) ResetCounters() {
 	m.counters.RemoteLockAcq.Store(0)
 	m.counters.RemoteIPIs.Store(0)
 	m.counters.RemoteMemCycles.Store(0)
+	m.counters.SlowMemCycles.Store(0)
 	for _, c := range m.cpus {
 		m.clockBase.Add(c.cycles.Swap(0))
 	}
@@ -426,14 +436,22 @@ func (c *Context) Socket() int { return c.m.topo.SocketOf(c.cpu.ID) }
 // ChargeBytesAt is ChargeBytes for traffic against a physical frame: when
 // the frame's home socket differs from the executing CPU's, the platform's
 // RemoteMemPerByte surcharge is charged on top and accumulated in
-// Counters.RemoteMemCycles.  On a one-socket topology it is exactly
-// ChargeBytes.
+// Counters.RemoteMemCycles, and when the frame resides in the slow
+// physical-memory tier the platform's SlowMemPerByte surcharge is charged
+// on top and accumulated in Counters.SlowMemCycles.  The two surcharges
+// compose: a slow frame homed on a remote socket pays both.  On a
+// one-socket topology over a single-tier pool it is exactly ChargeBytes.
 func (c *Context) ChargeBytesAt(perByte float64, n int, frame uint64) {
 	c.Charge(cycles.PerByte(perByte, n))
 	if c.m.topo.Sockets > 1 && c.m.Phys.SocketOfFrame(frame) != c.Socket() {
 		extra := cycles.PerByte(c.m.Plat.Cost.RemoteMemPerByte, n)
 		c.Charge(extra)
 		c.m.counters.RemoteMemCycles.Add(int64(extra))
+	}
+	if c.m.Phys.SlowFrame(frame) {
+		extra := cycles.PerByte(c.m.Plat.Cost.SlowMemPerByte, n)
+		c.Charge(extra)
+		c.m.counters.SlowMemCycles.Add(int64(extra))
 	}
 }
 

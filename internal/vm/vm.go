@@ -49,6 +49,33 @@ type Page struct {
 	// mapping, or -1 when it has none.  Only the sparc64 implementation
 	// consults it (Section 4.4).
 	UserColor int
+
+	// id is the page's stable identity: the frame number it was created
+	// on.  Unlike frame it never changes — migration moves a page between
+	// frames but not between identities — so it is the key for any state
+	// that must follow the logical page across migrations (extent-reuse
+	// tracking, the tier keeper's tables).  On a pool that never migrates
+	// it equals Frame().
+	id uint64
+}
+
+// ID returns the page's stable identity (its creation frame number),
+// invariant across migration.
+func (p *Page) ID() uint64 { return p.id }
+
+// ExtentID hashes a page sequence by stable page identity (FNV-1a over
+// Page.ID).  Where sfbuf.ExtentHash keys on the frames an extent
+// currently occupies — the right key for caches of installed
+// translations — ExtentID follows the logical extent across migration:
+// the same pages hash the same before and after their frames move.  On a
+// pool that never migrates the two agree exactly.
+func ExtentID(pages []*Page) uint64 {
+	h := uint64(1469598103934665603)
+	for _, pg := range pages {
+		h ^= pg.id
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Frame returns the physical frame number.
@@ -137,6 +164,14 @@ type PhysMem struct {
 	numaLocal uint64
 	numaSpill uint64
 
+	// Tiered physical memory (tier.go): each socket's frame range is
+	// split into a fast prefix of fastPer frames and a slow remainder.
+	// fastPer == 0 means a single uniform tier.  freeFast tracks the free
+	// fast-tier frames per socket on buddy pools; LIFO pools compute tier
+	// residency by scanning their free stack.
+	fastPer  int
+	freeFast []int
+
 	contigAllocs uint64
 	contigFails  uint64
 
@@ -162,7 +197,7 @@ func NewPhysMem(frames int, backed bool) *PhysMem {
 	// Frame numbers start at 1 so that frame 0 / physical address 0 can
 	// serve as a sentinel ("no frame") throughout the MMU model.
 	for i := frames - 1; i >= 0; i-- {
-		p := &Page{UserColor: -1}
+		p := &Page{UserColor: -1, id: uint64(i + 1)}
 		p.frame.Store(uint64(i + 1))
 		pm.pages[i].Store(p)
 		pm.free = append(pm.free, p)

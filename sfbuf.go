@@ -153,6 +153,18 @@ type (
 	// HomingPolicy selects how mapping state is placed on a multi-socket
 	// machine (Config.Sockets > 1): socket-homed or flat hash-striped.
 	HomingPolicy = kernel.HomingPolicy
+	// TierHintPolicy decides whether the kernel runs the consumer-hinted
+	// hot-extent placement keeper on a tiered physical pool
+	// (Config.Tiers >= 2 with Config.FastFraction of each socket's frames
+	// fast).
+	TierHintPolicy = kernel.TierHintPolicy
+	// TierStats is the tiered-memory snapshot (tier residency and free
+	// stock, promotion/demotion counts, accumulated slow-tier surcharge,
+	// per-consumer fast-tier hit rates), reported by Kernel.TierStats.
+	TierStats = kernel.TierStats
+	// TierConsumerStats is one consumer's fast-tier hit rate within
+	// TierStats.
+	TierConsumerStats = kernel.TierConsumerStats
 )
 
 // Kernel variants.
@@ -228,6 +240,20 @@ const (
 	// HomingOff pins the flat hash-striped layout even on a multi-socket
 	// machine — the NUMA experiment's baseline arm.
 	HomingOff = kernel.HomingOff
+)
+
+// Hot-extent placement policies for tiered physical pools (Config.TierHints,
+// effective when Config.Tiers >= 2; Config.Tiers defaults to a single
+// uniform tier, which is byte-identical to the untiered build).
+const (
+	// TierHintAuto runs the placement keeper whenever the pool is tiered
+	// and the frame allocator is the buddy allocator (the default).
+	TierHintAuto = kernel.TierHintAuto
+	// TierHintOn is today identical to Auto's tiered resolution.
+	TierHintOn = kernel.TierHintOn
+	// TierHintOff books the tier split but leaves placement to allocation
+	// order — the tier-oblivious baseline arm.
+	TierHintOff = kernel.TierHintOff
 )
 
 // ErrNoContig is AllocContig's failure: no aligned physically contiguous
